@@ -1,0 +1,93 @@
+//! Ablation micro-benches for the design choices discussed in §6.1 and §5:
+//!
+//! * explicit chain sets vs the CDAG representation on the schema of
+//!   footnote 8 (`a_i ← (b_i, c_i)*`, `b_i, c_i ← a_{i+1}`), whose number of
+//!   distinct chains grows as `2^n`;
+//! * the `k = k_q + k_u` bound vs the unsound `k = max(k_q, k_u)` choice
+//!   (§5's `/descendant::b` vs `delete /descendant::c` example).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qui_core::engine::cdag::CdagEngine;
+use qui_core::engine::explicit::ExplicitEngine;
+use qui_core::Universe;
+use qui_schema::Dtd;
+use qui_xquery::parse_query;
+use std::hint::black_box;
+
+/// The footnote-8 schema with `n` levels.
+fn footnote8_schema(n: usize) -> Dtd {
+    let mut b = Dtd::builder();
+    for i in 1..=n {
+        if i < n {
+            b = b
+                .rule(&format!("a{i}"), &format!("(b{i}, c{i})*"))
+                .rule(&format!("b{i}"), &format!("a{}", i + 1))
+                .rule(&format!("c{i}"), &format!("a{}", i + 1));
+        } else {
+            b = b
+                .rule(&format!("a{i}"), "EMPTY")
+                .rule(&format!("b{i}"), "EMPTY")
+                .rule(&format!("c{i}"), "EMPTY");
+        }
+    }
+    b.build("a1").expect("footnote-8 schema is well-formed")
+}
+
+fn bench_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdag_vs_explicit_footnote8");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for n in [6usize, 8, 10] {
+        let schema = footnote8_schema(n);
+        let query = parse_query(&format!("//a{n}")).unwrap();
+        group.bench_function(format!("explicit/n{n}"), |b| {
+            b.iter(|| {
+                let universe = Universe::with_k(&schema, 2);
+                let eng = ExplicitEngine::new(&universe, 1_000_000);
+                let gamma = eng.root_gamma(query.free_vars());
+                black_box(eng.infer_query(&gamma, &query).map(|q| q.total_len()))
+            })
+        });
+        group.bench_function(format!("cdag/n{n}"), |b| {
+            b.iter(|| {
+                let eng = CdagEngine::new(&schema, 2);
+                let chains = eng.infer_query(&eng.root_gamma(query.free_vars()), &query);
+                black_box(chains.returns.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_bound_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let d1 = Dtd::builder()
+        .rule("r", "a")
+        .rule("a", "(b, c, e)*")
+        .rule("b", "f")
+        .rule("c", "f")
+        .rule("e", "f")
+        .rule("f", "(a, g)")
+        .rule("g", "EMPTY")
+        .build("r")
+        .unwrap();
+    let q = parse_query("$root/descendant::b").unwrap();
+    for k in [1usize, 2, 4] {
+        group.bench_function(format!("infer/k{k}"), |b| {
+            b.iter(|| {
+                let universe = Universe::with_k(&d1, k);
+                let eng = ExplicitEngine::new(&universe, 1_000_000);
+                let gamma = eng.root_gamma(q.free_vars());
+                black_box(eng.infer_query(&gamma, &q).map(|qc| qc.total_len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representation, bench_k_choice);
+criterion_main!(benches);

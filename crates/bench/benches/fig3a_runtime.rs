@@ -1,0 +1,33 @@
+//! Fig. 3.a — static chain-analysis time per update against the 36 views.
+//!
+//! The paper reports the time each update needs to be checked against the
+//! whole view set (worst case < 40 ms, average ≈ 15 ms on its machine). The
+//! bench measures the same quantity for a representative subset of updates;
+//! the `fig3a` binary prints the full 31-row series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qui_bench::{
+    benchmark_views, chain_analysis_time, chain_analysis_time_cdag, representative_updates,
+};
+use std::hint::black_box;
+
+fn bench_fig3a(c: &mut Criterion) {
+    let views = benchmark_views();
+    let updates = representative_updates();
+    let mut group = c.benchmark_group("fig3a_chain_analysis_vs_36_views");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for u in &updates {
+        group.bench_function(format!("chains/{}", u.name), |b| {
+            b.iter(|| black_box(chain_analysis_time(&views, u)))
+        });
+        group.bench_function(format!("chains-cdag/{}", u.name), |b| {
+            b.iter(|| black_box(chain_analysis_time_cdag(&views, u)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3a);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Fig. 3.b — precision: percentage of truly-independent (update, view)
+//! pairs detected by the chain analysis vs the type-set baseline.
+//!
+//! Precision itself is not a timing quantity; the Criterion part measures the
+//! cost of producing the full 31×36 verdict matrix for both techniques, and
+//! the summary table (the actual Fig. 3.b series) is printed once at the end.
+//! The `fig3b` binary prints the per-update percentages with a configurable
+//! ground-truth effort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qui_baseline::TypeSetAnalyzer;
+use qui_core::IndependenceAnalyzer;
+use qui_workloads::{all_updates, all_views, ground_truth_matrix, precision_report, xmark_dtd};
+use std::hint::black_box;
+
+fn bench_fig3b(c: &mut Criterion) {
+    let views = all_views();
+    let updates = all_updates();
+    let dtd = xmark_dtd();
+
+    let mut group = c.benchmark_group("fig3b_verdict_matrix");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.bench_function("chains/31x36", |b| {
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        b.iter(|| {
+            let mut independent = 0usize;
+            for u in &updates {
+                for v in &views {
+                    if analyzer.check(&v.query, &u.update).is_independent() {
+                        independent += 1;
+                    }
+                }
+            }
+            black_box(independent)
+        })
+    });
+    group.bench_function("types/31x36", |b| {
+        let baseline = TypeSetAnalyzer::new(&dtd);
+        b.iter(|| {
+            let mut independent = 0usize;
+            for u in &updates {
+                for v in &views {
+                    if baseline.independent(&v.query, &u.update) {
+                        independent += 1;
+                    }
+                }
+            }
+            black_box(independent)
+        })
+    });
+    group.finish();
+
+    // Print the precision series once (ground truth from one generated
+    // instance keeps the bench fast; the fig3b binary uses more seeds).
+    let truth = ground_truth_matrix(&views, &updates, 3_000, &[1]);
+    let rows = precision_report(&views, &updates, &truth);
+    println!("\nFig 3.b — independence detected (% of truly independent pairs)");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10}",
+        "update", "indep", "types[6]%", "chains%"
+    );
+    let (mut sum_c, mut sum_t) = (0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:>9.0}% {:>9.0}%",
+            r.update,
+            r.truly_independent,
+            r.types_pct(),
+            r.chains_pct()
+        );
+        sum_c += r.chains_pct();
+        sum_t += r.types_pct();
+    }
+    println!(
+        "average: types {:.0}%  chains {:.0}%",
+        sum_t / rows.len() as f64,
+        sum_c / rows.len() as f64
+    );
+}
+
+criterion_group!(benches, bench_fig3b);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 3.c — view-maintenance time: re-materialization cost after each
+//! update with no analysis, with the type-set baseline, and with the chain
+//! analysis, at increasing document scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qui_workloads::xmark::XmarkScale;
+use qui_workloads::{all_updates, all_views, maintenance_simulation};
+use std::hint::black_box;
+
+fn bench_fig3c(c: &mut Criterion) {
+    let views = all_views();
+    let updates = all_updates();
+
+    let mut group = c.benchmark_group("fig3c_maintenance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    // Criterion measures a reduced sweep; the full scales are reported once
+    // below (and by the fig3c binary) because a complete re-materialization
+    // sweep is itself many seconds long.
+    group.bench_function("refresh_decisions/small", |b| {
+        b.iter(|| {
+            black_box(maintenance_simulation(
+                &views[..8],
+                &updates[..6],
+                2_000,
+                "bench",
+                1,
+            ))
+        })
+    });
+    group.finish();
+
+    println!("\nFig 3.c — re-materialization time (percent saved vs refresh-all)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "scale", "all (ms)", "types (ms)", "chains (ms)", "types sav", "chains sav"
+    );
+    for scale in [XmarkScale::Small, XmarkScale::Medium] {
+        let report =
+            maintenance_simulation(&views, &updates, scale.target_nodes(), scale.label(), 7);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>14.1} {:>9.0}% {:>9.0}%",
+            report.scale,
+            report.refresh_all.as_secs_f64() * 1e3,
+            report.refresh_types.as_secs_f64() * 1e3,
+            report.refresh_chains.as_secs_f64() * 1e3,
+            report.types_saving_pct(),
+            report.chains_saving_pct()
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig3c);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 3.d — scalability on the R-benchmark: chain-inference time for the
+//! schemas `d_n` (n fully mutually recursive types) and expressions `e_m`
+//! (m consecutive `descendant::node()` steps), for several values of `k`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qui_core::engine::cdag::CdagEngine;
+use qui_workloads::{rbench_expression, rbench_schema, xmark_dtd};
+use std::hint::black_box;
+
+fn bench_fig3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3d_rbench");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for n in [1usize, 3, 5, 10, 20] {
+        let schema = rbench_schema(n);
+        for m in [1usize, 5, 10] {
+            let expr = rbench_expression(m);
+            for extra in [0usize, 5, 10] {
+                let k = m + extra;
+                group.bench_function(format!("d{n}/e{m}/k{k}"), |b| {
+                    b.iter(|| {
+                        let eng = CdagEngine::new(&schema, k);
+                        let chains = eng.infer_query(&eng.root_gamma(expr.free_vars()), &expr);
+                        black_box(chains.returns.edge_count())
+                    })
+                });
+            }
+        }
+    }
+    // The "auctions" series of Fig. 3.d: the same expressions over XMark.
+    let xmark = xmark_dtd();
+    for m in [1usize, 5] {
+        let expr = rbench_expression(m);
+        let k = m + 5;
+        group.bench_function(format!("auctions/e{m}/k{k}"), |b| {
+            b.iter(|| {
+                let eng = CdagEngine::new(&xmark, k);
+                let chains = eng.infer_query(&eng.root_gamma(expr.free_vars()), &expr);
+                black_box(chains.returns.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3d);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Prints the full Fig. 3.a series: static chain-analysis time (ms) of each
+//! of the 31 updates against the whole set of 36 views, for the default
+//! (auto) engine and for the CDAG engine forced.
+
+use qui_bench::{benchmark_views, chain_analysis_time, chain_analysis_time_cdag, ms};
+use qui_core::{k_of_query, k_of_update};
+use qui_workloads::all_updates;
+
+fn main() {
+    let views = benchmark_views();
+    let updates = all_updates();
+    println!("Fig 3.a — chain analysis time per update vs all 36 views");
+    println!(
+        "{:<6} {:>4} {:>6} {:>14} {:>14}",
+        "update", "k_u", "max k", "auto (ms)", "cdag (ms)"
+    );
+    let mut total = 0.0;
+    let mut worst = 0.0f64;
+    for u in &updates {
+        let auto = chain_analysis_time(&views, u);
+        let cdag = chain_analysis_time_cdag(&views, u);
+        let ku = k_of_update(&u.update);
+        let kmax = views
+            .iter()
+            .map(|v| k_of_query(&v.query) + ku)
+            .max()
+            .unwrap_or(ku);
+        println!(
+            "{:<6} {:>4} {:>6} {:>14} {:>14}",
+            u.name,
+            ku,
+            kmax,
+            ms(auto),
+            ms(cdag)
+        );
+        total += auto.as_secs_f64() * 1e3;
+        worst = worst.max(auto.as_secs_f64() * 1e3);
+    }
+    println!(
+        "average: {:.2} ms   worst: {:.2} ms",
+        total / updates.len() as f64,
+        worst
+    );
+}

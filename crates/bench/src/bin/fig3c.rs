@@ -1,0 +1,29 @@
+//! Prints the full Fig. 3.c table: view re-materialization time after every
+//! update with no static analysis, with the type-set baseline, and with the
+//! chain analysis, at the three document scales.
+
+use qui_workloads::xmark::XmarkScale;
+use qui_workloads::{all_updates, all_views, maintenance_simulation};
+
+fn main() {
+    let views = all_views();
+    let updates = all_updates();
+    println!("Fig 3.c — re-materialization time after the 31 updates (36 views)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "scale", "all (ms)", "types (ms)", "chains (ms)", "types sav", "chains sav"
+    );
+    for scale in [XmarkScale::Small, XmarkScale::Medium, XmarkScale::Large] {
+        let report =
+            maintenance_simulation(&views, &updates, scale.target_nodes(), scale.label(), 7);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>14.1} {:>9.0}% {:>9.0}%",
+            report.scale,
+            report.refresh_all.as_secs_f64() * 1e3,
+            report.refresh_types.as_secs_f64() * 1e3,
+            report.refresh_chains.as_secs_f64() * 1e3,
+            report.types_saving_pct(),
+            report.chains_saving_pct()
+        );
+    }
+}

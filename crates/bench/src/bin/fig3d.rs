@@ -1,0 +1,53 @@
+//! Prints the full Fig. 3.d series: chain-inference time (seconds) on the
+//! R-benchmark schemas `d_n` for the expressions `e_m`, for
+//! `k ∈ {|e|, |e|+5, |e|+10}`, plus the same expressions over the XMark
+//! ("auctions") schema.
+
+use qui_core::engine::cdag::CdagEngine;
+use qui_workloads::{rbench_expression, rbench_schema, xmark_dtd};
+use std::time::Instant;
+
+fn measure(schema: &qui_schema::Dtd, m: usize, k: usize) -> f64 {
+    let expr = rbench_expression(m);
+    let start = Instant::now();
+    let eng = CdagEngine::new(schema, k);
+    let chains = eng.infer_query(&eng.root_gamma(expr.free_vars()), &expr);
+    let elapsed = start.elapsed().as_secs_f64();
+    // Touch the result so the work cannot be optimized away.
+    assert!(chains.returns.edge_count() < usize::MAX);
+    elapsed
+}
+
+fn main() {
+    println!("Fig 3.d — chain inference time (s) on the R-benchmark");
+    println!(
+        "{:<10} {:<4} {:>12} {:>12} {:>12}",
+        "schema", "e_m", "k=|e|", "k=|e|+5", "k=|e|+10"
+    );
+    for n in [1usize, 3, 5, 10, 20] {
+        let schema = rbench_schema(n);
+        for m in [1usize, 5, 10] {
+            let t0 = measure(&schema, m, m);
+            let t5 = measure(&schema, m, m + 5);
+            let t10 = measure(&schema, m, m + 10);
+            println!(
+                "{:<10} e{:<3} {:>12.4} {:>12.4} {:>12.4}",
+                format!("d{n}"),
+                m,
+                t0,
+                t5,
+                t10
+            );
+        }
+    }
+    let xmark = xmark_dtd();
+    for m in [1usize, 5, 10] {
+        let t0 = measure(&xmark, m, m);
+        let t5 = measure(&xmark, m, m + 5);
+        let t10 = measure(&xmark, m, m + 10);
+        println!(
+            "{:<10} e{:<3} {:>12.4} {:>12.4} {:>12.4}",
+            "auctions", m, t0, t5, t10
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! # qui-bench — benchmark harness regenerating Figure 3 of the paper
+//!
+//! Every panel of the paper's results figure has a Criterion bench (under
+//! `benches/`) measuring the relevant times and a report binary (under
+//! `src/bin/`) printing the same rows/series the paper plots:
+//!
+//! | Paper panel | Bench | Binary |
+//! |---|---|---|
+//! | Fig. 3.a — chain-analysis runtime per update vs the 36 views | `fig3a_runtime` | `fig3a` |
+//! | Fig. 3.b — % of independent pairs detected, chains vs types  | `fig3b_precision` | `fig3b` |
+//! | Fig. 3.c — view re-materialization time savings              | `fig3c_maintenance` | `fig3c` |
+//! | Fig. 3.d — chain-inference time on the R-benchmark           | `fig3d_rbench` | `fig3d` |
+//! | §6.1 complexity discussion (CDAG vs explicit chain sets)     | `cdag_micro` | — |
+//!
+//! Run a binary with `cargo run --release -p qui-bench --bin fig3b`.
+
+use qui_core::{AnalyzerConfig, EngineKind, IndependenceAnalyzer};
+use qui_workloads::{all_updates, all_views, xmark_dtd, NamedUpdate, NamedView};
+use std::time::{Duration, Instant};
+
+/// Measures, for one update, the time taken by the chain analysis to check
+/// independence against every view (one bar of Fig. 3.a).
+pub fn chain_analysis_time(views: &[NamedView], update: &NamedUpdate) -> Duration {
+    let dtd = xmark_dtd();
+    let analyzer = IndependenceAnalyzer::new(&dtd);
+    let start = Instant::now();
+    for v in views {
+        let _ = analyzer.check(&v.query, &update.update);
+    }
+    start.elapsed()
+}
+
+/// Same measurement with the CDAG engine forced — used to compare the two
+/// engines' cost profiles.
+pub fn chain_analysis_time_cdag(views: &[NamedView], update: &NamedUpdate) -> Duration {
+    let dtd = xmark_dtd();
+    let analyzer = IndependenceAnalyzer::with_config(
+        &dtd,
+        AnalyzerConfig {
+            engine: EngineKind::Cdag,
+            ..Default::default()
+        },
+    );
+    let start = Instant::now();
+    for v in views {
+        let _ = analyzer.check(&v.query, &update.update);
+    }
+    start.elapsed()
+}
+
+/// A small representative subset of updates used by the Criterion benches to
+/// keep wall-clock time reasonable (the report binaries cover all 31).
+pub fn representative_updates() -> Vec<NamedUpdate> {
+    let wanted = ["UA1", "UA5", "UB2", "UB6", "UI3", "UN2", "UP4"];
+    all_updates()
+        .into_iter()
+        .filter(|u| wanted.contains(&u.name))
+        .collect()
+}
+
+/// All views, re-exported for the benches.
+pub fn benchmark_views() -> Vec<NamedView> {
+    all_views()
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_updates_exist() {
+        assert_eq!(representative_updates().len(), 7);
+        assert_eq!(benchmark_views().len(), 36);
+    }
+
+    #[test]
+    fn chain_analysis_time_is_measurable() {
+        let views = benchmark_views();
+        let upd = representative_updates().remove(0);
+        let t = chain_analysis_time(&views[..4], &upd);
+        assert!(t > Duration::ZERO);
+    }
+}

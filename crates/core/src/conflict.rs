@@ -1,0 +1,177 @@
+//! The conflict relation and C-independence (paper §4, Definition 4.1).
+//!
+//! `confl(τ1, τ2) = {(c1, c2) | c1 ∈ τ1, c2 ∈ τ2, c1 ⪯ c2}`; a query and an
+//! update are C-independent when `confl(r, U) = confl(U, r) = confl(U, v) =
+//! ∅`, where the update chains `c:c'` participate through their full chain
+//! `c.c'`.
+
+use crate::types::{ChainItem, QueryChains, UpdateChains};
+use qui_schema::Chain;
+
+/// Prefix conflict between two chain items, i.e. whether some chain denoted
+/// by `c1` is a prefix of some chain denoted by `c2` (extensible items denote
+/// the base chain plus all its descendant extensions).
+pub fn item_conflicts(c1: &ChainItem, c2: &ChainItem) -> bool {
+    // x ⪯ y for x ∈ set(c1), y ∈ set(c2):
+    //  * if c1.chain ⪯ c2.chain, pick x = c1.chain, y = c2.chain;
+    //  * if c2 is extensible and c2.chain ⪯ c1.chain, pick x = c1.chain and
+    //    y an extension of c2.chain that goes through x;
+    //  * extensions of c1 can only make the prefix test harder, so they add
+    //    nothing beyond the first case.
+    c1.chain.is_prefix_of(&c2.chain) || (c2.extensible && c2.chain.is_prefix_of(&c1.chain))
+}
+
+/// Plain prefix conflict between two chains.
+pub fn chains_conflict(c1: &Chain, c2: &Chain) -> bool {
+    c1.is_prefix_of(c2)
+}
+
+/// A single witness of dependence: a query chain and an update full chain in
+/// the prefix relation, with the class of query chain involved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictWitness {
+    /// Which of the three checks failed.
+    pub kind: ConflictKind,
+    /// The query chain involved.
+    pub query_chain: ChainItem,
+    /// The update full chain involved.
+    pub update_chain: ChainItem,
+}
+
+/// Which of the three conflict sets of Definition 4.1 is non-empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// `confl(r, U) ≠ ∅`: a returned element's chain is a prefix of an
+    /// update chain (the update changes something below a returned node).
+    ReturnBelowUpdate,
+    /// `confl(U, r) ≠ ∅`: an update chain is a prefix of a return chain (the
+    /// update changes an ancestor-or-self of a returned node).
+    UpdateAboveReturn,
+    /// `confl(U, v) ≠ ∅`: an update chain is a prefix of a used chain (the
+    /// update changes an ancestor-or-self of a node the query relies on).
+    UpdateAboveUsed,
+}
+
+/// Checks C-independence (Definition 4.1) and returns the first witness of
+/// dependence found, or `None` when the pair is independent.
+pub fn find_conflict(q: &QueryChains, u: &UpdateChains) -> Option<ConflictWitness> {
+    for uc in &u.chains {
+        let full = uc.full();
+        // confl(r, U): some return chain is a prefix of the update chain.
+        for rc in &q.returns {
+            let r_item = ChainItem::plain(rc.clone());
+            if item_conflicts(&r_item, &full) {
+                return Some(ConflictWitness {
+                    kind: ConflictKind::ReturnBelowUpdate,
+                    query_chain: r_item,
+                    update_chain: full,
+                });
+            }
+            // confl(U, r): the update chain is a prefix of a return chain.
+            if item_conflicts(&full, &r_item) {
+                return Some(ConflictWitness {
+                    kind: ConflictKind::UpdateAboveReturn,
+                    query_chain: r_item,
+                    update_chain: full,
+                });
+            }
+        }
+        // confl(U, v): the update chain is a prefix of a used chain.
+        for vc in &q.used {
+            if item_conflicts(&full, vc) {
+                return Some(ConflictWitness {
+                    kind: ConflictKind::UpdateAboveUsed,
+                    query_chain: vc.clone(),
+                    update_chain: full,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::UpdateChain;
+    use qui_schema::Sym;
+
+    fn ch(syms: &[u16]) -> Chain {
+        Chain(syms.iter().map(|&s| Sym(s)).collect())
+    }
+
+    #[test]
+    fn plain_item_conflicts_follow_prefix() {
+        let a = ChainItem::plain(ch(&[1, 2]));
+        let b = ChainItem::plain(ch(&[1, 2, 3]));
+        let c = ChainItem::plain(ch(&[1, 4]));
+        assert!(item_conflicts(&a, &b));
+        assert!(!item_conflicts(&b, &a));
+        assert!(!item_conflicts(&a, &c));
+        assert!(item_conflicts(&a, &a));
+    }
+
+    #[test]
+    fn extensible_right_operand_means_overlap() {
+        let short = ChainItem::plain(ch(&[1, 2]));
+        let long_ext = ChainItem::extended(ch(&[1]));
+        // `1` extended covers `1.2`, so `1.2 ⪯` some element of it.
+        assert!(item_conflicts(&short, &long_ext));
+        // Extensibility of the left operand does not help.
+        let left_ext = ChainItem::extended(ch(&[1, 2]));
+        let plain_short = ChainItem::plain(ch(&[1]));
+        assert!(!item_conflicts(&left_ext, &plain_short));
+    }
+
+    #[test]
+    fn find_conflict_distinguishes_kinds() {
+        // returns = {1.2}, used = {1}; update chain 1.2:3 (full 1.2.3).
+        let mut q = QueryChains::empty();
+        q.returns.insert(ch(&[1, 2]));
+        q.used.insert(ChainItem::plain(ch(&[1])));
+        let mut u = UpdateChains::empty();
+        u.insert(UpdateChain::new(ch(&[1, 2]), ChainItem::plain(ch(&[3]))));
+        let w = find_conflict(&q, &u).expect("conflict");
+        assert_eq!(w.kind, ConflictKind::ReturnBelowUpdate);
+
+        // update above a return chain: update 1:2, return 1.2.3
+        let mut q = QueryChains::empty();
+        q.returns.insert(ch(&[1, 2, 3]));
+        let mut u = UpdateChains::empty();
+        u.insert(UpdateChain::new(ch(&[1]), ChainItem::plain(ch(&[2]))));
+        let w = find_conflict(&q, &u).expect("conflict");
+        assert_eq!(w.kind, ConflictKind::UpdateAboveReturn);
+
+        // update above a used chain only
+        let mut q = QueryChains::empty();
+        q.returns.insert(ch(&[9]));
+        q.used.insert(ChainItem::plain(ch(&[1, 2, 5])));
+        let mut u = UpdateChains::empty();
+        u.insert(UpdateChain::new(ch(&[1]), ChainItem::plain(ch(&[2]))));
+        let w = find_conflict(&q, &u).expect("conflict");
+        assert_eq!(w.kind, ConflictKind::UpdateAboveUsed);
+    }
+
+    #[test]
+    fn disjoint_chains_are_independent() {
+        let mut q = QueryChains::empty();
+        q.returns.insert(ch(&[1, 2, 3]));
+        q.used.insert(ChainItem::plain(ch(&[1, 2])));
+        let mut u = UpdateChains::empty();
+        u.insert(UpdateChain::new(ch(&[1, 4]), ChainItem::plain(ch(&[5]))));
+        assert!(find_conflict(&q, &u).is_none());
+    }
+
+    #[test]
+    fn used_chain_below_update_does_not_conflict() {
+        // The update touches descendants of a used node: that is fine, only
+        // ancestors-or-self of used nodes matter (confl(v, U) is not part of
+        // Definition 4.1).
+        let mut q = QueryChains::empty();
+        q.returns.insert(ch(&[9]));
+        q.used.insert(ChainItem::plain(ch(&[1])));
+        let mut u = UpdateChains::empty();
+        u.insert(UpdateChain::new(ch(&[1, 2]), ChainItem::plain(ch(&[3]))));
+        assert!(find_conflict(&q, &u).is_none());
+    }
+}

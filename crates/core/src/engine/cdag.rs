@@ -1,0 +1,987 @@
+//! The CDAG engine: chain sets represented as chain-DAGs (paper §6.1).
+//!
+//! A CDAG is rooted at the schema start type and has **at most one node per
+//! (type, depth) pair**, so its width is bounded by the schema size and the
+//! depth by `k·|d|`. A set of rooted chains is represented by a sub-DAG (its
+//! own edge set) plus a set of *end* nodes: the denoted chains are all paths
+//! from the root to an end node, where an end node may additionally be
+//! flagged *extensible* (the set then also contains every descendant
+//! extension of those paths).
+//!
+//! Compared with the explicit engine this trades a small amount of precision
+//! for polynomial behaviour:
+//!
+//! * merging the sub-DAGs of different sub-expressions can introduce paths
+//!   that neither sub-expression inferred (the paper avoids this with
+//!   per-expression edge labels; we accept the over-approximation, which is
+//!   sound because every such path is still a schema chain),
+//! * the per-tag multiplicity bound of k-chains is relaxed to a depth bound
+//!   (`k·|d|`), which again only adds chains,
+//! * `for` iteration binds the loop variable to the whole return set at once
+//!   instead of chain-by-chain, which only enlarges the inferred sets.
+//!
+//! Every approximation enlarges the inferred chain sets, so independence
+//! verdicts remain sound; the cross-check tests in `tests/` verify that the
+//! two engines agree on the workloads where the explicit engine is feasible.
+
+use super::label_syms;
+use crate::types::{ChainItem, QueryChains, UpdateChains};
+use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
+use qui_xquery::{Axis, NodeTest, Query, Update, UpdatePos};
+use std::collections::{HashMap, HashSet};
+
+/// A node of the CDAG: a (type, depth) pair, encoded as `depth * width + sym`.
+pub type NodeIdx = u32;
+
+/// A set of rooted chains represented as a sub-DAG of the CDAG.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChainDag {
+    /// Present edges, as (from-node, to-node) pairs. The to-node is always at
+    /// the from-node's depth plus one.
+    pub edges: HashSet<(NodeIdx, NodeIdx)>,
+    /// End nodes with their extensibility flag (`true` = the set also
+    /// contains every descendant extension of chains ending here).
+    pub ends: HashMap<NodeIdx, bool>,
+}
+
+impl ChainDag {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ChainDag::default()
+    }
+
+    /// Returns `true` if the set denotes no chain.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Union of two sets (edges and ends are merged; an end extensible in
+    /// either operand stays extensible).
+    pub fn union(mut self, other: &ChainDag) -> ChainDag {
+        self.edges.extend(other.edges.iter().copied());
+        for (&n, &ext) in &other.ends {
+            let e = self.ends.entry(n).or_insert(false);
+            *e = *e || ext;
+        }
+        self
+    }
+
+    /// Number of edges (a size measure used by the complexity benches).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Marks every end node extensible.
+    pub fn extend_all_ends(mut self) -> ChainDag {
+        for v in self.ends.values_mut() {
+            *v = true;
+        }
+        self
+    }
+
+    /// Restricts the ends to the extensible ones (edges are kept).
+    pub fn extensible_ends_only(&self) -> ChainDag {
+        ChainDag {
+            edges: self.edges.clone(),
+            ends: self
+                .ends
+                .iter()
+                .filter(|&(_, &ext)| ext)
+                .map(|(&n, &e)| (n, e))
+                .collect(),
+        }
+    }
+}
+
+/// The CDAG engine: holds the schema, the dimensions of the node grid, and
+/// implements inference and conflict checking over [`ChainDag`] values.
+pub struct CdagEngine<'a, S: SchemaLike> {
+    schema: &'a S,
+    /// Number of distinct symbols per level (schema types + text + one
+    /// sentinel slot for unknown labels).
+    width: u32,
+    /// Number of levels (maximum chain length).
+    max_depth: u32,
+    /// Element-chain inference toggle (see the explicit engine).
+    element_chains: bool,
+}
+
+/// Variable environment for the CDAG engine.
+pub type DagGamma = HashMap<String, ChainDag>;
+
+/// Query chains in CDAG form: returns and used chains as DAGs, element
+/// chains as symbolic items (they are not rooted at the schema root).
+#[derive(Clone, Debug, Default)]
+pub struct DagQueryChains {
+    /// Return chains.
+    pub returns: ChainDag,
+    /// Used chains (ends may be extensible).
+    pub used: ChainDag,
+    /// Element chains.
+    pub elements: Vec<ChainItem>,
+}
+
+impl DagQueryChains {
+    fn union(mut self, other: DagQueryChains) -> DagQueryChains {
+        self.returns = self.returns.union(&other.returns);
+        self.used = self.used.union(&other.used);
+        for e in other.elements {
+            if !self.elements.contains(&e) {
+                self.elements.push(e);
+            }
+        }
+        self
+    }
+}
+
+impl<'a, S: SchemaLike> CdagEngine<'a, S> {
+    /// Creates an engine for multiplicity bound `k` (which fixes the depth of
+    /// the node grid at `k·|d| + 2`).
+    pub fn new(schema: &'a S, k: usize) -> Self {
+        let width = (schema.num_types() + 1) as u32;
+        let depth = (k.max(1) * schema.schema_size().max(1) + 2) as u32;
+        CdagEngine {
+            schema,
+            width,
+            max_depth: depth,
+            element_chains: true,
+        }
+    }
+
+    /// Enables or disables element-chain inference (ablation switch).
+    pub fn with_element_chains(mut self, on: bool) -> Self {
+        self.element_chains = on;
+        self
+    }
+
+    /// The schema this engine analyses.
+    pub fn schema(&self) -> &'a S {
+        self.schema
+    }
+
+    // ------------------------------------------------------ node encoding
+
+    fn sym_slot(&self, s: Sym) -> u32 {
+        let slot = s.index() as u32;
+        if slot >= self.width - 1 {
+            self.width - 1 // unknown-label sentinel slot
+        } else {
+            slot
+        }
+    }
+
+    fn node(&self, s: Sym, depth: u32) -> NodeIdx {
+        depth * self.width + self.sym_slot(s)
+    }
+
+    fn depth_of(&self, n: NodeIdx) -> u32 {
+        n / self.width
+    }
+
+    fn sym_of(&self, n: NodeIdx) -> Option<Sym> {
+        let slot = n % self.width;
+        if slot == self.width - 1 {
+            None // unknown-label sentinel
+        } else {
+            Some(Sym(slot as u16))
+        }
+    }
+
+    /// The singleton set containing just the root chain.
+    pub fn root_dag(&self) -> ChainDag {
+        let mut ends = HashMap::new();
+        ends.insert(self.node(self.schema.start_type(), 0), false);
+        ChainDag {
+            edges: HashSet::new(),
+            ends,
+        }
+    }
+
+    /// Builds the DAG denoting exactly one explicit chain (used to seed
+    /// environments and in tests).
+    pub fn dag_of_chain(&self, chain: &Chain) -> ChainDag {
+        let mut dag = ChainDag::empty();
+        let syms = chain.symbols();
+        if syms.is_empty() {
+            return dag;
+        }
+        for (i, w) in syms.windows(2).enumerate() {
+            dag.edges
+                .insert((self.node(w[0], i as u32), self.node(w[1], i as u32 + 1)));
+        }
+        dag.ends
+            .insert(self.node(syms[syms.len() - 1], (syms.len() - 1) as u32), false);
+        dag
+    }
+
+    /// Enumerates the chains denoted by a DAG (without extensions), up to
+    /// `cap` chains — used by tests and debugging output only.
+    pub fn enumerate(&self, dag: &ChainDag, cap: usize) -> Option<Vec<Chain>> {
+        let root = self.node(self.schema.start_type(), 0);
+        let mut out = Vec::new();
+        let mut stack = vec![(root, Chain::single(self.schema.start_type()))];
+        // Adjacency for forward traversal.
+        let mut adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in &dag.edges {
+            adj.entry(f).or_default().push(t);
+        }
+        while let Some((n, chain)) = stack.pop() {
+            if dag.ends.contains_key(&n) {
+                out.push(chain.clone());
+                if out.len() > cap {
+                    return None;
+                }
+            }
+            if let Some(next) = adj.get(&n) {
+                for &m in next {
+                    if let Some(s) = self.sym_of(m) {
+                        stack.push((m, chain.push(s)));
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    // ------------------------------------------------------ step inference
+
+    fn test_matches(&self, s: Sym, test: &NodeTest) -> bool {
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => s == TEXT_SYM,
+            NodeTest::AnyElement => s != TEXT_SYM,
+            NodeTest::Tag(t) => s != TEXT_SYM && self.schema.type_label(s) == t,
+        }
+    }
+
+    /// The root node of the grid.
+    fn root_node(&self) -> NodeIdx {
+        self.node(self.schema.start_type(), 0)
+    }
+
+    /// Prunes a DAG to the edges lying on some path from the root to one of
+    /// the given end nodes (provenance trimming). This is the unlabeled
+    /// counterpart of the paper's edge labels: chains whose endpoint was
+    /// filtered away by a node test or a later step must not leave their
+    /// edges behind, otherwise they would resurface as spurious paths when
+    /// DAG nodes merge.
+    fn trim_to(&self, edges: &HashSet<(NodeIdx, NodeIdx)>, ends: &HashSet<NodeIdx>) -> HashSet<(NodeIdx, NodeIdx)> {
+        if ends.is_empty() || edges.is_empty() {
+            return HashSet::new();
+        }
+        // Backward reachability from the ends.
+        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in edges {
+            preds.entry(t).or_default().push(f);
+        }
+        let mut above: HashSet<NodeIdx> = ends.clone();
+        let mut stack: Vec<NodeIdx> = ends.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if above.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        // Forward reachability from the root, restricted to `above`.
+        let mut succs: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in edges {
+            if above.contains(&f) && above.contains(&t) {
+                succs.entry(f).or_default().push(t);
+            }
+        }
+        let root = self.root_node();
+        let mut reach: HashSet<NodeIdx> = HashSet::new();
+        reach.insert(root);
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            for &m in succs.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if reach.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        edges
+            .iter()
+            .copied()
+            .filter(|&(f, t)| reach.contains(&f) && above.contains(&t) && reach.contains(&t))
+            .collect()
+    }
+
+    /// Prunes a whole DAG to the paths leading to its own ends.
+    pub fn trim(&self, dag: &ChainDag) -> ChainDag {
+        let ends: HashSet<NodeIdx> = dag.ends.keys().copied().collect();
+        ChainDag {
+            edges: self.trim_to(&dag.edges, &ends),
+            ends: dag.ends.clone(),
+        }
+    }
+
+    /// Single-step inference: the CDAG analogue of `TC(AC(c, axis), φ)` for
+    /// every chain denoted by `ctx`. Returns `(result, used)` where `used` is
+    /// the restriction of `ctx` to the ends that produced at least one result
+    /// (needed by rule STEPUH).
+    ///
+    /// Only the context edges lying on paths to *contributing* ends are kept
+    /// (provenance trimming, see [`Self::trim`]); without this, chains that a
+    /// node test discarded would pollute later steps through shared CDAG
+    /// nodes.
+    pub fn step(&self, ctx: &ChainDag, axis: Axis, test: &NodeTest) -> (ChainDag, ChainDag) {
+        let mut new_edges: HashSet<(NodeIdx, NodeIdx)> = HashSet::new();
+        let mut result = ChainDag {
+            edges: HashSet::new(),
+            ends: HashMap::new(),
+        };
+        let mut used = ChainDag {
+            edges: HashSet::new(),
+            ends: HashMap::new(),
+        };
+        // Reverse adjacency of the context DAG, needed by upward axes.
+        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        if matches!(
+            axis,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::FollowingSibling
+                | Axis::PrecedingSibling
+        ) {
+            for &(f, t) in &ctx.edges {
+                preds.entry(t).or_default().push(f);
+            }
+        }
+        for (&end, _) in &ctx.ends {
+            let Some(end_sym) = self.sym_of(end) else {
+                continue;
+            };
+            let depth = self.depth_of(end);
+            let mut produced = false;
+            match axis {
+                Axis::SelfAxis => {
+                    if self.test_matches(end_sym, test) {
+                        result.ends.insert(end, false);
+                        produced = true;
+                    }
+                }
+                Axis::Child => {
+                    if depth + 1 < self.max_depth {
+                        for &c in self.schema.child_types(end_sym) {
+                            let cn = self.node(c, depth + 1);
+                            if self.test_matches(c, test) {
+                                new_edges.insert((end, cn));
+                                result.ends.insert(cn, false);
+                                produced = true;
+                            }
+                        }
+                    }
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    if axis == Axis::DescendantOrSelf && self.test_matches(end_sym, test) {
+                        result.ends.insert(end, false);
+                        produced = true;
+                    }
+                    // Breadth-first closure over schema edges, bounded by the
+                    // grid depth.
+                    let mut frontier = vec![end];
+                    let mut visited: HashSet<NodeIdx> = HashSet::new();
+                    while let Some(n) = frontier.pop() {
+                        let d = self.depth_of(n);
+                        if d + 1 >= self.max_depth {
+                            continue;
+                        }
+                        let Some(sym) = self.sym_of(n) else { continue };
+                        for &c in self.schema.child_types(sym) {
+                            let cn = self.node(c, d + 1);
+                            new_edges.insert((n, cn));
+                            if self.test_matches(c, test) {
+                                result.ends.insert(cn, false);
+                                produced = true;
+                            }
+                            if visited.insert(cn) {
+                                frontier.push(cn);
+                            }
+                        }
+                    }
+                }
+                Axis::Parent => {
+                    for &p in preds.get(&end).map(|v| v.as_slice()).unwrap_or(&[]) {
+                        if let Some(ps) = self.sym_of(p) {
+                            if self.test_matches(ps, test) {
+                                result.ends.insert(p, false);
+                                produced = true;
+                            }
+                        }
+                    }
+                }
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    if axis == Axis::AncestorOrSelf && self.test_matches(end_sym, test) {
+                        result.ends.insert(end, false);
+                        produced = true;
+                    }
+                    let mut frontier = vec![end];
+                    let mut visited: HashSet<NodeIdx> = HashSet::new();
+                    while let Some(n) = frontier.pop() {
+                        for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                            if let Some(ps) = self.sym_of(p) {
+                                if self.test_matches(ps, test) {
+                                    result.ends.insert(p, false);
+                                    produced = true;
+                                }
+                            }
+                            if visited.insert(p) {
+                                frontier.push(p);
+                            }
+                        }
+                    }
+                }
+                Axis::FollowingSibling | Axis::PrecedingSibling => {
+                    for &p in preds.get(&end).map(|v| v.as_slice()).unwrap_or(&[]) {
+                        let Some(parent_sym) = self.sym_of(p) else {
+                            continue;
+                        };
+                        for &(x, y) in self.schema.before_pairs_of(parent_sym) {
+                            let sibling = if axis == Axis::FollowingSibling {
+                                (x == end_sym).then_some(y)
+                            } else {
+                                (y == end_sym).then_some(x)
+                            };
+                            if let Some(s) = sibling {
+                                if self.test_matches(s, test) {
+                                    let sn = self.node(s, depth);
+                                    new_edges.insert((p, sn));
+                                    result.ends.insert(sn, false);
+                                    produced = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if produced {
+                used.ends.insert(end, false);
+            }
+        }
+        // Provenance trimming: keep only the context edges that lie on paths
+        // to the *contributing* ends, add the edges created by this step, and
+        // trim the result to the paths reaching its own ends.
+        let contributing: HashSet<NodeIdx> = used.ends.keys().copied().collect();
+        let base_edges = self.trim_to(&ctx.edges, &contributing);
+        used.edges = base_edges.clone();
+        let mut all_edges = base_edges;
+        all_edges.extend(new_edges);
+        let result_ends: HashSet<NodeIdx> = result.ends.keys().copied().collect();
+        result.edges = self.trim_to(&all_edges, &result_ends);
+        (result, used)
+    }
+
+    // ------------------------------------------------------ Table 1 (DAG)
+
+    /// The initial environment binding every free variable to the root chain.
+    pub fn root_gamma(&self, vars: impl IntoIterator<Item = String>) -> DagGamma {
+        let mut g = DagGamma::new();
+        for v in vars {
+            g.insert(v, self.root_dag());
+        }
+        g
+    }
+
+    /// Infers the chain triple for a query in CDAG form.
+    pub fn infer_query(&self, gamma: &DagGamma, q: &Query) -> DagQueryChains {
+        match q {
+            Query::Empty => DagQueryChains::default(),
+            Query::StringLit(_) => DagQueryChains {
+                elements: vec![ChainItem::plain(Chain::single(TEXT_SYM))],
+                ..Default::default()
+            },
+            Query::Concat(a, b) => self.infer_query(gamma, a).union(self.infer_query(gamma, b)),
+            Query::If { cond, then, els } => {
+                let q0 = self.infer_query(gamma, cond);
+                let q1 = self.infer_query(gamma, then);
+                let q2 = self.infer_query(gamma, els);
+                let mut out = q1.union(q2);
+                out.used = out.used.union(&q0.used).union(&q0.returns);
+                out
+            }
+            Query::Let { var, source, ret } => {
+                let q1 = self.infer_query(gamma, source);
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns.clone());
+                let q2 = self.infer_query(&inner, ret);
+                DagQueryChains {
+                    returns: q2.returns,
+                    used: q1.used.union(&q1.returns).union(&q2.used),
+                    elements: q2.elements,
+                }
+            }
+            Query::For { var, source, ret } => {
+                // The loop variable is bound to the whole return set at once
+                // (a sound approximation of the per-chain iteration of the
+                // explicit rule; see the module documentation).
+                let q1 = self.infer_query(gamma, source);
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns.clone());
+                let q2 = self.infer_query(&inner, ret);
+                let mut used = q1.used.clone().union(&q2.used);
+                if !q2.returns.is_empty() || !q2.elements.is_empty() {
+                    // Chain filtering (rule FOR): only the iteration chains
+                    // the body actually navigated from become used chains. We
+                    // approximate "navigated from" by the source ends that
+                    // appear in the body's inferred DAGs; when the body never
+                    // exposes them (e.g. it only walks upward), fall back to
+                    // the whole source return set, which is sound.
+                    used = used.union(&self.contributing_sources(&q1.returns, &q2));
+                }
+                DagQueryChains {
+                    returns: q2.returns,
+                    used,
+                    elements: q2.elements,
+                }
+            }
+            Query::Step { var, axis, test } => {
+                let Some(ctx) = gamma.get(var) else {
+                    return DagQueryChains::default();
+                };
+                let (returns, used) = self.step(ctx, *axis, test);
+                DagQueryChains {
+                    returns,
+                    used: if axis.is_stepf_axis() {
+                        ChainDag::empty()
+                    } else {
+                        used
+                    },
+                    elements: Vec::new(),
+                }
+            }
+            Query::Element { tag, content } => {
+                let q = self.infer_query(gamma, content);
+                let mut used = q.used.clone();
+                used = used.union(&q.returns.clone().extend_all_ends());
+                let mut elements = Vec::new();
+                if !self.element_chains {
+                    elements.push(ChainItem::extended(Chain::empty()));
+                    return DagQueryChains {
+                        returns: ChainDag::empty(),
+                        used,
+                        elements,
+                    };
+                }
+                for &t in &label_syms(self.schema, tag) {
+                    let prefix = Chain::single(t);
+                    for s in self.end_symbols(&q.returns) {
+                        elements.push(ChainItem::extended(prefix.push(s)));
+                    }
+                    for e in &q.elements {
+                        elements.push(ChainItem {
+                            chain: prefix.concat(&e.chain),
+                            extensible: e.extensible,
+                        });
+                    }
+                    if q.returns.is_empty() && q.elements.is_empty() {
+                        elements.push(ChainItem::plain(prefix));
+                    }
+                }
+                DagQueryChains {
+                    returns: ChainDag::empty(),
+                    used,
+                    elements,
+                }
+            }
+        }
+    }
+
+    /// Restricts a source return DAG to the ends that the body's inferred
+    /// chains pass through (the FOR-rule chain filter, approximated on DAGs).
+    fn contributing_sources(&self, source: &ChainDag, body: &DagQueryChains) -> ChainDag {
+        let mut body_nodes: HashSet<NodeIdx> = HashSet::new();
+        for dag in [&body.returns, &body.used] {
+            for &(f, t) in &dag.edges {
+                body_nodes.insert(f);
+                body_nodes.insert(t);
+            }
+            body_nodes.extend(dag.ends.keys().copied());
+        }
+        let live: HashMap<NodeIdx, bool> = source
+            .ends
+            .iter()
+            .filter(|(n, _)| body_nodes.contains(n))
+            .map(|(&n, &e)| (n, e))
+            .collect();
+        if live.is_empty() {
+            // The body produced something but through paths that do not
+            // expose the source ends (upward-only navigation): keep them all.
+            return source.clone();
+        }
+        self.trim(&ChainDag {
+            edges: source.edges.clone(),
+            ends: live,
+        })
+    }
+
+    /// The distinct symbols at the end nodes of a DAG.
+    pub fn end_symbols(&self, dag: &ChainDag) -> Vec<Sym> {
+        let mut out: Vec<Sym> = dag.ends.keys().filter_map(|&n| self.sym_of(n)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    // ------------------------------------------------------ Table 2 (DAG)
+
+    /// Update chains in CDAG form: the full chains `c.c'` of every inferred
+    /// `c:c'`, with extensible ends where the suffix stands for an entire
+    /// inserted subtree.
+    pub fn infer_update(&self, gamma: &DagGamma, u: &Update) -> ChainDag {
+        match u {
+            Update::Empty => ChainDag::empty(),
+            Update::Concat(a, b) => self.infer_update(gamma, a).union(&self.infer_update(gamma, b)),
+            Update::If { cond: _, then, els } => self
+                .infer_update(gamma, then)
+                .union(&self.infer_update(gamma, els)),
+            Update::Let { var, source, body } | Update::For { var, source, body } => {
+                let q1 = self.infer_query(gamma, source);
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns);
+                self.infer_update(&inner, body)
+            }
+            Update::Delete { target } => {
+                // Full chains of {c:α | c.α ∈ r0} are exactly the chains of r0.
+                self.infer_query(gamma, target).returns
+            }
+            Update::Rename { target, new_tag } => {
+                let r0 = self.infer_query(gamma, target).returns;
+                let mut out = r0.clone();
+                // c:b for every new-label type b: add a sibling end next to
+                // each target end (same parent, same depth, type b).
+                let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+                for &(f, t) in &r0.edges {
+                    preds.entry(t).or_default().push(f);
+                }
+                for &b in &label_syms(self.schema, new_tag) {
+                    for &end in r0.ends.keys() {
+                        let depth = self.depth_of(end);
+                        let bn = self.node(b, depth);
+                        match preds.get(&end) {
+                            Some(ps) => {
+                                for &p in ps {
+                                    out.edges.insert((p, bn));
+                                }
+                                out.ends.insert(bn, false);
+                            }
+                            None => {
+                                // The target is the root itself: renaming the
+                                // root changes the chain at depth 0.
+                                out.ends.insert(bn, false);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Update::Insert {
+                source,
+                pos,
+                target,
+            } => {
+                let src = self.infer_query(gamma, source);
+                let r0 = self.infer_query(gamma, target).returns;
+                let bases = match pos {
+                    UpdatePos::Into | UpdatePos::IntoAsFirst | UpdatePos::IntoAsLast => r0,
+                    UpdatePos::Before | UpdatePos::After => self.parents_of(&r0),
+                };
+                self.insertion_dag(&bases, &src)
+            }
+            Update::Replace { target, source } => {
+                let src = self.infer_query(gamma, source);
+                let r0 = self.infer_query(gamma, target).returns;
+                let bases = self.parents_of(&r0);
+                // {c:α | c.α ∈ r0} are the chains of r0 themselves.
+                r0.union(&self.insertion_dag(&bases, &src))
+            }
+        }
+    }
+
+    /// The set of parent chains of every chain in `dag` (within the DAG).
+    fn parents_of(&self, dag: &ChainDag) -> ChainDag {
+        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in &dag.edges {
+            preds.entry(t).or_default().push(f);
+        }
+        let mut out = ChainDag {
+            edges: dag.edges.clone(),
+            ends: HashMap::new(),
+        };
+        for &end in dag.ends.keys() {
+            for &p in preds.get(&end).map(|v| v.as_slice()).unwrap_or(&[]) {
+                out.ends.insert(p, false);
+            }
+        }
+        out
+    }
+
+    /// Attaches the source's element chains and return-root types below every
+    /// base chain (the insertion components of INSERT-1/2 and REPLACE).
+    fn insertion_dag(&self, bases: &ChainDag, src: &DagQueryChains) -> ChainDag {
+        let mut out = ChainDag {
+            edges: bases.edges.clone(),
+            ends: HashMap::new(),
+        };
+        // Suffixes to attach: element chains (with their extensibility) plus
+        // one extensible single-symbol suffix per source return type.
+        let mut suffixes: Vec<ChainItem> = src.elements.clone();
+        for s in self.end_symbols(&src.returns) {
+            suffixes.push(ChainItem::extended(Chain::single(s)));
+        }
+        for &base in bases.ends.keys() {
+            for suf in &suffixes {
+                if suf.chain.is_empty() {
+                    // Degenerate suffix (element-chain ablation): the change
+                    // happens somewhere below the base.
+                    out.ends.insert(base, true);
+                    continue;
+                }
+                let mut cur = base;
+                let mut depth = self.depth_of(base);
+                let mut truncated = false;
+                for &s in suf.chain.symbols() {
+                    if depth + 1 >= self.max_depth {
+                        truncated = true;
+                        break;
+                    }
+                    let next = self.node(s, depth + 1);
+                    out.edges.insert((cur, next));
+                    cur = next;
+                    depth += 1;
+                }
+                let ext = suf.extensible || truncated;
+                let e = out.ends.entry(cur).or_insert(false);
+                *e = *e || ext;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------ conflicts
+
+    /// Plain prefix conflict between two DAG-denoted sets: does some chain of
+    /// `a` (base chains only) prefix some chain of `b` (base chains only)?
+    fn prefix_conflict_base(&self, a: &ChainDag, b: &ChainDag) -> bool {
+        if a.is_empty() || b.is_empty() {
+            return false;
+        }
+        // Nodes from which an end of b is reachable via b's edges.
+        let mut b_adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in &b.edges {
+            b_adj.entry(t).or_default().push(f);
+        }
+        let mut reaches_b_end: HashSet<NodeIdx> = b.ends.keys().copied().collect();
+        let mut frontier: Vec<NodeIdx> = reaches_b_end.iter().copied().collect();
+        while let Some(n) = frontier.pop() {
+            for &p in b_adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if reaches_b_end.insert(p) {
+                    frontier.push(p);
+                }
+            }
+        }
+        // Walk from the root along edges common to a and b; if we hit an end
+        // of a from which b can still reach an end, the prefix relation holds.
+        let root = self.node(self.schema.start_type(), 0);
+        let common: HashSet<(NodeIdx, NodeIdx)> = a.edges.intersection(&b.edges).copied().collect();
+        let mut adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        for &(f, t) in &common {
+            adj.entry(f).or_default().push(t);
+        }
+        let mut visited = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !visited.insert(n) {
+                continue;
+            }
+            if a.ends.contains_key(&n) && reaches_b_end.contains(&n) {
+                return true;
+            }
+            for &m in adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                stack.push(m);
+            }
+        }
+        false
+    }
+
+    /// Full conflict check `∃ x ∈ set(a), y ∈ set(b): x ⪯ y`, taking the
+    /// extensible ends of `b` into account (extensions of `a` never help).
+    pub fn dag_conflicts(&self, a: &ChainDag, b: &ChainDag) -> bool {
+        if self.prefix_conflict_base(a, b) {
+            return true;
+        }
+        let b_ext = b.extensible_ends_only();
+        if b_ext.is_empty() {
+            return false;
+        }
+        self.prefix_conflict_base(&b_ext, a)
+    }
+
+    /// Checks C-independence on CDAG chain sets: returns `true` when the pair
+    /// is (chain-)independent.
+    pub fn independent(&self, q: &DagQueryChains, u: &ChainDag) -> bool {
+        // confl(r, U), confl(U, r), confl(U, v)
+        !self.dag_conflicts(&q.returns, u)
+            && !self.dag_conflicts(u, &q.returns)
+            && !self.dag_conflicts(u, &q.used)
+    }
+
+    /// Converts explicitly represented chain sets into DAG form — used by the
+    /// cross-checking tests to compare the two engines on identical inputs.
+    pub fn explicit_to_dag(&self, q: &QueryChains) -> DagQueryChains {
+        let mut returns = ChainDag::empty();
+        for c in &q.returns {
+            returns = returns.union(&self.dag_of_chain(c));
+        }
+        let mut used = ChainDag::empty();
+        for item in &q.used {
+            let mut d = self.dag_of_chain(&item.chain);
+            if item.extensible {
+                d = d.extend_all_ends();
+            }
+            used = used.union(&d);
+        }
+        DagQueryChains {
+            returns,
+            used,
+            elements: q.elements.iter().cloned().collect(),
+        }
+    }
+
+    /// Converts explicit update chains into DAG form (full chains).
+    pub fn explicit_update_to_dag(&self, u: &UpdateChains) -> ChainDag {
+        let mut out = ChainDag::empty();
+        for uc in &u.chains {
+            let full = uc.full();
+            let mut d = self.dag_of_chain(&full.chain);
+            if full.extensible {
+                d = d.extend_all_ends();
+            }
+            out = out.union(&d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    fn show(d: &Dtd, eng: &CdagEngine<'_, Dtd>, dag: &ChainDag) -> Vec<String> {
+        let mut v: Vec<String> = eng
+            .enumerate(dag, 10_000)
+            .unwrap()
+            .iter()
+            .map(|c| d.show_chain(c))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn q1_and_u1_are_independent_on_figure1() {
+        let d = figure1();
+        let eng = CdagEngine::new(&d, 3);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        assert_eq!(show(&d, &eng, &qc.returns), vec!["doc.a.c"]);
+        assert_eq!(show(&d, &eng, &uc), vec!["doc.b.c"]);
+        assert!(eng.independent(&qc, &uc));
+    }
+
+    #[test]
+    fn overlapping_pair_is_flagged() {
+        let d = figure1();
+        let eng = CdagEngine::new(&d, 3);
+        let q = parse_query("//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        assert!(!eng.independent(&qc, &uc));
+    }
+
+    #[test]
+    fn update_above_return_is_flagged() {
+        // query //a//c, update delete //a: deleting a removes returned c.
+        let d = figure1();
+        let eng = CdagEngine::new(&d, 3);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //a").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        assert!(!eng.independent(&qc, &uc));
+    }
+
+    #[test]
+    fn recursive_schema_stays_polynomial() {
+        // The 3-clique schema that blows up the explicit engine stays small
+        // as a CDAG.
+        let d = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let eng = CdagEngine::new(&d, 8);
+        let q = parse_query("//b//c//b").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        // Width is bounded by (#types + 2) per level and depth by k·|d|.
+        assert!(qc.returns.edge_count() < 10_000);
+        assert!(!qc.returns.is_empty());
+    }
+
+    #[test]
+    fn dag_of_chain_roundtrips() {
+        let d = figure1();
+        let eng = CdagEngine::new(&d, 2);
+        let c = d.chain_of_names(&["doc", "a", "c"]).unwrap();
+        let dag = eng.dag_of_chain(&c);
+        assert_eq!(show(&d, &eng, &dag), vec!["doc.a.c"]);
+    }
+
+    #[test]
+    fn element_chains_give_bibliography_independence() {
+        let d = Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*) ; title -> #PCDATA ; author -> EMPTY",
+            "bib",
+        )
+        .unwrap();
+        let eng = CdagEngine::new(&d, 3);
+        let q = parse_query("//title").unwrap();
+        let u = parse_update("for $x in //book return insert <author/> into $x").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        assert!(eng.independent(&qc, &uc));
+
+        // Without element chains the analysis must conservatively flag it.
+        let eng_ablate = CdagEngine::new(&d, 3).with_element_chains(false);
+        let qc = eng_ablate.infer_query(&eng_ablate.root_gamma(q.free_vars()), &q);
+        let uc = eng_ablate.infer_update(&eng_ablate.root_gamma(u.free_vars()), &u);
+        assert!(!eng_ablate.independent(&qc, &uc));
+    }
+
+    #[test]
+    fn upward_axis_follows_only_dag_edges() {
+        // Figure 2 discussion: ancestors are computed within the inferred
+        // DAG, not over the whole schema.
+        let d = Dtd::parse_compact(
+            "a -> (b|d)* ; b -> c ; d -> c ; c -> (e?, f?) ; e -> EMPTY ; f -> EMPTY",
+            "a",
+        )
+        .unwrap();
+        let eng = CdagEngine::new(&d, 2);
+        // /a? The root is a; query /d/c/f/ancestor::node() should only see
+        // a, d, c — never b.
+        let q = parse_query("/d/c/f/ancestor::node()").unwrap();
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let shown = show(&d, &eng, &qc.returns);
+        assert!(shown.contains(&"a.d".to_string()));
+        assert!(shown.iter().all(|c| !c.contains(".b")), "{shown:?}");
+    }
+}

@@ -1,0 +1,625 @@
+//! The explicit (reference) inference engine: chain sets are materialized
+//! exactly as the rules of Tables 1 and 2 prescribe.
+
+use super::{label_syms, Overflow};
+use crate::types::{ChainItem, QueryChains, UpdateChain, UpdateChains};
+use crate::universe::Universe;
+use qui_schema::{Chain, SchemaLike, TEXT_SYM};
+use qui_xquery::{Axis, NodeTest, Query, Update, UpdatePos};
+use std::collections::{BTreeSet, HashMap};
+
+/// Variable environment `Γ`: each variable maps to the set of chains typing
+/// the nodes it can be bound to.
+pub type Gamma = HashMap<String, BTreeSet<Chain>>;
+
+/// The explicit engine over a universe `C` (usually `C_d^k`).
+pub struct ExplicitEngine<'a, S: SchemaLike> {
+    universe: &'a Universe<'a, S>,
+    /// Budget on the size of any materialized chain set.
+    cap: usize,
+    /// Whether the (ELT) rule infers precise element chains (§3, "element
+    /// chains"); turning this off reproduces the ablation discussed in the
+    /// paper where only "something happens beneath the target" is recorded.
+    element_chains: bool,
+}
+
+impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
+    /// Creates an engine with the given materialization budget.
+    pub fn new(universe: &'a Universe<'a, S>, cap: usize) -> Self {
+        ExplicitEngine {
+            universe,
+            cap,
+            element_chains: true,
+        }
+    }
+
+    /// Enables or disables element-chain inference (ablation switch).
+    pub fn with_element_chains(mut self, on: bool) -> Self {
+        self.element_chains = on;
+        self
+    }
+
+    /// The initial environment binding every free variable of the expression
+    /// to the root chain (quasi-closed convention).
+    pub fn root_gamma(&self, vars: impl IntoIterator<Item = String>) -> Gamma {
+        let mut g = Gamma::new();
+        let root = self.universe.root_chain();
+        for v in vars {
+            g.insert(v, [root.clone()].into_iter().collect());
+        }
+        g
+    }
+
+    fn check_cap(&self, len: usize) -> Result<(), Overflow> {
+        if len > self.cap {
+            Err(Overflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------- §3.1 AC / TC
+
+    /// Axis chain inference `AC(c, axis)`.
+    pub fn ac(&self, c: &Chain, axis: Axis) -> Result<Vec<Chain>, Overflow> {
+        let schema = self.universe.schema();
+        let out = match axis {
+            Axis::SelfAxis => vec![c.clone()],
+            Axis::Child => self
+                .universe
+                .child_extensions(c)
+                .into_iter()
+                .map(|s| c.push(s))
+                .collect(),
+            Axis::Descendant => self
+                .universe
+                .descendant_extensions(c, self.cap)
+                .ok_or(Overflow)?,
+            Axis::DescendantOrSelf => {
+                let mut v = vec![c.clone()];
+                v.extend(
+                    self.universe
+                        .descendant_extensions(c, self.cap)
+                        .ok_or(Overflow)?,
+                );
+                v
+            }
+            Axis::Parent => match c.parent() {
+                Some(p) if !p.is_empty() => vec![p],
+                _ => Vec::new(),
+            },
+            Axis::Ancestor => c.proper_prefixes(),
+            Axis::AncestorOrSelf => c.prefixes_or_self(),
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                let (Some(parent), Some(alpha)) = (c.parent(), c.last()) else {
+                    return Ok(Vec::new());
+                };
+                let Some(parent_sym) = parent.last() else {
+                    return Ok(Vec::new());
+                };
+                let before = schema.before_pairs_of(parent_sym);
+                let mut v = Vec::new();
+                for &(x, y) in before {
+                    let sibling = if axis == Axis::FollowingSibling {
+                        // α <_{d(c1)} β, result c1.β
+                        if x == alpha {
+                            Some(y)
+                        } else {
+                            None
+                        }
+                    } else {
+                        // α <_{d(c1)} β with c = c1.β, result c1.α
+                        if y == alpha {
+                            Some(x)
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(s) = sibling {
+                        if self.universe.can_append(&parent, s) {
+                            v.push(parent.push(s));
+                        }
+                    }
+                }
+                v.sort();
+                v.dedup();
+                v
+            }
+        };
+        self.check_cap(out.len())?;
+        Ok(out)
+    }
+
+    /// Node-test chain inference `TC(c, φ)` applied to a set of chains.
+    pub fn tc(&self, chains: Vec<Chain>, test: &NodeTest) -> Vec<Chain> {
+        let schema = self.universe.schema();
+        chains
+            .into_iter()
+            .filter(|c| match test {
+                NodeTest::AnyNode => true,
+                NodeTest::Text => c.last() == Some(TEXT_SYM),
+                NodeTest::AnyElement => c.last().is_some_and(|s| s != TEXT_SYM),
+                NodeTest::Tag(t) => c
+                    .last()
+                    .is_some_and(|s| s != TEXT_SYM && schema.type_label(s) == t),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------- Table 1
+
+    /// Infers the chain triple `(r; v; e)` for a query.
+    pub fn infer_query(&self, gamma: &Gamma, q: &Query) -> Result<QueryChains, Overflow> {
+        match q {
+            Query::Empty => Ok(QueryChains::empty()),
+            Query::StringLit(_) => {
+                // (TEXT): a new text node; its element chain is S.
+                let mut out = QueryChains::empty();
+                out.elements
+                    .insert(ChainItem::plain(Chain::single(TEXT_SYM)));
+                Ok(out)
+            }
+            Query::Concat(a, b) => {
+                let qa = self.infer_query(gamma, a)?;
+                let qb = self.infer_query(gamma, b)?;
+                Ok(qa.union(qb))
+            }
+            Query::If { cond, then, els } => {
+                let q0 = self.infer_query(gamma, cond)?;
+                let q1 = self.infer_query(gamma, then)?;
+                let q2 = self.infer_query(gamma, els)?;
+                let mut out = QueryChains::empty();
+                out.returns.extend(q1.returns.iter().cloned());
+                out.returns.extend(q2.returns.iter().cloned());
+                out.used.extend(q0.used.iter().cloned());
+                out.used.extend(q1.used.iter().cloned());
+                out.used.extend(q2.used.iter().cloned());
+                // r0 is converted to used chains.
+                out.used
+                    .extend(q0.returns.iter().cloned().map(ChainItem::plain));
+                out.elements.extend(q1.elements.iter().cloned());
+                out.elements.extend(q2.elements.iter().cloned());
+                self.check_cap(out.total_len())?;
+                Ok(out)
+            }
+            Query::Let { var, source, ret } => {
+                let q1 = self.infer_query(gamma, source)?;
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns.clone());
+                let q2 = self.infer_query(&inner, ret)?;
+                let mut out = QueryChains::empty();
+                out.returns = q2.returns;
+                out.used.extend(q1.returns.into_iter().map(ChainItem::plain));
+                out.used.extend(q1.used);
+                out.used.extend(q2.used);
+                out.elements = q2.elements;
+                self.check_cap(out.total_len())?;
+                Ok(out)
+            }
+            Query::For { var, source, ret } => {
+                let q1 = self.infer_query(gamma, source)?;
+                let mut out = QueryChains::empty();
+                out.used.extend(q1.used.iter().cloned());
+                let mut inner = gamma.clone();
+                for c in &q1.returns {
+                    inner.insert(var.clone(), [c.clone()].into_iter().collect());
+                    let qc = self.infer_query(&inner, ret)?;
+                    // Chain filtering: the iteration chain c only becomes a
+                    // used chain when the body actually produces something
+                    // from it (return or element chains).
+                    if !qc.returns.is_empty() || !qc.elements.is_empty() {
+                        out.used.insert(ChainItem::plain(c.clone()));
+                        out.used.extend(qc.used.iter().cloned());
+                    }
+                    out.returns.extend(qc.returns);
+                    out.elements.extend(qc.elements);
+                    self.check_cap(out.total_len())?;
+                }
+                Ok(out)
+            }
+            Query::Step { var, axis, test } => {
+                let Some(ctx) = gamma.get(var) else {
+                    // Unbound variables cannot contribute chains (the
+                    // evaluator would reject the expression anyway).
+                    return Ok(QueryChains::empty());
+                };
+                let mut out = QueryChains::empty();
+                for c in ctx {
+                    let rc = self.tc(self.ac(c, *axis)?, test);
+                    if !axis.is_stepf_axis() && !rc.is_empty() {
+                        // (STEPUH): upward/horizontal (and descendant) axes
+                        // also record the step variable's chain as used.
+                        out.used.insert(ChainItem::plain(c.clone()));
+                    }
+                    out.returns.extend(rc);
+                    self.check_cap(out.total_len())?;
+                }
+                Ok(out)
+            }
+            Query::Element { tag, content } => {
+                let q = self.infer_query(gamma, content)?;
+                let mut out = QueryChains::empty();
+                // Used chains: the content's used chains plus its return
+                // chains converted to (extensible) used chains — return
+                // chains embody whole subtrees (r̄ in the rule).
+                out.used.extend(q.used.iter().cloned());
+                out.used
+                    .extend(q.returns.iter().cloned().map(ChainItem::extended));
+                if !self.element_chains {
+                    // Ablation: only record that *something* is constructed.
+                    out.elements.insert(ChainItem::extended(Chain::empty()));
+                    return Ok(out);
+                }
+                let schema = self.universe.schema();
+                let tags = label_syms(schema, tag);
+                for &t in &tags {
+                    let prefix = Chain::single(t);
+                    // { a.α.c' | c.α ∈ r, c.α.c' ∈ C } — kept symbolic as an
+                    // extensible item rooted at a.α.
+                    for rc in &q.returns {
+                        if let Some(alpha) = rc.last() {
+                            out.elements.insert(ChainItem::extended(prefix.push(alpha)));
+                        }
+                    }
+                    // { a.c | c ∈ e }
+                    for e in &q.elements {
+                        out.elements.insert(ChainItem {
+                            chain: prefix.concat(&e.chain),
+                            extensible: e.extensible,
+                        });
+                    }
+                    // { a | r ∪ e = ∅ }
+                    if q.returns.is_empty() && q.elements.is_empty() {
+                        out.elements.insert(ChainItem::plain(prefix));
+                    }
+                }
+                self.check_cap(out.total_len())?;
+                Ok(out)
+            }
+        }
+    }
+
+    // ------------------------------------------------------- Table 2
+
+    /// Infers the set `U` of update chains for an update.
+    pub fn infer_update(&self, gamma: &Gamma, u: &Update) -> Result<UpdateChains, Overflow> {
+        match u {
+            Update::Empty => Ok(UpdateChains::empty()),
+            Update::Concat(a, b) => {
+                let ua = self.infer_update(gamma, a)?;
+                let ub = self.infer_update(gamma, b)?;
+                Ok(ua.union(ub))
+            }
+            Update::If { cond: _, then, els } => {
+                let u1 = self.infer_update(gamma, then)?;
+                let u2 = self.infer_update(gamma, els)?;
+                Ok(u1.union(u2))
+            }
+            Update::Let { var, source, body } => {
+                let q1 = self.infer_query(gamma, source)?;
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns);
+                self.infer_update(&inner, body)
+            }
+            Update::For { var, source, body } => {
+                let q1 = self.infer_query(gamma, source)?;
+                let mut out = UpdateChains::empty();
+                let mut inner = gamma.clone();
+                for c in &q1.returns {
+                    inner.insert(var.clone(), [c.clone()].into_iter().collect());
+                    let uc = self.infer_update(&inner, body)?;
+                    out = out.union(uc);
+                    self.check_cap(out.len())?;
+                }
+                Ok(out)
+            }
+            Update::Delete { target } => {
+                let r0 = self.infer_query(gamma, target)?.returns;
+                let mut out = UpdateChains::empty();
+                for c in &r0 {
+                    if let (Some(parent), Some(alpha)) = (c.parent(), c.last()) {
+                        out.insert(UpdateChain::new(
+                            parent,
+                            ChainItem::plain(Chain::single(alpha)),
+                        ));
+                    }
+                }
+                Ok(out)
+            }
+            Update::Rename { target, new_tag } => {
+                let r0 = self.infer_query(gamma, target)?.returns;
+                let schema = self.universe.schema();
+                let new_syms = label_syms(schema, new_tag);
+                let mut out = UpdateChains::empty();
+                for c in &r0 {
+                    if let (Some(parent), Some(alpha)) = (c.parent(), c.last()) {
+                        out.insert(UpdateChain::new(
+                            parent.clone(),
+                            ChainItem::plain(Chain::single(alpha)),
+                        ));
+                        for &b in &new_syms {
+                            out.insert(UpdateChain::new(
+                                parent.clone(),
+                                ChainItem::plain(Chain::single(b)),
+                            ));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Update::Insert {
+                source,
+                pos,
+                target,
+            } => {
+                let src = self.infer_query(gamma, source)?;
+                let r0 = self.infer_query(gamma, target)?.returns;
+                let bases: Vec<Chain> = match pos {
+                    UpdatePos::Into | UpdatePos::IntoAsFirst | UpdatePos::IntoAsLast => {
+                        r0.into_iter().collect()
+                    }
+                    UpdatePos::Before | UpdatePos::After => r0
+                        .into_iter()
+                        .filter_map(|c| c.parent())
+                        .filter(|p| !p.is_empty())
+                        .collect(),
+                };
+                Ok(self.insertion_chains(&bases, &src))
+            }
+            Update::Replace { target, source } => {
+                let src = self.infer_query(gamma, source)?;
+                let r0 = self.infer_query(gamma, target)?.returns;
+                let mut out = UpdateChains::empty();
+                let mut bases = Vec::new();
+                for c in &r0 {
+                    if let (Some(parent), Some(alpha)) = (c.parent(), c.last()) {
+                        // { c:α | c.α ∈ r0 } — the removed node.
+                        out.insert(UpdateChain::new(
+                            parent.clone(),
+                            ChainItem::plain(Chain::single(alpha)),
+                        ));
+                        if !parent.is_empty() {
+                            bases.push(parent);
+                        }
+                    }
+                }
+                Ok(out.union(self.insertion_chains(&bases, &src)))
+            }
+        }
+    }
+
+    /// The insertion components shared by insert and replace: for each base
+    /// chain `c`, element chains of the source become suffixes, and a source
+    /// return chain ending in `α` contributes the (extensible) suffix `α`,
+    /// standing for `α.c''` with `c'.α.c'' ∈ C`.
+    fn insertion_chains(&self, bases: &[Chain], src: &QueryChains) -> UpdateChains {
+        let mut out = UpdateChains::empty();
+        for base in bases {
+            for e in &src.elements {
+                out.insert(UpdateChain::new(base.clone(), e.clone()));
+            }
+            for rc in &src.returns {
+                if let Some(alpha) = rc.last() {
+                    out.insert(UpdateChain::new(
+                        base.clone(),
+                        ChainItem::extended(Chain::single(alpha)),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    fn infer_q(d: &Dtd, k: usize, q: &str) -> QueryChains {
+        let u = Universe::with_k(d, k);
+        let eng = ExplicitEngine::new(&u, 100_000);
+        let q = parse_query(q).unwrap();
+        let gamma = eng.root_gamma(q.free_vars());
+        eng.infer_query(&gamma, &q).unwrap()
+    }
+
+    fn infer_u(d: &Dtd, k: usize, upd: &str) -> UpdateChains {
+        let u = Universe::with_k(d, k);
+        let eng = ExplicitEngine::new(&u, 100_000);
+        let upd = parse_update(upd).unwrap();
+        let gamma = eng.root_gamma(upd.free_vars());
+        eng.infer_update(&gamma, &upd).unwrap()
+    }
+
+    fn chains_of(d: &Dtd, set: &BTreeSet<Chain>) -> Vec<String> {
+        set.iter().map(|c| d.show_chain(c)).collect()
+    }
+
+    #[test]
+    fn q1_returns_doc_a_c_only() {
+        // Introduction example: //a//c over the Figure-1 schema infers doc.a.c.
+        let d = figure1();
+        let q = infer_q(&d, 3, "//a//c");
+        let returns = chains_of(&d, &q.returns);
+        assert_eq!(returns, vec!["doc.a.c"]);
+    }
+
+    #[test]
+    fn u1_infers_doc_b_colon_c() {
+        let d = figure1();
+        let u = infer_u(&d, 3, "delete //b//c");
+        let shown: Vec<String> = u.chains.iter().map(|c| c.display(&d)).collect();
+        assert_eq!(shown, vec!["doc.b:c"]);
+    }
+
+    #[test]
+    fn step_inference_for_all_axes_on_figure1() {
+        let d = figure1();
+        let univ = Universe::with_k(&d, 2);
+        let eng = ExplicitEngine::new(&univ, 10_000);
+        let doc_a = d.chain_of_names(&["doc", "a"]).unwrap();
+        let show = |v: Vec<Chain>| -> Vec<String> {
+            let mut s: Vec<String> = v.iter().map(|c| d.show_chain(c)).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(show(eng.ac(&doc_a, Axis::SelfAxis).unwrap()), vec!["doc.a"]);
+        assert_eq!(show(eng.ac(&doc_a, Axis::Child).unwrap()), vec!["doc.a.c"]);
+        assert_eq!(
+            show(eng.ac(&doc_a, Axis::Descendant).unwrap()),
+            vec!["doc.a.c"]
+        );
+        assert_eq!(
+            show(eng.ac(&doc_a, Axis::DescendantOrSelf).unwrap()),
+            vec!["doc.a", "doc.a.c"]
+        );
+        assert_eq!(show(eng.ac(&doc_a, Axis::Parent).unwrap()), vec!["doc"]);
+        assert_eq!(show(eng.ac(&doc_a, Axis::Ancestor).unwrap()), vec!["doc"]);
+        assert_eq!(
+            show(eng.ac(&doc_a, Axis::AncestorOrSelf).unwrap()),
+            vec!["doc", "doc.a"]
+        );
+        // Siblings of a under doc: (a|b)* allows both a and b on either side.
+        assert_eq!(
+            show(eng.ac(&doc_a, Axis::FollowingSibling).unwrap()),
+            vec!["doc.a", "doc.b"]
+        );
+        assert_eq!(
+            show(eng.ac(&doc_a, Axis::PrecedingSibling).unwrap()),
+            vec!["doc.a", "doc.b"]
+        );
+    }
+
+    #[test]
+    fn sibling_inference_respects_content_model_order() {
+        // d = { a ← (b+, c∗) }: following-sibling of b can be b or c, but
+        // preceding-sibling of b can only be b (§3.2 example).
+        let d = Dtd::parse_compact("a -> (b+, c*) ; b -> EMPTY ; c -> EMPTY", "a").unwrap();
+        let univ = Universe::with_k(&d, 2);
+        let eng = ExplicitEngine::new(&univ, 10_000);
+        let a_b = d.chain_of_names(&["a", "b"]).unwrap();
+        let mut fs: Vec<String> = eng
+            .ac(&a_b, Axis::FollowingSibling)
+            .unwrap()
+            .iter()
+            .map(|c| d.show_chain(c))
+            .collect();
+        fs.sort();
+        assert_eq!(fs, vec!["a.b", "a.c"]);
+        let ps: Vec<String> = eng
+            .ac(&a_b, Axis::PrecedingSibling)
+            .unwrap()
+            .iter()
+            .map(|c| d.show_chain(c))
+            .collect();
+        assert_eq!(ps, vec!["a.b"]);
+    }
+
+    #[test]
+    fn stepuh_example_of_section_3_2() {
+        // DTD d = {a ← (b+, c∗)} and query /a/b/following-sibling::c:
+        // a.b is inferred as a used chain and a.c as a return chain.
+        let d = Dtd::parse_compact("a -> (b+, c*) ; b -> EMPTY ; c -> EMPTY", "a").unwrap();
+        let q = infer_q(&d, 2, "/b/following-sibling::c");
+        assert_eq!(chains_of(&d, &q.returns), vec!["a.c"]);
+        let used: Vec<String> = q.used.iter().map(|c| c.display(&d)).collect();
+        assert!(used.contains(&"a.b".to_string()), "used = {used:?}");
+    }
+
+    #[test]
+    fn element_construction_infers_element_chains() {
+        // The bibliography example of §3: the inserted <author/> produces the
+        // update chain bib.book:author.
+        let d = Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*) ; title -> #PCDATA ; author -> (first?, last)? ; first -> #PCDATA ; last -> #PCDATA",
+            "bib",
+        )
+        .unwrap();
+        let u = infer_u(
+            &d,
+            3,
+            "for $x in //book return insert <author/> into $x",
+        );
+        let shown: Vec<String> = u.chains.iter().map(|c| c.display(&d)).collect();
+        assert_eq!(shown, vec!["bib.book:author"]);
+    }
+
+    #[test]
+    fn nested_element_construction_composes_chains() {
+        // §3: inserting <author><first>…</first><second>…</second></author>
+        // yields update chains bib.book:author.first.S and …author.second.S
+        // (second is not a schema label; it maps to the unknown sentinel but
+        // the chain structure is still inferred).
+        let d = Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*) ; title -> #PCDATA ; author -> (first?, last)? ; first -> #PCDATA ; last -> #PCDATA",
+            "bib",
+        )
+        .unwrap();
+        let u = infer_u(
+            &d,
+            4,
+            "for $x in //book return insert <author><first>Umberto</first></author> into $x",
+        );
+        let shown: Vec<String> = u.chains.iter().map(|c| c.display(&d)).collect();
+        assert!(
+            shown.iter().any(|s| s.contains("bib.book:author.first")),
+            "chains: {shown:?}"
+        );
+    }
+
+    #[test]
+    fn for_filtering_limits_used_chains() {
+        // for x in //node() return if (x/b) then x/a else ():
+        // only chains leading to a or b survive as used chains (§3.2).
+        let d = Dtd::parse_compact(
+            "doc -> (p|q)* ; p -> (a?, b?) ; q -> z? ; a -> EMPTY ; b -> EMPTY ; z -> EMPTY",
+            "doc",
+        )
+        .unwrap();
+        let q = infer_q(
+            &d,
+            3,
+            "for $x in //node() return if ($x/b) then $x/a else ()",
+        );
+        let used: Vec<String> = q.used.iter().map(|c| c.display(&d)).collect();
+        assert!(
+            used.iter().all(|c| !c.contains('z')),
+            "z chains should be filtered out of used chains: {used:?}"
+        );
+        assert_eq!(chains_of(&d, &q.returns), vec!["doc.p.a"]);
+    }
+
+    #[test]
+    fn update_rules_cover_all_operators() {
+        let d = figure1();
+        let del = infer_u(&d, 2, "delete /a");
+        assert_eq!(del.chains.len(), 1);
+        let ren = infer_u(&d, 2, "for $x in /a return rename $x as b");
+        // doc:a (old type) and doc:b (new type)
+        assert_eq!(ren.chains.len(), 2);
+        let ins = infer_u(&d, 2, "for $x in /a return insert <c/> into $x");
+        assert_eq!(ins.chains.len(), 1);
+        let insb = infer_u(&d, 2, "for $x in /a return insert <b/> before $x");
+        let shown: Vec<String> = insb.chains.iter().map(|c| c.display(&d)).collect();
+        assert_eq!(shown, vec!["doc:b"]);
+        let rep = infer_u(&d, 2, "for $x in /a return replace $x with <b/>");
+        assert_eq!(rep.chains.len(), 2); // doc:a removed, doc:b inserted
+    }
+
+    #[test]
+    fn overflow_is_reported_on_heavily_recursive_schemas() {
+        let d = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let univ = Universe::with_k(&d, 6);
+        let eng = ExplicitEngine::new(&univ, 1_000);
+        let q = parse_query("//b//c//b").unwrap();
+        let gamma = eng.root_gamma(q.free_vars());
+        assert_eq!(eng.infer_query(&gamma, &q), Err(Overflow));
+    }
+}

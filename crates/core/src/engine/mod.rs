@@ -1,0 +1,67 @@
+//! The two inference engines.
+//!
+//! * [`explicit`] materializes chain sets exactly as Tables 1 and 2
+//!   prescribe. It is the reference implementation: easiest to relate to the
+//!   paper, exact, but the number of distinct chains can grow exponentially
+//!   on heavily recursive schemas (paper §6.1, footnote 8), so every
+//!   materialization is guarded by a budget.
+//! * [`cdag`] represents every set of rooted chains as a *chain DAG* (CDAG,
+//!   §6.1): at most one node per (type, depth) pair, so the width is bounded
+//!   by the schema size and inference runs in polynomial space and time.
+//!   Chain sets that are not rooted at the schema start symbol (element
+//!   chains, update suffixes) stay symbolic, exactly as in the explicit
+//!   engine.
+//!
+//! Both engines share the chain classes of [`crate::types`], the universe of
+//! [`crate::universe`] and the conflict relation of [`crate::conflict`]; the
+//! analyzer cross-checks them in the test suite and the `cdag_micro` bench
+//! compares their cost profiles.
+
+pub mod cdag;
+pub mod explicit;
+
+use qui_schema::{SchemaLike, Sym};
+
+/// Sentinel symbol index used for labels that do not belong to the schema
+/// alphabet (e.g. `rename … as brand-new-tag`, or constructed elements whose
+/// tag the schema does not know). Chains through this symbol can never match
+/// a chain inferred for a query from the schema, which is exactly the
+/// behaviour the analysis needs.
+pub const UNKNOWN_SYM: Sym = Sym(u16::MAX);
+
+/// Resolves a label to the schema types carrying it, or to [`UNKNOWN_SYM`]
+/// when the schema does not know the label.
+pub fn label_syms<S: SchemaLike>(schema: &S, label: &str) -> Vec<Sym> {
+    let types = schema.types_with_label(label);
+    if types.is_empty() {
+        vec![UNKNOWN_SYM]
+    } else {
+        types
+    }
+}
+
+/// An inference failure of the explicit engine: some chain set exceeded the
+/// configured budget (the CDAG engine is then used instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overflow;
+
+impl std::fmt::Display for Overflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "explicit chain materialization exceeded its budget")
+    }
+}
+
+impl std::error::Error for Overflow {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+
+    #[test]
+    fn unknown_labels_map_to_sentinel() {
+        let d = Dtd::parse_compact("doc -> a ; a -> EMPTY", "doc").unwrap();
+        assert_eq!(label_syms(&d, "zzz"), vec![UNKNOWN_SYM]);
+        assert_eq!(label_syms(&d, "a"), vec![d.sym("a").unwrap()]);
+    }
+}

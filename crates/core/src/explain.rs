@@ -1,0 +1,392 @@
+//! Human-readable reports for independence verdicts.
+//!
+//! The analyzer's [`Verdict`](crate::Verdict) is deliberately small; this
+//! module turns it — together with the inferred chain sets — into the kind of
+//! report a view-maintenance operator or a test failure wants to show:
+//! which chains were inferred for the query and the update, which `k` the
+//! finite analysis used and why, and (for dependent pairs) the witness pair
+//! of conflicting chains.
+//!
+//! Everything here is presentation only: the reports are produced from the
+//! same inference the analyzer runs, and producing a report never changes a
+//! verdict.
+
+use crate::analyzer::{IndependenceAnalyzer, Verdict};
+use crate::conflict::ConflictKind;
+use crate::kbound::{k_of_query, k_of_update};
+use crate::types::{ChainItem, QueryChains, UpdateChains};
+use qui_schema::{Chain, SchemaLike};
+use qui_xquery::{Query, Update};
+use std::fmt::Write as _;
+
+/// Renders a chain with the schema's type labels (`bib.book.title`).
+pub fn show_chain<S: SchemaLike>(schema: &S, chain: &Chain) -> String {
+    if chain.is_empty() {
+        return "ε".to_string();
+    }
+    chain
+        .symbols()
+        .iter()
+        .map(|&s| schema.type_label(s).to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Renders a chain item, marking extensible items (those standing for a chain
+/// and all its descendant extensions) with a trailing `…`.
+pub fn show_item<S: SchemaLike>(schema: &S, item: &ChainItem) -> String {
+    let mut s = show_chain(schema, &item.chain);
+    if item.extensible {
+        s.push('…');
+    }
+    s
+}
+
+/// Options controlling how much detail a report includes.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplainOptions {
+    /// Maximum number of chains listed per class (the rest is elided with a
+    /// count). `usize::MAX` lists everything.
+    pub max_chains: usize,
+    /// Whether to re-run the explicit inference to list chain sets (the
+    /// verdict itself may have come from the CDAG engine, which does not
+    /// materialize individual chains).
+    pub list_chains: bool,
+}
+
+impl Default for ExplainOptions {
+    fn default() -> Self {
+        ExplainOptions {
+            max_chains: 12,
+            list_chains: true,
+        }
+    }
+}
+
+/// Produces a multi-line report for one query-update pair.
+///
+/// The report is built from the given verdict plus (when
+/// [`ExplainOptions::list_chains`] is set and the explicit engine can
+/// materialize them within budget) the inferred chain sets.
+pub fn explain_verdict<S: SchemaLike>(
+    schema: &S,
+    q: &Query,
+    u: &Update,
+    verdict: &Verdict,
+    options: &ExplainOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "query : {q}");
+    let _ = writeln!(out, "update: {u}");
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if verdict.is_independent() {
+            "INDEPENDENT (the update can never change the query result on a valid document)"
+        } else {
+            "not proved independent"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "finite analysis: k = {} (k_q = {} + k_u = {}), engine = {:?}, {} query chains, {} update chains",
+        verdict.k,
+        verdict.k_query,
+        verdict.k_update,
+        verdict.engine_used,
+        verdict.query_chain_count,
+        verdict.update_chain_count
+    );
+    if let Some(w) = &verdict.witness {
+        let _ = writeln!(
+            out,
+            "witness: query chain {} vs update chain {} ({})",
+            show_item(schema, &w.query_chain),
+            show_item(schema, &w.update_chain),
+            describe_kind(w.kind)
+        );
+    }
+    if options.list_chains {
+        let analyzer = IndependenceAnalyzer::new(schema);
+        if let Some((qc, uc)) = analyzer.infer_explicit(q, u, verdict.k) {
+            out.push_str(&render_query_chains(schema, &qc, options.max_chains));
+            out.push_str(&render_update_chains(schema, &uc, options.max_chains));
+        } else {
+            let _ = writeln!(
+                out,
+                "(chain sets not listed: explicit materialization exceeded its budget)"
+            );
+        }
+    }
+    out
+}
+
+/// One-line summary used by matrix reports and the CLI.
+pub fn summarize_verdict(verdict: &Verdict) -> String {
+    format!(
+        "{} (k={}, engine={:?})",
+        if verdict.is_independent() {
+            "independent"
+        } else {
+            "dependent"
+        },
+        verdict.k,
+        verdict.engine_used
+    )
+}
+
+fn describe_kind(kind: ConflictKind) -> &'static str {
+    match kind {
+        ConflictKind::ReturnBelowUpdate => {
+            "the update changes something below a node the query returns"
+        }
+        ConflictKind::UpdateAboveReturn => {
+            "the update changes an ancestor-or-self of a node the query returns"
+        }
+        ConflictKind::UpdateAboveUsed => {
+            "the update changes an ancestor-or-self of a node the query relies on"
+        }
+    }
+}
+
+fn render_query_chains<S: SchemaLike>(
+    schema: &S,
+    qc: &QueryChains,
+    max: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query chains ({} return, {} used, {} element):",
+        qc.returns.len(),
+        qc.used.len(),
+        qc.elements.len()
+    );
+    out.push_str(&render_list(
+        "  return ",
+        qc.returns.iter().map(|c| show_chain(schema, c)),
+        max,
+    ));
+    out.push_str(&render_list(
+        "  used   ",
+        qc.used.iter().map(|c| show_item(schema, c)),
+        max,
+    ));
+    out.push_str(&render_list(
+        "  element",
+        qc.elements.iter().map(|c| show_item(schema, c)),
+        max,
+    ));
+    out
+}
+
+fn render_update_chains<S: SchemaLike>(
+    schema: &S,
+    uc: &UpdateChains,
+    max: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "update chains ({}):", uc.len());
+    out.push_str(&render_list(
+        "  write  ",
+        uc.chains.iter().map(|c| {
+            format!(
+                "{}:{}",
+                show_chain(schema, &c.target),
+                show_item(schema, &c.suffix)
+            )
+        }),
+        max,
+    ));
+    out
+}
+
+fn render_list(label: &str, items: impl Iterator<Item = String>, max: usize) -> String {
+    let items: Vec<String> = items.collect();
+    if items.is_empty() {
+        return format!("{label}: (none)\n");
+    }
+    let shown: Vec<&String> = items.iter().take(max).collect();
+    let elided = items.len().saturating_sub(max);
+    let mut line = format!(
+        "{label}: {}",
+        shown
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if elided > 0 {
+        let _ = write!(line, " … and {elided} more");
+    }
+    line.push('\n');
+    line
+}
+
+/// A full query-set × update report (the shape of the paper's Fig. 3.a/3.b
+/// rows): one named update checked against a set of named views.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// The update's display name.
+    pub update_name: String,
+    /// Per view: name and whether the pair is independent.
+    pub rows: Vec<(String, bool)>,
+    /// The `k` bounds used across the views (min and max).
+    pub k_range: (usize, usize),
+}
+
+impl MatrixReport {
+    /// Number of views declared independent of the update.
+    pub fn independent_count(&self) -> usize {
+        self.rows.iter().filter(|(_, i)| *i).count()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "update {} — {}/{} views independent (k ∈ [{}, {}])",
+            self.update_name,
+            self.independent_count(),
+            self.rows.len(),
+            self.k_range.0,
+            self.k_range.1
+        );
+        for (name, independent) in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {name:<8} {}",
+                if *independent { "independent" } else { "dependent" }
+            );
+        }
+        out
+    }
+}
+
+/// Checks one update against a set of named views and builds a
+/// [`MatrixReport`].
+pub fn matrix_report<S: SchemaLike>(
+    schema: &S,
+    views: &[(String, Query)],
+    update_name: &str,
+    update: &Update,
+) -> MatrixReport {
+    let analyzer = IndependenceAnalyzer::new(schema);
+    let mut rows = Vec::with_capacity(views.len());
+    let mut k_min = usize::MAX;
+    let mut k_max = 0usize;
+    for (name, q) in views {
+        let k = k_of_query(q) + k_of_update(update);
+        k_min = k_min.min(k);
+        k_max = k_max.max(k);
+        let verdict = analyzer.check(q, update);
+        rows.push((name.clone(), verdict.is_independent()));
+    }
+    if views.is_empty() {
+        k_min = 0;
+    }
+    MatrixReport {
+        update_name: update_name.to_string(),
+        rows,
+        k_range: (k_min, k_max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn fig1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    #[test]
+    fn show_chain_uses_labels() {
+        let dtd = fig1();
+        let chain = dtd.chain_of_names(&["doc", "a", "c"]).unwrap();
+        assert_eq!(show_chain(&dtd, &chain), "doc.a.c");
+        assert_eq!(show_chain(&dtd, &Chain::empty()), "ε");
+    }
+
+    #[test]
+    fn independent_pair_report_mentions_chains() {
+        let dtd = fig1();
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        let verdict = analyzer.check(&q, &u);
+        let report = explain_verdict(&dtd, &q, &u, &verdict, &ExplainOptions::default());
+        assert!(report.contains("INDEPENDENT"), "{report}");
+        assert!(report.contains("doc.a.c"), "{report}");
+        assert!(report.contains("doc.b:c"), "{report}");
+    }
+
+    #[test]
+    fn dependent_pair_report_shows_witness() {
+        let dtd = fig1();
+        let q = parse_query("//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        let verdict = analyzer.check(&q, &u);
+        assert!(!verdict.is_independent());
+        let report = explain_verdict(&dtd, &q, &u, &verdict, &ExplainOptions::default());
+        assert!(report.contains("not proved independent"), "{report}");
+        assert!(report.contains("witness"), "{report}");
+    }
+
+    #[test]
+    fn elision_limits_listed_chains() {
+        let dtd = fig1();
+        let q = parse_query("//node()").unwrap();
+        let u = parse_update("delete //c").unwrap();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        let verdict = analyzer.check(&q, &u);
+        let options = ExplainOptions {
+            max_chains: 1,
+            list_chains: true,
+        };
+        let report = explain_verdict(&dtd, &q, &u, &verdict, &options);
+        assert!(report.contains("more"), "{report}");
+    }
+
+    #[test]
+    fn summary_line_is_compact() {
+        let dtd = fig1();
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        let verdict = analyzer.check(&q, &u);
+        let s = summarize_verdict(&verdict);
+        assert!(s.starts_with("independent"), "{s}");
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn matrix_report_counts_and_renders() {
+        let dtd = fig1();
+        let views = vec![
+            ("v1".to_string(), parse_query("//a//c").unwrap()),
+            ("v2".to_string(), parse_query("//c").unwrap()),
+            ("v3".to_string(), parse_query("//b").unwrap()),
+        ];
+        let u = parse_update("delete //b//c").unwrap();
+        let report = matrix_report(&dtd, &views, "u1", &u);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.independent_count(), 1);
+        let text = report.render();
+        assert!(text.contains("1/3 views independent"), "{text}");
+        assert!(text.contains("v1"), "{text}");
+    }
+
+    #[test]
+    fn empty_matrix_report() {
+        let dtd = fig1();
+        let u = parse_update("delete //c").unwrap();
+        let report = matrix_report(&dtd, &[], "u", &u);
+        assert_eq!(report.independent_count(), 0);
+        assert_eq!(report.k_range.0, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The multiplicity bound `k` of the finite analysis (paper §5, Table 3).
+//!
+//! For an expression `exp` (query or update), `k_exp = max_a F(a, exp) +
+//! R(exp)` where `F(a, exp)` is the frequency of tag `a` contributed by
+//! non-recursive steps, element constructors and renamings, and `R(exp)` is
+//! the number of recursive steps (descendant/ancestor, or-self variants).
+//! For a query-update pair the analysis uses `k = k_q + k_u`, which Theorem
+//! 5.1 proves sufficient: restricting inference to chains where no tag occurs
+//! more than `k` times cannot miss a conflict.
+
+use qui_xquery::{Axis, NodeTest, Query, Update};
+use std::collections::HashMap;
+
+/// Tag-frequency table: `F(a, exp)` for every tag `a` mentioned by `exp`.
+/// Tags with `F = 0` are simply absent.
+type Freq = HashMap<String, usize>;
+
+fn merge_max(mut a: Freq, b: Freq) -> Freq {
+    for (t, n) in b {
+        let e = a.entry(t).or_insert(0);
+        *e = (*e).max(n);
+    }
+    a
+}
+
+fn merge_sum(mut a: Freq, b: Freq) -> Freq {
+    for (t, n) in b {
+        *a.entry(t).or_insert(0) += n;
+    }
+    a
+}
+
+fn step_freq(axis: Axis, test: &NodeTest) -> Freq {
+    let mut f = Freq::new();
+    // Recursive axes contribute through R(exp), not F(a, exp); the self axis
+    // never extends a chain, so it contributes nothing either (bare variables
+    // are encoded as `x/self::node()`).
+    if axis.is_recursive() || axis == Axis::SelfAxis {
+        return f;
+    }
+    match test {
+        NodeTest::Tag(t) => {
+            f.insert(t.clone(), 1);
+        }
+        NodeTest::AnyNode | NodeTest::AnyElement => {
+            // `node()` (and `*`) may match any label: the paper's rule counts
+            // it as frequency 1 for *every* tag. We record it under a
+            // wildcard entry which `max_freq` adds on top of the largest
+            // named-tag frequency.
+            f.insert(WILDCARD.to_string(), 1);
+        }
+        NodeTest::Text => {}
+    }
+    f
+}
+
+const WILDCARD: &str = "*";
+
+fn freq_query(q: &Query) -> Freq {
+    match q {
+        Query::Empty | Query::StringLit(_) => Freq::new(),
+        Query::Step { axis, test, .. } => step_freq(*axis, test),
+        Query::Concat(a, b) => merge_max(freq_query(a), freq_query(b)),
+        Query::If { cond, then, els } => merge_max(
+            freq_query(cond),
+            merge_max(freq_query(then), freq_query(els)),
+        ),
+        Query::For { source, ret, .. } | Query::Let { source, ret, .. } => {
+            merge_sum(freq_query(source), freq_query(ret))
+        }
+        Query::Element { tag, content } => {
+            let mut f = freq_query(content);
+            *f.entry(tag.clone()).or_insert(0) += 1;
+            f
+        }
+    }
+}
+
+fn freq_update(u: &Update) -> Freq {
+    match u {
+        Update::Empty => Freq::new(),
+        Update::Concat(a, b) => merge_max(freq_update(a), freq_update(b)),
+        Update::If { cond, then, els } => merge_max(
+            freq_query(cond),
+            merge_max(freq_update(then), freq_update(els)),
+        ),
+        Update::For { source, body, .. } | Update::Let { source, body, .. } => {
+            merge_sum(freq_query(source), freq_update(body))
+        }
+        Update::Delete { target } => freq_query(target),
+        Update::Rename { target, new_tag } => {
+            let mut f = freq_query(target);
+            *f.entry(new_tag.clone()).or_insert(0) += 1;
+            f
+        }
+        Update::Insert { source, target, .. } | Update::Replace { target, source } => {
+            merge_sum(freq_query(source), freq_query(target))
+        }
+    }
+}
+
+fn rec_query(q: &Query) -> usize {
+    match q {
+        Query::Empty | Query::StringLit(_) => 0,
+        Query::Step { axis, .. } => usize::from(axis.is_recursive()),
+        Query::Concat(a, b) => rec_query(a).max(rec_query(b)),
+        Query::If { cond, then, els } => rec_query(cond).max(rec_query(then)).max(rec_query(els)),
+        Query::For { source, ret, .. } | Query::Let { source, ret, .. } => {
+            rec_query(source) + rec_query(ret)
+        }
+        Query::Element { content, .. } => rec_query(content),
+    }
+}
+
+fn rec_update(u: &Update) -> usize {
+    match u {
+        Update::Empty => 0,
+        Update::Concat(a, b) => rec_update(a).max(rec_update(b)),
+        Update::If { cond, then, els } => {
+            rec_query(cond).max(rec_update(then)).max(rec_update(els))
+        }
+        Update::For { source, body, .. } | Update::Let { source, body, .. } => {
+            rec_query(source) + rec_update(body)
+        }
+        Update::Delete { target } => rec_query(target),
+        Update::Rename { target, .. } => rec_query(target),
+        Update::Insert { source, target, .. } | Update::Replace { target, source } => {
+            rec_query(source) + rec_query(target)
+        }
+    }
+}
+
+fn max_freq(f: &Freq) -> usize {
+    let wildcard = f.get(WILDCARD).copied().unwrap_or(0);
+    let named = f
+        .iter()
+        .filter(|(t, _)| t.as_str() != WILDCARD)
+        .map(|(_, &n)| n)
+        .max()
+        .unwrap_or(0);
+    named + wildcard
+}
+
+/// `k_q` for a query: `max_a F(a, q) + R(q)`, and at least 1.
+pub fn k_of_query(q: &Query) -> usize {
+    (max_freq(&freq_query(q)) + rec_query(q)).max(1)
+}
+
+/// `k_u` for an update: `max_a F(a, u) + R(u)`, and at least 1.
+pub fn k_of_update(u: &Update) -> usize {
+    (max_freq(&freq_update(u)) + rec_update(u)).max(1)
+}
+
+/// The multiplicity used for a pair: `k = k_q + k_u` (Theorem 5.1).
+pub fn k_for_pair(q: &Query, u: &Update) -> usize {
+    k_of_query(q) + k_of_update(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_xquery::{parse_query, parse_update};
+
+    #[test]
+    fn plain_child_paths_use_tag_frequency() {
+        // §5: for /r/a/b/f/a the maximal tag frequency is 2.
+        let q = parse_query("/r/a/b/f/a").unwrap();
+        assert_eq!(k_of_query(&q), 2);
+        // A parent step does not change the bound.
+        let q = parse_query("/r/a/b/f/a/parent::f").unwrap();
+        assert_eq!(k_of_query(&q), 2);
+        // A wildcard counts like any label.
+        let q = parse_query("/r/a/b/f/*").unwrap();
+        assert_eq!(k_of_query(&q), 2);
+    }
+
+    #[test]
+    fn descendant_steps_add_one_each() {
+        // §5: /descendant::b/descendant::c/descendant::e needs k = 3.
+        let q = parse_query("$root/descendant::b/descendant::c/descendant::e").unwrap();
+        assert_eq!(k_of_query(&q), 3);
+        // /descendant::b/a/b: one recursive step + max frequency 1 → 2.
+        let q = parse_query("$root/descendant::b/a/b").unwrap();
+        // F(b)=1 (child step), F(a)=1, R=1
+        assert_eq!(k_of_query(&q), 2 + 1 - 1);
+    }
+
+    #[test]
+    fn ancestor_counts_as_recursive() {
+        let q = parse_query("$root/descendant::b/ancestor::c").unwrap();
+        assert_eq!(k_of_query(&q), 2);
+    }
+
+    #[test]
+    fn abbreviated_descendant_counts() {
+        // //a = descendant-or-self::node()/child::a → R = 1, F(a) = 1 → 2.
+        let q = parse_query("//a").unwrap();
+        assert_eq!(k_of_query(&q), 2);
+    }
+
+    #[test]
+    fn element_construction_counts_constructed_tags() {
+        // §5 example: inserting <b><b><c/></b></b> below /a/b gives k_u = 3
+        // (F(b) = 1 from the path + 2 from the constructor).
+        let u =
+            parse_update("for $x in /a/b return insert <b><b><c/></b></b> into $x").unwrap();
+        assert_eq!(k_of_update(&u), 3);
+    }
+
+    #[test]
+    fn for_expressions_sum_subexpressions() {
+        // §5: for x in /a/a return for y in /a/b return x,y has F(a) = 3.
+        let q = parse_query("for $x in /a/a return for $y in /a/b return ($x, $y)").unwrap();
+        assert_eq!(k_of_query(&q), 3);
+    }
+
+    #[test]
+    fn pair_bound_is_the_sum() {
+        let q = parse_query("$root/descendant::b").unwrap();
+        let u = parse_update("delete $root/descendant::c").unwrap();
+        assert_eq!(k_of_query(&q), 1 + 1 - 1);
+        assert_eq!(k_for_pair(&q, &u), k_of_query(&q) + k_of_update(&u));
+    }
+
+    #[test]
+    fn rename_counts_new_tag() {
+        let u = parse_update("for $x in /a/b return rename $x as a").unwrap();
+        // F(a) = 1 (path) + 1 (rename target tag) = 2
+        assert_eq!(k_of_update(&u), 2);
+    }
+
+    #[test]
+    fn minimum_is_one() {
+        let q = parse_query("\"hello\"").unwrap();
+        assert_eq!(k_of_query(&q), 1);
+        let u = parse_update("()").unwrap();
+        assert_eq!(k_of_update(&u), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Chain-based document projection.
+//!
+//! The soundness proof of the chain inference (Theorem 3.2) rests on XML
+//! *projections*: pruning a document down to the nodes typed by the inferred
+//! return and used chains preserves the query result. This module makes that
+//! construction available as a feature in its own right — the same idea the
+//! type-based projection line of work (Marian & Siméon; Benzaken et al.,
+//! cited in §8) uses to evaluate queries on documents that do not fit in
+//! memory, here driven by chains instead of plain types:
+//!
+//! * [`ChainProjector::spec_for_query`] materializes the inferred chains into
+//!   a [`ProjectionSpec`]: the set of chains whose *prefixes* must be kept
+//!   (paths leading to needed nodes) and the set of chains whose whole
+//!   *subtrees* must be kept (returned elements embody their descendants);
+//! * [`ChainProjector::project_for_query`] applies a spec to a document,
+//!   producing a smaller document on which the query evaluates to the same
+//!   result (asserted by the integration property tests).
+//!
+//! Projection is computed against a DTD, where a node's chain is simply its
+//! root-to-node label path; labels that do not belong to the schema are kept
+//! conservatively, so projecting a document that is not actually valid can
+//! only keep too much, never too little.
+
+use crate::engine::explicit::ExplicitEngine;
+use crate::types::QueryChains;
+use crate::universe::Universe;
+use crate::kbound::k_of_query;
+use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
+use qui_xmlstore::{project, upward_closure, NodeId, Tree};
+use qui_xquery::Query;
+use std::collections::{BTreeSet, HashSet};
+
+/// The materialized shape of a query projection.
+#[derive(Clone, Debug, Default)]
+pub struct ProjectionSpec {
+    /// Chains of nodes the query may need on the way to (or as) its results:
+    /// every node whose chain is a **prefix** of one of these is kept.
+    pub keep_paths: BTreeSet<Chain>,
+    /// Chains whose entire **subtree** is kept (returned elements, and used
+    /// nodes marked extensible by the return-to-used conversion).
+    pub keep_subtrees: BTreeSet<Chain>,
+}
+
+impl ProjectionSpec {
+    /// Returns `true` when a node typed by `chain` must be kept.
+    pub fn keeps(&self, chain: &Chain) -> bool {
+        self.keep_paths.iter().any(|c| chain.is_prefix_of(c))
+            || self.keep_subtrees.iter().any(|c| c.is_prefix_of(chain))
+    }
+
+    /// Total number of chains in the spec (size indicator for reports).
+    pub fn len(&self) -> usize {
+        self.keep_paths.len() + self.keep_subtrees.len()
+    }
+
+    /// Returns `true` when the spec keeps nothing beyond the root path.
+    pub fn is_empty(&self) -> bool {
+        self.keep_paths.is_empty() && self.keep_subtrees.is_empty()
+    }
+}
+
+/// Builds chain-based projections for queries over a schema.
+pub struct ChainProjector<'a, S: SchemaLike> {
+    schema: &'a S,
+    /// Materialization budget of the underlying explicit engine.
+    budget: usize,
+}
+
+impl<'a, S: SchemaLike> ChainProjector<'a, S> {
+    /// Creates a projector with the default materialization budget.
+    pub fn new(schema: &'a S) -> Self {
+        ChainProjector {
+            schema,
+            budget: 20_000,
+        }
+    }
+
+    /// Overrides the chain materialization budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Infers the projection spec for a query, or `None` when the chain sets
+    /// could not be materialized within the budget (callers should then fall
+    /// back to evaluating on the full document).
+    pub fn spec_for_query(&self, q: &Query) -> Option<ProjectionSpec> {
+        let k = k_of_query(q).max(1) + 1;
+        let universe = Universe::with_k(self.schema, k);
+        let engine = ExplicitEngine::new(&universe, self.budget);
+        let chains: QueryChains = engine
+            .infer_query(&engine.root_gamma(q.free_vars()), q)
+            .ok()?;
+        let mut spec = ProjectionSpec::default();
+        for c in &chains.returns {
+            spec.keep_paths.insert(c.clone());
+            spec.keep_subtrees.insert(c.clone());
+        }
+        for item in &chains.used {
+            spec.keep_paths.insert(item.chain.clone());
+            if item.extensible {
+                spec.keep_subtrees.insert(item.chain.clone());
+            }
+        }
+        Some(spec)
+    }
+
+    /// Projects a document for a query: the result contains every node the
+    /// query may visit or return, so evaluating the query on it gives the
+    /// same answer as on the full document.
+    pub fn project_for_query(&self, tree: &Tree, q: &Query) -> Option<Tree> {
+        let spec = self.spec_for_query(q)?;
+        Some(self.apply(tree, &spec))
+    }
+
+    /// Applies a projection spec to a document.
+    pub fn apply(&self, tree: &Tree, spec: &ProjectionSpec) -> Tree {
+        let mut keep: HashSet<NodeId> = HashSet::new();
+        self.walk(tree, tree.root, Chain::empty(), spec, &mut keep);
+        // The root is always kept so the result remains a document, and the
+        // kept set is closed upwards so it denotes a projection (t|_L).
+        keep.insert(tree.root);
+        let keep = upward_closure(&tree.store, &keep);
+        project(tree, &keep)
+    }
+
+    fn walk(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        parent_chain: Chain,
+        spec: &ProjectionSpec,
+        keep: &mut HashSet<NodeId>,
+    ) {
+        let chain = match self.node_symbol(tree, node) {
+            // Unknown labels are kept conservatively, together with their
+            // whole subtree: the schema says nothing about them.
+            None => {
+                self.keep_subtree(tree, node, keep);
+                return;
+            }
+            Some(sym) => parent_chain.push(sym),
+        };
+        if spec.keep_subtrees.iter().any(|c| c.is_prefix_of(&chain)) {
+            self.keep_subtree(tree, node, keep);
+            return;
+        }
+        if spec.keep_paths.iter().any(|c| chain.is_prefix_of(c)) {
+            keep.insert(node);
+        }
+        for &child in tree.store.children(node) {
+            self.walk(tree, child, chain.clone(), spec, keep);
+        }
+    }
+
+    fn keep_subtree(&self, tree: &Tree, node: NodeId, keep: &mut HashSet<NodeId>) {
+        keep.insert(node);
+        for d in tree.store.descendants(node) {
+            keep.insert(d);
+        }
+    }
+
+    fn node_symbol(&self, tree: &Tree, node: NodeId) -> Option<Sym> {
+        match tree.store.tag(node) {
+            Some(tag) => {
+                let types = self.schema.types_with_label(tag);
+                // With a DTD labels identify types; with an EDTD several
+                // types may share the label — being conservative we use the
+                // first (projection only needs an over-approximation and the
+                // spec chains are label-compatible by construction).
+                types.first().copied()
+            }
+            None => Some(TEXT_SYM),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+    use qui_xmlstore::parse_xml;
+    use qui_xquery::dynamic::snapshot_query;
+    use qui_xquery::parse_query;
+
+    fn bib() -> Dtd {
+        Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*, price?) ; title -> #PCDATA ; \
+             author -> (first?, last) ; first -> #PCDATA ; last -> #PCDATA ; price -> #PCDATA",
+            "bib",
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Tree {
+        parse_xml(
+            "<bib>\
+               <book><title>t1</title><author><first>f</first><last>l</last></author><price>9</price></book>\
+               <book><title>t2</title><price>12</price></book>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn projection_preserves_query_results() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = sample();
+        for src in ["//title", "//author/last", "//book/price", "//book", "//first/parent::author"] {
+            let q = parse_query(src).unwrap();
+            let projected = projector.project_for_query(&doc, &q).unwrap();
+            assert_eq!(
+                snapshot_query(&doc, &q).unwrap(),
+                snapshot_query(&projected, &q).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_prunes_irrelevant_regions() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = sample();
+        let q = parse_query("//title").unwrap();
+        let projected = projector.project_for_query(&doc, &q).unwrap();
+        assert!(projected.size() < doc.size());
+        let xml = projected.to_xml();
+        assert!(xml.contains("<title>t1</title>"), "{xml}");
+        assert!(!xml.contains("<price>"), "{xml}");
+        assert!(!xml.contains("<author>"), "{xml}");
+    }
+
+    #[test]
+    fn returned_subtrees_are_kept_whole() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = sample();
+        let q = parse_query("//book").unwrap();
+        let projected = projector.project_for_query(&doc, &q).unwrap();
+        // Returning whole books means nothing below book may be pruned.
+        assert_eq!(projected.size(), doc.size());
+    }
+
+    #[test]
+    fn selective_query_keeps_ancestor_paths() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let spec = projector
+            .spec_for_query(&parse_query("//author/last").unwrap())
+            .unwrap();
+        let last = dtd.chain_of_names(&["bib", "book", "author", "last"]).unwrap();
+        let book = dtd.chain_of_names(&["bib", "book"]).unwrap();
+        let price = dtd.chain_of_names(&["bib", "book", "price"]).unwrap();
+        assert!(spec.keeps(&book), "ancestors of results must be kept");
+        assert!(spec.keeps(&last));
+        assert!(!spec.keeps(&price), "unrelated siblings must be pruned");
+    }
+
+    #[test]
+    fn unknown_labels_are_kept_conservatively() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = parse_xml("<bib><book><title>t</title></book><extra><blob>x</blob></extra></bib>")
+            .unwrap();
+        let q = parse_query("//title").unwrap();
+        let projected = projector.project_for_query(&doc, &q).unwrap();
+        assert!(projected.to_xml().contains("<blob>"), "unknown regions stay");
+        assert_eq!(
+            snapshot_query(&doc, &q).unwrap(),
+            snapshot_query(&projected, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_spec_projects_to_the_root() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = sample();
+        let spec = ProjectionSpec::default();
+        assert!(spec.is_empty());
+        let projected = projector.apply(&doc, &spec);
+        assert_eq!(projected.size(), 1);
+        assert_eq!(projected.root_tag(), Some("bib"));
+    }
+}

@@ -1,0 +1,214 @@
+//! The chain classes produced by the inference system (paper §3).
+
+use qui_schema::{Chain, Dtd};
+use std::collections::BTreeSet;
+
+/// A chain, possibly *extensible*.
+///
+/// An extensible item with chain `c` denotes `c` together with **all** its
+/// descendant extensions `c.c'` allowed by the schema. The inference rules
+/// frequently close sets of chains under descendant extension (`τ̄` in Table
+/// 1, the `c'.α.c'' ∈ C` side conditions in Table 2); representing that
+/// closure symbolically keeps the analysis finite and cheap — the paper makes
+/// the same remark ("any efficient implementation can avoid performing these
+/// extensions by using intensional representations").
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChainItem {
+    /// The base chain.
+    pub chain: Chain,
+    /// Whether all descendant extensions of the base chain are included.
+    pub extensible: bool,
+}
+
+impl ChainItem {
+    /// A plain (non-extensible) item.
+    pub fn plain(chain: Chain) -> Self {
+        ChainItem {
+            chain,
+            extensible: false,
+        }
+    }
+
+    /// An extensible item (the chain plus all its descendant extensions).
+    pub fn extended(chain: Chain) -> Self {
+        ChainItem {
+            chain,
+            extensible: true,
+        }
+    }
+
+    /// Renders the item using the DTD's symbol names.
+    pub fn display(&self, dtd: &Dtd) -> String {
+        let base = dtd.show_chain(&self.chain);
+        if self.extensible {
+            format!("{base}(.…)")
+        } else {
+            base
+        }
+    }
+}
+
+/// The three chain classes inferred for a query: return, used and element
+/// chains (`Γ ⊢_C q : (r; v; e)`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryChains {
+    /// Return chains: type the roots of elements returned by the query.
+    pub returns: BTreeSet<Chain>,
+    /// Used chains: type input nodes the evaluation depends on without
+    /// necessarily returning them. Extensible items arise from
+    /// return-to-used conversion in the (ELT) rule.
+    pub used: BTreeSet<ChainItem>,
+    /// Element chains: type newly constructed elements (`a.c'`).
+    pub elements: BTreeSet<ChainItem>,
+}
+
+impl QueryChains {
+    /// An empty triple `(∅; ∅; ∅)`.
+    pub fn empty() -> Self {
+        QueryChains::default()
+    }
+
+    /// Component-wise union.
+    pub fn union(mut self, other: QueryChains) -> QueryChains {
+        self.returns.extend(other.returns);
+        self.used.extend(other.used);
+        self.elements.extend(other.elements);
+        self
+    }
+
+    /// Total number of inferred chains across the three classes.
+    pub fn total_len(&self) -> usize {
+        self.returns.len() + self.used.len() + self.elements.len()
+    }
+
+    /// Pretty-prints the triple for debugging and reports.
+    pub fn display(&self, dtd: &Dtd) -> String {
+        let r: Vec<String> = self.returns.iter().map(|c| dtd.show_chain(c)).collect();
+        let v: Vec<String> = self.used.iter().map(|c| c.display(dtd)).collect();
+        let e: Vec<String> = self.elements.iter().map(|c| c.display(dtd)).collect();
+        format!(
+            "returns: {{{}}}\nused: {{{}}}\nelements: {{{}}}",
+            r.join(", "),
+            v.join(", "),
+            e.join(", ")
+        )
+    }
+}
+
+/// An update chain `c : c'` (paper §3.3): the prefix `c` types nodes whose
+/// content may change, the suffix `c'` types changed descendants.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UpdateChain {
+    /// The prefix `c` — the chain of the updated node.
+    pub target: Chain,
+    /// The suffix `c'` — what changes beneath it (possibly extensible when it
+    /// stands for a whole inserted subtree).
+    pub suffix: ChainItem,
+}
+
+impl UpdateChain {
+    /// Builds an update chain from its two components.
+    pub fn new(target: Chain, suffix: ChainItem) -> Self {
+        UpdateChain { target, suffix }
+    }
+
+    /// The *full* chain `c.c'` used by the conflict relation, keeping the
+    /// suffix's extensibility.
+    pub fn full(&self) -> ChainItem {
+        ChainItem {
+            chain: self.target.concat(&self.suffix.chain),
+            extensible: self.suffix.extensible,
+        }
+    }
+
+    /// Renders `c:c'` using the DTD's symbol names.
+    pub fn display(&self, dtd: &Dtd) -> String {
+        format!(
+            "{}:{}",
+            dtd.show_chain(&self.target),
+            self.suffix.display(dtd)
+        )
+    }
+}
+
+/// The set `U` of update chains inferred for an update.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateChains {
+    /// The inferred update chains.
+    pub chains: BTreeSet<UpdateChain>,
+}
+
+impl UpdateChains {
+    /// The empty set.
+    pub fn empty() -> Self {
+        UpdateChains::default()
+    }
+
+    /// Union of two sets.
+    pub fn union(mut self, other: UpdateChains) -> UpdateChains {
+        self.chains.extend(other.chains);
+        self
+    }
+
+    /// Inserts one chain.
+    pub fn insert(&mut self, c: UpdateChain) {
+        self.chains.insert(c);
+    }
+
+    /// Number of update chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Returns `true` if no chain was inferred.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Pretty-prints the set.
+    pub fn display(&self, dtd: &Dtd) -> String {
+        let items: Vec<String> = self.chains.iter().map(|c| c.display(dtd)).collect();
+        format!("{{{}}}", items.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Sym;
+
+    fn ch(syms: &[u16]) -> Chain {
+        Chain(syms.iter().map(|&s| Sym(s)).collect())
+    }
+
+    #[test]
+    fn full_update_chain_concatenates() {
+        let uc = UpdateChain::new(ch(&[1, 2]), ChainItem::extended(ch(&[3])));
+        let full = uc.full();
+        assert_eq!(full.chain, ch(&[1, 2, 3]));
+        assert!(full.extensible);
+    }
+
+    #[test]
+    fn query_chain_union_is_componentwise() {
+        let mut a = QueryChains::empty();
+        a.returns.insert(ch(&[1]));
+        let mut b = QueryChains::empty();
+        b.returns.insert(ch(&[2]));
+        b.used.insert(ChainItem::plain(ch(&[3])));
+        let u = a.union(b);
+        assert_eq!(u.returns.len(), 2);
+        assert_eq!(u.used.len(), 1);
+        assert_eq!(u.total_len(), 3);
+    }
+
+    #[test]
+    fn display_with_dtd_names() {
+        let dtd = Dtd::parse_compact("doc -> a ; a -> b", "doc").unwrap();
+        let c = dtd.chain_of_names(&["doc", "a"]).unwrap();
+        let item = ChainItem::extended(c.clone());
+        assert_eq!(item.display(&dtd), "doc.a(.…)");
+        let uc = UpdateChain::new(c, ChainItem::plain(dtd.chain_of_names(&["b"]).unwrap()));
+        assert_eq!(uc.display(&dtd), "doc.a:b");
+    }
+}

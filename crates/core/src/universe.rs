@@ -1,0 +1,181 @@
+//! The chain universe `C` used by the inference rules (paper §3.1).
+//!
+//! The rules are parameterised by a set of chains `C`: `C_d` (all chains of
+//! the DTD) for the infinite analysis of §4, or its k-chain restriction
+//! `C_d^k` for the finite analysis of §5. A [`Universe`] realises this set
+//! *intensionally*: membership is the local reachability check of Definition
+//! 2.1 plus the per-tag multiplicity bound, and descendant extensions are
+//! enumerated on demand (and only by the explicit engine).
+
+use qui_schema::{Chain, SchemaLike, Sym};
+
+/// The (possibly k-restricted) chain universe over a schema.
+pub struct Universe<'a, S: SchemaLike> {
+    schema: &'a S,
+    /// Maximum number of occurrences of each tag in a chain (`k`), or `None`
+    /// for the unrestricted universe `C_d` (only safe on non-recursive
+    /// schemas, where chains cannot repeat tags anyway).
+    k: Option<usize>,
+}
+
+impl<'a, S: SchemaLike> Universe<'a, S> {
+    /// The k-restricted universe `C_d^k`.
+    pub fn with_k(schema: &'a S, k: usize) -> Self {
+        Universe {
+            schema,
+            k: Some(k.max(1)),
+        }
+    }
+
+    /// The unrestricted universe `C_d`. On a recursive schema descendant
+    /// enumeration would not terminate, so this is only meaningful for
+    /// non-recursive schemas (where it coincides with `k = 1`).
+    pub fn unrestricted(schema: &'a S) -> Self {
+        Universe { schema, k: None }
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &'a S {
+        self.schema
+    }
+
+    /// The multiplicity bound, if any.
+    pub fn k(&self) -> Option<usize> {
+        self.k
+    }
+
+    /// The chain containing just the start symbol — the binding of the free
+    /// root variable in the quasi-closed convention.
+    pub fn root_chain(&self) -> Chain {
+        Chain::single(self.schema.start_type())
+    }
+
+    /// Returns `true` if appending `sym` to `chain` stays within the
+    /// multiplicity bound.
+    pub fn can_append(&self, chain: &Chain, sym: Sym) -> bool {
+        match self.k {
+            None => true,
+            Some(k) => chain.count(sym) < k,
+        }
+    }
+
+    /// Membership in `C` (Definition 2.1 plus the k-bound): each adjacent
+    /// pair must be in `⇒_d` and no tag may occur more than `k` times.
+    pub fn contains(&self, chain: &Chain) -> bool {
+        if let Some(k) = self.k {
+            if !chain.is_k_chain(k) {
+                return false;
+            }
+        }
+        self.schema.is_chain(chain)
+    }
+
+    /// The symbols `α` such that `c.α ∈ C` — the child extensions of a chain.
+    pub fn child_extensions(&self, chain: &Chain) -> Vec<Sym> {
+        let Some(last) = chain.last() else {
+            return Vec::new();
+        };
+        self.schema
+            .child_types(last)
+            .iter()
+            .copied()
+            .filter(|&s| self.can_append(chain, s))
+            .collect()
+    }
+
+    /// All chains `c.c'` with `c' ≠ ε` and `c.c' ∈ C` — the (proper)
+    /// descendant extensions of `c`, enumerated by depth-first search.
+    ///
+    /// `cap` bounds the number of produced chains; `None` is returned when it
+    /// is exceeded so that callers can fall back to the compact engine.
+    pub fn descendant_extensions(&self, chain: &Chain, cap: usize) -> Option<Vec<Chain>> {
+        let mut out = Vec::new();
+        let mut stack = vec![chain.clone()];
+        while let Some(c) = stack.pop() {
+            for s in self.child_extensions(&c) {
+                let ext = c.push(s);
+                out.push(ext.clone());
+                if out.len() > cap {
+                    return None;
+                }
+                stack.push(ext);
+            }
+        }
+        Some(out)
+    }
+
+    /// All chains of the universe starting from the start symbol, up to the
+    /// cap — mainly useful for tests and for reporting `|C_d^k|`.
+    pub fn rooted_chains(&self, cap: usize) -> Option<Vec<Chain>> {
+        let root = self.root_chain();
+        let mut out = vec![root.clone()];
+        let ext = self.descendant_extensions(&root, cap)?;
+        out.extend(ext);
+        if out.len() > cap {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    #[test]
+    fn figure1_chain_universe() {
+        let d = figure1();
+        let u = Universe::with_k(&d, 1);
+        let chains = u.rooted_chains(100).unwrap();
+        // doc, doc.a, doc.b, doc.a.c, doc.b.c
+        assert_eq!(chains.len(), 5);
+        let names: Vec<String> = chains.iter().map(|c| d.show_chain(c)).collect();
+        assert!(names.contains(&"doc.a.c".to_string()));
+        assert!(names.contains(&"doc.b.c".to_string()));
+        assert!(!names.contains(&"doc.c".to_string()));
+    }
+
+    #[test]
+    fn membership_checks_reachability_and_k() {
+        let d = Dtd::parse_compact("a -> (b, a?) ; b -> EMPTY", "a").unwrap();
+        let u = Universe::with_k(&d, 2);
+        let a = d.sym("a").unwrap();
+        let b = d.sym("b").unwrap();
+        assert!(u.contains(&Chain(vec![a, a, b])));
+        assert!(!u.contains(&Chain(vec![a, a, a]))); // 3 > k occurrences
+        assert!(!u.contains(&Chain(vec![b, a]))); // b does not reach a
+        assert!(u.contains(&Chain::empty()));
+    }
+
+    #[test]
+    fn recursive_schema_enumeration_is_bounded_by_k() {
+        let d = Dtd::parse_compact("a -> a?", "a").unwrap();
+        let u1 = Universe::with_k(&d, 1);
+        let u3 = Universe::with_k(&d, 3);
+        assert_eq!(u1.rooted_chains(100).unwrap().len(), 1); // just "a"
+        assert_eq!(u3.rooted_chains(100).unwrap().len(), 3); // a, a.a, a.a.a
+    }
+
+    #[test]
+    fn cap_overflow_returns_none() {
+        let d = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let u = Universe::with_k(&d, 4);
+        assert!(u.rooted_chains(10).is_none());
+    }
+
+    #[test]
+    fn child_extensions_respect_k() {
+        let d = Dtd::parse_compact("a -> a?", "a").unwrap();
+        let u = Universe::with_k(&d, 2);
+        let a = d.sym("a").unwrap();
+        assert_eq!(u.child_extensions(&Chain(vec![a])), vec![a]);
+        assert!(u.child_extensions(&Chain(vec![a, a])).is_empty());
+        assert!(u.child_extensions(&Chain::empty()).is_empty());
+    }
+}

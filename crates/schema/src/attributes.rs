@@ -1,0 +1,320 @@
+//! Attribute declarations for DTDs (§7).
+//!
+//! The paper's data model and chain inference are element-only; §7 notes
+//! that "concerning attributes, extensions are straightforward, and actually
+//! implemented in our prototype (a simple rule for dealing with the attribute
+//! axis is needed)". This workspace realises the extension with an
+//! *encoding* instead of new inference rules: an attribute `a` of an element
+//! `e` becomes a leading child of `e` tagged `@a` whose content is the
+//! attribute value as text. Under that encoding:
+//!
+//! * documents parsed with
+//!   [`qui_xmlstore::parse_xml_keep_attributes`](qui_xmlstore) carry their
+//!   attributes as `@name` children,
+//! * the query parser desugars `x/@a` and `x/attribute::a` into
+//!   `x/child::@a`,
+//! * schemas gain `@name` element types via [`with_attributes`] (or directly
+//!   from `<!ATTLIST …>` declarations via [`parse_dtd_with_attributes`]),
+//!
+//! after which chain inference, the conflict relation and the `k`-bound
+//! computation all apply unchanged — an attribute chain is just a chain
+//! ending in an `@name` symbol.
+
+use crate::dtd::Dtd;
+use crate::parser::SchemaParseError;
+use crate::symbols::TEXT_SYM;
+
+/// One attribute declaration: element name, attribute name, and whether the
+/// attribute is required on every instance of the element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// The element the attribute belongs to.
+    pub element: String,
+    /// The attribute name (without the leading `@`).
+    pub attribute: String,
+    /// `true` for `#REQUIRED`, `false` for `#IMPLIED`/defaulted attributes.
+    pub required: bool,
+}
+
+impl AttrDecl {
+    /// Convenience constructor.
+    pub fn new(element: &str, attribute: &str, required: bool) -> Self {
+        AttrDecl {
+            element: element.to_string(),
+            attribute: attribute.to_string(),
+            required,
+        }
+    }
+
+    /// The `@`-prefixed symbol name used by the encoding.
+    pub fn symbol_name(&self) -> String {
+        format!("@{}", self.attribute)
+    }
+}
+
+/// Extends a DTD with attribute declarations, producing a new DTD in which
+/// every declared attribute appears as a leading `@name` child of its
+/// element (optional unless the declaration is `required`), and every
+/// `@name` type has content `#PCDATA?`.
+pub fn with_attributes(dtd: &Dtd, decls: &[AttrDecl]) -> Result<Dtd, SchemaParseError> {
+    let mut rules: Vec<String> = Vec::new();
+    let mut attr_types: Vec<String> = Vec::new();
+    let start = dtd.name(dtd.start()).to_string();
+
+    for sym in dtd.alphabet() {
+        if sym == TEXT_SYM {
+            continue;
+        }
+        let name = dtd.name(sym).to_string();
+        let body = dtd.content(sym).display_with(&|s| {
+            if s == TEXT_SYM {
+                "#PCDATA".to_string()
+            } else {
+                dtd.name(s).to_string()
+            }
+        });
+        let mut prefix: Vec<String> = Vec::new();
+        for d in decls.iter().filter(|d| d.element == name) {
+            let sym_name = d.symbol_name();
+            prefix.push(if d.required {
+                sym_name.clone()
+            } else {
+                format!("{sym_name}?")
+            });
+            if !attr_types.contains(&sym_name) {
+                attr_types.push(sym_name);
+            }
+        }
+        let rhs = if prefix.is_empty() {
+            body
+        } else if body == "EMPTY" {
+            prefix.join(", ")
+        } else {
+            format!("{}, ({})", prefix.join(", "), body)
+        };
+        rules.push(format!("{name} -> {rhs}"));
+    }
+    for t in attr_types {
+        rules.push(format!("{t} -> #PCDATA?"));
+    }
+    Dtd::parse_compact(&rules.join(" ;\n"), &start)
+}
+
+/// Parses `<!ELEMENT …>` **and** `<!ATTLIST …>` declarations: the element
+/// structure is read exactly as [`Dtd::parse_dtd`] does, and every declared
+/// attribute is folded in through [`with_attributes`].
+pub fn parse_dtd_with_attributes(src: &str, start: &str) -> Result<Dtd, SchemaParseError> {
+    let base = Dtd::parse_dtd(src, start)?;
+    let decls = collect_attlists(src)?;
+    if decls.is_empty() {
+        return Ok(base);
+    }
+    with_attributes(&base, &decls)
+}
+
+/// Extracts attribute declarations from the `<!ATTLIST …>` declarations of a
+/// DTD source.
+pub fn collect_attlists(src: &str) -> Result<Vec<AttrDecl>, SchemaParseError> {
+    let mut decls = Vec::new();
+    let mut rest = src;
+    while let Some(idx) = rest.find("<!ATTLIST") {
+        rest = &rest[idx + "<!ATTLIST".len()..];
+        let end = rest
+            .find('>')
+            .ok_or_else(|| SchemaParseError::new("unterminated ATTLIST declaration"))?;
+        let body = &rest[..end];
+        rest = &rest[end + 1..];
+        decls.extend(parse_attlist_body(body)?);
+    }
+    Ok(decls)
+}
+
+fn parse_attlist_body(body: &str) -> Result<Vec<AttrDecl>, SchemaParseError> {
+    // ATTLIST bodies are `element (name type default)+`; defaults may be
+    // quoted literals (possibly containing spaces), which we tokenize as a
+    // single unit.
+    let tokens = tokenize(body);
+    let mut it = tokens.into_iter();
+    let element = it
+        .next()
+        .ok_or_else(|| SchemaParseError::new("ATTLIST without an element name"))?;
+    let rest: Vec<String> = it.collect();
+    let mut decls = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let name = rest[i].clone();
+        let _ty = rest
+            .get(i + 1)
+            .ok_or_else(|| SchemaParseError::new(format!("ATTLIST {element}: missing type for {name}")))?;
+        let default = rest
+            .get(i + 2)
+            .ok_or_else(|| SchemaParseError::new(format!("ATTLIST {element}: missing default for {name}")))?
+            .clone();
+        // #FIXED is followed by the fixed value.
+        let consumed = if default == "#FIXED" { 4 } else { 3 };
+        let required = default == "#REQUIRED" || default == "#FIXED";
+        decls.push(AttrDecl::new(&element, &name, required));
+        i += consumed;
+    }
+    Ok(decls)
+}
+
+fn tokenize(body: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' || c == '\'' {
+            let quote = c;
+            chars.next();
+            let mut tok = String::new();
+            for d in chars.by_ref() {
+                if d == quote {
+                    break;
+                }
+                tok.push(d);
+            }
+            tokens.push(tok);
+        } else {
+            let mut tok = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_whitespace() {
+                    break;
+                }
+                tok.push(d);
+                chars.next();
+            }
+            tokens.push(tok);
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_like::SchemaLike;
+    use qui_xmlstore::parse_xml_keep_attributes;
+
+    fn base() -> Dtd {
+        Dtd::parse_compact(
+            "catalog -> item* ; item -> (name, price?) ; name -> #PCDATA ; price -> #PCDATA",
+            "catalog",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn with_attributes_adds_at_types() {
+        let dtd = with_attributes(
+            &base(),
+            &[
+                AttrDecl::new("item", "id", true),
+                AttrDecl::new("item", "lang", false),
+            ],
+        )
+        .unwrap();
+        let item = dtd.sym("item").unwrap();
+        let id = dtd.sym("@id").unwrap();
+        assert!(dtd.reaches(item, id));
+        assert!(dtd.sym("@lang").is_some());
+        // Attribute types carry text content.
+        assert!(dtd.child_syms(id).contains(&TEXT_SYM));
+    }
+
+    #[test]
+    fn required_attribute_is_enforced_by_validation() {
+        let dtd = with_attributes(&base(), &[AttrDecl::new("item", "id", true)]).unwrap();
+        let ok = parse_xml_keep_attributes(
+            r#"<catalog><item id="1"><name>x</name></item></catalog>"#,
+        )
+        .unwrap();
+        assert!(dtd.validate(&ok).is_ok());
+        let missing =
+            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#)
+                .unwrap();
+        assert!(dtd.validate(&missing).is_err());
+    }
+
+    #[test]
+    fn optional_attribute_may_be_absent() {
+        let dtd = with_attributes(&base(), &[AttrDecl::new("item", "lang", false)]).unwrap();
+        let without =
+            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#)
+                .unwrap();
+        assert!(dtd.validate(&without).is_ok());
+        let with = parse_xml_keep_attributes(
+            r#"<catalog><item lang="en"><name>x</name></item></catalog>"#,
+        )
+        .unwrap();
+        assert!(dtd.validate(&with).is_ok());
+    }
+
+    #[test]
+    fn attributes_on_empty_elements() {
+        let dtd = Dtd::parse_compact("g -> edge* ; edge -> EMPTY", "g").unwrap();
+        let dtd = with_attributes(
+            &dtd,
+            &[
+                AttrDecl::new("edge", "from", true),
+                AttrDecl::new("edge", "to", true),
+            ],
+        )
+        .unwrap();
+        let doc = parse_xml_keep_attributes(r#"<g><edge from="a" to="b"/></g>"#).unwrap();
+        assert!(dtd.validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn unknown_element_declarations_are_harmless() {
+        // A declaration for an element the DTD does not define adds nothing.
+        let dtd = with_attributes(&base(), &[AttrDecl::new("nosuch", "id", true)]).unwrap();
+        assert_eq!(dtd.size(), base().size());
+    }
+
+    #[test]
+    fn collect_attlists_parses_defaults_and_fixed() {
+        let src = r#"
+            <!ELEMENT item (name)>
+            <!ATTLIST item id CDATA #REQUIRED lang CDATA #IMPLIED>
+            <!ATTLIST item version CDATA #FIXED "1.0">
+            <!ATTLIST name style CDATA "plain">
+        "#;
+        let decls = collect_attlists(src).unwrap();
+        assert_eq!(
+            decls,
+            vec![
+                AttrDecl::new("item", "id", true),
+                AttrDecl::new("item", "lang", false),
+                AttrDecl::new("item", "version", true),
+                AttrDecl::new("name", "style", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_dtd_with_attributes_end_to_end() {
+        let src = r#"
+            <!ELEMENT catalog (item*)>
+            <!ELEMENT item (name, price?)>
+            <!ATTLIST item id CDATA #REQUIRED>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT price (#PCDATA)>
+        "#;
+        let dtd = parse_dtd_with_attributes(src, "catalog").unwrap();
+        assert!(dtd.sym("@id").is_some());
+        let doc = parse_xml_keep_attributes(
+            r#"<catalog><item id="i1"><name>chair</name><price>10</price></item></catalog>"#,
+        )
+        .unwrap();
+        assert!(dtd.validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn chains_reach_attribute_symbols() {
+        let dtd = with_attributes(&base(), &[AttrDecl::new("item", "id", true)]).unwrap();
+        let chain = dtd.chain_of_names(&["catalog", "item", "@id"]).unwrap();
+        assert!(dtd.is_chain(&chain));
+    }
+}

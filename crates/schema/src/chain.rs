@@ -1,0 +1,225 @@
+//! Chains over a schema (Definition 2.1).
+//!
+//! A chain `α_1.α_2.….α_n` is a sequence of symbols such that each symbol is
+//! reachable (`⇒_d`) from its predecessor. Chains inferred for queries and
+//! updates record the *entire* root-to-node context, which is what makes the
+//! paper's analysis more precise than type-set based analyses.
+
+use crate::symbols::Sym;
+use std::fmt;
+
+/// A chain of schema symbols.
+///
+/// The empty chain is allowed as a value (it is convenient when manipulating
+/// prefixes/suffixes) even though Definition 2.1 only speaks of non-empty
+/// chains.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Chain(pub Vec<Sym>);
+
+impl Chain {
+    /// The empty chain `ε`.
+    pub fn empty() -> Self {
+        Chain(Vec::new())
+    }
+
+    /// A singleton chain.
+    pub fn single(s: Sym) -> Self {
+        Chain(vec![s])
+    }
+
+    /// Builds a chain from a slice of symbols.
+    pub fn from_slice(s: &[Sym]) -> Self {
+        Chain(s.to_vec())
+    }
+
+    /// Number of symbols in the chain.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty chain.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The last symbol, if any.
+    pub fn last(&self) -> Option<Sym> {
+        self.0.last().copied()
+    }
+
+    /// The first symbol, if any.
+    pub fn first(&self) -> Option<Sym> {
+        self.0.first().copied()
+    }
+
+    /// The symbols of the chain.
+    pub fn symbols(&self) -> &[Sym] {
+        &self.0
+    }
+
+    /// Returns a new chain with `s` appended (`c.α`).
+    pub fn push(&self, s: Sym) -> Chain {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(s);
+        Chain(v)
+    }
+
+    /// Concatenation `c_1.c_2`.
+    pub fn concat(&self, other: &Chain) -> Chain {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Chain(v)
+    }
+
+    /// The chain without its last symbol (`c` for `c.α`), or `None` for the
+    /// empty chain.
+    pub fn parent(&self) -> Option<Chain> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Chain(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// All proper prefixes, from the empty chain excluded up to (excluding)
+    /// the chain itself — i.e. the chains reached by the `ancestor` axis.
+    pub fn proper_prefixes(&self) -> Vec<Chain> {
+        (1..self.0.len())
+            .map(|i| Chain(self.0[..i].to_vec()))
+            .collect()
+    }
+
+    /// All prefixes including the chain itself (the `ancestor-or-self` axis),
+    /// excluding the empty chain.
+    pub fn prefixes_or_self(&self) -> Vec<Chain> {
+        (1..=self.0.len())
+            .map(|i| Chain(self.0[..i].to_vec()))
+            .collect()
+    }
+
+    /// The prefix relation `c_1 ⪯ c_2` (reflexive).
+    pub fn is_prefix_of(&self, other: &Chain) -> bool {
+        self.0.len() <= other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Returns `true` if the two chains are comparable under `⪯` in either
+    /// direction (one is a prefix of the other).
+    pub fn overlaps(&self, other: &Chain) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// Number of occurrences of `s` in the chain.
+    pub fn count(&self, s: Sym) -> usize {
+        self.0.iter().filter(|&&x| x == s).count()
+    }
+
+    /// Returns `true` if no symbol occurs more than `k` times — i.e. the
+    /// chain is a *k-chain* in the sense of §5.
+    pub fn is_k_chain(&self, k: usize) -> bool {
+        // Chains are short in practice; a quadratic scan avoids allocating a
+        // counting map on this very hot path.
+        for (i, &s) in self.0.iter().enumerate() {
+            let occ = 1 + self.0[..i].iter().filter(|&&x| x == s).count();
+            if occ > k {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Renders the chain with a symbol-name resolver, e.g. `doc.a.c`.
+    pub fn display_with<F: Fn(Sym) -> String>(&self, name: &F) -> String {
+        if self.0.is_empty() {
+            return "ε".to_string();
+        }
+        self.0
+            .iter()
+            .map(|&s| name(s))
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.0.iter().map(|s| format!("{s:?}")).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+impl From<Vec<Sym>> for Chain {
+    fn from(v: Vec<Sym>) -> Self {
+        Chain(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn push_concat_parent() {
+        let c = Chain::single(s(1)).push(s(2)).push(s(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.last(), Some(s(3)));
+        assert_eq!(c.first(), Some(s(1)));
+        assert_eq!(c.parent().unwrap(), Chain::from_slice(&[s(1), s(2)]));
+        let d = Chain::from_slice(&[s(4)]);
+        assert_eq!(c.concat(&d).len(), 4);
+        assert!(Chain::empty().parent().is_none());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let c1 = Chain::from_slice(&[s(1), s(2)]);
+        let c2 = Chain::from_slice(&[s(1), s(2), s(3)]);
+        let c3 = Chain::from_slice(&[s(1), s(4)]);
+        assert!(c1.is_prefix_of(&c2));
+        assert!(!c2.is_prefix_of(&c1));
+        assert!(c1.is_prefix_of(&c1));
+        assert!(!c1.is_prefix_of(&c3));
+        assert!(c1.overlaps(&c2));
+        assert!(c2.overlaps(&c1));
+        assert!(!c2.overlaps(&c3));
+        assert!(Chain::empty().is_prefix_of(&c1));
+    }
+
+    #[test]
+    fn prefixes_and_ancestors() {
+        let c = Chain::from_slice(&[s(1), s(2), s(3)]);
+        assert_eq!(
+            c.proper_prefixes(),
+            vec![
+                Chain::from_slice(&[s(1)]),
+                Chain::from_slice(&[s(1), s(2)])
+            ]
+        );
+        assert_eq!(c.prefixes_or_self().len(), 3);
+    }
+
+    #[test]
+    fn k_chain_predicate() {
+        let c = Chain::from_slice(&[s(1), s(2), s(1), s(3), s(1)]);
+        assert_eq!(c.count(s(1)), 3);
+        assert!(c.is_k_chain(3));
+        assert!(!c.is_k_chain(2));
+        assert!(Chain::empty().is_k_chain(0));
+    }
+
+    #[test]
+    fn display() {
+        let c = Chain::from_slice(&[s(1), s(2)]);
+        let shown = c.display_with(&|x| format!("t{}", x.0));
+        assert_eq!(shown, "t1.t2");
+        assert_eq!(Chain::empty().display_with(&|_| "x".into()), "ε");
+    }
+}

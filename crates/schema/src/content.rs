@@ -1,0 +1,492 @@
+//! Content models: regular expressions over `Σ ∪ {S}`.
+//!
+//! Besides construction and pretty-printing, this module provides the three
+//! operations the rest of the system needs:
+//!
+//! * [`ContentModel::matches`] — word membership (used by validation), via a
+//!   Glushkov position automaton built on demand;
+//! * [`ContentModel::symbols`] — the symbols occurring in the expression,
+//!   which defines the reachability relation `α ⇒_d β` (Definition 2.1);
+//! * [`ContentModel::before_pairs`] — the sibling order relation `α <_r β` of
+//!   §3.1: `α <_r β` holds iff some word of `L(r)` contains an `α` strictly
+//!   before a `β`. It drives chain inference for the
+//!   `following-sibling`/`preceding-sibling` axes.
+
+use crate::symbols::Sym;
+use std::collections::HashSet;
+
+/// A regular expression used as a DTD content model.
+///
+/// The constructors cannot express the empty language, so every content
+/// model denotes a non-empty set of words; this matches DTD practice and
+/// keeps `before_pairs`/`symbols` simple (every syntactic occurrence of a
+/// symbol can actually occur in some word).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContentModel {
+    /// The empty word `ε` (the content model of `EMPTY` elements and of the
+    /// text type `S`).
+    Epsilon,
+    /// A single symbol (an element tag or the text type).
+    Symbol(Sym),
+    /// Concatenation `r_1, r_2, …, r_n`.
+    Seq(Vec<ContentModel>),
+    /// Alternation `r_1 | r_2 | … | r_n`.
+    Alt(Vec<ContentModel>),
+    /// Kleene star `r*`.
+    Star(Box<ContentModel>),
+    /// One-or-more `r+`.
+    Plus(Box<ContentModel>),
+    /// Optional `r?`.
+    Opt(Box<ContentModel>),
+}
+
+impl ContentModel {
+    /// Convenience constructor for a symbol atom.
+    pub fn sym(s: Sym) -> Self {
+        ContentModel::Symbol(s)
+    }
+
+    /// Convenience constructor for a sequence, flattening trivial cases.
+    pub fn seq(items: Vec<ContentModel>) -> Self {
+        match items.len() {
+            0 => ContentModel::Epsilon,
+            1 => items.into_iter().next().expect("len checked"),
+            _ => ContentModel::Seq(items),
+        }
+    }
+
+    /// Convenience constructor for an alternation, flattening trivial cases.
+    pub fn alt(items: Vec<ContentModel>) -> Self {
+        match items.len() {
+            0 => ContentModel::Epsilon,
+            1 => items.into_iter().next().expect("len checked"),
+            _ => ContentModel::Alt(items),
+        }
+    }
+
+    /// `r*`
+    pub fn star(r: ContentModel) -> Self {
+        ContentModel::Star(Box::new(r))
+    }
+
+    /// `r+`
+    pub fn plus(r: ContentModel) -> Self {
+        ContentModel::Plus(Box::new(r))
+    }
+
+    /// `r?`
+    pub fn opt(r: ContentModel) -> Self {
+        ContentModel::Opt(Box::new(r))
+    }
+
+    /// Returns `true` iff the empty word belongs to `L(r)`.
+    pub fn nullable(&self) -> bool {
+        match self {
+            ContentModel::Epsilon => true,
+            ContentModel::Symbol(_) => false,
+            ContentModel::Seq(rs) => rs.iter().all(|r| r.nullable()),
+            ContentModel::Alt(rs) => rs.iter().any(|r| r.nullable()),
+            ContentModel::Star(_) | ContentModel::Opt(_) => true,
+            ContentModel::Plus(r) => r.nullable(),
+        }
+    }
+
+    /// The set of symbols occurring in the expression.
+    ///
+    /// Because the constructors cannot denote the empty language, every
+    /// occurring symbol appears in some word, so this set is exactly
+    /// `{β | α ⇒_d β}` when the expression is `d(α)`.
+    pub fn symbols(&self) -> HashSet<Sym> {
+        let mut out = HashSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut HashSet<Sym>) {
+        match self {
+            ContentModel::Epsilon => {}
+            ContentModel::Symbol(s) => {
+                out.insert(*s);
+            }
+            ContentModel::Seq(rs) | ContentModel::Alt(rs) => {
+                for r in rs {
+                    r.collect_symbols(out);
+                }
+            }
+            ContentModel::Star(r) | ContentModel::Plus(r) | ContentModel::Opt(r) => {
+                r.collect_symbols(out)
+            }
+        }
+    }
+
+    /// The sibling order relation `<_r`: all pairs `(α, β)` such that some
+    /// word of `L(r)` contains an occurrence of `α` strictly before an
+    /// occurrence of `β`.
+    ///
+    /// For example (paper §3.1) `<_{a,(b|c)*}` is
+    /// `{(a,b),(a,c),(b,c),(c,b),(c,c),(b,b)}`.
+    pub fn before_pairs(&self) -> HashSet<(Sym, Sym)> {
+        match self {
+            ContentModel::Epsilon | ContentModel::Symbol(_) => HashSet::new(),
+            ContentModel::Seq(rs) => {
+                let mut out = HashSet::new();
+                for r in rs {
+                    out.extend(r.before_pairs());
+                }
+                // A symbol of an earlier factor can precede any symbol of a
+                // later factor.
+                for i in 0..rs.len() {
+                    let left = rs[i].symbols();
+                    for r in &rs[i + 1..] {
+                        for &a in &left {
+                            for &b in r.symbols().iter() {
+                                out.insert((a, b));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            ContentModel::Alt(rs) => {
+                let mut out = HashSet::new();
+                for r in rs {
+                    out.extend(r.before_pairs());
+                }
+                out
+            }
+            ContentModel::Star(r) | ContentModel::Plus(r) => {
+                // Two iterations of r put any symbol of r before any other.
+                let mut out = r.before_pairs();
+                let syms = r.symbols();
+                for &a in &syms {
+                    for &b in &syms {
+                        out.insert((a, b));
+                    }
+                }
+                out
+            }
+            ContentModel::Opt(r) => r.before_pairs(),
+        }
+    }
+
+    /// Returns `true` iff `word ∈ L(r)`, using a Glushkov position automaton.
+    pub fn matches(&self, word: &[Sym]) -> bool {
+        if word.is_empty() {
+            return self.nullable();
+        }
+        let g = Glushkov::build(self);
+        g.matches(word)
+    }
+
+    /// The total number of nodes in the expression tree (a simple size
+    /// measure used to report `|d|`-related statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            ContentModel::Epsilon | ContentModel::Symbol(_) => 1,
+            ContentModel::Seq(rs) | ContentModel::Alt(rs) => {
+                1 + rs.iter().map(|r| r.size()).sum::<usize>()
+            }
+            ContentModel::Star(r) | ContentModel::Plus(r) | ContentModel::Opt(r) => 1 + r.size(),
+        }
+    }
+
+    /// Renders the expression using a symbol-name resolver.
+    pub fn display_with<F: Fn(Sym) -> String>(&self, name: &F) -> String {
+        match self {
+            ContentModel::Epsilon => "EMPTY".to_string(),
+            ContentModel::Symbol(s) => name(*s),
+            ContentModel::Seq(rs) => {
+                let parts: Vec<String> = rs.iter().map(|r| r.display_with(name)).collect();
+                format!("({})", parts.join(", "))
+            }
+            ContentModel::Alt(rs) => {
+                let parts: Vec<String> = rs.iter().map(|r| r.display_with(name)).collect();
+                format!("({})", parts.join(" | "))
+            }
+            ContentModel::Star(r) => format!("{}*", r.display_with(name)),
+            ContentModel::Plus(r) => format!("{}+", r.display_with(name)),
+            ContentModel::Opt(r) => format!("{}?", r.display_with(name)),
+        }
+    }
+}
+
+/// Glushkov position automaton: `first`, `last` and `follow` sets over symbol
+/// *positions* (occurrences), giving linear-time membership testing without
+/// epsilon transitions.
+struct Glushkov {
+    /// Symbol at each position.
+    syms: Vec<Sym>,
+    first: HashSet<usize>,
+    last: HashSet<usize>,
+    follow: Vec<HashSet<usize>>,
+    nullable: bool,
+}
+
+struct GlushkovSets {
+    first: HashSet<usize>,
+    last: HashSet<usize>,
+    nullable: bool,
+}
+
+impl Glushkov {
+    fn build(r: &ContentModel) -> Glushkov {
+        let mut g = Glushkov {
+            syms: Vec::new(),
+            first: HashSet::new(),
+            last: HashSet::new(),
+            follow: Vec::new(),
+            nullable: false,
+        };
+        let sets = g.walk(r);
+        g.first = sets.first;
+        g.last = sets.last;
+        g.nullable = sets.nullable;
+        g
+    }
+
+    fn walk(&mut self, r: &ContentModel) -> GlushkovSets {
+        match r {
+            ContentModel::Epsilon => GlushkovSets {
+                first: HashSet::new(),
+                last: HashSet::new(),
+                nullable: true,
+            },
+            ContentModel::Symbol(s) => {
+                let pos = self.syms.len();
+                self.syms.push(*s);
+                self.follow.push(HashSet::new());
+                GlushkovSets {
+                    first: [pos].into_iter().collect(),
+                    last: [pos].into_iter().collect(),
+                    nullable: false,
+                }
+            }
+            ContentModel::Seq(rs) => {
+                let mut acc = GlushkovSets {
+                    first: HashSet::new(),
+                    last: HashSet::new(),
+                    nullable: true,
+                };
+                for sub in rs {
+                    let s = self.walk(sub);
+                    // follow: every last of acc can be followed by a first of s
+                    for &l in &acc.last {
+                        for &f in &s.first {
+                            self.follow[l].insert(f);
+                        }
+                    }
+                    let first = if acc.nullable {
+                        acc.first.union(&s.first).copied().collect()
+                    } else {
+                        acc.first
+                    };
+                    let last = if s.nullable {
+                        acc.last.union(&s.last).copied().collect()
+                    } else {
+                        s.last
+                    };
+                    acc = GlushkovSets {
+                        first,
+                        last,
+                        nullable: acc.nullable && s.nullable,
+                    };
+                }
+                acc
+            }
+            ContentModel::Alt(rs) => {
+                let mut acc = GlushkovSets {
+                    first: HashSet::new(),
+                    last: HashSet::new(),
+                    nullable: false,
+                };
+                for sub in rs {
+                    let s = self.walk(sub);
+                    acc.first.extend(s.first);
+                    acc.last.extend(s.last);
+                    acc.nullable |= s.nullable;
+                }
+                acc
+            }
+            ContentModel::Star(inner) | ContentModel::Plus(inner) => {
+                let s = self.walk(inner);
+                for &l in &s.last {
+                    for &f in &s.first {
+                        self.follow[l].insert(f);
+                    }
+                }
+                GlushkovSets {
+                    first: s.first,
+                    last: s.last,
+                    nullable: matches!(r, ContentModel::Star(_)) || s.nullable,
+                }
+            }
+            ContentModel::Opt(inner) => {
+                let s = self.walk(inner);
+                GlushkovSets {
+                    first: s.first,
+                    last: s.last,
+                    nullable: true,
+                }
+            }
+        }
+    }
+
+    fn matches(&self, word: &[Sym]) -> bool {
+        if word.is_empty() {
+            return self.nullable;
+        }
+        let mut current: HashSet<usize> = self
+            .first
+            .iter()
+            .copied()
+            .filter(|&p| self.syms[p] == word[0])
+            .collect();
+        for &w in &word[1..] {
+            if current.is_empty() {
+                return false;
+            }
+            let mut next = HashSet::new();
+            for &p in &current {
+                for &f in &self.follow[p] {
+                    if self.syms[f] == w {
+                        next.insert(f);
+                    }
+                }
+            }
+            current = next;
+        }
+        current.iter().any(|p| self.last.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolTable;
+
+    fn syms() -> (SymbolTable, Sym, Sym, Sym) {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let c = t.intern("c");
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn nullability() {
+        let (_, a, b, _) = syms();
+        assert!(ContentModel::Epsilon.nullable());
+        assert!(!ContentModel::sym(a).nullable());
+        assert!(ContentModel::star(ContentModel::sym(a)).nullable());
+        assert!(!ContentModel::plus(ContentModel::sym(a)).nullable());
+        assert!(ContentModel::opt(ContentModel::sym(a)).nullable());
+        assert!(
+            !ContentModel::seq(vec![ContentModel::sym(a), ContentModel::sym(b)]).nullable()
+        );
+        assert!(ContentModel::seq(vec![
+            ContentModel::opt(ContentModel::sym(a)),
+            ContentModel::star(ContentModel::sym(b))
+        ])
+        .nullable());
+    }
+
+    #[test]
+    fn membership_simple_sequences() {
+        let (_, a, b, c) = syms();
+        // (a, (b|c)*)
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::star(ContentModel::alt(vec![
+                ContentModel::sym(b),
+                ContentModel::sym(c),
+            ])),
+        ]);
+        assert!(r.matches(&[a]));
+        assert!(r.matches(&[a, b, c, c, b]));
+        assert!(!r.matches(&[b]));
+        assert!(!r.matches(&[a, a]));
+        assert!(!r.matches(&[]));
+    }
+
+    #[test]
+    fn membership_plus_and_opt() {
+        let (_, a, b, _) = syms();
+        // (a+, b?)
+        let r = ContentModel::seq(vec![
+            ContentModel::plus(ContentModel::sym(a)),
+            ContentModel::opt(ContentModel::sym(b)),
+        ]);
+        assert!(r.matches(&[a]));
+        assert!(r.matches(&[a, a, a, b]));
+        assert!(!r.matches(&[b]));
+        assert!(!r.matches(&[a, b, b]));
+    }
+
+    #[test]
+    fn symbols_and_reachability() {
+        let (_, a, b, c) = syms();
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::star(ContentModel::alt(vec![
+                ContentModel::sym(b),
+                ContentModel::sym(c),
+            ])),
+        ]);
+        let s = r.symbols();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&a) && s.contains(&b) && s.contains(&c));
+    }
+
+    #[test]
+    fn before_pairs_matches_paper_example() {
+        let (_, a, b, c) = syms();
+        // a, (b|c)*   — the example of §3.1
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::star(ContentModel::alt(vec![
+                ContentModel::sym(b),
+                ContentModel::sym(c),
+            ])),
+        ]);
+        let before = r.before_pairs();
+        let expected: HashSet<(Sym, Sym)> = [(a, b), (a, c), (b, c), (c, b), (c, c), (b, b)]
+            .into_iter()
+            .collect();
+        assert_eq!(before, expected);
+    }
+
+    #[test]
+    fn before_pairs_sequence_only() {
+        let (_, a, b, c) = syms();
+        // (a, b, c) — strictly ordered
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::sym(b),
+            ContentModel::sym(c),
+        ]);
+        let before = r.before_pairs();
+        let expected: HashSet<(Sym, Sym)> = [(a, b), (a, c), (b, c)].into_iter().collect();
+        assert_eq!(before, expected);
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let (t, a, b, _) = syms();
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::star(ContentModel::sym(b)),
+        ]);
+        let shown = r.display_with(&|s| t.name(s).to_string());
+        assert_eq!(shown, "(a, b*)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let (_, a, b, _) = syms();
+        let r = ContentModel::seq(vec![
+            ContentModel::sym(a),
+            ContentModel::star(ContentModel::sym(b)),
+        ]);
+        assert_eq!(r.size(), 4);
+    }
+}

@@ -1,0 +1,440 @@
+//! DTDs `(Σ, s_d, d)` (paper §2).
+
+use crate::chain::Chain;
+use crate::content::ContentModel;
+use crate::schema_like::SchemaLike;
+use crate::symbols::{Sym, SymbolTable, TEXT_SYM};
+use std::collections::{HashMap, HashSet};
+
+/// A Document Type Definition: an alphabet of element tags, a start symbol,
+/// and a content model for every tag.
+///
+/// Construction goes through [`DtdBuilder`] (or the parsers in
+/// [`crate::parser`]); once built, the DTD is immutable and caches the
+/// derived relations the analyses need: the reachability relation `⇒_d`,
+/// the sibling order relations `<_{d(a)}`, and per-type recursion flags.
+#[derive(Clone, Debug)]
+pub struct Dtd {
+    symbols: SymbolTable,
+    start: Sym,
+    rules: Vec<ContentModel>,
+    children: Vec<Vec<Sym>>,
+    before: Vec<HashSet<(Sym, Sym)>>,
+    recursive: Vec<bool>,
+}
+
+impl Dtd {
+    /// Starts building a DTD.
+    pub fn builder() -> DtdBuilder {
+        DtdBuilder::new()
+    }
+
+    /// Parses the compact rule syntax used in the paper's examples, e.g.
+    /// `"doc -> (a|b)* ; a -> c ; b -> c"`. See [`crate::parser`].
+    pub fn parse_compact(src: &str, start: &str) -> Result<Dtd, crate::SchemaParseError> {
+        crate::parser::parse_compact(src, start)
+    }
+
+    /// Parses standard `<!ELEMENT …>` DTD syntax. See [`crate::parser`].
+    pub fn parse_dtd(src: &str, start: &str) -> Result<Dtd, crate::SchemaParseError> {
+        crate::parser::parse_dtd(src, start)
+    }
+
+    pub(crate) fn from_parts(symbols: SymbolTable, start: Sym, rules: Vec<ContentModel>) -> Dtd {
+        let n = symbols.len();
+        debug_assert_eq!(rules.len(), n);
+        let children: Vec<Vec<Sym>> = rules
+            .iter()
+            .map(|r| {
+                let mut v: Vec<Sym> = r.symbols().into_iter().collect();
+                v.sort();
+                v
+            })
+            .collect();
+        let before: Vec<HashSet<(Sym, Sym)>> = rules.iter().map(|r| r.before_pairs()).collect();
+        let recursive = compute_recursive(n, &children);
+        Dtd {
+            symbols,
+            start,
+            rules,
+            children,
+            before,
+            recursive,
+        }
+    }
+
+    /// The symbol table of the DTD.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The start symbol `s_d`.
+    pub fn start(&self) -> Sym {
+        self.start
+    }
+
+    /// The name of `sym`.
+    pub fn name(&self, sym: Sym) -> &str {
+        self.symbols.name(sym)
+    }
+
+    /// Looks up the symbol for `name`, if it is part of the alphabet.
+    pub fn sym(&self, name: &str) -> Option<Sym> {
+        self.symbols.lookup(name)
+    }
+
+    /// The content model `d(sym)`. The text type has content `ε`.
+    pub fn content(&self, sym: Sym) -> &ContentModel {
+        &self.rules[sym.index()]
+    }
+
+    /// The symbols occurring in `d(sym)`, i.e. `{β | sym ⇒_d β}`, sorted.
+    pub fn child_syms(&self, sym: Sym) -> &[Sym] {
+        &self.children[sym.index()]
+    }
+
+    /// One-step reachability `α ⇒_d β`.
+    pub fn reaches(&self, alpha: Sym, beta: Sym) -> bool {
+        self.children[alpha.index()].contains(&beta)
+    }
+
+    /// All symbols transitively reachable from `sym` (excluding `sym` itself
+    /// unless it is reachable through a cycle).
+    pub fn reachable_from(&self, sym: Sym) -> HashSet<Sym> {
+        let mut out = HashSet::new();
+        let mut stack = vec![sym];
+        let mut seen = HashSet::new();
+        seen.insert(sym);
+        while let Some(s) = stack.pop() {
+            for &c in self.child_syms(s) {
+                out.insert(c);
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `sym` can reach itself (vertical recursion).
+    pub fn is_recursive_sym(&self, sym: Sym) -> bool {
+        self.recursive[sym.index()]
+    }
+
+    /// Number of element symbols (the paper's `|d|`).
+    pub fn size(&self) -> usize {
+        self.symbols.len() - 1
+    }
+
+    /// Iterates over the element symbols of the alphabet.
+    pub fn alphabet(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.symbols.elements()
+    }
+
+    /// Displays a chain using the DTD's symbol names (e.g. `doc.a.c`).
+    pub fn show_chain(&self, c: &Chain) -> String {
+        c.display_with(&|s| self.name(s).to_string())
+    }
+
+    /// Builds a chain from tag names. Returns `None` if some name is not in
+    /// the alphabet ("#text" maps to the text type).
+    pub fn chain_of_names(&self, names: &[&str]) -> Option<Chain> {
+        let syms: Option<Vec<Sym>> = names.iter().map(|n| self.sym(n)).collect();
+        syms.map(Chain::from)
+    }
+
+    /// The sibling order relation `<_{d(sym)}`.
+    pub fn before_pairs(&self, sym: Sym) -> &HashSet<(Sym, Sym)> {
+        &self.before[sym.index()]
+    }
+
+    /// Validates a tree against this DTD. See [`crate::validate`].
+    pub fn validate(&self, tree: &qui_xmlstore::Tree) -> crate::Validity {
+        crate::validate::validate(self, tree)
+    }
+
+    /// Renders the DTD in the compact rule syntax (useful for debugging and
+    /// for the workload definitions' round-trip tests).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        for sym in self.alphabet() {
+            let rule = self.content(sym);
+            out.push_str(self.name(sym));
+            out.push_str(" -> ");
+            out.push_str(&rule.display_with(&|s| {
+                if s == TEXT_SYM {
+                    "#PCDATA".to_string()
+                } else {
+                    self.name(s).to_string()
+                }
+            }));
+            out.push_str(" ;\n");
+        }
+        out
+    }
+}
+
+fn compute_recursive(n: usize, children: &[Vec<Sym>]) -> Vec<bool> {
+    // recursive[s] = s ∈ reachable_from(s); computed with a DFS per symbol
+    // (schemas are small, |d| ≤ a few hundred).
+    let mut recursive = vec![false; n];
+    for s in 0..n {
+        let start = Sym(s as u16);
+        let mut stack: Vec<Sym> = children[s].clone();
+        let mut seen: HashSet<Sym> = HashSet::new();
+        while let Some(x) = stack.pop() {
+            if x == start {
+                recursive[s] = true;
+                break;
+            }
+            if seen.insert(x) {
+                stack.extend(children[x.index()].iter().copied());
+            }
+        }
+    }
+    recursive
+}
+
+impl SchemaLike for Dtd {
+    fn start_type(&self) -> Sym {
+        self.start
+    }
+
+    fn num_types(&self) -> usize {
+        self.symbols.len()
+    }
+
+    fn type_label(&self, t: Sym) -> &str {
+        self.name(t)
+    }
+
+    fn types_with_label(&self, label: &str) -> Vec<Sym> {
+        match self.sym(label) {
+            Some(s) => vec![s],
+            None => Vec::new(),
+        }
+    }
+
+    fn child_types(&self, t: Sym) -> &[Sym] {
+        self.child_syms(t)
+    }
+
+    fn before_pairs_of(&self, t: Sym) -> &HashSet<(Sym, Sym)> {
+        self.before_pairs(t)
+    }
+
+    fn is_recursive_type(&self, t: Sym) -> bool {
+        self.is_recursive_sym(t)
+    }
+
+    fn schema_size(&self) -> usize {
+        self.size()
+    }
+
+    fn element_types(&self) -> Vec<Sym> {
+        self.alphabet().collect()
+    }
+}
+
+/// Incremental builder for [`Dtd`].
+///
+/// ```
+/// use qui_schema::Dtd;
+/// let dtd = Dtd::builder()
+///     .rule("doc", "(a | b)*")
+///     .rule("a", "c")
+///     .rule("b", "c")
+///     .rule("c", "EMPTY")
+///     .build("doc")
+///     .unwrap();
+/// assert_eq!(dtd.size(), 4);
+/// ```
+#[derive(Default)]
+pub struct DtdBuilder {
+    rules: Vec<(String, String)>,
+}
+
+impl DtdBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DtdBuilder { rules: Vec::new() }
+    }
+
+    /// Adds (or overrides) the rule `name -> content`, where `content` uses
+    /// the compact regular-expression syntax (`,` sequence, `|` alternation,
+    /// `* + ?` postfix, `#PCDATA`/`S` for text, `EMPTY` for ε).
+    pub fn rule(mut self, name: &str, content: &str) -> Self {
+        self.rules.push((name.to_string(), content.to_string()));
+        self
+    }
+
+    /// Finalizes the DTD with `start` as start symbol.
+    pub fn build(self, start: &str) -> Result<Dtd, crate::SchemaParseError> {
+        let src: String = self
+            .rules
+            .iter()
+            .map(|(n, c)| format!("{n} -> {c}"))
+            .collect::<Vec<_>>()
+            .join(" ; ");
+        crate::parser::parse_compact(&src, start)
+    }
+}
+
+/// A map from symbols to values, stored densely. Convenience used by several
+/// analyses to associate data with every type of a schema.
+#[derive(Clone, Debug)]
+pub struct SymMap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> SymMap<T> {
+    /// Creates a map with `n` default-initialized entries.
+    pub fn new(n: usize) -> Self {
+        SymMap {
+            data: vec![T::default(); n],
+        }
+    }
+
+    /// Gets the entry for `s`.
+    pub fn get(&self, s: Sym) -> &T {
+        &self.data[s.index()]
+    }
+
+    /// Gets the entry for `s` mutably.
+    pub fn get_mut(&mut self, s: Sym) -> &mut T {
+        &mut self.data[s.index()]
+    }
+}
+
+/// Computes, for every symbol, the set of symbols that can appear *above* it
+/// in a chain starting from the start symbol (i.e. its possible ancestors).
+/// This is a derived relation used by the baseline analysis and by a few
+/// workload sanity checks.
+pub fn ancestor_types(dtd: &Dtd) -> HashMap<Sym, HashSet<Sym>> {
+    let mut out: HashMap<Sym, HashSet<Sym>> = HashMap::new();
+    for a in dtd.alphabet() {
+        for &b in dtd.child_syms(a) {
+            out.entry(b).or_default().insert(a);
+        }
+    }
+    // Transitive closure (small fixpoint).
+    loop {
+        let mut changed = false;
+        let keys: Vec<Sym> = out.keys().copied().collect();
+        for k in keys {
+            let parents: Vec<Sym> = out[&k].iter().copied().collect();
+            for p in parents {
+                let grand: Vec<Sym> = out.get(&p).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                let entry = out.entry(k).or_default();
+                for g in grand {
+                    changed |= entry.insert(g);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_dtd() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c ; c -> EMPTY", "doc").unwrap()
+    }
+
+    #[test]
+    fn reachability_of_figure1() {
+        let d = figure1_dtd();
+        let doc = d.sym("doc").unwrap();
+        let a = d.sym("a").unwrap();
+        let b = d.sym("b").unwrap();
+        let c = d.sym("c").unwrap();
+        assert!(d.reaches(doc, a));
+        assert!(d.reaches(doc, b));
+        assert!(d.reaches(a, c));
+        assert!(d.reaches(b, c));
+        assert!(!d.reaches(doc, c));
+        assert!(!d.reaches(c, doc));
+        let reach = d.reachable_from(doc);
+        assert_eq!(reach, [a, b, c].into_iter().collect());
+    }
+
+    #[test]
+    fn figure1_is_not_recursive() {
+        let d = figure1_dtd();
+        assert!(!d.is_recursive());
+        for s in d.alphabet() {
+            assert!(!d.is_recursive_sym(s));
+        }
+    }
+
+    #[test]
+    fn recursive_dtd_detection() {
+        // The schema d1 of §5: r ← a ; a ← (b,c,e)* ; b,c,e ← f ; f ← (a,g)
+        let d = Dtd::builder()
+            .rule("r", "a")
+            .rule("a", "(b, c, e)*")
+            .rule("b", "f")
+            .rule("c", "f")
+            .rule("e", "f")
+            .rule("f", "(a, g)")
+            .rule("g", "EMPTY")
+            .build("r")
+            .unwrap();
+        assert!(d.is_recursive());
+        assert!(d.is_recursive_sym(d.sym("a").unwrap()));
+        assert!(d.is_recursive_sym(d.sym("f").unwrap()));
+        assert!(!d.is_recursive_sym(d.sym("r").unwrap()));
+        assert!(!d.is_recursive_sym(d.sym("g").unwrap()));
+    }
+
+    #[test]
+    fn chains_membership() {
+        let d = figure1_dtd();
+        let doc_a_c = d.chain_of_names(&["doc", "a", "c"]).unwrap();
+        let doc_c = d.chain_of_names(&["doc", "c"]).unwrap();
+        assert!(d.is_chain(&doc_a_c));
+        assert!(!d.is_chain(&doc_c));
+        assert!(d.is_chain(&Chain::empty()));
+        assert_eq!(d.show_chain(&doc_a_c), "doc.a.c");
+    }
+
+    #[test]
+    fn schema_like_label_lookup() {
+        let d = figure1_dtd();
+        let a = d.sym("a").unwrap();
+        assert_eq!(d.type_label(a), "a");
+        assert_eq!(d.types_with_label("a"), vec![a]);
+        assert!(d.types_with_label("zzz").is_empty());
+        assert_eq!(d.schema_size(), 4);
+    }
+
+    #[test]
+    fn ancestor_types_closure() {
+        let d = figure1_dtd();
+        let anc = ancestor_types(&d);
+        let c = d.sym("c").unwrap();
+        let expected: HashSet<Sym> = [d.sym("a").unwrap(), d.sym("b").unwrap(), d.sym("doc").unwrap()]
+            .into_iter()
+            .collect();
+        assert_eq!(anc[&c], expected);
+    }
+
+    #[test]
+    fn to_compact_roundtrips() {
+        let d = figure1_dtd();
+        let src = d.to_compact();
+        let d2 = Dtd::parse_compact(&src, "doc").unwrap();
+        assert_eq!(d2.size(), d.size());
+        for s in d.alphabet() {
+            let s2 = d2.sym(d.name(s)).unwrap();
+            let names1: HashSet<&str> = d.child_syms(s).iter().map(|&x| d.name(x)).collect();
+            let names2: HashSet<&str> = d2.child_syms(s2).iter().map(|&x| d2.name(x)).collect();
+            assert_eq!(names1, names2);
+        }
+    }
+}

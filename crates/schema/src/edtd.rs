@@ -1,0 +1,270 @@
+//! Extended DTDs (paper §7, Definition 7.1).
+//!
+//! An EDTD `(Σ, Σ', s, d, µ)` is a DTD over a *type* alphabet `Σ'` plus a
+//! labelling function `µ : Σ' ∪ {S} → Σ ∪ {S}`. A tree is valid iff it can be
+//! relabelled by `µ⁻¹` into a tree valid w.r.t. the DTD over types. EDTDs
+//! capture XML Schema and RelaxNG typing where two types with the same label
+//! may have different content models. The chain analysis extends to EDTDs by
+//! only changing how node tests select types, which is exactly what the
+//! [`crate::SchemaLike`] abstraction exposes.
+
+use crate::dtd::Dtd;
+use crate::schema_like::SchemaLike;
+use crate::symbols::{Sym, TEXT_SYM};
+use qui_xmlstore::{NodeId, Tree};
+use std::collections::{HashMap, HashSet};
+
+/// An Extended DTD: a DTD over types plus a type-to-label map.
+#[derive(Clone, Debug)]
+pub struct Edtd {
+    /// The underlying DTD whose "tags" are the type names of `Σ'`.
+    types: Dtd,
+    /// The label of every type (`µ`); indexed by type symbol.
+    labels: Vec<String>,
+    /// Reverse index: label → types carrying it.
+    by_label: HashMap<String, Vec<Sym>>,
+}
+
+impl Edtd {
+    /// Builds an EDTD from a DTD over type names and a mapping from type
+    /// name to label. Types not mentioned in `label_of` keep their own name
+    /// as label (so every DTD is trivially an EDTD).
+    pub fn new(types: Dtd, label_of: &HashMap<String, String>) -> Edtd {
+        let mut labels = vec![String::new(); types.symbols().len()];
+        let mut by_label: HashMap<String, Vec<Sym>> = HashMap::new();
+        for t in types.symbols().all() {
+            let name = types.name(t).to_string();
+            let label = if t == TEXT_SYM {
+                name.clone()
+            } else {
+                label_of.get(&name).cloned().unwrap_or_else(|| name.clone())
+            };
+            by_label.entry(label.clone()).or_default().push(t);
+            labels[t.index()] = label;
+        }
+        Edtd {
+            types,
+            labels,
+            by_label,
+        }
+    }
+
+    /// A convenience constructor following the paper's convention
+    /// `Σ' = {a_i | a ∈ Σ}` with `µ(a_i) = a`: every type name of the form
+    /// `label#i` (or `label_i` with a numeric suffix after the last `#`)
+    /// is mapped to `label`; other names map to themselves.
+    pub fn with_indexed_types(types: Dtd) -> Edtd {
+        let mut map = HashMap::new();
+        for t in types.symbols().elements() {
+            let name = types.name(t);
+            if let Some((base, suffix)) = name.rsplit_once('#') {
+                if !base.is_empty() && suffix.chars().all(|c| c.is_ascii_digit()) {
+                    map.insert(name.to_string(), base.to_string());
+                }
+            }
+        }
+        Edtd::new(types, &map)
+    }
+
+    /// The underlying DTD over types.
+    pub fn type_dtd(&self) -> &Dtd {
+        &self.types
+    }
+
+    /// The label (`µ`) of a type.
+    pub fn label_of(&self, t: Sym) -> &str {
+        &self.labels[t.index()]
+    }
+
+    /// Validates a tree: checks whether *some* assignment of types to
+    /// locations (compatible with labels and content models) exists.
+    pub fn validate(&self, tree: &Tree) -> bool {
+        let mut memo: HashMap<(NodeId, Sym), bool> = HashMap::new();
+        let start = self.types.start();
+        let root_label = tree.store.tag(tree.root).unwrap_or("#text");
+        if self.label_of(start) != root_label {
+            return false;
+        }
+        self.check(tree, tree.root, start, &mut memo)
+    }
+
+    fn check(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        ty: Sym,
+        memo: &mut HashMap<(NodeId, Sym), bool>,
+    ) -> bool {
+        if let Some(&r) = memo.get(&(node, ty)) {
+            return r;
+        }
+        // Insert a provisional result to cut cycles (stores are trees, so
+        // this cannot actually recurse into itself; the memo is only a cache).
+        let children: Vec<NodeId> = tree.store.children(node).to_vec();
+        let result = self.match_children(tree, &children, ty, memo);
+        memo.insert((node, ty), result);
+        result
+    }
+
+    fn match_children(
+        &self,
+        tree: &Tree,
+        children: &[NodeId],
+        ty: Sym,
+        memo: &mut HashMap<(NodeId, Sym), bool>,
+    ) -> bool {
+        // For every child, compute the set of candidate types (matching
+        // label and recursively valid); then ask whether some choice of
+        // candidates forms a word of the content model. We enumerate
+        // candidate words lazily via a simple DFS over per-child candidate
+        // sets; content models are small so this is fine for testing
+        // purposes.
+        let model = self.types.content(ty);
+        let mut candidate_sets: Vec<Vec<Sym>> = Vec::with_capacity(children.len());
+        for &c in children {
+            let label = if tree.store.is_text(c) {
+                "#text".to_string()
+            } else {
+                tree.store.tag(c).unwrap_or_default().to_string()
+            };
+            let cands: Vec<Sym> = self
+                .by_label
+                .get(&label)
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|&t| {
+                    if t == TEXT_SYM {
+                        tree.store.is_text(c)
+                    } else {
+                        self.check(tree, c, t, memo)
+                    }
+                })
+                .collect();
+            if cands.is_empty() {
+                return false;
+            }
+            candidate_sets.push(cands);
+        }
+        // DFS over the product of candidate sets, pruned by a running
+        // Glushkov-style reachability check: we simply enumerate (candidate
+        // sets are almost always singletons in practice).
+        let mut word: Vec<Sym> = Vec::with_capacity(children.len());
+        fn dfs(
+            model: &crate::ContentModel,
+            sets: &[Vec<Sym>],
+            word: &mut Vec<Sym>,
+        ) -> bool {
+            if sets.is_empty() {
+                return model.matches(word);
+            }
+            for &cand in &sets[0] {
+                word.push(cand);
+                if dfs(model, &sets[1..], word) {
+                    return true;
+                }
+                word.pop();
+            }
+            false
+        }
+        dfs(model, &candidate_sets, &mut word)
+    }
+}
+
+impl SchemaLike for Edtd {
+    fn start_type(&self) -> Sym {
+        self.types.start()
+    }
+
+    fn num_types(&self) -> usize {
+        self.types.symbols().len()
+    }
+
+    fn type_label(&self, t: Sym) -> &str {
+        self.label_of(t)
+    }
+
+    fn types_with_label(&self, label: &str) -> Vec<Sym> {
+        self.by_label.get(label).cloned().unwrap_or_default()
+    }
+
+    fn child_types(&self, t: Sym) -> &[Sym] {
+        self.types.child_syms(t)
+    }
+
+    fn before_pairs_of(&self, t: Sym) -> &HashSet<(Sym, Sym)> {
+        self.types.before_pairs(t)
+    }
+
+    fn is_recursive_type(&self, t: Sym) -> bool {
+        self.types.is_recursive_sym(t)
+    }
+
+    fn schema_size(&self) -> usize {
+        self.types.size()
+    }
+
+    fn element_types(&self) -> Vec<Sym> {
+        self.types.alphabet().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_xmlstore::parse_xml;
+
+    /// An EDTD where the label `item` has two types with different content:
+    /// items under `new` must contain a `price`, items under `old` must not.
+    fn two_typed_items() -> Edtd {
+        let types = Dtd::parse_compact(
+            "shop -> (new, old) ; new -> item#1* ; old -> item#2* ; item#1 -> price ; item#2 -> EMPTY ; price -> #PCDATA",
+            "shop",
+        )
+        .unwrap();
+        Edtd::with_indexed_types(types)
+    }
+
+    #[test]
+    fn labels_collapse_indexed_types() {
+        let e = two_typed_items();
+        let t1 = e.type_dtd().sym("item#1").unwrap();
+        let t2 = e.type_dtd().sym("item#2").unwrap();
+        assert_eq!(e.label_of(t1), "item");
+        assert_eq!(e.label_of(t2), "item");
+        let both = e.types_with_label("item");
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn validation_distinguishes_types_by_context() {
+        let e = two_typed_items();
+        let valid =
+            parse_xml("<shop><new><item><price>3</price></item></new><old><item/></old></shop>")
+                .unwrap();
+        let invalid =
+            parse_xml("<shop><new><item/></new><old><item/></old></shop>").unwrap();
+        assert!(e.validate(&valid));
+        assert!(!e.validate(&invalid));
+    }
+
+    #[test]
+    fn plain_dtd_is_a_degenerate_edtd() {
+        let d = Dtd::parse_compact("doc -> a* ; a -> EMPTY", "doc").unwrap();
+        let e = Edtd::new(d, &HashMap::new());
+        let t = parse_xml("<doc><a/><a/></doc>").unwrap();
+        assert!(e.validate(&t));
+        let bad = parse_xml("<doc><b/></doc>").unwrap();
+        assert!(!e.validate(&bad));
+    }
+
+    #[test]
+    fn schema_like_interface() {
+        let e = two_typed_items();
+        assert_eq!(e.schema_size(), 6);
+        assert!(!e.is_recursive());
+        let shop = e.start_type();
+        assert_eq!(e.type_label(shop), "shop");
+        assert_eq!(e.child_types(shop).len(), 2);
+    }
+}

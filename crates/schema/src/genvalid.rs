@@ -1,0 +1,328 @@
+//! Seeded generation of documents that are valid by construction.
+//!
+//! The experiments of §6.2 use XMark documents of 1, 10 and 100 MB. We do
+//! not have the original XMark generator, so workloads generate synthetic
+//! documents directly from the DTD: for every element, a word of its content
+//! model is sampled, recursion is throttled by a node budget, and mandatory
+//! sub-elements are always produced so that the result validates.
+
+use crate::content::ContentModel;
+use crate::dtd::Dtd;
+use crate::symbols::{Sym, TEXT_SYM};
+use qui_xmlstore::{NodeId, Store, Tree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`generate_valid`].
+#[derive(Clone, Debug)]
+pub struct GenValidConfig {
+    /// Approximate number of nodes to generate. Generation stops *expanding*
+    /// optional/repeated content once the budget is exhausted, then finishes
+    /// mandatory content, so the result can overshoot slightly.
+    pub target_nodes: usize,
+    /// Maximum number of repetitions sampled for `*` and `+` while the
+    /// budget lasts.
+    pub max_repeat: usize,
+    /// Probability of taking an optional branch while the budget lasts.
+    pub optional_probability: f64,
+    /// Maximum element depth; below it only minimal content is produced so
+    /// recursive schemas cannot generate pathologically deep documents.
+    pub max_depth: usize,
+}
+
+impl Default for GenValidConfig {
+    fn default() -> Self {
+        GenValidConfig {
+            target_nodes: 1_000,
+            max_repeat: 4,
+            optional_probability: 0.5,
+            max_depth: 48,
+        }
+    }
+}
+
+impl GenValidConfig {
+    /// A configuration targeting roughly `n` nodes.
+    pub fn with_target(n: usize) -> Self {
+        GenValidConfig {
+            target_nodes: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates a document valid w.r.t. `dtd`, deterministically from `seed`.
+///
+/// # Panics
+/// Panics if the DTD has an element type from which no finite document can
+/// be derived (e.g. `a -> a`), which no meaningful DTD has.
+pub fn generate_valid(dtd: &Dtd, config: &GenValidConfig, seed: u64) -> Tree {
+    let gen = Generator::new(dtd, config.clone(), seed);
+    gen.generate()
+}
+
+struct Generator<'a> {
+    dtd: &'a Dtd,
+    config: GenValidConfig,
+    rng: StdRng,
+    /// Symbols from which a finite tree can be derived.
+    terminating: HashSet<Sym>,
+    /// A minimal children word for each symbol (used once the budget is
+    /// exhausted to close the document quickly).
+    minimal_word: HashMap<Sym, Vec<Sym>>,
+    nodes_made: usize,
+    text_counter: usize,
+}
+
+impl<'a> Generator<'a> {
+    fn new(dtd: &'a Dtd, config: GenValidConfig, seed: u64) -> Self {
+        let (terminating, minimal_word) = compute_terminating(dtd);
+        Generator {
+            dtd,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            terminating,
+            minimal_word,
+            nodes_made: 0,
+            text_counter: 0,
+        }
+    }
+
+    fn generate(mut self) -> Tree {
+        let mut store = Store::new();
+        let target = self.config.target_nodes.max(1);
+        let root = self.gen_element(&mut store, self.dtd.start(), 0, target);
+        Tree::new(store, root)
+    }
+
+    /// Generates the subtree for `sym` using at most roughly `budget` nodes.
+    /// The budget is divided equally among the element's children so that
+    /// every document region (and not just the first repeated section in
+    /// document order) receives a share of the target size.
+    fn gen_element(&mut self, store: &mut Store, sym: Sym, depth: usize, budget: usize) -> NodeId {
+        self.nodes_made += 1;
+        if sym == TEXT_SYM {
+            self.text_counter += 1;
+            return store.new_text(format!("txt{}", self.text_counter));
+        }
+        let word = if budget > 1 && depth < self.config.max_depth {
+            self.sample_word(&self.dtd.content(sym).clone(), budget)
+        } else {
+            self.minimal_word
+                .get(&sym)
+                .cloned()
+                .unwrap_or_default()
+        };
+        let child_budget = budget.saturating_sub(1) / word.len().max(1);
+        let children: Vec<NodeId> = word
+            .into_iter()
+            .map(|child_sym| self.gen_element(store, child_sym, depth + 1, child_budget))
+            .collect();
+        store.new_element(self.dtd.name(sym), children)
+    }
+
+    /// Samples a word of `L(r)`, restricted to terminating symbols when
+    /// alternatives exist (which they always do for meaningful DTDs).
+    fn sample_word(&mut self, r: &ContentModel, budget: usize) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.sample_into(r, budget, &mut out);
+        out
+    }
+
+    /// Upper bound on the number of repetitions for `*`/`+` under a budget.
+    fn repeat_cap(&self, budget: usize) -> usize {
+        self.config.max_repeat.max((budget / 8).min(2_000))
+    }
+
+    fn sample_into(&mut self, r: &ContentModel, budget: usize, out: &mut Vec<Sym>) {
+        match r {
+            ContentModel::Epsilon => {}
+            ContentModel::Symbol(s) => out.push(*s),
+            ContentModel::Seq(rs) => {
+                let share = budget / rs.len().max(1);
+                for sub in rs {
+                    self.sample_into(sub, share.max(1), out);
+                }
+            }
+            ContentModel::Alt(rs) => {
+                // Prefer terminating branches; among them pick uniformly.
+                let candidates: Vec<&ContentModel> = rs
+                    .iter()
+                    .filter(|sub| self.branch_terminates(sub))
+                    .collect();
+                let pick = if candidates.is_empty() {
+                    &rs[self.rng.random_range(0..rs.len())]
+                } else {
+                    candidates[self.rng.random_range(0..candidates.len())]
+                };
+                let pick = pick.clone();
+                self.sample_into(&pick, budget, out);
+            }
+            ContentModel::Star(sub) => {
+                let n = if budget > 1 {
+                    self.rng.random_range(0..=self.repeat_cap(budget))
+                } else {
+                    0
+                };
+                for _ in 0..n {
+                    self.sample_into(&sub.clone(), budget / n.max(1), out);
+                }
+            }
+            ContentModel::Plus(sub) => {
+                let n = if budget > 1 {
+                    self.rng.random_range(1..=self.repeat_cap(budget).max(1))
+                } else {
+                    1
+                };
+                for _ in 0..n {
+                    self.sample_into(&sub.clone(), budget / n.max(1), out);
+                }
+            }
+            ContentModel::Opt(sub) => {
+                let take =
+                    budget > 1 && self.rng.random_bool(self.config.optional_probability);
+                if take {
+                    self.sample_into(&sub.clone(), budget, out);
+                }
+            }
+        }
+    }
+
+    fn branch_terminates(&self, r: &ContentModel) -> bool {
+        r.symbols()
+            .iter()
+            .all(|s| *s == TEXT_SYM || self.terminating.contains(s))
+    }
+}
+
+/// Computes the set of symbols from which a finite tree can be derived, plus
+/// a minimal children word witnessing it, by a least fixpoint.
+fn compute_terminating(dtd: &Dtd) -> (HashSet<Sym>, HashMap<Sym, Vec<Sym>>) {
+    let mut terminating: HashSet<Sym> = HashSet::new();
+    terminating.insert(TEXT_SYM);
+    let mut minimal: HashMap<Sym, Vec<Sym>> = HashMap::new();
+    minimal.insert(TEXT_SYM, Vec::new());
+    loop {
+        let mut changed = false;
+        for sym in dtd.alphabet() {
+            if terminating.contains(&sym) {
+                continue;
+            }
+            if let Some(word) = minimal_word(dtd.content(sym), &terminating) {
+                terminating.insert(sym);
+                minimal.insert(sym, word);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for sym in dtd.alphabet() {
+        assert!(
+            terminating.contains(&sym),
+            "element <{}> cannot derive any finite document",
+            dtd.name(sym)
+        );
+    }
+    (terminating, minimal)
+}
+
+/// Returns a shortest-effort word of `L(r)` that only uses `allowed` symbols,
+/// or `None` if no such word exists.
+fn minimal_word(r: &ContentModel, allowed: &HashSet<Sym>) -> Option<Vec<Sym>> {
+    match r {
+        ContentModel::Epsilon => Some(Vec::new()),
+        ContentModel::Symbol(s) => {
+            if allowed.contains(s) {
+                Some(vec![*s])
+            } else {
+                None
+            }
+        }
+        ContentModel::Seq(rs) => {
+            let mut out = Vec::new();
+            for sub in rs {
+                out.extend(minimal_word(sub, allowed)?);
+            }
+            Some(out)
+        }
+        ContentModel::Alt(rs) => rs
+            .iter()
+            .filter_map(|sub| minimal_word(sub, allowed))
+            .min_by_key(|w| w.len()),
+        ContentModel::Star(_) | ContentModel::Opt(_) => Some(Vec::new()),
+        ContentModel::Plus(sub) => minimal_word(sub, allowed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bib_dtd() -> Dtd {
+        Dtd::builder()
+            .rule("bib", "book*")
+            .rule("book", "(title, author*, price?)")
+            .rule("title", "#PCDATA")
+            .rule("author", "(first?, last)")
+            .rule("first", "#PCDATA")
+            .rule("last", "#PCDATA")
+            .rule("price", "#PCDATA")
+            .build("bib")
+            .unwrap()
+    }
+
+    #[test]
+    fn generated_documents_validate() {
+        let d = bib_dtd();
+        for seed in 0..20 {
+            let t = generate_valid(&d, &GenValidConfig::with_target(200), seed);
+            assert!(d.validate(&t).is_ok(), "seed {seed} produced invalid doc");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = bib_dtd();
+        let t1 = generate_valid(&d, &GenValidConfig::with_target(100), 3);
+        let t2 = generate_valid(&d, &GenValidConfig::with_target(100), 3);
+        assert!(t1.value_equiv(&t2));
+    }
+
+    #[test]
+    fn target_size_scales_document() {
+        let d = bib_dtd();
+        let small = generate_valid(&d, &GenValidConfig::with_target(50), 1);
+        let large = generate_valid(&d, &GenValidConfig::with_target(5_000), 1);
+        assert!(large.size() > small.size() * 5, "{} vs {}", large.size(), small.size());
+    }
+
+    #[test]
+    fn recursive_dtds_terminate() {
+        // d1 of §5 — mutually recursive a/b/c/e/f.
+        let d = Dtd::builder()
+            .rule("r", "a")
+            .rule("a", "(b, c, e)*")
+            .rule("b", "f")
+            .rule("c", "f")
+            .rule("e", "f")
+            .rule("f", "(a, g)")
+            .rule("g", "EMPTY")
+            .build("r")
+            .unwrap();
+        for seed in 0..10 {
+            let t = generate_valid(&d, &GenValidConfig::with_target(500), seed);
+            assert!(d.validate(&t).is_ok(), "seed {seed}");
+            assert!(t.size() < 1_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot derive any finite document")]
+    fn non_terminating_schema_panics() {
+        let d = Dtd::parse_compact("a -> a", "a").unwrap();
+        let _ = generate_valid(&d, &GenValidConfig::default(), 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! DTD inference from a corpus of documents.
+//!
+//! The paper assumes a schema is available, noting (§1) that when none is,
+//! "quite precise schemas, in the form of a DTD, can be automatically
+//! inferred, by using accurate and efficient existing techniques like the one
+//! proposed by Bex et al.". This module provides that missing substrate: a
+//! concise-DTD inference in the spirit of the CHARE (chain of alternation
+//! factors) class of Bex, Neven, Schwentick and Vansummeren.
+//!
+//! For every element name appearing in the corpus, the observed child-name
+//! sequences are generalised to a *chain regular expression*
+//! `f_1, f_2, …, f_n` where each factor `f_i` is `a`, `a?`, `a+`, `a*`,
+//! `(a_1|…|a_m)+` or `(a_1|…|a_m)*`:
+//!
+//! 1. build the *precedes* relation over child names (`a < b` iff some
+//!    observed sequence has an `a` before a `b`);
+//! 2. its strongly connected components become the factors — two names that
+//!    can appear in either order must share a factor;
+//! 3. factors are emitted in topological order (which is consistent with
+//!    every observed sequence by construction);
+//! 4. multiplicities are read off the observations: a factor is optional if
+//!    some sequence contains none of its names, and repeating if some
+//!    sequence contains more than one occurrence (or it has several names).
+//!
+//! The result is *sound for the corpus*: every document the expressions were
+//! learnt from is valid w.r.t. the inferred DTD (this is asserted by tests
+//! and by the [`infer_dtd`] post-condition check). Text content is treated
+//! as the reserved `#PCDATA` symbol, so mixed content infers models such as
+//! `(#PCDATA | bold | emph)*`.
+
+use crate::dtd::Dtd;
+use crate::parser::SchemaParseError;
+use crate::symbols::TEXT_NAME;
+use qui_xmlstore::{NodeKind, Tree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An error produced by DTD inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// The corpus is empty, or contains only text roots.
+    EmptyCorpus,
+    /// Two documents have different root element names.
+    MixedRoots(String, String),
+    /// The generalised content models failed to re-parse (internal error).
+    Schema(SchemaParseError),
+    /// The inferred DTD rejected one of the corpus documents (internal
+    /// error — the construction is supposed to make this impossible).
+    NotGeneralising(String),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::EmptyCorpus => write!(f, "cannot infer a DTD from an empty corpus"),
+            InferenceError::MixedRoots(a, b) => {
+                write!(f, "documents have different roots: <{a}> and <{b}>")
+            }
+            InferenceError::Schema(e) => write!(f, "inferred schema failed to build: {e}"),
+            InferenceError::NotGeneralising(tag) => write!(
+                f,
+                "inferred content model for <{tag}> rejects a corpus document"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+impl From<SchemaParseError> for InferenceError {
+    fn from(e: SchemaParseError) -> Self {
+        InferenceError::Schema(e)
+    }
+}
+
+/// One factor of an inferred chain regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Factor {
+    /// The names in the factor (singleton for a plain symbol).
+    names: Vec<String>,
+    /// The factor may be absent from a child sequence.
+    optional: bool,
+    /// The factor may contribute more than one child.
+    repeating: bool,
+}
+
+impl Factor {
+    fn render(&self) -> String {
+        let body = if self.names.len() == 1 {
+            escape_name(&self.names[0])
+        } else {
+            format!(
+                "({})",
+                self.names
+                    .iter()
+                    .map(|n| escape_name(n))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            )
+        };
+        match (self.optional, self.repeating) {
+            (false, false) => body,
+            (true, false) => format!("{body}?"),
+            (false, true) => format!("{body}+"),
+            (true, true) => format!("{body}*"),
+        }
+    }
+}
+
+fn escape_name(name: &str) -> String {
+    if name == TEXT_NAME {
+        "#PCDATA".to_string()
+    } else {
+        name.to_string()
+    }
+}
+
+/// The per-element observations collected from the corpus.
+#[derive(Debug, Default, Clone)]
+struct Observations {
+    /// Every observed child-name sequence (text children are recorded as
+    /// [`TEXT_NAME`]).
+    sequences: Vec<Vec<String>>,
+}
+
+/// The outcome of [`infer_dtd`]: the schema plus the per-element generalised
+/// content-model sources, useful for reports and for round-tripping.
+#[derive(Debug, Clone)]
+pub struct InferredDtd {
+    /// The inferred schema.
+    pub dtd: Dtd,
+    /// The root element name.
+    pub root: String,
+    /// For each element name, the generalised content-model source text.
+    pub rules: BTreeMap<String, String>,
+    /// Number of documents the inference consumed.
+    pub documents: usize,
+    /// Number of element nodes the inference consumed.
+    pub elements: usize,
+}
+
+impl InferredDtd {
+    /// Renders the inferred schema in the compact `name -> model` syntax
+    /// accepted by [`Dtd::parse_compact`].
+    pub fn to_compact(&self) -> String {
+        self.rules
+            .iter()
+            .map(|(name, model)| format!("{name} -> {model}"))
+            .collect::<Vec<_>>()
+            .join(" ; ")
+    }
+}
+
+/// Infers a concise DTD from a corpus of documents.
+///
+/// Every document of the corpus is guaranteed to be valid w.r.t. the
+/// returned DTD; the function re-validates the corpus and reports an
+/// internal error otherwise.
+pub fn infer_dtd(corpus: &[Tree]) -> Result<InferredDtd, InferenceError> {
+    let mut root: Option<String> = None;
+    let mut obs: BTreeMap<String, Observations> = BTreeMap::new();
+    let mut elements = 0usize;
+
+    for tree in corpus {
+        let store = &tree.store;
+        let root_tag = match &store.node(tree.root).kind {
+            NodeKind::Element { tag, .. } => tag.clone(),
+            NodeKind::Text(_) => return Err(InferenceError::EmptyCorpus),
+        };
+        match &root {
+            None => root = Some(root_tag.clone()),
+            Some(r) if *r != root_tag => {
+                return Err(InferenceError::MixedRoots(r.clone(), root_tag))
+            }
+            _ => {}
+        }
+        for id in tree.reachable() {
+            let node = store.node(id);
+            let NodeKind::Element { tag, .. } = &node.kind else {
+                continue;
+            };
+            elements += 1;
+            let seq: Vec<String> = store
+                .children(id)
+                .iter()
+                .map(|&c| match &store.node(c).kind {
+                    NodeKind::Element { tag, .. } => tag.clone(),
+                    NodeKind::Text(_) => TEXT_NAME.to_string(),
+                })
+                .collect();
+            obs.entry(tag.clone()).or_default().sequences.push(seq);
+        }
+    }
+
+    let root = root.ok_or(InferenceError::EmptyCorpus)?;
+
+    let mut rules: BTreeMap<String, String> = BTreeMap::new();
+    for (tag, observations) in &obs {
+        rules.insert(tag.clone(), generalise(&observations.sequences));
+    }
+
+    let compact = rules
+        .iter()
+        .map(|(name, model)| format!("{name} -> {model}"))
+        .collect::<Vec<_>>()
+        .join(" ; ");
+    let dtd = Dtd::parse_compact(&compact, &root)?;
+
+    // Post-condition: the corpus is covered.
+    for tree in corpus {
+        if dtd.validate(tree).is_err() {
+            let tag = tree.root_tag().unwrap_or("?").to_string();
+            return Err(InferenceError::NotGeneralising(tag));
+        }
+    }
+
+    Ok(InferredDtd {
+        dtd,
+        root,
+        rules,
+        documents: corpus.len(),
+        elements,
+    })
+}
+
+/// Generalises a set of observed child sequences into a chain regular
+/// expression, rendered in the compact content-model syntax.
+fn generalise(sequences: &[Vec<String>]) -> String {
+    let names: BTreeSet<&String> = sequences.iter().flatten().collect();
+    if names.is_empty() {
+        return "EMPTY".to_string();
+    }
+    // Content that is only ever a single text child is plain #PCDATA.
+    if names.len() == 1 && *names.iter().next().unwrap() == TEXT_NAME {
+        let optional = sequences.iter().any(|s| s.is_empty());
+        let repeating = sequences.iter().any(|s| s.len() > 1);
+        let f = Factor {
+            names: vec![TEXT_NAME.to_string()],
+            optional,
+            repeating,
+        };
+        return f.render();
+    }
+
+    let names: Vec<String> = names.into_iter().cloned().collect();
+    let index: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let n = names.len();
+
+    // precedes[a][b]: some sequence has an occurrence of a before one of b.
+    let mut precedes = vec![vec![false; n]; n];
+    for seq in sequences {
+        for (i, a) in seq.iter().enumerate() {
+            for b in &seq[i + 1..] {
+                precedes[index[a.as_str()]][index[b.as_str()]] = true;
+            }
+        }
+    }
+
+    // Strongly connected components of the precedes graph (Tarjan would do;
+    // with the tiny alphabets of content models a transitive closure is
+    // simpler and plenty fast).
+    let mut reach = precedes.clone();
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        if component[i] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![i];
+        component[i] = id;
+        for j in i + 1..n {
+            if component[j] == usize::MAX && reach[i][j] && reach[j][i] {
+                component[j] = id;
+                members.push(j);
+            }
+        }
+        components.push(members);
+    }
+
+    // Order components: c1 before c2 if some member of c1 precedes some
+    // member of c2. Components that never co-occur are ordered by their
+    // smallest member, which is safe because both are then optional.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by(|&a, &b| {
+        let a_before_b = components[a]
+            .iter()
+            .any(|&i| components[b].iter().any(|&j| reach[i][j]));
+        let b_before_a = components[b]
+            .iter()
+            .any(|&i| components[a].iter().any(|&j| reach[i][j]));
+        match (a_before_b, b_before_a) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => components[a][0].cmp(&components[b][0]),
+        }
+    });
+
+    let mut factors = Vec::new();
+    for &c in &order {
+        let members = &components[c];
+        let member_names: Vec<String> = members.iter().map(|&i| names[i].clone()).collect();
+        let mut optional = false;
+        let mut repeating = members.len() > 1;
+        for seq in sequences {
+            let count = seq
+                .iter()
+                .filter(|s| member_names.iter().any(|m| m == *s))
+                .count();
+            if count == 0 {
+                optional = true;
+            }
+            if count > 1 {
+                repeating = true;
+            }
+        }
+        factors.push(Factor {
+            names: member_names,
+            optional,
+            repeating,
+        });
+    }
+
+    factors
+        .iter()
+        .map(Factor::render)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genvalid::{generate_valid, GenValidConfig};
+    use qui_xmlstore::parse_xml;
+
+    fn corpus_from(xml: &[&str]) -> Vec<Tree> {
+        xml.iter().map(|s| parse_xml(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        assert_eq!(infer_dtd(&[]).unwrap_err(), InferenceError::EmptyCorpus);
+    }
+
+    #[test]
+    fn mixed_roots_are_rejected() {
+        let corpus = corpus_from(&["<a/>", "<b/>"]);
+        assert!(matches!(
+            infer_dtd(&corpus),
+            Err(InferenceError::MixedRoots(_, _))
+        ));
+    }
+
+    #[test]
+    fn single_empty_element() {
+        let corpus = corpus_from(&["<a/>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["a"], "EMPTY");
+        assert_eq!(inferred.root, "a");
+    }
+
+    #[test]
+    fn text_only_content_infers_pcdata() {
+        let corpus = corpus_from(&["<a>hello</a>", "<a>world</a>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["a"], "#PCDATA");
+    }
+
+    #[test]
+    fn optional_text_content() {
+        let corpus = corpus_from(&["<a>hello</a>", "<a/>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["a"], "#PCDATA?");
+    }
+
+    #[test]
+    fn fixed_sequence_is_inferred_exactly() {
+        let corpus = corpus_from(&["<book><title>t</title><price>p</price></book>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["book"], "title, price");
+    }
+
+    #[test]
+    fn optional_and_repeated_children() {
+        let corpus = corpus_from(&[
+            "<bib><book/><book/></bib>",
+            "<bib><book/></bib>",
+            "<bib/>",
+        ]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["bib"], "book*");
+    }
+
+    #[test]
+    fn interleaved_children_share_a_factor() {
+        let corpus = corpus_from(&[
+            "<r><a/><b/><a/></r>", // a before b and b before a: same factor
+        ]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["r"], "(a | b)+");
+    }
+
+    #[test]
+    fn ordered_children_get_separate_factors() {
+        let corpus = corpus_from(&[
+            "<person><name>n</name><phone>p</phone></person>",
+            "<person><name>n</name></person>",
+        ]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.rules["person"], "name, phone?");
+    }
+
+    #[test]
+    fn mixed_content_keeps_text_symbol() {
+        let corpus = corpus_from(&["<p>hello <b>bold</b> world</p>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        let p = inferred.rules["p"].clone();
+        assert!(p.contains("#PCDATA"), "{p}");
+        assert!(p.contains('b'), "{p}");
+    }
+
+    #[test]
+    fn corpus_documents_validate_against_inferred_dtd() {
+        let corpus = corpus_from(&[
+            "<bib><book><title>a</title><author><last>x</last></author></book></bib>",
+            "<bib><book><title>b</title><author><last>y</last><last>z</last></author></book><book><title>c</title></book></bib>",
+            "<bib/>",
+        ]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        for doc in &corpus {
+            assert!(inferred.dtd.validate(doc).is_ok());
+        }
+    }
+
+    #[test]
+    fn inference_round_trips_through_compact_syntax() {
+        let corpus = corpus_from(&[
+            "<r><a/><b>t</b></r>",
+            "<r><a/><a/><b>t</b></r>",
+        ]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        let reparsed = Dtd::parse_compact(&inferred.to_compact(), &inferred.root).unwrap();
+        for doc in &corpus {
+            assert!(reparsed.validate(doc).is_ok());
+        }
+    }
+
+    #[test]
+    fn inferred_dtd_generalises_generated_documents() {
+        // Learn from documents generated by a known DTD, then check that the
+        // inferred schema accepts further documents from the same source —
+        // not guaranteed in general, but expected on this simple schema.
+        let source = Dtd::parse_compact(
+            "lib -> shelf* ; shelf -> (book | journal)* ; book -> (title, author*) ; \
+             journal -> title ; title -> #PCDATA ; author -> #PCDATA",
+            "lib",
+        )
+        .unwrap();
+        let corpus: Vec<Tree> = (0..20)
+            .map(|seed| generate_valid(&source, &GenValidConfig::with_target(120), seed))
+            .collect();
+        let inferred = infer_dtd(&corpus).unwrap();
+        for seed in 100..110 {
+            let doc = generate_valid(&source, &GenValidConfig::with_target(150), seed);
+            assert!(
+                inferred.dtd.validate(&doc).is_ok(),
+                "unseen document (seed {seed}) rejected by the inferred DTD"
+            );
+        }
+    }
+
+    #[test]
+    fn element_and_document_counts_are_reported() {
+        let corpus = corpus_from(&["<a><b/></a>", "<a><b/><b/></a>"]);
+        let inferred = infer_dtd(&corpus).unwrap();
+        assert_eq!(inferred.documents, 2);
+        assert_eq!(inferred.elements, 5);
+    }
+}

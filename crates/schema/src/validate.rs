@@ -1,0 +1,246 @@
+//! Validation of trees against a DTD (the typing `ν` of §2) and the
+//! node-to-chain mapping `c^σ_l` of Definition 2.2.
+
+use crate::chain::Chain;
+use crate::dtd::Dtd;
+use crate::symbols::{Sym, TEXT_SYM};
+use qui_xmlstore::{NodeId, Store, Tree};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The reason a tree failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The root tag differs from the start symbol.
+    WrongRoot {
+        /// Expected start symbol name.
+        expected: String,
+        /// Actual root tag.
+        found: String,
+    },
+    /// An element tag is not part of the alphabet.
+    UnknownTag {
+        /// The offending location.
+        location: NodeId,
+        /// The unknown tag.
+        tag: String,
+    },
+    /// The children word of an element does not match its content model.
+    ContentMismatch {
+        /// The offending location.
+        location: NodeId,
+        /// The element tag.
+        tag: String,
+        /// The children word (as tag names).
+        word: Vec<String>,
+        /// The content model, rendered.
+        model: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongRoot { expected, found } => {
+                write!(f, "root element is <{found}>, expected <{expected}>")
+            }
+            ValidationError::UnknownTag { location, tag } => {
+                write!(f, "element <{tag}> at {location} is not declared in the DTD")
+            }
+            ValidationError::ContentMismatch {
+                location,
+                tag,
+                word,
+                model,
+            } => write!(
+                f,
+                "children of <{tag}> at {location} are ({}) which does not match {model}",
+                word.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// The result of validating a tree: `Ok` (with the typing) or the first
+/// error found.
+pub type Validity = Result<Typing, ValidationError>;
+
+/// The typing `ν : dom(t) → Σ ∪ {S}` of a valid tree, plus the chains
+/// `c^σ_l` of every location.
+#[derive(Debug, Clone)]
+pub struct Typing {
+    types: HashMap<NodeId, Sym>,
+}
+
+impl Typing {
+    /// The type assigned to `l`.
+    pub fn type_of(&self, l: NodeId) -> Option<Sym> {
+        self.types.get(&l).copied()
+    }
+
+    /// Number of typed locations.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` if no location was typed.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The chain `c^σ_l` of a location: the types encountered from the root
+    /// down to `l` (Definition 2.2).
+    pub fn chain_of(&self, store: &Store, l: NodeId) -> Option<Chain> {
+        let mut syms = Vec::new();
+        let mut cur = Some(l);
+        while let Some(n) = cur {
+            syms.push(self.type_of(n)?);
+            cur = store.parent(n);
+        }
+        syms.reverse();
+        Some(Chain(syms))
+    }
+}
+
+/// Validates `tree` against `dtd`, returning the typing on success.
+pub fn validate(dtd: &Dtd, tree: &Tree) -> Validity {
+    let store = &tree.store;
+    let root_tag = store.tag(tree.root).unwrap_or("#text");
+    if root_tag != dtd.name(dtd.start()) {
+        return Err(ValidationError::WrongRoot {
+            expected: dtd.name(dtd.start()).to_string(),
+            found: root_tag.to_string(),
+        });
+    }
+    let mut types: HashMap<NodeId, Sym> = HashMap::new();
+    let mut stack = vec![tree.root];
+    while let Some(l) = stack.pop() {
+        if store.is_text(l) {
+            types.insert(l, TEXT_SYM);
+            continue;
+        }
+        let tag = store.tag(l).expect("element node");
+        let sym = dtd.sym(tag).ok_or_else(|| ValidationError::UnknownTag {
+            location: l,
+            tag: tag.to_string(),
+        })?;
+        types.insert(l, sym);
+        // Build the children word.
+        let mut word: Vec<Sym> = Vec::new();
+        let mut word_names: Vec<String> = Vec::new();
+        let mut ok = true;
+        for &c in store.children(l) {
+            if store.is_text(c) {
+                word.push(TEXT_SYM);
+                word_names.push("#PCDATA".to_string());
+            } else {
+                let ctag = store.tag(c).expect("element node");
+                match dtd.sym(ctag) {
+                    Some(cs) => {
+                        word.push(cs);
+                        word_names.push(ctag.to_string());
+                    }
+                    None => {
+                        ok = false;
+                        word_names.push(ctag.to_string());
+                    }
+                }
+            }
+        }
+        let model = dtd.content(sym);
+        if !ok || !model.matches(&word) {
+            return Err(ValidationError::ContentMismatch {
+                location: l,
+                tag: tag.to_string(),
+                word: word_names,
+                model: model.display_with(&|s| dtd.name(s).to_string()),
+            });
+        }
+        stack.extend(store.children(l).iter().copied());
+    }
+    Ok(Typing { types })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_xmlstore::parse_xml;
+
+    fn figure1_dtd() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c ; c -> EMPTY", "doc").unwrap()
+    }
+
+    #[test]
+    fn figure1_document_is_valid() {
+        let d = figure1_dtd();
+        let t = parse_xml("<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>").unwrap();
+        let typing = d.validate(&t).expect("valid");
+        assert_eq!(typing.len(), 9);
+        // The chain of the first c node is doc.a.c (Definition 2.2 example).
+        let a1 = t.store.children(t.root)[0];
+        let c1 = t.store.children(a1)[0];
+        let chain = typing.chain_of(&t.store, c1).unwrap();
+        assert_eq!(d.show_chain(&chain), "doc.a.c");
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let d = figure1_dtd();
+        let t = parse_xml("<a><c/></a>").unwrap();
+        match d.validate(&t) {
+            Err(ValidationError::WrongRoot { expected, found }) => {
+                assert_eq!(expected, "doc");
+                assert_eq!(found, "a");
+            }
+            other => panic!("expected WrongRoot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let d = figure1_dtd();
+        let t = parse_xml("<doc><z/></doc>").unwrap();
+        assert!(matches!(
+            d.validate(&t),
+            Err(ValidationError::ContentMismatch { .. }) | Err(ValidationError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn content_mismatch_is_rejected() {
+        let d = figure1_dtd();
+        // a must contain exactly one c.
+        let t = parse_xml("<doc><a/></doc>").unwrap();
+        match d.validate(&t) {
+            Err(ValidationError::ContentMismatch { tag, .. }) => assert_eq!(tag, "a"),
+            other => panic!("expected ContentMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_nodes_are_typed_as_string() {
+        let d = Dtd::parse_compact("doc -> a* ; a -> #PCDATA", "doc").unwrap();
+        let t = parse_xml("<doc><a>hello</a><a>world</a></doc>").unwrap();
+        let typing = d.validate(&t).expect("valid");
+        let a1 = t.store.children(t.root)[0];
+        let txt = t.store.children(a1)[0];
+        assert_eq!(typing.type_of(txt), Some(TEXT_SYM));
+        let chain = typing.chain_of(&t.store, txt).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.last(), Some(TEXT_SYM));
+    }
+
+    #[test]
+    fn proposition_2_3_chains_belong_to_cd() {
+        // Every chain of a valid document is a chain of the DTD.
+        let d = figure1_dtd();
+        let t = parse_xml("<doc><a><c/></a><b><c/></b></doc>").unwrap();
+        let typing = d.validate(&t).expect("valid");
+        for l in t.reachable() {
+            let chain = typing.chain_of(&t.store, l).unwrap();
+            assert!(crate::SchemaLike::is_chain(&d, &chain), "chain {chain:?}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Experiment drivers: ground truth, precision (Fig. 3.b) and view
+//! maintenance (Fig. 3.c).
+
+use crate::updates::NamedUpdate;
+use crate::views::NamedView;
+use crate::xmark::{xmark_document, xmark_dtd};
+use qui_baseline::TypeSetAnalyzer;
+use qui_core::IndependenceAnalyzer;
+use qui_xquery::{dynamic_independent, evaluate_query, DynamicOutcome};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The empirical ground truth for a (update, view) pair: `true` means no
+/// generated instance showed a change of the view under the update.
+///
+/// Dynamic checking can only *refute* independence; pairs that survive every
+/// instance are treated as independent for the purpose of measuring
+/// precision, mirroring the paper's manual labelling (most pairs are easy to
+/// classify). The chain analysis being sound, it must never claim
+/// independence for a pair the ground truth refutes — the integration tests
+/// assert exactly that.
+pub fn ground_truth_matrix(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    doc_nodes: usize,
+    seeds: &[u64],
+) -> HashMap<(String, String), bool> {
+    let mut truth: HashMap<(String, String), bool> = HashMap::new();
+    for v in views {
+        for u in updates {
+            truth.insert((u.name.to_string(), v.name.to_string()), true);
+        }
+    }
+    for &seed in seeds {
+        let doc = xmark_document(doc_nodes, seed);
+        for u in updates {
+            for v in views {
+                let key = (u.name.to_string(), v.name.to_string());
+                if !truth[&key] {
+                    continue; // already refuted
+                }
+                if let Ok(DynamicOutcome::Changed) = dynamic_independent(&doc, &v.query, &u.update)
+                {
+                    truth.insert(key, false);
+                }
+            }
+        }
+    }
+    truth
+}
+
+/// One row of the precision report (Fig. 3.b): for a given update, how many
+/// of the truly-independent views each technique detects.
+#[derive(Clone, Debug)]
+pub struct PrecisionRow {
+    /// The update name.
+    pub update: String,
+    /// Number of views that are independent according to the ground truth.
+    pub truly_independent: usize,
+    /// How many of those the chain analysis detects.
+    pub detected_chains: usize,
+    /// How many of those the type-set baseline detects.
+    pub detected_types: usize,
+    /// Wall-clock time the chain analysis spent on the whole view set.
+    pub chain_time: Duration,
+    /// Wall-clock time the baseline spent on the whole view set.
+    pub types_time: Duration,
+}
+
+impl PrecisionRow {
+    /// Percentage of truly-independent pairs detected by the chain analysis.
+    pub fn chains_pct(&self) -> f64 {
+        percentage(self.detected_chains, self.truly_independent)
+    }
+
+    /// Percentage detected by the type-set baseline.
+    pub fn types_pct(&self) -> f64 {
+        percentage(self.detected_types, self.truly_independent)
+    }
+}
+
+fn percentage(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        100.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Runs both static analyses on every (update, view) pair and compares them
+/// against the ground truth (Figs. 3.a and 3.b in one pass).
+pub fn precision_report(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    truth: &HashMap<(String, String), bool>,
+) -> Vec<PrecisionRow> {
+    let dtd = xmark_dtd();
+    let chains = IndependenceAnalyzer::new(&dtd);
+    let baseline = TypeSetAnalyzer::new(&dtd);
+    let mut rows = Vec::new();
+    for u in updates {
+        let mut truly = 0;
+        let mut det_chains = 0;
+        let mut det_types = 0;
+        let start = Instant::now();
+        let chain_verdicts: Vec<bool> = views
+            .iter()
+            .map(|v| chains.check(&v.query, &u.update).is_independent())
+            .collect();
+        let chain_time = start.elapsed();
+        let start = Instant::now();
+        let type_verdicts: Vec<bool> = views
+            .iter()
+            .map(|v| baseline.independent(&v.query, &u.update))
+            .collect();
+        let types_time = start.elapsed();
+        for (i, v) in views.iter().enumerate() {
+            let independent = truth
+                .get(&(u.name.to_string(), v.name.to_string()))
+                .copied()
+                .unwrap_or(false);
+            if independent {
+                truly += 1;
+                if chain_verdicts[i] {
+                    det_chains += 1;
+                }
+                if type_verdicts[i] {
+                    det_types += 1;
+                }
+            }
+        }
+        rows.push(PrecisionRow {
+            update: u.name.to_string(),
+            truly_independent: truly,
+            detected_chains: det_chains,
+            detected_types: det_types,
+            chain_time,
+            types_time,
+        });
+    }
+    rows
+}
+
+/// The outcome of the view-maintenance simulation (Fig. 3.c) for one
+/// strategy: total time spent re-materializing views after every update.
+#[derive(Clone, Debug)]
+pub struct MaintenanceReport {
+    /// Document scale label ("1MB", "10MB", "100MB").
+    pub scale: String,
+    /// Time to refresh every view after every update (no analysis).
+    pub refresh_all: Duration,
+    /// Time to refresh only the views the type-set baseline cannot prove
+    /// independent.
+    pub refresh_types: Duration,
+    /// Time to refresh only the views the chain analysis cannot prove
+    /// independent.
+    pub refresh_chains: Duration,
+}
+
+impl MaintenanceReport {
+    /// Percentage of re-materialization time saved by the chain analysis.
+    pub fn chains_saving_pct(&self) -> f64 {
+        saving(self.refresh_all, self.refresh_chains)
+    }
+
+    /// Percentage saved by the type-set baseline.
+    pub fn types_saving_pct(&self) -> f64 {
+        saving(self.refresh_all, self.refresh_types)
+    }
+}
+
+fn saving(all: Duration, kept: Duration) -> f64 {
+    if all.is_zero() {
+        0.0
+    } else {
+        100.0 * (1.0 - kept.as_secs_f64() / all.as_secs_f64())
+    }
+}
+
+/// Simulates view maintenance on a document of `doc_nodes` nodes: for every
+/// update, re-evaluate either all views or only those not statically proven
+/// independent, and accumulate the evaluation time (the paper's `r_i`,
+/// `r_i^type`, `r_i^chain`).
+pub fn maintenance_simulation(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    doc_nodes: usize,
+    scale_label: &str,
+    seed: u64,
+) -> MaintenanceReport {
+    let dtd = xmark_dtd();
+    let chains = IndependenceAnalyzer::new(&dtd);
+    let baseline = TypeSetAnalyzer::new(&dtd);
+    let doc = xmark_document(doc_nodes, seed);
+
+    // Static verdicts per (update, view).
+    let mut needs_chain: Vec<Vec<bool>> = Vec::new();
+    let mut needs_types: Vec<Vec<bool>> = Vec::new();
+    for u in updates {
+        needs_chain.push(
+            views
+                .iter()
+                .map(|v| !chains.check(&v.query, &u.update).is_independent())
+                .collect(),
+        );
+        needs_types.push(
+            views
+                .iter()
+                .map(|v| !baseline.independent(&v.query, &u.update))
+                .collect(),
+        );
+    }
+
+    // Measure the refresh cost of each view once (evaluation time dominates
+    // and is identical across strategies, as in the paper's setup).
+    let mut view_cost: Vec<Duration> = Vec::new();
+    for v in views {
+        let mut work = doc.clone();
+        let root = work.root;
+        let start = Instant::now();
+        let _ = evaluate_query(&mut work.store, root, &v.query);
+        view_cost.push(start.elapsed());
+    }
+
+    let mut all = Duration::ZERO;
+    let mut types = Duration::ZERO;
+    let mut chain = Duration::ZERO;
+    for (ui, _u) in updates.iter().enumerate() {
+        for (vi, _v) in views.iter().enumerate() {
+            all += view_cost[vi];
+            if needs_types[ui][vi] {
+                types += view_cost[vi];
+            }
+            if needs_chain[ui][vi] {
+                chain += view_cost[vi];
+            }
+        }
+    }
+    MaintenanceReport {
+        scale: scale_label.to_string(),
+        refresh_all: all,
+        refresh_types: types,
+        refresh_chains: chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updates::all_updates;
+    use crate::views::all_views;
+
+    fn small_workload() -> (Vec<NamedView>, Vec<NamedUpdate>) {
+        let views: Vec<NamedView> = all_views()
+            .into_iter()
+            .filter(|v| ["q1", "q5", "A1", "A7", "B3"].contains(&v.name))
+            .collect();
+        let updates: Vec<NamedUpdate> = all_updates()
+            .into_iter()
+            .filter(|u| ["UA1", "UI2", "UN1", "UP5"].contains(&u.name))
+            .collect();
+        (views, updates)
+    }
+
+    #[test]
+    fn ground_truth_and_precision_are_consistent() {
+        let (views, updates) = small_workload();
+        let truth = ground_truth_matrix(&views, &updates, 2_000, &[1, 2]);
+        assert_eq!(truth.len(), views.len() * updates.len());
+        let rows = precision_report(&views, &updates, &truth);
+        assert_eq!(rows.len(), updates.len());
+        for row in &rows {
+            assert!(row.detected_chains <= row.truly_independent);
+            assert!(row.detected_types <= row.truly_independent);
+            // The headline claim on this subset: chains are at least as
+            // precise as types.
+            assert!(
+                row.detected_chains >= row.detected_types,
+                "update {}: chains {} < types {}",
+                row.update,
+                row.detected_chains,
+                row.detected_types
+            );
+        }
+    }
+
+    #[test]
+    fn soundness_against_ground_truth() {
+        // The chain analysis must never declare independent a pair that some
+        // generated instance refutes.
+        let (views, updates) = small_workload();
+        let truth = ground_truth_matrix(&views, &updates, 2_000, &[3]);
+        let dtd = xmark_dtd();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        for u in &updates {
+            for v in &views {
+                let statically_independent = analyzer.check(&v.query, &u.update).is_independent();
+                let empirically = truth[&(u.name.to_string(), v.name.to_string())];
+                assert!(
+                    !statically_independent || empirically,
+                    "unsound verdict for ({}, {})",
+                    u.name,
+                    v.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_simulation_orders_strategies() {
+        let (views, updates) = small_workload();
+        let report = maintenance_simulation(&views, &updates, 2_000, "tiny", 5);
+        assert!(report.refresh_chains <= report.refresh_all);
+        assert!(report.refresh_types <= report.refresh_all);
+        assert!(report.refresh_chains <= report.refresh_types);
+    }
+}

@@ -1,0 +1,72 @@
+//! The R-benchmark of the scalability experiment (Fig. 3.d).
+//!
+//! The benchmark is parametric: the schema `d_n` has `n` fully mutually
+//! recursive types (every type is defined in terms of all `n` types), and
+//! the expression `e_m` consists of `m` consecutive `descendant::node()`
+//! steps. The paper sweeps `n ∈ {1, 3, 5, 10, 20}`, `m ∈ {1, 5, 10}` and
+//! `k ∈ {|e_m|, |e_m|+5, |e_m|+10}` and reports chain-inference time.
+
+use qui_schema::Dtd;
+use qui_xquery::{parse_query, Query};
+
+/// Builds the schema `d_n`: types `t1 … tn`, each defined as `(t1 | … | tn)*`,
+/// rooted at `t1`.
+pub fn rbench_schema(n: usize) -> Dtd {
+    assert!(n >= 1, "d_n needs at least one type");
+    let names: Vec<String> = (1..=n).map(|i| format!("t{i}")).collect();
+    let alternation = names.join(" | ");
+    let mut builder = Dtd::builder();
+    for name in &names {
+        builder = builder.rule(name, &format!("({alternation})*"));
+    }
+    builder.build("t1").expect("d_n is well-formed")
+}
+
+/// Builds the expression `e_m`: `m` consecutive `descendant::node()` steps
+/// starting from the root.
+pub fn rbench_expression(m: usize) -> Query {
+    assert!(m >= 1, "e_m needs at least one step");
+    let mut src = String::from("$root");
+    for _ in 0..m {
+        src.push_str("/descendant::node()");
+    }
+    parse_query(&src).expect("e_m is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_core::engine::cdag::CdagEngine;
+
+    #[test]
+    fn schema_dn_is_fully_mutually_recursive() {
+        for n in [1, 3, 5] {
+            let d = rbench_schema(n);
+            assert_eq!(d.size(), n);
+            for t in d.alphabet() {
+                assert!(d.is_recursive_sym(t));
+                assert_eq!(d.child_syms(t).len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn expression_em_has_m_recursive_steps() {
+        let e5 = rbench_expression(5);
+        assert_eq!(qui_core::k_of_query(&e5), 5);
+        let e1 = rbench_expression(1);
+        assert_eq!(qui_core::k_of_query(&e1), 1);
+    }
+
+    #[test]
+    fn cdag_inference_handles_d5_e5() {
+        // The d5/e5 configuration that the paper calls "quite complex" must
+        // stay well within polynomial size on the CDAG engine.
+        let d = rbench_schema(5);
+        let e = rbench_expression(5);
+        let eng = CdagEngine::new(&d, 10);
+        let chains = eng.infer_query(&eng.root_gamma(e.free_vars()), &e);
+        assert!(!chains.returns.is_empty());
+        assert!(chains.returns.edge_count() < 100_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The 31 updates of the benchmark (§6.2): `UA1–UA8` and `UB1–UB8` delete
+//! the nodes selected by the XPathMark paths, `UI1–UI5` insert, `UN1–UN5`
+//! rename and `UP1–UP5` replace, chosen so that together they touch every
+//! region of XMark documents, including the mutually recursive ones.
+
+use qui_xquery::{parse_update, Update};
+
+/// A named update of the benchmark.
+#[derive(Clone, Debug)]
+pub struct NamedUpdate {
+    /// The benchmark name (`UA1` … `UP5`).
+    pub name: &'static str,
+    /// The concrete syntax.
+    pub source: &'static str,
+    /// The parsed update.
+    pub update: Update,
+}
+
+/// The source texts of the 31 updates.
+pub const UPDATE_SOURCES: [(&str, &str); 31] = [
+    // ---- UA1–UA8: delete the A-path targets ----
+    ("UA1", "delete /closed_auctions/closed_auction/annotation/description/text/keyword"),
+    ("UA2", "delete //closed_auction//keyword"),
+    ("UA3", "delete /closed_auctions/closed_auction//keyword"),
+    ("UA4", "delete /closed_auctions/closed_auction[annotation/description/text/keyword]/date"),
+    ("UA5", "delete /closed_auctions/closed_auction[descendant::keyword]/date"),
+    ("UA6", "delete /people/person[profile/gender and profile/age]/name"),
+    ("UA7", "delete /people/person[phone or homepage]/name"),
+    ("UA8", "delete /people/person[address and (phone or homepage) and (creditcard or profile)]/name"),
+    // ---- UB1–UB8: delete the B-path targets (upward / horizontal axes) ----
+    ("UB1", "delete /regions/*/item[parent::namerica or parent::samerica]/name"),
+    ("UB2", "delete //keyword/ancestor::listitem/text/keyword"),
+    ("UB3", "delete /open_auctions/open_auction/bidder[following-sibling::bidder]"),
+    ("UB4", "delete /open_auctions/open_auction/bidder[preceding-sibling::bidder]"),
+    ("UB5", "delete /regions/*/item[following-sibling::item]/name"),
+    ("UB6", "delete /regions/*/item[preceding-sibling::item]/name"),
+    ("UB7", "delete //person[profile/age]/name"),
+    ("UB8", "delete /open_auctions/open_auction[bidder and seller]/interval"),
+    // ---- UI1–UI5: insertions (schema-preserving) ----
+    ("UI1", "for $p in /open_auctions/open_auction/current return insert <bidder><date>d</date><time>t</time><personref/><increase>1</increase></bidder> before $p"),
+    ("UI2", "for $p in /people/person/watches return insert <watch/> into $p"),
+    ("UI3", "for $p in //listitem/parlist return insert <listitem><text>new</text></listitem> into $p"),
+    ("UI4", "for $p in /regions/africa/item/mailbox return insert <mail><from>f</from><to>t</to><date>d</date><text>body</text></mail> into $p"),
+    ("UI5", "for $p in //text[bold] return insert <emph>note</emph> into $p"),
+    // ---- UN1–UN5: renamings within label-compatible content models ----
+    ("UN1", "for $p in //description/text/bold return rename $p as emph"),
+    ("UN2", "for $p in //annotation/description/text/keyword return rename $p as bold"),
+    ("UN3", "for $p in /regions/asia/item/description/text/emph return rename $p as keyword"),
+    ("UN4", "for $p in /people/person/profile/interest return rename $p as interest"),
+    ("UN5", "for $p in //listitem/text/keyword return rename $p as emph"),
+    // ---- UP1–UP5: replacements ----
+    ("UP1", "for $p in /people/person/address/city return replace $p with <city>Paris</city>"),
+    ("UP2", "for $p in /open_auctions/open_auction/current return replace $p with <current>0</current>"),
+    ("UP3", "for $p in //closed_auction/price return replace $p with <price>1</price>"),
+    ("UP4", "for $p in //item/description[text] return replace $p with <description><text>sold out</text></description>"),
+    ("UP5", "for $p in /categories/category/name return replace $p with <name>misc</name>"),
+];
+
+/// Parses and returns all 31 updates.
+pub fn all_updates() -> Vec<NamedUpdate> {
+    UPDATE_SOURCES
+        .iter()
+        .map(|(name, source)| NamedUpdate {
+            name,
+            source,
+            update: parse_update(source)
+                .unwrap_or_else(|e| panic!("update {name} failed to parse: {e}")),
+        })
+        .collect()
+}
+
+/// Looks an update up by name.
+pub fn update(name: &str) -> Option<NamedUpdate> {
+    all_updates().into_iter().find(|u| u.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmark::xmark_document;
+    use qui_xquery::{apply_pending_list, evaluate_update};
+
+    #[test]
+    fn all_updates_parse() {
+        let ups = all_updates();
+        assert_eq!(ups.len(), 31);
+        let classes = ["UA", "UB", "UI", "UN", "UP"];
+        for class in classes {
+            assert!(
+                ups.iter().filter(|u| u.name.starts_with(class)).count() >= 5,
+                "class {class} under-populated"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_apply_to_a_generated_document() {
+        let doc = xmark_document(3_000, 11);
+        for u in all_updates() {
+            let mut work = doc.clone();
+            let root = work.root;
+            let upl = evaluate_update(&mut work.store, root, &u.update)
+                .unwrap_or_else(|e| panic!("update {} failed: {e}", u.name));
+            apply_pending_list(&mut work.store, &upl);
+            // The tree must still be rooted and readable after application.
+            assert!(work.store.subtree_size(root) > 0, "update {}", u.name);
+        }
+    }
+
+    #[test]
+    fn insert_rename_replace_updates_preserve_validity() {
+        // The paper chooses UI/UN/UP updates to be schema-preserving; check
+        // this on generated instances.
+        let dtd = crate::xmark::xmark_dtd();
+        let doc = xmark_document(3_000, 13);
+        for u in all_updates() {
+            if !(u.name.starts_with("UI") || u.name.starts_with("UN") || u.name.starts_with("UP")) {
+                continue;
+            }
+            let mut work = doc.clone();
+            let root = work.root;
+            let upl = evaluate_update(&mut work.store, root, &u.update).unwrap();
+            apply_pending_list(&mut work.store, &upl);
+            let updated = qui_xmlstore::Tree::new(work.store.clone(), root);
+            assert!(
+                dtd.validate(&updated).is_ok(),
+                "update {} broke validity: {:?}",
+                u.name,
+                dtd.validate(&updated).err()
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The 36 views of the maintenance benchmark (§6.2): XMark queries `q1–q20`
+//! and XPathMark queries `A1–A8` / `B1–B8`.
+//!
+//! As in the paper, the expressions are rewritten into the analysed XQuery
+//! fragment: predicates are kept as existential conditions (disjunctive
+//! form), attribute accesses are dropped, and value comparisons / arithmetic
+//! are replaced by the navigation they perform. A view and an update are
+//! independent if the rewritten pair is, so the rewriting is conservative
+//! for the purposes of the benchmark.
+
+use qui_xquery::{parse_query, Query};
+
+/// A named view of the benchmark.
+#[derive(Clone, Debug)]
+pub struct NamedView {
+    /// The benchmark name (`q1` … `q20`, `A1` … `A8`, `B1` … `B8`).
+    pub name: &'static str,
+    /// The concrete syntax of the rewritten view.
+    pub source: &'static str,
+    /// The parsed query.
+    pub query: Query,
+}
+
+/// The source texts of the 36 views.
+pub const VIEW_SOURCES: [(&str, &str); 36] = [
+    // ---- XMark q1–q20, rewritten to the navigation they perform ----
+    ("q1", "for $b in /people/person return $b/name"),
+    ("q2", "for $b in /open_auctions/open_auction return $b/bidder/increase"),
+    ("q3", "for $b in /open_auctions/open_auction[bidder] return ($b/bidder/increase, $b/reserve)"),
+    ("q4", "for $b in /open_auctions/open_auction[bidder/personref] return $b/initial"),
+    ("q5", "for $p in /closed_auctions/closed_auction return $p/price"),
+    ("q6", "for $b in /regions return $b//item/name"),
+    ("q7", "for $p in $root return (/description, //mail, //text)"),
+    ("q8", "for $p in /people/person return (/closed_auctions/closed_auction[buyer], $p/name)"),
+    ("q9", "for $p in /people/person return (/closed_auctions/closed_auction[itemref], /regions/europe/item, $p/name)"),
+    ("q10", "for $p in /people/person[profile/interest] return ($p/profile/gender, $p/profile/age, $p/profile/education, $p/name, $p/emailaddress, $p/homepage, $p/creditcard, $p/address)"),
+    ("q11", "for $p in /people/person return ($p/profile, /open_auctions/open_auction/initial)"),
+    ("q12", "for $p in /people/person[profile] return ($p/profile, /open_auctions/open_auction/initial)"),
+    ("q13", "for $i in /regions/australia/item return ($i/name, $i/description)"),
+    ("q14", "for $i in //item[description//text] return $i/name"),
+    ("q15", "/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword"),
+    ("q16", "for $a in /closed_auctions/closed_auction[annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword] return $a/seller"),
+    ("q17", "for $p in /people/person[homepage] return $p/name"),
+    ("q18", "/open_auctions/open_auction/reserve"),
+    ("q19", "for $b in /regions//item return ($b/location, $b/name)"),
+    ("q20", "(/people/person/profile[income], /people/person/profile, /people/person[address/country])"),
+    // ---- XPathMark A1–A8 (downward axes only) ----
+    ("A1", "/closed_auctions/closed_auction/annotation/description/text/keyword"),
+    ("A2", "//closed_auction//keyword"),
+    ("A3", "/closed_auctions/closed_auction//keyword"),
+    ("A4", "/closed_auctions/closed_auction[annotation/description/text/keyword]/date"),
+    ("A5", "/closed_auctions/closed_auction[descendant::keyword]/date"),
+    ("A6", "/people/person[profile/gender and profile/age]/name"),
+    ("A7", "/people/person[phone or homepage]/name"),
+    ("A8", "/people/person[address and (phone or homepage) and (creditcard or profile)]/name"),
+    // ---- XPathMark B1–B8 (upward and horizontal axes) ----
+    ("B1", "/regions/*/item[parent::namerica or parent::samerica]/name"),
+    ("B2", "//keyword/ancestor::listitem/text/keyword"),
+    ("B3", "/open_auctions/open_auction/bidder[following-sibling::bidder]"),
+    ("B4", "/open_auctions/open_auction/bidder[preceding-sibling::bidder]"),
+    ("B5", "/regions/*/item[following-sibling::item]/name"),
+    ("B6", "/regions/*/item[preceding-sibling::item]/name"),
+    ("B7", "//person[profile/age]/name"),
+    ("B8", "/open_auctions/open_auction[bidder and seller]/interval"),
+];
+
+/// Parses and returns all 36 views.
+pub fn all_views() -> Vec<NamedView> {
+    VIEW_SOURCES
+        .iter()
+        .map(|(name, source)| NamedView {
+            name,
+            source,
+            query: parse_query(source)
+                .unwrap_or_else(|e| panic!("view {name} failed to parse: {e}")),
+        })
+        .collect()
+}
+
+/// Looks a view up by name.
+pub fn view(name: &str) -> Option<NamedView> {
+    all_views().into_iter().find(|v| v.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmark::{xmark_document, xmark_dtd};
+    use qui_xquery::evaluate_query;
+
+    #[test]
+    fn all_views_parse_and_are_quasi_closed() {
+        let views = all_views();
+        assert_eq!(views.len(), 36);
+        for v in &views {
+            let fv = v.query.free_vars();
+            assert!(
+                fv.len() <= 1,
+                "view {} has unexpected free variables {:?}",
+                v.name,
+                fv
+            );
+        }
+    }
+
+    #[test]
+    fn views_evaluate_on_a_generated_document() {
+        let mut doc = xmark_document(3_000, 7);
+        let _dtd = xmark_dtd();
+        let root = doc.root;
+        let mut nonempty = 0;
+        for v in all_views() {
+            let result = evaluate_query(&mut doc.store, root, &v.query)
+                .unwrap_or_else(|e| panic!("view {} failed to evaluate: {e}", v.name));
+            if !result.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // A substantial share of the views should select something on a
+        // modest document (the randomly generated instances do not populate
+        // every region as densely as the real XMark generator does).
+        assert!(nonempty >= 10, "only {nonempty} views were non-empty");
+    }
+}

@@ -1,0 +1,203 @@
+//! An XMark-style auction DTD and document generator.
+//!
+//! The original XMark benchmark ships a DTD of 77 element types and a C
+//! document generator. We transcribe the DTD structurally (all regions of
+//! the auction site, and in particular the two mutually recursive cliques:
+//! `{parlist, listitem}` of size 2 and `{bold, keyword, emph}` of size 3,
+//! which §6.2 highlights) and generate documents with the schema-driven
+//! generator of `qui-schema`. Attributes are omitted — the paper's fragment
+//! and its rewritten workloads do not use them.
+
+use qui_schema::{generate_valid, Dtd, GenValidConfig};
+use qui_xmlstore::Tree;
+
+/// The XMark-style auction DTD.
+pub fn xmark_dtd() -> Dtd {
+    Dtd::builder()
+        .rule(
+            "site",
+            "(regions, categories, catgraph, people, open_auctions, closed_auctions)",
+        )
+        .rule(
+            "regions",
+            "(africa, asia, australia, europe, namerica, samerica)",
+        )
+        .rule("africa", "item*")
+        .rule("asia", "item*")
+        .rule("australia", "item*")
+        .rule("europe", "item*")
+        .rule("namerica", "item*")
+        .rule("samerica", "item*")
+        .rule(
+            "item",
+            "(location, quantity, name, payment, description, shipping, incategory+, mailbox)",
+        )
+        .rule("location", "#PCDATA")
+        .rule("quantity", "#PCDATA")
+        .rule("name", "#PCDATA")
+        .rule("payment", "#PCDATA")
+        .rule("shipping", "#PCDATA")
+        .rule("incategory", "EMPTY")
+        .rule("mailbox", "mail*")
+        .rule("mail", "(from, to, date, text)")
+        .rule("from", "#PCDATA")
+        .rule("to", "#PCDATA")
+        .rule("date", "#PCDATA")
+        .rule("categories", "category+")
+        .rule("category", "(name, description)")
+        .rule("catgraph", "edge*")
+        .rule("edge", "EMPTY")
+        .rule("people", "person*")
+        .rule(
+            "person",
+            "(name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)",
+        )
+        .rule("emailaddress", "#PCDATA")
+        .rule("phone", "#PCDATA")
+        .rule("homepage", "#PCDATA")
+        .rule("creditcard", "#PCDATA")
+        .rule(
+            "address",
+            "(street, city, country, province?, zipcode)",
+        )
+        .rule("street", "#PCDATA")
+        .rule("city", "#PCDATA")
+        .rule("country", "#PCDATA")
+        .rule("province", "#PCDATA")
+        .rule("zipcode", "#PCDATA")
+        .rule(
+            "profile",
+            "(interest*, education?, gender?, business, age?)",
+        )
+        .rule("interest", "EMPTY")
+        .rule("education", "#PCDATA")
+        .rule("gender", "#PCDATA")
+        .rule("business", "#PCDATA")
+        .rule("age", "#PCDATA")
+        .rule("watches", "watch*")
+        .rule("watch", "EMPTY")
+        .rule("open_auctions", "open_auction*")
+        .rule(
+            "open_auction",
+            "(initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)",
+        )
+        .rule("initial", "#PCDATA")
+        .rule("reserve", "#PCDATA")
+        .rule("current", "#PCDATA")
+        .rule("privacy", "#PCDATA")
+        .rule("itemref", "EMPTY")
+        .rule("seller", "EMPTY")
+        .rule("type", "#PCDATA")
+        .rule("interval", "(start, end)")
+        .rule("start", "#PCDATA")
+        .rule("end", "#PCDATA")
+        .rule("bidder", "(date, time, personref, increase)")
+        .rule("time", "#PCDATA")
+        .rule("personref", "EMPTY")
+        .rule("increase", "#PCDATA")
+        .rule(
+            "annotation",
+            "(author, description?, happiness)",
+        )
+        .rule("author", "EMPTY")
+        .rule("happiness", "#PCDATA")
+        .rule("closed_auctions", "closed_auction*")
+        .rule(
+            "closed_auction",
+            "(seller, buyer, itemref, price, date, quantity, type, annotation?)",
+        )
+        .rule("buyer", "EMPTY")
+        .rule("price", "#PCDATA")
+        // The textual/recursive region shared by descriptions and annotations.
+        .rule("description", "(text | parlist)")
+        .rule("parlist", "listitem*")
+        .rule("listitem", "(text | parlist)*")
+        .rule("text", "(#PCDATA | bold | keyword | emph)*")
+        .rule("bold", "(#PCDATA | bold | keyword | emph)*")
+        .rule("keyword", "(#PCDATA | bold | keyword | emph)*")
+        .rule("emph", "(#PCDATA | bold | keyword | emph)*")
+        .build("site")
+        .expect("the XMark DTD is well-formed")
+}
+
+/// The document scales of the maintenance experiment (Fig. 3.c). The paper
+/// uses 1, 10 and 100 MB XMark documents; we use node counts that grow by
+/// the same factor of ten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XmarkScale {
+    /// ≈ the 1 MB document.
+    Small,
+    /// ≈ the 10 MB document.
+    Medium,
+    /// ≈ the 100 MB document.
+    Large,
+}
+
+impl XmarkScale {
+    /// Approximate number of nodes to generate for this scale.
+    ///
+    /// The paper uses 1, 10 and 100 MB XMark files; we keep the same factor
+    /// of ten between scales with node counts sized so that the whole
+    /// experiment runs in minutes on a laptop (the reported quantity — the
+    /// *percentage* of re-materialization time saved — does not depend on the
+    /// absolute document size; see EXPERIMENTS.md).
+    pub fn target_nodes(self) -> usize {
+        match self {
+            XmarkScale::Small => 5_000,
+            XmarkScale::Medium => 50_000,
+            XmarkScale::Large => 500_000,
+        }
+    }
+
+    /// A short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            XmarkScale::Small => "1MB",
+            XmarkScale::Medium => "10MB",
+            XmarkScale::Large => "100MB",
+        }
+    }
+}
+
+/// Generates an XMark-style document of roughly `target_nodes` nodes.
+pub fn xmark_document(target_nodes: usize, seed: u64) -> Tree {
+    let dtd = xmark_dtd();
+    generate_valid(&dtd, &GenValidConfig::with_target(target_nodes), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::SchemaLike;
+
+    #[test]
+    fn dtd_has_the_expected_size_and_cliques() {
+        let d = xmark_dtd();
+        // The paper reports |d| = 76 for the XMark DTD (which also declares
+        // attribute-only helpers we omit); our transcription stays in the
+        // same ballpark.
+        assert!((70..=80).contains(&d.size()), "got {}", d.size());
+        assert!(d.is_recursive());
+        for t in ["parlist", "listitem", "bold", "keyword", "emph"] {
+            assert!(
+                d.is_recursive_sym(d.sym(t).unwrap()),
+                "{t} should be recursive"
+            );
+        }
+        assert!(!d.is_recursive_sym(d.sym("person").unwrap()));
+    }
+
+    #[test]
+    fn generated_documents_validate() {
+        let d = xmark_dtd();
+        let doc = xmark_document(5_000, 42);
+        assert!(d.validate(&doc).is_ok());
+        assert!(doc.size() >= 2_000, "doc too small: {}", doc.size());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(XmarkScale::Small.target_nodes() < XmarkScale::Medium.target_nodes());
+        assert!(XmarkScale::Medium.target_nodes() < XmarkScale::Large.target_nodes());
+    }
+}

@@ -1,0 +1,38 @@
+//! # qui-xmlstore — the XML data model of the paper (§2)
+//!
+//! The paper models an XML instance as a *store* `σ`: an environment mapping
+//! each node location `l` to either an element node `a[L]` (tag `a`, ordered
+//! list of children locations `L`) or a text node `s`. A *tree* is a pair
+//! `(σ, l_t)` of a store and a root location.
+//!
+//! This crate provides:
+//!
+//! * [`Store`] / [`NodeId`] / [`Node`] — an arena-based store with parent
+//!   pointers, supporting the primitive mutations needed by the XQuery Update
+//!   Facility semantics (insert, delete, rename, replace).
+//! * [`Tree`] — a store plus a distinguished root location.
+//! * value equivalence `(σ, l) ≅ (σ', l')` ([`value_equiv`],
+//!   [`sequence_equiv`]) used by Definition 2.4 (independence).
+//! * a small hand-rolled XML [`parser`] and [`serializer`] (no external XML
+//!   library is used anywhere in the workspace).
+//! * [`projection`] — XML projections `t|_L` used in the soundness statements
+//!   of §3.4 and in the projection-based tests.
+//! * [`generator`] — generic random-tree generation used by property tests
+//!   (schema-driven generation lives in `qui-schema`).
+
+pub mod equiv;
+pub mod generator;
+pub mod node;
+pub mod parser;
+pub mod projection;
+pub mod serializer;
+pub mod store;
+pub mod tree;
+
+pub use equiv::{sequence_equiv, value_equiv};
+pub use node::{Node, NodeId, NodeKind};
+pub use parser::{parse_xml, parse_xml_keep_attributes, ParseError};
+pub use projection::{project, upward_closure};
+pub use serializer::{serialize_node, serialize_node_with_attributes, serialize_tree, serialize_tree_with_attributes};
+pub use store::Store;
+pub use tree::{Tree, TreeBuilder};

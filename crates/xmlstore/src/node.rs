@@ -1,0 +1,136 @@
+//! Node locations and node contents.
+//!
+//! A location (paper: `l ∈ dom(σ)`) is represented by a [`NodeId`], an index
+//! into the [`crate::Store`] arena. A node is either an element `a[L]` or a
+//! text node `s`.
+
+use std::fmt;
+
+/// A node location (identifier) in a [`crate::Store`].
+///
+/// Locations are never reused: deleting a node detaches it from its parent
+/// but keeps its slot in the arena, matching the paper's treatment where
+/// `dom(σ) ⊆ dom(σ_u)` (the updated store only grows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the arena index of this location.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The content of a node: an element `a[L]` or a text node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node `a[L]`: a tag and the ordered list of children
+    /// locations.
+    Element {
+        /// The element tag (paper: `a ∈ Σ`).
+        tag: String,
+        /// The ordered children locations (paper: `L = (l_1, …, l_n)`).
+        children: Vec<NodeId>,
+    },
+    /// A text node holding a string value (paper type `S`).
+    Text(String),
+}
+
+impl NodeKind {
+    /// Returns the tag if this is an element node.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            NodeKind::Element { tag, .. } => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Returns `true` for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element { .. })
+    }
+
+    /// Returns `true` for text nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text(_))
+    }
+}
+
+/// A node in the store: its content plus a parent pointer.
+///
+/// The parent pointer is not part of the paper's formal model (which treats
+/// the store as a child-list environment only) but is a standard derived
+/// structure needed to evaluate the upward XPath axes efficiently.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Element or text content.
+    pub kind: NodeKind,
+    /// The parent location, `None` for roots and detached nodes.
+    pub parent: Option<NodeId>,
+}
+
+impl Node {
+    /// Creates a new element node with no parent.
+    pub fn element(tag: impl Into<String>, children: Vec<NodeId>) -> Self {
+        Node {
+            kind: NodeKind::Element {
+                tag: tag.into(),
+                children,
+            },
+            parent: None,
+        }
+    }
+
+    /// Creates a new text node with no parent.
+    pub fn text(value: impl Into<String>) -> Self {
+        Node {
+            kind: NodeKind::Text(value.into()),
+            parent: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "l42");
+        assert_eq!(format!("{id:?}"), "l42");
+    }
+
+    #[test]
+    fn node_kind_accessors() {
+        let e = NodeKind::Element {
+            tag: "a".into(),
+            children: vec![],
+        };
+        let t = NodeKind::Text("hi".into());
+        assert_eq!(e.tag(), Some("a"));
+        assert_eq!(t.tag(), None);
+        assert!(e.is_element() && !e.is_text());
+        assert!(t.is_text() && !t.is_element());
+    }
+
+    #[test]
+    fn node_constructors_have_no_parent() {
+        assert!(Node::element("a", vec![]).parent.is_none());
+        assert!(Node::text("x").parent.is_none());
+    }
+}

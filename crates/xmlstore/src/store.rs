@@ -1,0 +1,455 @@
+//! The store `σ`: an arena of nodes with the primitive mutations required by
+//! the XQuery Update Facility semantics (paper §2).
+
+use crate::node::{Node, NodeId, NodeKind};
+
+/// An XML store `σ` — an arena associating node locations with nodes.
+///
+/// The store supports both pure navigation (children, parent, axes helpers)
+/// and the primitive mutations used when applying an update pending list:
+/// insertion of children, detaching (deletion), renaming and replacement.
+///
+/// Locations are never reused; applying an update only ever *adds* locations
+/// (`dom(σ) ⊆ dom(σ_w) ⊆ dom(σ_u)` in the paper) and detaches those removed
+/// from the accessible tree.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    nodes: Vec<Node>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store { nodes: Vec::new() }
+    }
+
+    /// Creates an empty store with pre-allocated capacity for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Store {
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of locations in the store (`|dom(σ)|`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the store contains no locations.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all locations in the store, in allocation order.
+    pub fn locations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Returns a reference to the node at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a location of this store.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Allocates a new element node `tag[children]`, fixing the children's
+    /// parent pointers, and returns its location.
+    pub fn new_element(&mut self, tag: impl Into<String>, children: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        for &c in &children {
+            self.nodes[c.index()].parent = Some(id);
+        }
+        self.nodes.push(Node::element(tag, children));
+        id
+    }
+
+    /// Allocates a new text node and returns its location.
+    pub fn new_text(&mut self, value: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::text(value));
+        id
+    }
+
+    /// The tag of `id` if it is an element node.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        self.node(id).kind.tag()
+    }
+
+    /// The text value of `id` if it is a text node.
+    pub fn text_value(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(s) => Some(s),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Returns `true` if `id` is an element node.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        self.node(id).kind.is_element()
+    }
+
+    /// Returns `true` if `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        self.node(id).kind.is_text()
+    }
+
+    /// The ordered children of `id` (empty for text nodes).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match &self.node(id).kind {
+            NodeKind::Element { children, .. } => children,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// The parent location of `id`, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// All ancestors of `id`, nearest first (excluding `id` itself).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(id);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// All descendants of `id` in document (pre) order, excluding `id`.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// `id` followed by all its descendants in document (pre) order.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        out.extend(self.descendants(id));
+        out
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        1 + self.descendants(id).len()
+    }
+
+    /// The following siblings of `id`, in document order.
+    pub fn following_siblings(&self, id: NodeId) -> Vec<NodeId> {
+        match self.parent(id) {
+            None => Vec::new(),
+            Some(p) => {
+                let kids = self.children(p);
+                match kids.iter().position(|&k| k == id) {
+                    Some(pos) => kids[pos + 1..].to_vec(),
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// The preceding siblings of `id`, in document order.
+    pub fn preceding_siblings(&self, id: NodeId) -> Vec<NodeId> {
+        match self.parent(id) {
+            None => Vec::new(),
+            Some(p) => {
+                let kids = self.children(p);
+                match kids.iter().position(|&k| k == id) {
+                    Some(pos) => kids[..pos].to_vec(),
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Deep-copies the subtree rooted at `src` (which may live in another
+    /// store) into `self`, returning the location of the copied root.
+    ///
+    /// This is the "copy semantics" of XQuery element construction and of the
+    /// insert/replace source lists: inserted trees are fresh copies.
+    pub fn deep_copy_from(&mut self, src_store: &Store, src: NodeId) -> NodeId {
+        match &src_store.node(src).kind {
+            NodeKind::Text(s) => self.new_text(s.clone()),
+            NodeKind::Element { tag, children } => {
+                let tag = tag.clone();
+                let copied: Vec<NodeId> = children
+                    .iter()
+                    .map(|&c| self.deep_copy_from(src_store, c))
+                    .collect();
+                self.new_element(tag, copied)
+            }
+        }
+    }
+
+    /// Deep-copies a subtree within this store.
+    pub fn deep_copy(&mut self, src: NodeId) -> NodeId {
+        // Collect the structure first to satisfy the borrow checker without
+        // cloning the whole store.
+        enum Plan {
+            Text(String),
+            Element(String, Vec<usize>),
+        }
+        // Post-order linearization of the source subtree.
+        let mut plans: Vec<Plan> = Vec::new();
+        fn walk(store: &Store, id: NodeId, plans: &mut Vec<Plan>) -> usize {
+            match &store.node(id).kind {
+                NodeKind::Text(s) => {
+                    plans.push(Plan::Text(s.clone()));
+                    plans.len() - 1
+                }
+                NodeKind::Element { tag, children } => {
+                    let idxs: Vec<usize> =
+                        children.iter().map(|&c| walk(store, c, plans)).collect();
+                    plans.push(Plan::Element(tag.clone(), idxs));
+                    plans.len() - 1
+                }
+            }
+        }
+        let root_plan = walk(self, src, &mut plans);
+        let mut ids: Vec<Option<NodeId>> = vec![None; plans.len()];
+        for (i, plan) in plans.iter().enumerate() {
+            let id = match plan {
+                Plan::Text(s) => self.new_text(s.clone()),
+                Plan::Element(tag, kids) => {
+                    let kid_ids: Vec<NodeId> =
+                        kids.iter().map(|&k| ids[k].expect("post-order")).collect();
+                    self.new_element(tag.clone(), kid_ids)
+                }
+            };
+            ids[i] = Some(id);
+        }
+        ids[root_plan].expect("root planned")
+    }
+
+    // ----- primitive mutations (application of update pending lists) -----
+
+    /// Detaches `id` from its parent's child list (the `del(l)` command).
+    ///
+    /// The node and its subtree stay in the store but become unreachable from
+    /// the tree root, matching `σ_u @ l_t` discarding disconnected locations.
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(p) = self.parent(id) {
+            if let NodeKind::Element { children, .. } = &mut self.node_mut(p).kind {
+                children.retain(|&c| c != id);
+            }
+            self.node_mut(id).parent = None;
+        }
+    }
+
+    /// Inserts `new_children` into `parent`'s child list at position `pos`
+    /// (clamped to the list length), fixing parent pointers.
+    pub fn insert_children_at(&mut self, parent: NodeId, pos: usize, new_children: &[NodeId]) {
+        for &c in new_children {
+            self.node_mut(c).parent = Some(parent);
+        }
+        if let NodeKind::Element { children, .. } = &mut self.node_mut(parent).kind {
+            let pos = pos.min(children.len());
+            for (i, &c) in new_children.iter().enumerate() {
+                children.insert(pos + i, c);
+            }
+        }
+    }
+
+    /// Appends `new_children` to `parent`'s child list.
+    pub fn append_children(&mut self, parent: NodeId, new_children: &[NodeId]) {
+        let len = self.children(parent).len();
+        self.insert_children_at(parent, len, new_children);
+    }
+
+    /// Inserts `new_siblings` immediately before `target` in its parent's
+    /// child list. Returns `false` if `target` has no parent.
+    pub fn insert_before(&mut self, target: NodeId, new_siblings: &[NodeId]) -> bool {
+        match self.parent(target) {
+            None => false,
+            Some(p) => {
+                let pos = self
+                    .children(p)
+                    .iter()
+                    .position(|&c| c == target)
+                    .unwrap_or(0);
+                self.insert_children_at(p, pos, new_siblings);
+                true
+            }
+        }
+    }
+
+    /// Inserts `new_siblings` immediately after `target` in its parent's
+    /// child list. Returns `false` if `target` has no parent.
+    pub fn insert_after(&mut self, target: NodeId, new_siblings: &[NodeId]) -> bool {
+        match self.parent(target) {
+            None => false,
+            Some(p) => {
+                let pos = self
+                    .children(p)
+                    .iter()
+                    .position(|&c| c == target)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| self.children(p).len());
+                self.insert_children_at(p, pos, new_siblings);
+                true
+            }
+        }
+    }
+
+    /// Replaces `target` with `replacement` in its parent's child list (the
+    /// `repl(l, L)` command). Returns `false` if `target` has no parent.
+    pub fn replace(&mut self, target: NodeId, replacement: &[NodeId]) -> bool {
+        match self.parent(target) {
+            None => false,
+            Some(p) => {
+                let pos = self
+                    .children(p)
+                    .iter()
+                    .position(|&c| c == target)
+                    .unwrap_or(0);
+                self.detach(target);
+                self.insert_children_at(p, pos, replacement);
+                true
+            }
+        }
+    }
+
+    /// Renames element `target` to `new_tag` (the `ren(l, a)` command).
+    /// Text nodes are left untouched.
+    pub fn rename(&mut self, target: NodeId, new_tag: &str) {
+        if let NodeKind::Element { tag, .. } = &mut self.node_mut(target).kind {
+            *tag = new_tag.to_string();
+        }
+    }
+
+    /// Computes a map from location to document-order rank for the tree
+    /// rooted at `root`. Locations not reachable from `root` are absent.
+    pub fn doc_order(&self, root: NodeId) -> std::collections::HashMap<NodeId, usize> {
+        let mut map = std::collections::HashMap::new();
+        for (i, n) in self.descendants_or_self(root).into_iter().enumerate() {
+            map.insert(n, i);
+        }
+        map
+    }
+
+    /// Sorts `nodes` into document order (relative to `root`) and removes
+    /// duplicates, as required by XPath step semantics.
+    pub fn sort_doc_order_dedup(&self, root: NodeId, nodes: &mut Vec<NodeId>) {
+        let order = self.doc_order(root);
+        nodes.sort_by_key(|n| order.get(n).copied().unwrap_or(usize::MAX));
+        nodes.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Store, NodeId, NodeId, NodeId, NodeId) {
+        // <doc><a><c/></a><b>text</b></doc>
+        let mut s = Store::new();
+        let c = s.new_element("c", vec![]);
+        let a = s.new_element("a", vec![c]);
+        let t = s.new_text("text");
+        let b = s.new_element("b", vec![t]);
+        let doc = s.new_element("doc", vec![a, b]);
+        (s, doc, a, b, c)
+    }
+
+    #[test]
+    fn navigation_basics() {
+        let (s, doc, a, b, c) = sample();
+        assert_eq!(s.children(doc), &[a, b]);
+        assert_eq!(s.parent(a), Some(doc));
+        assert_eq!(s.parent(doc), None);
+        assert_eq!(s.ancestors(c), vec![a, doc]);
+        assert_eq!(s.descendants(doc).len(), 4);
+        assert_eq!(s.descendants_or_self(doc)[0], doc);
+        assert_eq!(s.subtree_size(doc), 5);
+        assert_eq!(s.tag(a), Some("a"));
+        assert!(s.text_value(a).is_none());
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let (s, _doc, a, b, _c) = sample();
+        assert_eq!(s.following_siblings(a), vec![b]);
+        assert_eq!(s.preceding_siblings(b), vec![a]);
+        assert!(s.following_siblings(b).is_empty());
+        assert!(s.preceding_siblings(a).is_empty());
+    }
+
+    #[test]
+    fn detach_removes_from_parent() {
+        let (mut s, doc, a, b, _c) = sample();
+        s.detach(a);
+        assert_eq!(s.children(doc), &[b]);
+        assert_eq!(s.parent(a), None);
+        // Store itself keeps the location (domains only grow).
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn insert_before_after_and_append() {
+        let (mut s, doc, a, b, _c) = sample();
+        let x = s.new_element("x", vec![]);
+        let y = s.new_element("y", vec![]);
+        let z = s.new_element("z", vec![]);
+        assert!(s.insert_before(b, &[x]));
+        assert!(s.insert_after(a, &[y]));
+        s.append_children(doc, &[z]);
+        assert_eq!(s.children(doc), &[a, y, x, b, z]);
+        assert_eq!(s.parent(x), Some(doc));
+    }
+
+    #[test]
+    fn replace_and_rename() {
+        let (mut s, doc, a, b, _c) = sample();
+        let x = s.new_element("x", vec![]);
+        assert!(s.replace(a, &[x]));
+        assert_eq!(s.children(doc), &[x, b]);
+        s.rename(b, "renamed");
+        assert_eq!(s.tag(b), Some("renamed"));
+    }
+
+    #[test]
+    fn replace_root_fails() {
+        let (mut s, doc, ..) = sample();
+        let x = s.new_element("x", vec![]);
+        assert!(!s.replace(doc, &[x]));
+        assert!(!s.insert_before(doc, &[x]));
+        assert!(!s.insert_after(doc, &[x]));
+    }
+
+    #[test]
+    fn deep_copy_is_isomorphic_but_fresh() {
+        let (mut s, doc, ..) = sample();
+        let copy = s.deep_copy(doc);
+        assert_ne!(copy, doc);
+        assert!(crate::value_equiv(&s, doc, &s, copy));
+    }
+
+    #[test]
+    fn deep_copy_from_other_store() {
+        let (s1, doc, ..) = sample();
+        let mut s2 = Store::new();
+        let copy = s2.deep_copy_from(&s1, doc);
+        assert!(crate::value_equiv(&s1, doc, &s2, copy));
+    }
+
+    #[test]
+    fn doc_order_sorting() {
+        let (s, doc, a, b, c) = sample();
+        let mut v = vec![b, c, a, b];
+        s.sort_doc_order_dedup(doc, &mut v);
+        assert_eq!(v, vec![a, c, b]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Trees `t = (σ, l_t)`: a store plus a distinguished root location.
+
+use crate::node::NodeId;
+use crate::store::Store;
+
+/// A tree `t = (σ, l_t)` — a store together with a root location.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    /// The underlying store `σ`.
+    pub store: Store,
+    /// The root location `l_t`.
+    pub root: NodeId,
+}
+
+impl Tree {
+    /// Wraps a store and a root location into a tree.
+    pub fn new(store: Store, root: NodeId) -> Self {
+        Tree { store, root }
+    }
+
+    /// Builds a single-element tree `<tag/>`.
+    pub fn leaf(tag: impl Into<String>) -> Self {
+        let mut store = Store::new();
+        let root = store.new_element(tag, vec![]);
+        Tree { store, root }
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn size(&self) -> usize {
+        self.store.subtree_size(self.root)
+    }
+
+    /// The tag of the root element.
+    pub fn root_tag(&self) -> Option<&str> {
+        self.store.tag(self.root)
+    }
+
+    /// All locations reachable from the root, in document order.
+    pub fn reachable(&self) -> Vec<NodeId> {
+        self.store.descendants_or_self(self.root)
+    }
+
+    /// Serializes the tree to an XML string.
+    pub fn to_xml(&self) -> String {
+        crate::serializer::serialize_tree(self)
+    }
+
+    /// Returns `true` if the two trees are value equivalent (isomorphic up to
+    /// locations), i.e. `(σ, l_t) ≅ (σ', l_t')`.
+    pub fn value_equiv(&self, other: &Tree) -> bool {
+        crate::equiv::value_equiv(&self.store, self.root, &other.store, other.root)
+    }
+}
+
+/// A convenient builder for hand-constructing small trees in tests and
+/// examples.
+///
+/// ```
+/// use qui_xmlstore::TreeBuilder;
+/// let t = TreeBuilder::elem("doc")
+///     .child(TreeBuilder::elem("a").child(TreeBuilder::elem("c")))
+///     .child(TreeBuilder::elem("b").text("hello"))
+///     .build();
+/// assert_eq!(t.size(), 5);
+/// assert_eq!(t.root_tag(), Some("doc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeBuilder {
+    kind: BuilderKind,
+}
+
+#[derive(Clone, Debug)]
+enum BuilderKind {
+    Element {
+        tag: String,
+        children: Vec<TreeBuilder>,
+    },
+    Text(String),
+}
+
+impl TreeBuilder {
+    /// Starts an element node.
+    pub fn elem(tag: impl Into<String>) -> Self {
+        TreeBuilder {
+            kind: BuilderKind::Element {
+                tag: tag.into(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Creates a standalone text node.
+    pub fn text_node(value: impl Into<String>) -> Self {
+        TreeBuilder {
+            kind: BuilderKind::Text(value.into()),
+        }
+    }
+
+    /// Appends a child builder.
+    pub fn child(mut self, c: TreeBuilder) -> Self {
+        if let BuilderKind::Element { children, .. } = &mut self.kind {
+            children.push(c);
+        }
+        self
+    }
+
+    /// Appends a text child.
+    pub fn text(self, value: impl Into<String>) -> Self {
+        self.child(TreeBuilder::text_node(value))
+    }
+
+    /// Materializes the builder into a [`Tree`].
+    pub fn build(self) -> Tree {
+        let mut store = Store::new();
+        let root = self.build_into(&mut store);
+        Tree { store, root }
+    }
+
+    /// Materializes the builder into an existing store, returning the root.
+    pub fn build_into(self, store: &mut Store) -> NodeId {
+        match self.kind {
+            BuilderKind::Text(s) => store.new_text(s),
+            BuilderKind::Element { tag, children } => {
+                let kids: Vec<NodeId> = children.into_iter().map(|c| c.build_into(store)).collect();
+                store.new_element(tag, kids)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_expected_shape() {
+        let t = TreeBuilder::elem("doc")
+            .child(TreeBuilder::elem("a").child(TreeBuilder::elem("c")))
+            .child(TreeBuilder::elem("b").text("hi"))
+            .build();
+        assert_eq!(t.root_tag(), Some("doc"));
+        assert_eq!(t.size(), 5);
+        let kids = t.store.children(t.root);
+        assert_eq!(t.store.tag(kids[0]), Some("a"));
+        assert_eq!(t.store.tag(kids[1]), Some("b"));
+    }
+
+    #[test]
+    fn leaf_tree() {
+        let t = Tree::leaf("x");
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.root_tag(), Some("x"));
+    }
+
+    #[test]
+    fn value_equiv_of_builders() {
+        let t1 = TreeBuilder::elem("a").text("x").build();
+        let t2 = TreeBuilder::elem("a").text("x").build();
+        let t3 = TreeBuilder::elem("a").text("y").build();
+        assert!(t1.value_equiv(&t2));
+        assert!(!t1.value_equiv(&t3));
+    }
+}

@@ -1,0 +1,133 @@
+//! Dynamic (runtime) independence checking — the semantic notion of
+//! Definition 2.4, decided on a *given* store.
+//!
+//! For a single tree `t`, the check evaluates `q` on `t`, applies `u`, and
+//! evaluates `q` again, comparing the two results up to value equivalence.
+//! A difference proves dependence; equality only shows independence *on this
+//! tree*. The workload ground truth therefore runs this check over many
+//! generated instances: the static analysis must never declare independent a
+//! pair that some instance proves dependent (soundness), and its precision is
+//! measured against pairs that no instance could break.
+
+use crate::ast::{Query, Update};
+use crate::eval::{apply_pending_list, evaluate_query, evaluate_update, EvalError};
+use qui_xmlstore::{serialize_node, Tree};
+
+/// The outcome of a dynamic independence check on one tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicOutcome {
+    /// The query result was unchanged by the update on this tree.
+    UnchangedOnThisTree,
+    /// The query result changed: the pair is definitely dependent.
+    Changed,
+}
+
+impl DynamicOutcome {
+    /// Returns `true` if the update changed the query result.
+    pub fn is_changed(self) -> bool {
+        matches!(self, DynamicOutcome::Changed)
+    }
+}
+
+/// Runs the dynamic check of Definition 2.4 on one tree.
+///
+/// The input tree is not modified (all work happens on clones).
+pub fn dynamic_independent(
+    tree: &Tree,
+    q: &Query,
+    u: &Update,
+) -> Result<DynamicOutcome, EvalError> {
+    // σ, γ ⊨ q ⇒ σ_q, L_q
+    let before = snapshot_query(tree, q)?;
+    // σ, γ ⊨ u : σ_u
+    let mut updated = tree.clone();
+    let root = updated.root;
+    let upl = evaluate_update(&mut updated.store, root, u)?;
+    apply_pending_list(&mut updated.store, &upl);
+    // σ_u, γ ⊨ q ⇒ σ'_q, L'_q
+    let after = snapshot_query(&updated, q)?;
+    if before == after {
+        Ok(DynamicOutcome::UnchangedOnThisTree)
+    } else {
+        Ok(DynamicOutcome::Changed)
+    }
+}
+
+/// Evaluates `q` on (a clone of) `tree` and captures the result sequence as
+/// serialized values, which compare exactly up to value equivalence `≅`.
+pub fn snapshot_query(tree: &Tree, q: &Query) -> Result<Vec<String>, EvalError> {
+    let mut work = tree.clone();
+    let root = work.root;
+    let result = evaluate_query(&mut work.store, root, q)?;
+    Ok(result
+        .into_iter()
+        .map(|l| serialize_node(&work.store, l))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_update};
+    use qui_xmlstore::parse_xml;
+
+    fn check(xml: &str, q: &str, u: &str) -> DynamicOutcome {
+        let t = parse_xml(xml).unwrap();
+        let q = parse_query(q).unwrap();
+        let u = parse_update(u).unwrap();
+        dynamic_independent(&t, &q, &u).unwrap()
+    }
+
+    #[test]
+    fn paper_pair_q1_u1_is_unchanged() {
+        // //a//c vs delete //b//c on a document where they touch different
+        // branches (the schema of Figure 1 guarantees this in general).
+        let out = check(
+            "<doc><a><c/></a><b><c/></b><a><c/></a></doc>",
+            "//a//c",
+            "delete //b//c",
+        );
+        assert_eq!(out, DynamicOutcome::UnchangedOnThisTree);
+    }
+
+    #[test]
+    fn overlapping_pair_is_changed() {
+        let out = check(
+            "<doc><a><c/></a><b><c/></b></doc>",
+            "//c",
+            "delete //b//c",
+        );
+        assert_eq!(out, DynamicOutcome::Changed);
+        assert!(out.is_changed());
+    }
+
+    #[test]
+    fn paper_pair_q2_u2_is_unchanged() {
+        let out = check(
+            "<bib><book><title>t</title></book></bib>",
+            "//title",
+            "for $x in //book return insert <author/> into $x",
+        );
+        assert_eq!(out, DynamicOutcome::UnchangedOnThisTree);
+    }
+
+    #[test]
+    fn rename_affects_tag_sensitive_query() {
+        let out = check(
+            "<doc><a><c/></a></doc>",
+            "//c",
+            "for $x in /a/c return rename $x as d",
+        );
+        assert_eq!(out, DynamicOutcome::Changed);
+    }
+
+    #[test]
+    fn original_tree_is_untouched() {
+        let t = parse_xml("<doc><a><c/></a></doc>").unwrap();
+        let q = parse_query("//c").unwrap();
+        let u = parse_update("delete //c").unwrap();
+        let before = t.to_xml();
+        let _ = dynamic_independent(&t, &q, &u).unwrap();
+        assert_eq!(t.to_xml(), before);
+    }
+}

@@ -1,0 +1,590 @@
+//! Query and update rewriting (§6.2 and §7).
+//!
+//! The paper handles query constructs outside its core fragment by
+//! *rewriting* them into the fragment before analysis (§6.2: predicates in
+//! disjunctive form, attribute removal, path extraction from function calls;
+//! §7: "the first [extension] method is based on query rewriting"). The
+//! parser in [`crate::parser`] already performs the path-expression
+//! desugaring; this module provides the remaining AST-level rewrites:
+//!
+//! * [`following_step`] / [`preceding_step`] — the footnote-3 encodings of
+//!   the `following` and `preceding` axes in terms of the nine core axes
+//!   (`/following::a` becomes
+//!   `/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::a`).
+//! * [`normalize_query`] / [`normalize_update`] — semantics-preserving
+//!   simplifications (constant folding of empty sequences, dead-branch
+//!   elimination, flattening of trivial `for`/`let` bindings). Analysing the
+//!   normalized expression never loses soundness and often improves both
+//!   precision (fewer spurious used chains from dead sub-expressions) and the
+//!   `k` bound of §5 (fewer nested iterations means a smaller tag-frequency
+//!   sum in Table 3).
+//! * [`substitute_var`] / [`rename_var`] — capture-avoiding variable
+//!   substitution used by the `let`-inlining pass and by programmatic query
+//!   construction.
+//!
+//! All rewrites are *pure-query* transformations: the paper's fragment has no
+//! side effects and no runtime errors other than the single-target check of
+//! updates, so dropping a never-used binding or an unreachable branch cannot
+//! change the query result.
+
+use crate::ast::{Axis, NodeTest, Query, Update};
+
+// ---------------------------------------------------------------------------
+// Footnote-3 axis encodings
+// ---------------------------------------------------------------------------
+
+/// Builds the footnote-3 encoding of `x/following::φ`:
+/// `x/ancestor-or-self::node()/following-sibling::node()/descendant-or-self::φ`.
+///
+/// The returned query uses fresh variables derived from `x` (suffixed with
+/// `#fs1`, `#fs2`), which cannot clash with parser- or user-introduced names.
+pub fn following_step(var: &str, test: NodeTest) -> Query {
+    encode_beyond_sibling(var, Axis::FollowingSibling, test)
+}
+
+/// Builds the footnote-3 style encoding of `x/preceding::φ`:
+/// `x/ancestor-or-self::node()/preceding-sibling::node()/descendant-or-self::φ`.
+pub fn preceding_step(var: &str, test: NodeTest) -> Query {
+    encode_beyond_sibling(var, Axis::PrecedingSibling, test)
+}
+
+fn encode_beyond_sibling(var: &str, sibling: Axis, test: NodeTest) -> Query {
+    let v1 = format!("{var}#fs1");
+    let v2 = format!("{var}#fs2");
+    Query::For {
+        var: v1.clone(),
+        source: Box::new(Query::step(var, Axis::AncestorOrSelf, NodeTest::AnyNode)),
+        ret: Box::new(Query::For {
+            var: v2.clone(),
+            source: Box::new(Query::step(v1, sibling, NodeTest::AnyNode)),
+            ret: Box::new(Query::step(v2, Axis::DescendantOrSelf, test)),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variable substitution
+// ---------------------------------------------------------------------------
+
+/// Returns `true` if `q` uses the variable `var` free.
+pub fn uses_var(q: &Query, var: &str) -> bool {
+    q.free_vars().contains(var)
+}
+
+/// Counts the free occurrences of `var` in `q` (step-by-step, not
+/// per-variable-set as [`Query::free_vars`] does).
+pub fn count_var_uses(q: &Query, var: &str) -> usize {
+    match q {
+        Query::Empty | Query::StringLit(_) => 0,
+        Query::Concat(a, b) => count_var_uses(a, var) + count_var_uses(b, var),
+        Query::Element { content, .. } => count_var_uses(content, var),
+        Query::Step { var: v, .. } => usize::from(v == var),
+        Query::For { var: v, source, ret } | Query::Let { var: v, source, ret } => {
+            let mut n = count_var_uses(source, var);
+            if v != var {
+                n += count_var_uses(ret, var);
+            }
+            n
+        }
+        Query::If { cond, then, els } => {
+            count_var_uses(cond, var) + count_var_uses(then, var) + count_var_uses(els, var)
+        }
+    }
+}
+
+/// Renames every free occurrence of the variable `from` to `to`.
+///
+/// This is the special case of substitution by a *variable*, which is always
+/// capture-free provided `to` is not bound inside `q`; callers are expected
+/// to pass fresh names (the parser's `#`-suffixed names, or names produced by
+/// [`fresh_name`]).
+pub fn rename_var(q: &Query, from: &str, to: &str) -> Query {
+    substitute_var(q, from, &Query::var(to))
+}
+
+/// Substitutes the query `repl` for every free occurrence `x/self::node()`
+/// of the variable `var` in `q`.
+///
+/// Occurrences under a *non-self* axis (`x/child::a`, …) are rewritten into
+/// an iteration `for f in repl return f/child::a`, which preserves the W3C
+/// semantics of path application over a sequence. Bindings shadowing `var`
+/// are left untouched.
+pub fn substitute_var(q: &Query, var: &str, repl: &Query) -> Query {
+    match q {
+        Query::Empty => Query::Empty,
+        Query::StringLit(s) => Query::StringLit(s.clone()),
+        Query::Concat(a, b) => Query::Concat(
+            Box::new(substitute_var(a, var, repl)),
+            Box::new(substitute_var(b, var, repl)),
+        ),
+        Query::Element { tag, content } => Query::Element {
+            tag: tag.clone(),
+            content: Box::new(substitute_var(content, var, repl)),
+        },
+        Query::Step { var: v, axis, test } => {
+            if v != var {
+                return q.clone();
+            }
+            // `x/self::node()` is exactly "the value of x".
+            if *axis == Axis::SelfAxis && *test == NodeTest::AnyNode {
+                return repl.clone();
+            }
+            // If the replacement is itself a bare variable we can keep a
+            // plain step; otherwise re-introduce an iteration.
+            if let Query::Step {
+                var: rv,
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+            } = repl
+            {
+                return Query::step(rv.clone(), *axis, test.clone());
+            }
+            let fresh = fresh_name(var, "subst");
+            Query::For {
+                var: fresh.clone(),
+                source: Box::new(repl.clone()),
+                ret: Box::new(Query::step(fresh, *axis, test.clone())),
+            }
+        }
+        Query::For { var: v, source, ret } => {
+            let source = Box::new(substitute_var(source, var, repl));
+            let ret = if v == var {
+                ret.clone()
+            } else {
+                Box::new(substitute_var(ret, var, repl))
+            };
+            Query::For {
+                var: v.clone(),
+                source,
+                ret,
+            }
+        }
+        Query::Let { var: v, source, ret } => {
+            let source = Box::new(substitute_var(source, var, repl));
+            let ret = if v == var {
+                ret.clone()
+            } else {
+                Box::new(substitute_var(ret, var, repl))
+            };
+            Query::Let {
+                var: v.clone(),
+                source,
+                ret,
+            }
+        }
+        Query::If { cond, then, els } => Query::If {
+            cond: Box::new(substitute_var(cond, var, repl)),
+            then: Box::new(substitute_var(then, var, repl)),
+            els: Box::new(substitute_var(els, var, repl)),
+        },
+    }
+}
+
+/// Produces a variable name that cannot clash with parser-introduced or
+/// user-written names (both never contain `'#'` followed by a suffix other
+/// than the parser's own counter-based ones).
+pub fn fresh_name(base: &str, suffix: &str) -> String {
+    format!("{base}#{suffix}")
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+/// Applies the semantics-preserving simplification passes to a query until a
+/// fixed point is reached.
+pub fn normalize_query(q: &Query) -> Query {
+    let mut cur = q.clone();
+    for _ in 0..32 {
+        let next = simplify_query(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Applies the simplification passes to an update (and to every embedded
+/// query) until a fixed point is reached.
+pub fn normalize_update(u: &Update) -> Update {
+    let mut cur = u.clone();
+    for _ in 0..32 {
+        let next = simplify_update(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn simplify_query(q: &Query) -> Query {
+    match q {
+        Query::Empty | Query::StringLit(_) | Query::Step { .. } => q.clone(),
+        Query::Concat(a, b) => {
+            let a = simplify_query(a);
+            let b = simplify_query(b);
+            Query::concat(a, b)
+        }
+        Query::Element { tag, content } => Query::Element {
+            tag: tag.clone(),
+            content: Box::new(simplify_query(content)),
+        },
+        Query::For { var, source, ret } => {
+            let source = simplify_query(source);
+            let ret = simplify_query(ret);
+            // Iterating over nothing, or producing nothing, produces nothing
+            // (queries are pure, so the iteration has no other effect).
+            if source == Query::Empty || ret == Query::Empty {
+                return Query::Empty;
+            }
+            // `for x in q return x` is q.
+            if ret == Query::var(var.clone()) {
+                return source;
+            }
+            // `for x in $y return body` iterates over a single-variable
+            // sequence: the body applied to $y item-wise. When the body is a
+            // single step this is exactly `$y/step`.
+            if let (Query::Step { var: sv, axis: Axis::SelfAxis, test: NodeTest::AnyNode },
+                    Query::Step { var: bv, axis, test }) = (&source, &ret)
+            {
+                if bv == var {
+                    return Query::step(sv.clone(), *axis, test.clone());
+                }
+            }
+            Query::For {
+                var: var.clone(),
+                source: Box::new(source),
+                ret: Box::new(ret),
+            }
+        }
+        Query::Let { var, source, ret } => {
+            let source = simplify_query(source);
+            let ret = simplify_query(ret);
+            // Unused binding: the binding expression is pure, drop it.
+            if !uses_var(&ret, var) {
+                return ret;
+            }
+            // `let x := $y return body` — substitute the variable.
+            if matches!(
+                &source,
+                Query::Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, .. }
+            ) {
+                return substitute_var(&ret, var, &source);
+            }
+            // Used exactly once: inline the binding.
+            if count_var_uses(&ret, var) == 1 {
+                return substitute_var(&ret, var, &source);
+            }
+            Query::Let {
+                var: var.clone(),
+                source: Box::new(source),
+                ret: Box::new(ret),
+            }
+        }
+        Query::If { cond, then, els } => {
+            let cond = simplify_query(cond);
+            let then = simplify_query(then);
+            let els = simplify_query(els);
+            // An empty condition has an effective boolean value of false.
+            if cond == Query::Empty {
+                return els;
+            }
+            // A constant-string condition is always true.
+            if matches!(cond, Query::StringLit(_)) {
+                return then;
+            }
+            // Both branches empty: the conditional contributes nothing and
+            // the condition itself is pure.
+            if then == Query::Empty && els == Query::Empty {
+                return Query::Empty;
+            }
+            Query::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            }
+        }
+    }
+}
+
+fn simplify_update(u: &Update) -> Update {
+    match u {
+        Update::Empty => Update::Empty,
+        Update::Concat(a, b) => {
+            let a = simplify_update(a);
+            let b = simplify_update(b);
+            match (a, b) {
+                (Update::Empty, x) | (x, Update::Empty) => x,
+                (a, b) => Update::Concat(Box::new(a), Box::new(b)),
+            }
+        }
+        Update::For { var, source, body } => {
+            let source = simplify_query(source);
+            let body = simplify_update(body);
+            if source == Query::Empty || body == Update::Empty {
+                return Update::Empty;
+            }
+            Update::For {
+                var: var.clone(),
+                source: Box::new(source),
+                body: Box::new(body),
+            }
+        }
+        Update::Let { var, source, body } => {
+            let source = simplify_query(source);
+            let body = simplify_update(body);
+            if body == Update::Empty {
+                return Update::Empty;
+            }
+            if !body.free_vars().contains(var) {
+                return body;
+            }
+            Update::Let {
+                var: var.clone(),
+                source: Box::new(source),
+                body: Box::new(body),
+            }
+        }
+        Update::If { cond, then, els } => {
+            let cond = simplify_query(cond);
+            let then = simplify_update(then);
+            let els = simplify_update(els);
+            if cond == Query::Empty {
+                return els;
+            }
+            if matches!(cond, Query::StringLit(_)) {
+                return then;
+            }
+            if then == Update::Empty && els == Update::Empty {
+                return Update::Empty;
+            }
+            Update::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            }
+        }
+        Update::Delete { target } => Update::Delete {
+            target: Box::new(simplify_query(target)),
+        },
+        Update::Rename { target, new_tag } => Update::Rename {
+            target: Box::new(simplify_query(target)),
+            new_tag: new_tag.clone(),
+        },
+        Update::Insert {
+            source,
+            pos,
+            target,
+        } => Update::Insert {
+            source: Box::new(simplify_query(source)),
+            pos: *pos,
+            target: Box::new(simplify_query(target)),
+        },
+        Update::Replace { target, source } => Update::Replace {
+            target: Box::new(simplify_query(target)),
+            source: Box::new(simplify_query(source)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_update};
+    use crate::ROOT_VAR;
+
+    #[test]
+    fn following_encoding_shape() {
+        let q = following_step("$x", NodeTest::Tag("a".into()));
+        // Two nested iterations ending in a descendant-or-self::a step.
+        let s = q.to_string();
+        assert!(s.contains("ancestor-or-self::node()"), "{s}");
+        assert!(s.contains("following-sibling::node()"), "{s}");
+        assert!(s.contains("descendant-or-self::a"), "{s}");
+    }
+
+    #[test]
+    fn preceding_encoding_shape() {
+        let q = preceding_step("$x", NodeTest::Text);
+        let s = q.to_string();
+        assert!(s.contains("preceding-sibling::node()"), "{s}");
+        assert!(s.contains("descendant-or-self::text()"), "{s}");
+    }
+
+    #[test]
+    fn encoding_only_uses_core_axes() {
+        fn axes_of(q: &Query, out: &mut Vec<Axis>) {
+            match q {
+                Query::Step { axis, .. } => out.push(*axis),
+                Query::For { source, ret, .. } | Query::Let { source, ret, .. } => {
+                    axes_of(source, out);
+                    axes_of(ret, out);
+                }
+                Query::Concat(a, b) => {
+                    axes_of(a, out);
+                    axes_of(b, out);
+                }
+                Query::Element { content, .. } => axes_of(content, out),
+                Query::If { cond, then, els } => {
+                    axes_of(cond, out);
+                    axes_of(then, out);
+                    axes_of(els, out);
+                }
+                _ => {}
+            }
+        }
+        let mut axes = Vec::new();
+        axes_of(&following_step("$x", NodeTest::AnyElement), &mut axes);
+        assert_eq!(
+            axes,
+            vec![
+                Axis::AncestorOrSelf,
+                Axis::FollowingSibling,
+                Axis::DescendantOrSelf
+            ]
+        );
+    }
+
+    #[test]
+    fn count_var_uses_respects_shadowing() {
+        let q = parse_query("for $x in $y/a return ($x/b, for $x in $z/c return $x/d)").unwrap();
+        assert_eq!(count_var_uses(&q, "$y"), 1);
+        assert_eq!(count_var_uses(&q, "$z"), 1);
+        // the outer $x is not free at all
+        assert_eq!(count_var_uses(&q, "$x"), 0);
+    }
+
+    #[test]
+    fn rename_var_only_touches_free_occurrences() {
+        let q = parse_query("($y/a, for $y in $root/b return $y/c)").unwrap();
+        let r = rename_var(&q, "$y", "$w");
+        let s = r.to_string();
+        assert!(s.contains("$w/child::a"), "{s}");
+        // the bound $y inside the for is untouched
+        assert!(s.contains("for $y in"), "{s}");
+        assert!(s.contains("$y/child::c"), "{s}");
+    }
+
+    #[test]
+    fn substitute_step_occurrence_introduces_iteration() {
+        let q = Query::step("$x", Axis::Child, NodeTest::Tag("a".into()));
+        let repl = parse_query("$root/b/c").unwrap();
+        let out = substitute_var(&q, "$x", &repl);
+        assert!(uses_var(&out, ROOT_VAR));
+        assert!(!uses_var(&out, "$x"));
+    }
+
+    #[test]
+    fn normalize_drops_empty_for() {
+        let q = parse_query("for $x in () return $x/a").unwrap();
+        assert_eq!(normalize_query(&q), Query::Empty);
+    }
+
+    #[test]
+    fn normalize_collapses_identity_for() {
+        let q = Query::For {
+            var: "$x".into(),
+            source: Box::new(parse_query("/site/people").unwrap()),
+            ret: Box::new(Query::var("$x")),
+        };
+        assert_eq!(normalize_query(&q), parse_query("/site/people").unwrap());
+    }
+
+    #[test]
+    fn normalize_fuses_for_over_variable_into_step() {
+        // for $x in $root return $x/child::a  ==  $root/child::a
+        let q = Query::For {
+            var: "$x".into(),
+            source: Box::new(Query::var(ROOT_VAR)),
+            ret: Box::new(Query::step("$x", Axis::Child, NodeTest::Tag("a".into()))),
+        };
+        assert_eq!(
+            normalize_query(&q),
+            Query::step(ROOT_VAR, Axis::Child, NodeTest::Tag("a".into()))
+        );
+    }
+
+    #[test]
+    fn normalize_drops_unused_let() {
+        let q = parse_query("let $x := /site/regions return /site/people/person").unwrap();
+        let n = normalize_query(&q);
+        assert!(!uses_var(&n, "$x"));
+        assert!(!n.to_string().contains("let"), "{n}");
+    }
+
+    #[test]
+    fn normalize_inlines_single_use_let() {
+        let q = parse_query("let $x := /site/people return $x/person").unwrap();
+        let n = normalize_query(&q);
+        assert!(!n.to_string().contains("let"), "{n}");
+    }
+
+    #[test]
+    fn normalize_if_with_empty_condition_takes_else() {
+        let q = parse_query("if (()) then /a/b else /a/c").unwrap();
+        let n = normalize_query(&q);
+        let s = n.to_string();
+        assert!(!s.contains("if"), "{s}");
+        assert!(!s.contains("child::b"), "{s}");
+        assert!(s.contains("child::c"), "{s}");
+    }
+
+    #[test]
+    fn normalize_if_with_string_condition_takes_then() {
+        let q = Query::If {
+            cond: Box::new(Query::StringLit("yes".into())),
+            then: Box::new(parse_query("/a/b").unwrap()),
+            els: Box::new(parse_query("/a/c").unwrap()),
+        };
+        let n = normalize_query(&q);
+        assert_eq!(n, normalize_query(&parse_query("/a/b").unwrap()));
+    }
+
+    #[test]
+    fn normalize_update_drops_empty_branches() {
+        let u = parse_update("if (()) then delete /a/b else ()").unwrap();
+        assert_eq!(normalize_update(&u), Update::Empty);
+    }
+
+    #[test]
+    fn normalize_update_keeps_real_work() {
+        let u = parse_update("for $x in //book return insert <author/> into $x").unwrap();
+        let n = normalize_update(&u);
+        assert!(matches!(n, Update::For { .. }));
+    }
+
+    #[test]
+    fn normalize_update_drops_unused_let() {
+        let u = parse_update("let $x := //book return delete //review").unwrap();
+        let n = normalize_update(&u);
+        assert!(matches!(n, Update::Delete { .. }), "{n}");
+    }
+
+    #[test]
+    fn normalization_reaches_fixed_point() {
+        let q = parse_query(
+            "for $b in /site/regions//item return \
+             let $k := $b/name return (if ($b/payment) then $k else (), ())",
+        )
+        .unwrap();
+        let n1 = normalize_query(&q);
+        let n2 = normalize_query(&n1);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn normalization_never_increases_size() {
+        for src in [
+            "for $x in /site/people/person return ($x/name, ())",
+            "let $u := /site/open_auctions return ((), $u/open_auction/bidder)",
+            "if (/site/closed_auctions) then //keyword else ()",
+            "<results>{ for $i in //item return <item>{ $i/name }</item> }</results>",
+        ] {
+            let q = parse_query(src).unwrap();
+            let n = normalize_query(&q);
+            assert!(n.size() <= q.size(), "{src}: {} > {}", n.size(), q.size());
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! `qui` — the command-line front end of the workspace.
+//!
+//! ```text
+//! qui check     --dtd <file> --query <expr> --update <expr> [--start <name>] [--explain]
+//! qui commute   --dtd <file> --update <expr> --update2 <expr> [--start <name>]
+//! qui chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>] [--start <name>]
+//! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>]
+//! qui validate  --dtd <file> --doc <file> [--attributes] [--start <name>]
+//! qui infer-dtd <doc.xml> [<doc.xml> …]
+//! qui generate  --dtd <file> [--nodes <n>] [--seed <n>] [--start <name>]
+//! ```
+//!
+//! Expressions may be given inline or as `@path/to/file`. DTD files may use
+//! either the compact `name -> model` syntax or standard `<!ELEMENT …>` /
+//! `<!ATTLIST …>` declarations; the start symbol defaults to the first
+//! declared element.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use xml_qui::baseline::TypeSetAnalyzer;
+use xml_qui::core::explain::{explain_verdict, matrix_report, ExplainOptions};
+use xml_qui::core::{CommutativityAnalyzer, IndependenceAnalyzer};
+use xml_qui::schema::infer::infer_dtd;
+use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
+use xml_qui::xmlstore::{parse_xml, parse_xml_keep_attributes, serialize_tree, Tree};
+use xml_qui::xquery::{parse_query, parse_update, Query, Update};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("qui: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs one invocation and returns its stdout text.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let parsed = CliArgs::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "check" => cmd_check(&parsed),
+        "commute" => cmd_commute(&parsed),
+        "chains" => cmd_chains(&parsed),
+        "matrix" => cmd_matrix(&parsed),
+        "validate" => cmd_validate(&parsed),
+        "infer-dtd" => cmd_infer_dtd(&parsed),
+        "generate" => cmd_generate(&parsed),
+        other => Err(format!("unknown command '{other}' (try 'qui help')")),
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "qui — type-based XML query-update independence");
+    let _ = writeln!(s, "commands:");
+    let _ = writeln!(s, "  check     --dtd <file> --query <expr> --update <expr> [--explain]");
+    let _ = writeln!(s, "  commute   --dtd <file> --update <expr> --update2 <expr>");
+    let _ = writeln!(s, "  chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>]");
+    let _ = writeln!(s, "  matrix    --dtd <file> --views <file> --update <expr>");
+    let _ = writeln!(s, "  validate  --dtd <file> --doc <file> [--attributes]");
+    let _ = writeln!(s, "  infer-dtd <doc.xml> [<doc.xml> …]");
+    let _ = writeln!(s, "  generate  --dtd <file> [--nodes <n>] [--seed <n>]");
+    let _ = writeln!(s, "options: --start <name> overrides the DTD start symbol;");
+    let _ = writeln!(s, "         expressions may be written inline or as @file.");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Argument handling
+// ---------------------------------------------------------------------------
+
+/// Parsed `--flag value` options plus positional arguments.
+#[derive(Debug, Default)]
+struct CliArgs {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl CliArgs {
+    fn parse(args: &[String]) -> Result<CliArgs, String> {
+        const VALUE_OPTIONS: [&str; 10] = [
+            "--dtd", "--start", "--query", "--update", "--update2", "--views", "--doc",
+            "--nodes", "--seed", "--k",
+        ];
+        const BARE_FLAGS: [&str; 2] = ["--explain", "--attributes"];
+        let mut out = CliArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if VALUE_OPTIONS.contains(&a.as_str()) {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{a} expects a value"))?;
+                out.options.insert(a.clone(), value.clone());
+                i += 2;
+            } else if BARE_FLAGS.contains(&a.as_str()) {
+                out.flags.push(a.clone());
+                i += 1;
+            } else if a.starts_with("--") {
+                return Err(format!("unknown option '{a}'"));
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}"))
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key} expects an integer, got '{v}'")),
+        }
+    }
+}
+
+/// Reads an expression argument: inline text, or the contents of a file when
+/// the argument starts with `@`.
+fn read_expr(arg: &str) -> Result<String, String> {
+    if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    } else {
+        Ok(arg.to_string())
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Loads a DTD from a file in either supported syntax. The start symbol is
+/// `--start` when given, otherwise the first declared element.
+fn load_dtd(args: &CliArgs) -> Result<Dtd, String> {
+    let path = args.require("--dtd")?;
+    let src = read_file(path)?;
+    let start = match args.get("--start") {
+        Some(s) => s.to_string(),
+        None => default_start(&src).ok_or_else(|| format!("{path}: no element declarations"))?,
+    };
+    let dtd = if src.contains("<!ELEMENT") {
+        xml_qui::schema::parse_dtd_with_attributes(&src, &start)
+    } else {
+        Dtd::parse_compact(&src, &start)
+    };
+    dtd.map_err(|e| format!("{path}: {e}"))
+}
+
+/// The first declared element name of a DTD source, used as the default
+/// start symbol.
+fn default_start(src: &str) -> Option<String> {
+    if let Some(idx) = src.find("<!ELEMENT") {
+        let rest = src[idx + "<!ELEMENT".len()..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+            .collect();
+        return (!name.is_empty()).then_some(name);
+    }
+    for line in src.split([';', '\n']) {
+        if let Some((lhs, _)) = line.split_once("->").or_else(|| line.split_once('←')) {
+            let lhs = lhs.trim();
+            if !lhs.is_empty() {
+                return Some(lhs.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn load_query(args: &CliArgs) -> Result<Query, String> {
+    let src = read_expr(args.require("--query")?)?;
+    parse_query(&src).map_err(|e| format!("query: {e}"))
+}
+
+fn load_update(args: &CliArgs, key: &str) -> Result<Update, String> {
+    let src = read_expr(args.require(key)?)?;
+    parse_update(&src).map_err(|e| format!("update: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_check(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let q = load_query(args)?;
+    let u = load_update(args, "--update")?;
+    let analyzer = IndependenceAnalyzer::new(&dtd);
+    let verdict = analyzer.check(&q, &u);
+    let mut out = String::new();
+    if args.has_flag("--explain") {
+        out.push_str(&explain_verdict(&dtd, &q, &u, &verdict, &ExplainOptions::default()));
+    } else {
+        let _ = writeln!(
+            out,
+            "{}",
+            if verdict.is_independent() { "independent" } else { "dependent" }
+        );
+        let _ = writeln!(
+            out,
+            "k = {} (k_q = {}, k_u = {}), engine = {:?}",
+            verdict.k, verdict.k_query, verdict.k_update, verdict.engine_used
+        );
+    }
+    let baseline = TypeSetAnalyzer::new(&dtd);
+    let _ = writeln!(
+        out,
+        "type-set baseline [Benedikt & Cheney]: {}",
+        if baseline.independent(&q, &u) { "independent" } else { "dependent" }
+    );
+    Ok(out)
+}
+
+fn cmd_commute(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let u1 = load_update(args, "--update")?;
+    let u2 = load_update(args, "--update2")?;
+    let analyzer = CommutativityAnalyzer::new(&dtd);
+    let verdict = analyzer.check(&u1, &u2);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        if verdict.commutes() { "commute" } else { "may not commute" }
+    );
+    if let Some(conflict) = verdict.conflict {
+        let _ = writeln!(out, "conflict: {conflict:?}");
+    }
+    let _ = writeln!(out, "k = {}", verdict.k);
+    Ok(out)
+}
+
+fn cmd_chains(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let (q, u) = match (args.get("--query"), args.get("--update")) {
+        (Some(_), None) => (load_query(args)?, Update::Empty),
+        (None, Some(_)) => (Query::Empty, load_update(args, "--update")?),
+        _ => return Err("chains expects exactly one of --query or --update".to_string()),
+    };
+    let analyzer = IndependenceAnalyzer::new(&dtd);
+    let k = args.get_usize("--k", analyzer.k_for(&q, &u).max(1))?;
+    let Some((qc, uc)) = analyzer.infer_explicit(&q, &u, k) else {
+        return Err("chain materialization exceeded the explicit engine budget".to_string());
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "k = {k}");
+    if !matches!(q, Query::Empty) {
+        let _ = writeln!(out, "{}", qc.display(&dtd));
+    }
+    if !matches!(u, Update::Empty) {
+        let _ = writeln!(out, "update chains: {}", uc.display(&dtd));
+    }
+    Ok(out)
+}
+
+fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let views_path = args.require("--views")?;
+    let views_src = read_file(views_path)?;
+    let mut views = Vec::new();
+    for (i, line) in views_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, src) = match line.split_once(':') {
+            Some((n, s)) if !n.contains('/') => (n.trim().to_string(), s.trim()),
+            _ => (format!("v{}", i + 1), line),
+        };
+        let q = parse_query(src).map_err(|e| format!("{views_path}:{}: {e}", i + 1))?;
+        views.push((name, q));
+    }
+    let u = load_update(args, "--update")?;
+    let report = matrix_report(&dtd, &views, args.get("--update").unwrap_or("update"), &u);
+    Ok(report.render())
+}
+
+fn cmd_validate(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let doc_path = args.require("--doc")?;
+    let doc_src = read_file(doc_path)?;
+    let doc = parse_document(&doc_src, args.has_flag("--attributes"))?;
+    match dtd.validate(&doc) {
+        Ok(typing) => Ok(format!(
+            "valid: {} nodes typed against {} element types\n",
+            typing.len(),
+            dtd.size()
+        )),
+        Err(e) => Err(format!("invalid: {e}")),
+    }
+}
+
+fn parse_document(src: &str, keep_attributes: bool) -> Result<Tree, String> {
+    let parsed = if keep_attributes {
+        parse_xml_keep_attributes(src)
+    } else {
+        parse_xml(src)
+    };
+    parsed.map_err(|e| e.to_string())
+}
+
+fn cmd_infer_dtd(args: &CliArgs) -> Result<String, String> {
+    if args.positional.is_empty() {
+        return Err("infer-dtd expects at least one document path".to_string());
+    }
+    let mut corpus = Vec::new();
+    for path in &args.positional {
+        let src = read_file(path)?;
+        corpus.push(parse_document(&src, args.has_flag("--attributes"))?);
+    }
+    let inferred = infer_dtd(&corpus).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# inferred from {} documents ({} elements); start = {}",
+        inferred.documents, inferred.elements, inferred.root
+    );
+    for (name, model) in &inferred.rules {
+        let _ = writeln!(out, "{name} -> {model}");
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let nodes = args.get_usize("--nodes", 200)?;
+    let seed = args.get_usize("--seed", 42)? as u64;
+    let doc = generate_valid(&dtd, &GenValidConfig::with_target(nodes), seed);
+    Ok(format!("{}\n", serialize_tree(&doc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parser_separates_options_flags_and_positionals() {
+        let args = CliArgs::parse(&strings(&[
+            "--dtd", "schema.dtd", "--explain", "a.xml", "b.xml",
+        ]))
+        .unwrap();
+        assert_eq!(args.get("--dtd"), Some("schema.dtd"));
+        assert!(args.has_flag("--explain"));
+        assert_eq!(args.positional, vec!["a.xml", "b.xml"]);
+    }
+
+    #[test]
+    fn arg_parser_rejects_unknown_and_dangling_options() {
+        assert!(CliArgs::parse(&strings(&["--bogus", "x"])).is_err());
+        assert!(CliArgs::parse(&strings(&["--dtd"])).is_err());
+    }
+
+    #[test]
+    fn default_start_from_both_syntaxes() {
+        assert_eq!(
+            default_start("<!ELEMENT bib (book*)> <!ELEMENT book (#PCDATA)>"),
+            Some("bib".to_string())
+        );
+        assert_eq!(
+            default_start("doc -> (a|b)* ; a -> c"),
+            Some("doc".to_string())
+        );
+        assert_eq!(default_start(""), None);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error_and_help_is_not() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&["help"])).unwrap().contains("commands:"));
+        assert!(run(&[]).unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn check_command_end_to_end_via_temp_files() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dtd_path = dir.join("fig1.dtd");
+        std::fs::write(&dtd_path, "doc -> (a|b)* ; a -> c ; b -> c").unwrap();
+        let out = run(&strings(&[
+            "check",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--query",
+            "//a//c",
+            "--update",
+            "delete //b//c",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("independent"), "{out}");
+        let out = run(&strings(&[
+            "check",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--query",
+            "//c",
+            "--update",
+            "delete //b//c",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("dependent"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn infer_and_validate_round_trip_via_temp_files() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-infer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc_path = dir.join("doc.xml");
+        std::fs::write(&doc_path, "<bib><book><title>t</title></book></bib>").unwrap();
+        let inferred = run(&strings(&["infer-dtd", doc_path.to_str().unwrap()])).unwrap();
+        assert!(inferred.contains("bib -> book"), "{inferred}");
+        // Write the inferred rules (minus the comment line) as a DTD and
+        // validate the same document against it.
+        let dtd_path = dir.join("inferred.dtd");
+        let rules: String = inferred.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        std::fs::write(&dtd_path, rules).unwrap();
+        let out = run(&strings(&[
+            "validate",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--start",
+            "bib",
+            "--doc",
+            doc_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.starts_with("valid"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_produces_a_document_matching_the_dtd() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dtd_path = dir.join("bib.dtd");
+        std::fs::write(&dtd_path, "bib -> book* ; book -> title ; title -> #PCDATA").unwrap();
+        let xml = run(&strings(&[
+            "generate",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--nodes",
+            "50",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(xml.trim_start().starts_with("<bib"), "{xml}");
+        let doc = parse_xml(xml.trim()).unwrap();
+        let dtd = Dtd::parse_compact("bib -> book* ; book -> title ; title -> #PCDATA", "bib").unwrap();
+        assert!(dtd.validate(&doc).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-axis semantics and the soundness of single-step chain inference
+//! (Lemma 3.1): for every node of a valid document and every XPath step, the
+//! chain of every node selected by the step is among the chains inferred by
+//! `TC(AC(c, axis), φ)`.
+
+use std::collections::HashSet;
+
+use xml_qui::core::engine::explicit::ExplicitEngine;
+use xml_qui::core::Universe;
+use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
+use xml_qui::xmlstore::{parse_xml, NodeId, Store, Tree};
+use xml_qui::xquery::eval::evaluate_query_with_env;
+use xml_qui::xquery::{Axis, NodeTest, Query};
+
+fn sibling_dtd() -> Dtd {
+    Dtd::parse_compact(
+        "r -> (a, b*, c?) ; a -> (d, e) ; b -> d? ; c -> EMPTY ; d -> #PCDATA ; e -> EMPTY",
+        "r",
+    )
+    .unwrap()
+}
+
+fn sample_doc() -> Tree {
+    parse_xml("<r><a><d>x</d><e/></a><b><d>y</d></b><b/><c/></r>").unwrap()
+}
+
+/// Evaluates a single step from one context node.
+fn eval_step(tree: &Tree, ctx: NodeId, axis: Axis, test: NodeTest) -> Vec<NodeId> {
+    let mut work = tree.clone();
+    let mut env = xml_qui::xquery::eval::Env::new();
+    env.insert("$x".to_string(), vec![ctx]);
+    let q = Query::step("$x", axis, test);
+    evaluate_query_with_env(&mut work.store, &env, &q).unwrap()
+}
+
+/// The expected node set for an axis, computed directly from the store's
+/// navigation primitives (the evaluator must agree with them).
+fn expected_axis(store: &Store, ctx: NodeId, axis: Axis) -> Vec<NodeId> {
+    match axis {
+        Axis::SelfAxis => vec![ctx],
+        Axis::Child => store.children(ctx).to_vec(),
+        Axis::Descendant => store.descendants(ctx),
+        Axis::DescendantOrSelf => store.descendants_or_self(ctx),
+        Axis::Parent => store.parent(ctx).into_iter().collect(),
+        Axis::Ancestor => store.ancestors(ctx),
+        Axis::AncestorOrSelf => {
+            let mut v = vec![ctx];
+            v.extend(store.ancestors(ctx));
+            v
+        }
+        Axis::FollowingSibling => store.following_siblings(ctx),
+        Axis::PrecedingSibling => store.preceding_siblings(ctx),
+    }
+}
+
+#[test]
+fn every_axis_matches_store_navigation() {
+    let tree = sample_doc();
+    for ctx in tree.reachable() {
+        for axis in Axis::all() {
+            let got: HashSet<NodeId> = eval_step(&tree, ctx, axis, NodeTest::AnyNode)
+                .into_iter()
+                .collect();
+            let expected: HashSet<NodeId> =
+                expected_axis(&tree.store, ctx, axis).into_iter().collect();
+            assert_eq!(got, expected, "axis {axis:?} from node {ctx:?}");
+        }
+    }
+}
+
+#[test]
+fn node_tests_filter_by_kind_and_tag() {
+    let tree = sample_doc();
+    let root = tree.root;
+    // child::b selects exactly the two b children.
+    let bs = eval_step(&tree, root, Axis::Child, NodeTest::Tag("b".into()));
+    assert_eq!(bs.len(), 2);
+    assert!(bs.iter().all(|&n| tree.store.tag(n) == Some("b")));
+    // descendant::text() selects the two text nodes.
+    let texts = eval_step(&tree, root, Axis::Descendant, NodeTest::Text);
+    assert_eq!(texts.len(), 2);
+    assert!(texts.iter().all(|&n| tree.store.is_text(n)));
+    // child::* selects elements only (all four children here are elements).
+    let elems = eval_step(&tree, root, Axis::Child, NodeTest::AnyElement);
+    assert_eq!(elems.len(), 4);
+    // descendant-or-self::node() includes the context node itself.
+    let all = eval_step(&tree, root, Axis::DescendantOrSelf, NodeTest::AnyNode);
+    assert!(all.contains(&root));
+    assert_eq!(all.len(), tree.size());
+}
+
+#[test]
+fn sibling_axes_respect_document_order() {
+    let tree = sample_doc();
+    let root = tree.root;
+    let children = tree.store.children(root).to_vec(); // a, b, b, c
+    let first_b = children[1];
+    let after: Vec<_> = eval_step(&tree, first_b, Axis::FollowingSibling, NodeTest::AnyNode);
+    assert_eq!(after, vec![children[2], children[3]]);
+    let before: Vec<_> = eval_step(&tree, first_b, Axis::PrecedingSibling, NodeTest::AnyNode);
+    assert_eq!(before, vec![children[0]]);
+    // With a tag test only the matching siblings remain.
+    let after_c = eval_step(&tree, first_b, Axis::FollowingSibling, NodeTest::Tag("c".into()));
+    assert_eq!(after_c, vec![children[3]]);
+}
+
+/// Lemma 3.1 (soundness of step chains), checked dynamically: on documents
+/// generated from non-recursive schemas, for every context node, axis and
+/// node test, the chain of every selected node belongs to the statically
+/// inferred step-chain set.
+#[test]
+fn step_chain_inference_covers_dynamic_steps() {
+    let schemas = [
+        sibling_dtd(),
+        Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*, price?) ; title -> #PCDATA ; \
+             author -> (first?, last) ; first -> #PCDATA ; last -> #PCDATA ; price -> #PCDATA",
+            "bib",
+        )
+        .unwrap(),
+    ];
+    let tests = [
+        NodeTest::AnyNode,
+        NodeTest::AnyElement,
+        NodeTest::Text,
+        NodeTest::Tag("d".into()),
+        NodeTest::Tag("author".into()),
+    ];
+    for dtd in &schemas {
+        let universe = Universe::unrestricted(dtd);
+        let engine = ExplicitEngine::new(&universe, 100_000);
+        for seed in [3u64, 17, 91] {
+            let doc = generate_valid(dtd, &GenValidConfig::with_target(120), seed);
+            let typing = dtd.validate(&doc).expect("generated document is valid");
+            for ctx in doc.reachable() {
+                let ctx_chain = typing.chain_of(&doc.store, ctx).expect("typed node");
+                for axis in Axis::all() {
+                    let step_chains = engine.ac(&ctx_chain, axis).expect("within budget");
+                    for test in &tests {
+                        let allowed = engine.tc(step_chains.clone(), test);
+                        for selected in eval_step(&doc, ctx, axis, test.clone()) {
+                            let chain = typing
+                                .chain_of(&doc.store, selected)
+                                .expect("selected node is typed");
+                            assert!(
+                                allowed.contains(&chain),
+                                "axis {axis:?}, test {test:?}: dynamic chain {} not inferred",
+                                dtd.show_chain(&chain)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `<_r` sibling-order relation used by the sibling-axis rules must agree
+/// with the orders that actually occur in generated documents.
+#[test]
+fn before_pairs_cover_observed_sibling_orders() {
+    let dtd = sibling_dtd();
+    for seed in 0..10u64 {
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(100), seed);
+        let typing = dtd.validate(&doc).unwrap();
+        for node in doc.reachable() {
+            if !doc.store.is_element(node) {
+                continue;
+            }
+            let Some(sym) = typing.type_of(node) else { continue };
+            let pairs = dtd.before_pairs(sym);
+            let kids = doc.store.children(node).to_vec();
+            for i in 0..kids.len() {
+                for j in i + 1..kids.len() {
+                    let a = typing.type_of(kids[i]).unwrap();
+                    let b = typing.type_of(kids[j]).unwrap();
+                    assert!(
+                        pairs.contains(&(a, b)),
+                        "observed {}-before-{} under {} but <_r does not allow it",
+                        dtd.name(a),
+                        dtd.name(b),
+                        dtd.name(sym)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Properties of chain-based document projection (Theorem 3.2 made
+//! operational): evaluating a query on its projection gives the same result
+//! as on the full document, and selective queries prune substantial parts of
+//! the document.
+
+use proptest::prelude::*;
+use xml_qui::core::ChainProjector;
+use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
+use xml_qui::workloads::{all_views, xmark_document, xmark_dtd};
+use xml_qui::xquery::dynamic::snapshot_query;
+use xml_qui::xquery::parse_query;
+
+fn bib_dtd() -> Dtd {
+    Dtd::parse_compact(
+        "bib -> book* ; book -> (title, author*, price?) ; title -> #PCDATA ; \
+         author -> (first?, last) ; first -> #PCDATA ; last -> #PCDATA ; price -> #PCDATA",
+        "bib",
+    )
+    .unwrap()
+}
+
+const QUERY_POOL: &[&str] = &[
+    "//title",
+    "//book/author/last",
+    "//book/price",
+    "//author",
+    "for $b in //book return ($b/title, $b/price)",
+    "//first/parent::author",
+    "//title/following-sibling::author",
+    "for $b in //book[author] return $b/title",
+    "if (//price) then //title else //author/last",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Query results are preserved on the chain-based projection.
+    #[test]
+    fn projection_preserves_results(seed in 0u64..500, qi in 0usize..QUERY_POOL.len()) {
+        let dtd = bib_dtd();
+        let projector = ChainProjector::new(&dtd);
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(200), seed);
+        let q = parse_query(QUERY_POOL[qi]).unwrap();
+        let projected = projector.project_for_query(&doc, &q).unwrap();
+        prop_assert!(projected.size() <= doc.size());
+        prop_assert_eq!(
+            snapshot_query(&doc, &q).unwrap(),
+            snapshot_query(&projected, &q).unwrap(),
+            "query {} on seed {}", QUERY_POOL[qi], seed
+        );
+    }
+}
+
+#[test]
+fn xmark_views_evaluate_identically_on_their_projections() {
+    let dtd = xmark_dtd();
+    let projector = ChainProjector::new(&dtd);
+    let doc = xmark_document(3_000, 5);
+    let mut pruned_something = false;
+    for view in all_views() {
+        let Some(projected) = projector.project_for_query(&doc, &view.query) else {
+            continue; // budget exceeded: callers fall back to the full document
+        };
+        assert_eq!(
+            snapshot_query(&doc, &view.query).unwrap(),
+            snapshot_query(&projected, &view.query).unwrap(),
+            "view {}",
+            view.name
+        );
+        if projected.size() < doc.size() {
+            pruned_something = true;
+        }
+    }
+    assert!(
+        pruned_something,
+        "at least one selective view should shrink the document"
+    );
+}
+
+#[test]
+fn selective_views_shrink_the_document_substantially() {
+    let dtd = xmark_dtd();
+    let projector = ChainProjector::new(&dtd);
+    let doc = xmark_document(5_000, 9);
+    // A view over one region should not need the other regions.
+    let q = parse_query("/people/person/name").unwrap();
+    let projected = projector.project_for_query(&doc, &q).unwrap();
+    assert!(
+        projected.size() * 2 < doc.size(),
+        "projection kept {}/{} nodes",
+        projected.size(),
+        doc.size()
+    );
+    assert_eq!(
+        snapshot_query(&doc, &q).unwrap(),
+        snapshot_query(&projected, &q).unwrap()
+    );
+}

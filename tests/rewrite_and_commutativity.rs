@@ -1,0 +1,179 @@
+//! Semantics preservation of the rewriting passes and soundness of the
+//! update-update commutativity analysis, both established dynamically on
+//! generated valid documents.
+
+use proptest::prelude::*;
+use xml_qui::core::CommutativityAnalyzer;
+use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
+use xml_qui::xmlstore::{parse_xml, Tree};
+use xml_qui::xquery::dynamic::snapshot_query;
+use xml_qui::xquery::eval::{apply_pending_list, evaluate_update};
+use xml_qui::xquery::rewrite::{normalize_query, normalize_update};
+use xml_qui::xquery::{parse_query, parse_update, Update};
+
+fn bib_dtd() -> Dtd {
+    Dtd::parse_compact(
+        "bib -> book* ; book -> (title, author*, price?) ; title -> #PCDATA ; \
+         author -> (first?, last) ; first -> #PCDATA ; last -> #PCDATA ; price -> #PCDATA",
+        "bib",
+    )
+    .unwrap()
+}
+
+const QUERY_POOL: &[&str] = &[
+    "//title",
+    "//book/author/last",
+    "for $b in //book return ($b/title, ())",
+    "let $x := //book return $x/price",
+    "let $unused := //author return //title",
+    "if (()) then //title else //price",
+    "if (//price) then //title else ()",
+    "for $b in //book[author] return $b/title",
+    "<list>{ for $b in //book return <entry>{$b/title}</entry> }</list>",
+    "//author/parent::node()/title",
+    "//title/following-sibling::author",
+];
+
+const UPDATE_POOL: &[&str] = &[
+    "delete //price",
+    "delete //book/author",
+    "for $b in //book return insert <price>1</price> into $b",
+    "for $a in //author return rename $a as creator",
+    "for $t in //title return replace $t with <title>new</title>",
+    "if (()) then delete //book else ()",
+    "let $x := //book return delete //price",
+    "()",
+];
+
+/// Applies an update to a clone of the tree, returning the result (or `None`
+/// when evaluation raises a runtime error such as a multi-node target).
+fn apply(tree: &Tree, u: &Update) -> Option<Tree> {
+    let mut t = tree.clone();
+    let root = t.root;
+    let upl = evaluate_update(&mut t.store, root, u).ok()?;
+    apply_pending_list(&mut t.store, &upl);
+    Some(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Normalizing a query never changes its result on a valid document.
+    #[test]
+    fn normalized_queries_are_equivalent(seed in 0u64..500, qi in 0usize..QUERY_POOL.len()) {
+        let dtd = bib_dtd();
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(150), seed);
+        let q = parse_query(QUERY_POOL[qi]).unwrap();
+        let n = normalize_query(&q);
+        let before = snapshot_query(&doc, &q).unwrap();
+        let after = snapshot_query(&doc, &n).unwrap();
+        prop_assert_eq!(before, after, "query {} vs normalized {}", q, n);
+    }
+
+    /// Normalizing an update never changes the document it produces.
+    #[test]
+    fn normalized_updates_are_equivalent(seed in 0u64..500, ui in 0usize..UPDATE_POOL.len()) {
+        let dtd = bib_dtd();
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(150), seed);
+        let u = parse_update(UPDATE_POOL[ui]).unwrap();
+        let n = normalize_update(&u);
+        match (apply(&doc, &u), apply(&doc, &n)) {
+            (Some(a), Some(b)) => prop_assert!(
+                a.value_equiv(&b),
+                "update {} and its normalization {} disagree",
+                u,
+                n
+            ),
+            (None, None) => {}
+            (a, b) => prop_assert!(
+                false,
+                "one of the forms failed to evaluate: original ok = {}, normalized ok = {}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+
+    /// Whenever the commutativity analyzer says two updates commute, applying
+    /// them in either order must give value-equivalent documents.
+    #[test]
+    fn declared_commutative_pairs_really_commute(
+        seed in 0u64..200,
+        i in 0usize..UPDATE_POOL.len(),
+        j in 0usize..UPDATE_POOL.len(),
+    ) {
+        let dtd = bib_dtd();
+        let analyzer = CommutativityAnalyzer::new(&dtd);
+        let u1 = parse_update(UPDATE_POOL[i]).unwrap();
+        let u2 = parse_update(UPDATE_POOL[j]).unwrap();
+        if !analyzer.check(&u1, &u2).commutes() {
+            return Ok(()); // only the positive verdict carries a guarantee
+        }
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(150), seed);
+        let order_a = apply(&doc, &u1).and_then(|t| apply(&t, &u2));
+        let order_b = apply(&doc, &u2).and_then(|t| apply(&t, &u1));
+        if let (Some(a), Some(b)) = (order_a, order_b) {
+            prop_assert!(
+                a.value_equiv(&b),
+                "updates {} / {} were declared commutative but orders differ",
+                u1,
+                u2
+            );
+        }
+    }
+}
+
+#[test]
+fn following_encoding_selects_the_right_nodes() {
+    // <r><a><d>1</d></a><b><d>2</d></b><c/></r>: the d under b and the c
+    // element both follow the first d in document order without being its
+    // descendants or ancestors.
+    let tree = parse_xml("<r><a><d>1</d></a><b><d>2</d></b><c/></r>").unwrap();
+    let q = parse_query("//a/d/following::node()").unwrap();
+    let labels: Vec<String> = snapshot_query(&tree, &q).unwrap();
+    // b, its d child (with its text), and c all follow; the a subtree does not.
+    assert!(labels.iter().any(|s| s.starts_with("<b>")), "{labels:?}");
+    assert!(labels.iter().any(|s| s.starts_with("<c")), "{labels:?}");
+    assert!(!labels.iter().any(|s| s.starts_with("<a>")), "{labels:?}");
+    assert!(!labels.iter().any(|s| s.starts_with("<r>")), "{labels:?}");
+}
+
+#[test]
+fn preceding_encoding_selects_the_right_nodes() {
+    let tree = parse_xml("<r><a><d>1</d></a><b><d>2</d></b><c/></r>").unwrap();
+    let q = parse_query("//c/preceding::d").unwrap();
+    let labels: Vec<String> = snapshot_query(&tree, &q).unwrap();
+    assert_eq!(labels.len(), 2, "{labels:?}");
+    assert!(labels.iter().all(|s| s.starts_with("<d>")), "{labels:?}");
+}
+
+#[test]
+fn normalization_shrinks_the_maintenance_views() {
+    // The rewriting pass must be a no-op or a strict simplification on the
+    // benchmark views, never an expansion.
+    for view in xml_qui::workloads::all_views() {
+        let n = normalize_query(&view.query);
+        assert!(
+            n.size() <= view.query.size(),
+            "{}: normalization grew the query",
+            view.name
+        );
+    }
+}
+
+#[test]
+fn commutativity_matrix_on_the_benchmark_updates_is_symmetric() {
+    // Spot-check symmetry and reflexive dependence behaviour on a slice of
+    // the XMark update workload (whole 31×31 matrix would be slow here).
+    let dtd = xml_qui::workloads::xmark_dtd();
+    let analyzer = CommutativityAnalyzer::new(&dtd);
+    let updates = xml_qui::workloads::all_updates();
+    let slice: Vec<_> = updates.iter().take(6).collect();
+    for a in &slice {
+        for b in &slice {
+            let ab = analyzer.check(&a.update, &b.update).commutes();
+            let ba = analyzer.check(&b.update, &a.update).commutes();
+            assert_eq!(ab, ba, "{} vs {}", a.name, b.name);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Workload-level integration test: on the XMark benchmark, the chain
+//! analysis must be sound w.r.t. the dynamic ground truth and at least as
+//! precise as the type-set baseline.
+
+use xml_qui::baseline::TypeSetAnalyzer;
+use xml_qui::core::IndependenceAnalyzer;
+use xml_qui::workloads::{all_updates, all_views, ground_truth_matrix, xmark_dtd};
+
+#[test]
+fn xmark_chain_analysis_is_sound_and_dominates_the_baseline() {
+    // A subset keeps the test under a few seconds; the benches sweep the
+    // full 31×36 matrix.
+    let views: Vec<_> = all_views()
+        .into_iter()
+        .filter(|v| ["q1", "q5", "q13", "q18", "A1", "A3", "A7", "B3", "B7"].contains(&v.name))
+        .collect();
+    let updates: Vec<_> = all_updates()
+        .into_iter()
+        .filter(|u| ["UA2", "UA7", "UB3", "UI2", "UN1", "UP1", "UP5"].contains(&u.name))
+        .collect();
+    let truth = ground_truth_matrix(&views, &updates, 3_000, &[1, 2]);
+
+    let dtd = xmark_dtd();
+    let chains = IndependenceAnalyzer::new(&dtd);
+    let baseline = TypeSetAnalyzer::new(&dtd);
+
+    let mut chains_detected = 0usize;
+    let mut types_detected = 0usize;
+    for u in &updates {
+        for v in &views {
+            let chain_verdict = chains.check(&v.query, &u.update).is_independent();
+            let type_verdict = baseline.independent(&v.query, &u.update);
+            let empirically_independent = truth[&(u.name.to_string(), v.name.to_string())];
+            // Soundness of both static analyses.
+            assert!(
+                !chain_verdict || empirically_independent,
+                "chain analysis unsound on ({}, {})",
+                u.name,
+                v.name
+            );
+            assert!(
+                !type_verdict || empirically_independent,
+                "type-set baseline unsound on ({}, {})",
+                u.name,
+                v.name
+            );
+            if chain_verdict {
+                chains_detected += 1;
+            }
+            if type_verdict {
+                types_detected += 1;
+            }
+        }
+    }
+    // The headline shape of Fig. 3.b: chains detect at least as many
+    // independences as types, and strictly more on this subset.
+    assert!(
+        chains_detected > types_detected,
+        "chains {chains_detected} vs types {types_detected}"
+    );
+}
