@@ -190,9 +190,7 @@ impl<'a> TypeSetAnalyzer<'a> {
     pub fn independent(&self, q: &Query, u: &Update) -> bool {
         let qt = self.query_types(q);
         let ut = self.update_types(u);
-        qt.traversed
-            .intersection(&ut.impacted)
-            .all(|s| s.is_text())
+        qt.traversed.intersection(&ut.impacted).all(|s| s.is_text())
     }
 
     /// Pretty-prints a type set using the DTD's names.

@@ -117,8 +117,14 @@ fn bench_commutativity(c: &mut Criterion) {
     // A cheap pair and an expensive (recursive-region) pair.
     let cheap = (&updates[0], &updates[1]);
     let recursive = (
-        updates.iter().find(|u| u.name == "UA2").unwrap_or(&updates[2]),
-        updates.iter().find(|u| u.name == "UI3").unwrap_or(&updates[3]),
+        updates
+            .iter()
+            .find(|u| u.name == "UA2")
+            .unwrap_or(&updates[2]),
+        updates
+            .iter()
+            .find(|u| u.name == "UI3")
+            .unwrap_or(&updates[3]),
     );
     group.bench_function("query_update/baseline_check", |b| {
         b.iter(|| black_box(qu.check(&views[0].query, &cheap.0.update).is_independent()))
@@ -127,7 +133,12 @@ fn bench_commutativity(c: &mut Criterion) {
         b.iter(|| black_box(uu.check(&cheap.0.update, &cheap.1.update).commutes()))
     });
     group.bench_function("update_update/recursive_pair", |b| {
-        b.iter(|| black_box(uu.check(&recursive.0.update, &recursive.1.update).commutes()))
+        b.iter(|| {
+            black_box(
+                uu.check(&recursive.0.update, &recursive.1.update)
+                    .commutes(),
+            )
+        })
     });
     group.finish();
 }

@@ -9,7 +9,10 @@ fn main() {
     let views = all_views();
     let updates = all_updates();
     let seeds: Vec<u64> = (1..=3).collect();
-    eprintln!("building ground truth over {} generated instances…", seeds.len());
+    eprintln!(
+        "building ground truth over {} generated instances…",
+        seeds.len()
+    );
     let truth = ground_truth_matrix(&views, &updates, 4_000, &seeds);
     let rows = precision_report(&views, &updates, &truth);
     println!("Fig 3.b — independence detected (% of truly independent pairs)");

@@ -193,8 +193,7 @@ impl<'a, S: SchemaLike> CommutativityAnalyzer<'a, S> {
                 return true;
             }
         }
-        let eng =
-            CdagEngine::new(self.schema, k).with_element_chains(self.config.element_chains);
+        let eng = CdagEngine::new(self.schema, k).with_element_chains(self.config.element_chains);
         let d1 = eng.infer_update(&eng.root_gamma(u1.free_vars()), u1);
         let d2 = eng.infer_update(&eng.root_gamma(u2.free_vars()), u2);
         eng.dag_conflicts(&d1, &d2) || eng.dag_conflicts(&d2, &d1)
@@ -294,11 +293,8 @@ mod tests {
 
     #[test]
     fn rename_in_disjoint_subtrees_commutes() {
-        let dtd = Dtd::parse_compact(
-            "doc -> (a|b)* ; a -> c ; b -> c ; c -> #PCDATA",
-            "doc",
-        )
-        .unwrap();
+        let dtd =
+            Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c ; c -> #PCDATA", "doc").unwrap();
         let a = CommutativityAnalyzer::new(&dtd);
         let u1 = parse_update("for $x in //a/c return rename $x as c").unwrap();
         let u2 = parse_update("delete //b/c").unwrap();
@@ -331,8 +327,10 @@ mod tests {
     #[test]
     fn k_override_is_honoured() {
         let dtd = bib();
-        let mut config = AnalyzerConfig::default();
-        config.k_override = Some(4);
+        let config = AnalyzerConfig {
+            k_override: Some(4),
+            ..Default::default()
+        };
         let a = CommutativityAnalyzer::with_config(&dtd, config);
         let u1 = parse_update("delete //price").unwrap();
         let u2 = parse_update("delete //title").unwrap();

@@ -209,8 +209,10 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             dag.edges
                 .insert((self.node(w[0], i as u32), self.node(w[1], i as u32 + 1)));
         }
-        dag.ends
-            .insert(self.node(syms[syms.len() - 1], (syms.len() - 1) as u32), false);
+        dag.ends.insert(
+            self.node(syms[syms.len() - 1], (syms.len() - 1) as u32),
+            false,
+        );
         dag
     }
 
@@ -265,7 +267,11 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// filtered away by a node test or a later step must not leave their
     /// edges behind, otherwise they would resurface as spurious paths when
     /// DAG nodes merge.
-    fn trim_to(&self, edges: &HashSet<(NodeIdx, NodeIdx)>, ends: &HashSet<NodeIdx>) -> HashSet<(NodeIdx, NodeIdx)> {
+    fn trim_to(
+        &self,
+        edges: &HashSet<(NodeIdx, NodeIdx)>,
+        ends: &HashSet<NodeIdx>,
+    ) -> HashSet<(NodeIdx, NodeIdx)> {
         if ends.is_empty() || edges.is_empty() {
             return HashSet::new();
         }
@@ -350,7 +356,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 preds.entry(t).or_default().push(f);
             }
         }
-        for (&end, _) in &ctx.ends {
+        for &end in ctx.ends.keys() {
             let Some(end_sym) = self.sym_of(end) else {
                 continue;
             };
@@ -633,7 +639,9 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     pub fn infer_update(&self, gamma: &DagGamma, u: &Update) -> ChainDag {
         match u {
             Update::Empty => ChainDag::empty(),
-            Update::Concat(a, b) => self.infer_update(gamma, a).union(&self.infer_update(gamma, b)),
+            Update::Concat(a, b) => self
+                .infer_update(gamma, a)
+                .union(&self.infer_update(gamma, b)),
             Update::If { cond: _, then, els } => self
                 .infer_update(gamma, then)
                 .union(&self.infer_update(gamma, els)),
@@ -740,9 +748,8 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                     continue;
                 }
                 let mut cur = base;
-                let mut depth = self.depth_of(base);
                 let mut truncated = false;
-                for &s in suf.chain.symbols() {
+                for (depth, &s) in (self.depth_of(base)..).zip(suf.chain.symbols()) {
                     if depth + 1 >= self.max_depth {
                         truncated = true;
                         break;
@@ -750,7 +757,6 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                     let next = self.node(s, depth + 1);
                     out.edges.insert((cur, next));
                     cur = next;
-                    depth += 1;
                 }
                 let ext = suf.extensible || truncated;
                 let e = out.ends.entry(cur).or_insert(false);

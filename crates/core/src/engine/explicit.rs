@@ -189,7 +189,8 @@ impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
                 let q2 = self.infer_query(&inner, ret)?;
                 let mut out = QueryChains::empty();
                 out.returns = q2.returns;
-                out.used.extend(q1.returns.into_iter().map(ChainItem::plain));
+                out.used
+                    .extend(q1.returns.into_iter().map(ChainItem::plain));
                 out.used.extend(q1.used);
                 out.used.extend(q2.used);
                 out.elements = q2.elements;
@@ -542,11 +543,7 @@ mod tests {
             "bib",
         )
         .unwrap();
-        let u = infer_u(
-            &d,
-            3,
-            "for $x in //book return insert <author/> into $x",
-        );
+        let u = infer_u(&d, 3, "for $x in //book return insert <author/> into $x");
         let shown: Vec<String> = u.chains.iter().map(|c| c.display(&d)).collect();
         assert_eq!(shown, vec!["bib.book:author"]);
     }

@@ -149,11 +149,7 @@ fn describe_kind(kind: ConflictKind) -> &'static str {
     }
 }
 
-fn render_query_chains<S: SchemaLike>(
-    schema: &S,
-    qc: &QueryChains,
-    max: usize,
-) -> String {
+fn render_query_chains<S: SchemaLike>(schema: &S, qc: &QueryChains, max: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -180,11 +176,7 @@ fn render_query_chains<S: SchemaLike>(
     out
 }
 
-fn render_update_chains<S: SchemaLike>(
-    schema: &S,
-    uc: &UpdateChains,
-    max: usize,
-) -> String {
+fn render_update_chains<S: SchemaLike>(schema: &S, uc: &UpdateChains, max: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "update chains ({}):", uc.len());
     out.push_str(&render_list(
@@ -257,7 +249,11 @@ impl MatrixReport {
             let _ = writeln!(
                 out,
                 "  {name:<8} {}",
-                if *independent { "independent" } else { "dependent" }
+                if *independent {
+                    "independent"
+                } else {
+                    "dependent"
+                }
             );
         }
         out

@@ -202,8 +202,7 @@ mod tests {
     fn element_construction_counts_constructed_tags() {
         // §5 example: inserting <b><b><c/></b></b> below /a/b gives k_u = 3
         // (F(b) = 1 from the path + 2 from the constructor).
-        let u =
-            parse_update("for $x in /a/b return insert <b><b><c/></b></b> into $x").unwrap();
+        let u = parse_update("for $x in /a/b return insert <b><b><c/></b></b> into $x").unwrap();
         assert_eq!(k_of_update(&u), 3);
     }
 

@@ -22,9 +22,9 @@
 //! only keep too much, never too little.
 
 use crate::engine::explicit::ExplicitEngine;
+use crate::kbound::k_of_query;
 use crate::types::QueryChains;
 use crate::universe::Universe;
-use crate::kbound::k_of_query;
 use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
 use qui_xmlstore::{project, upward_closure, NodeId, Tree};
 use qui_xquery::Query;
@@ -207,7 +207,13 @@ mod tests {
         let dtd = bib();
         let projector = ChainProjector::new(&dtd);
         let doc = sample();
-        for src in ["//title", "//author/last", "//book/price", "//book", "//first/parent::author"] {
+        for src in [
+            "//title",
+            "//author/last",
+            "//book/price",
+            "//book",
+            "//first/parent::author",
+        ] {
             let q = parse_query(src).unwrap();
             let projected = projector.project_for_query(&doc, &q).unwrap();
             assert_eq!(
@@ -250,7 +256,9 @@ mod tests {
         let spec = projector
             .spec_for_query(&parse_query("//author/last").unwrap())
             .unwrap();
-        let last = dtd.chain_of_names(&["bib", "book", "author", "last"]).unwrap();
+        let last = dtd
+            .chain_of_names(&["bib", "book", "author", "last"])
+            .unwrap();
         let book = dtd.chain_of_names(&["bib", "book"]).unwrap();
         let price = dtd.chain_of_names(&["bib", "book", "price"]).unwrap();
         assert!(spec.keeps(&book), "ancestors of results must be kept");
@@ -262,11 +270,15 @@ mod tests {
     fn unknown_labels_are_kept_conservatively() {
         let dtd = bib();
         let projector = ChainProjector::new(&dtd);
-        let doc = parse_xml("<bib><book><title>t</title></book><extra><blob>x</blob></extra></bib>")
-            .unwrap();
+        let doc =
+            parse_xml("<bib><book><title>t</title></book><extra><blob>x</blob></extra></bib>")
+                .unwrap();
         let q = parse_query("//title").unwrap();
         let projected = projector.project_for_query(&doc, &q).unwrap();
-        assert!(projected.to_xml().contains("<blob>"), "unknown regions stay");
+        assert!(
+            projected.to_xml().contains("<blob>"),
+            "unknown regions stay"
+        );
         assert_eq!(
             snapshot_query(&doc, &q).unwrap(),
             snapshot_query(&projected, &q).unwrap()

@@ -143,12 +143,14 @@ fn parse_attlist_body(body: &str) -> Result<Vec<AttrDecl>, SchemaParseError> {
     let mut i = 0;
     while i < rest.len() {
         let name = rest[i].clone();
-        let _ty = rest
-            .get(i + 1)
-            .ok_or_else(|| SchemaParseError::new(format!("ATTLIST {element}: missing type for {name}")))?;
+        let _ty = rest.get(i + 1).ok_or_else(|| {
+            SchemaParseError::new(format!("ATTLIST {element}: missing type for {name}"))
+        })?;
         let default = rest
             .get(i + 2)
-            .ok_or_else(|| SchemaParseError::new(format!("ATTLIST {element}: missing default for {name}")))?
+            .ok_or_else(|| {
+                SchemaParseError::new(format!("ATTLIST {element}: missing default for {name}"))
+            })?
             .clone();
         // #FIXED is followed by the fixed value.
         let consumed = if default == "#FIXED" { 4 } else { 3 };
@@ -226,14 +228,12 @@ mod tests {
     #[test]
     fn required_attribute_is_enforced_by_validation() {
         let dtd = with_attributes(&base(), &[AttrDecl::new("item", "id", true)]).unwrap();
-        let ok = parse_xml_keep_attributes(
-            r#"<catalog><item id="1"><name>x</name></item></catalog>"#,
-        )
-        .unwrap();
+        let ok =
+            parse_xml_keep_attributes(r#"<catalog><item id="1"><name>x</name></item></catalog>"#)
+                .unwrap();
         assert!(dtd.validate(&ok).is_ok());
         let missing =
-            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#)
-                .unwrap();
+            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#).unwrap();
         assert!(dtd.validate(&missing).is_err());
     }
 
@@ -241,8 +241,7 @@ mod tests {
     fn optional_attribute_may_be_absent() {
         let dtd = with_attributes(&base(), &[AttrDecl::new("item", "lang", false)]).unwrap();
         let without =
-            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#)
-                .unwrap();
+            parse_xml_keep_attributes(r#"<catalog><item><name>x</name></item></catalog>"#).unwrap();
         assert!(dtd.validate(&without).is_ok());
         let with = parse_xml_keep_attributes(
             r#"<catalog><item lang="en"><name>x</name></item></catalog>"#,

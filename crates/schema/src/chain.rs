@@ -198,10 +198,7 @@ mod tests {
         let c = Chain::from_slice(&[s(1), s(2), s(3)]);
         assert_eq!(
             c.proper_prefixes(),
-            vec![
-                Chain::from_slice(&[s(1)]),
-                Chain::from_slice(&[s(1), s(2)])
-            ]
+            vec![Chain::from_slice(&[s(1)]), Chain::from_slice(&[s(1), s(2)])]
         );
         assert_eq!(c.prefixes_or_self().len(), 3);
     }

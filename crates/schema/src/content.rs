@@ -380,9 +380,7 @@ mod tests {
         assert!(ContentModel::star(ContentModel::sym(a)).nullable());
         assert!(!ContentModel::plus(ContentModel::sym(a)).nullable());
         assert!(ContentModel::opt(ContentModel::sym(a)).nullable());
-        assert!(
-            !ContentModel::seq(vec![ContentModel::sym(a), ContentModel::sym(b)]).nullable()
-        );
+        assert!(!ContentModel::seq(vec![ContentModel::sym(a), ContentModel::sym(b)]).nullable());
         assert!(ContentModel::seq(vec![
             ContentModel::opt(ContentModel::sym(a)),
             ContentModel::star(ContentModel::sym(b))

@@ -324,7 +324,10 @@ pub fn ancestor_types(dtd: &Dtd) -> HashMap<Sym, HashSet<Sym>> {
         for k in keys {
             let parents: Vec<Sym> = out[&k].iter().copied().collect();
             for p in parents {
-                let grand: Vec<Sym> = out.get(&p).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                let grand: Vec<Sym> = out
+                    .get(&p)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
                 let entry = out.entry(k).or_default();
                 for g in grand {
                     changed |= entry.insert(g);
@@ -418,9 +421,13 @@ mod tests {
         let d = figure1_dtd();
         let anc = ancestor_types(&d);
         let c = d.sym("c").unwrap();
-        let expected: HashSet<Sym> = [d.sym("a").unwrap(), d.sym("b").unwrap(), d.sym("doc").unwrap()]
-            .into_iter()
-            .collect();
+        let expected: HashSet<Sym> = [
+            d.sym("a").unwrap(),
+            d.sym("b").unwrap(),
+            d.sym("doc").unwrap(),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(anc[&c], expected);
     }
 

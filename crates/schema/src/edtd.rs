@@ -150,11 +150,7 @@ impl Edtd {
         // Glushkov-style reachability check: we simply enumerate (candidate
         // sets are almost always singletons in practice).
         let mut word: Vec<Sym> = Vec::with_capacity(children.len());
-        fn dfs(
-            model: &crate::ContentModel,
-            sets: &[Vec<Sym>],
-            word: &mut Vec<Sym>,
-        ) -> bool {
+        fn dfs(model: &crate::ContentModel, sets: &[Vec<Sym>], word: &mut Vec<Sym>) -> bool {
             if sets.is_empty() {
                 return model.matches(word);
             }
@@ -242,8 +238,7 @@ mod tests {
         let valid =
             parse_xml("<shop><new><item><price>3</price></item></new><old><item/></old></shop>")
                 .unwrap();
-        let invalid =
-            parse_xml("<shop><new><item/></new><old><item/></old></shop>").unwrap();
+        let invalid = parse_xml("<shop><new><item/></new><old><item/></old></shop>").unwrap();
         assert!(e.validate(&valid));
         assert!(!e.validate(&invalid));
     }

@@ -109,10 +109,7 @@ impl<'a> Generator<'a> {
         let word = if budget > 1 && depth < self.config.max_depth {
             self.sample_word(&self.dtd.content(sym).clone(), budget)
         } else {
-            self.minimal_word
-                .get(&sym)
-                .cloned()
-                .unwrap_or_default()
+            self.minimal_word.get(&sym).cloned().unwrap_or_default()
         };
         let child_budget = budget.saturating_sub(1) / word.len().max(1);
         let children: Vec<NodeId> = word
@@ -180,8 +177,7 @@ impl<'a> Generator<'a> {
                 }
             }
             ContentModel::Opt(sub) => {
-                let take =
-                    budget > 1 && self.rng.random_bool(self.config.optional_probability);
+                let take = budget > 1 && self.rng.random_bool(self.config.optional_probability);
                 if take {
                     self.sample_into(&sub.clone(), budget, out);
                 }
@@ -296,7 +292,12 @@ mod tests {
         let d = bib_dtd();
         let small = generate_valid(&d, &GenValidConfig::with_target(50), 1);
         let large = generate_valid(&d, &GenValidConfig::with_target(5_000), 1);
-        assert!(large.size() > small.size() * 5, "{} vs {}", large.size(), small.size());
+        assert!(
+            large.size() > small.size() * 5,
+            "{} vs {}",
+            large.size(),
+            small.size()
+        );
     }
 
     #[test]

@@ -265,11 +265,12 @@ fn generalise(sequences: &[Vec<String>]) -> String {
     // simpler and plenty fast).
     let mut reach = precedes.clone();
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
+        let through_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (j, &reachable) in through_k.iter().enumerate() {
+                    if reachable {
+                        row[j] = true;
                     }
                 }
             }
@@ -398,11 +399,7 @@ mod tests {
 
     #[test]
     fn optional_and_repeated_children() {
-        let corpus = corpus_from(&[
-            "<bib><book/><book/></bib>",
-            "<bib><book/></bib>",
-            "<bib/>",
-        ]);
+        let corpus = corpus_from(&["<bib><book/><book/></bib>", "<bib><book/></bib>", "<bib/>"]);
         let inferred = infer_dtd(&corpus).unwrap();
         assert_eq!(inferred.rules["bib"], "book*");
     }
@@ -450,10 +447,7 @@ mod tests {
 
     #[test]
     fn inference_round_trips_through_compact_syntax() {
-        let corpus = corpus_from(&[
-            "<r><a/><b>t</b></r>",
-            "<r><a/><a/><b>t</b></r>",
-        ]);
+        let corpus = corpus_from(&["<r><a/><b>t</b></r>", "<r><a/><a/><b>t</b></r>"]);
         let inferred = infer_dtd(&corpus).unwrap();
         let reparsed = Dtd::parse_compact(&inferred.to_compact(), &inferred.root).unwrap();
         for doc in &corpus {

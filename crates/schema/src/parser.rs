@@ -252,7 +252,8 @@ impl<'a> ContentParser<'a> {
             }
             Some(c) if c == '#' || c == '@' || c.is_alphanumeric() || c == '_' => {
                 let start = self.pos;
-                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '#' | '@')) {
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '#' | '@'))
+                {
                     self.pos += 1;
                 }
                 let name: String = self.chars[start..self.pos].iter().collect();
@@ -327,7 +328,11 @@ mod tests {
 
     #[test]
     fn mixed_content_model() {
-        let d = parse_compact("text -> (#PCDATA | bold | emph)* ; bold -> (#PCDATA | bold | emph)* ; emph -> EMPTY", "text").unwrap();
+        let d = parse_compact(
+            "text -> (#PCDATA | bold | emph)* ; bold -> (#PCDATA | bold | emph)* ; emph -> EMPTY",
+            "text",
+        )
+        .unwrap();
         let text = d.sym("text").unwrap();
         assert!(d.child_syms(text).contains(&TEXT_SYM));
         assert!(d.is_recursive_sym(d.sym("bold").unwrap()));

@@ -45,7 +45,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "root element is <{found}>, expected <{expected}>")
             }
             ValidationError::UnknownTag { location, tag } => {
-                write!(f, "element <{tag}> at {location} is not declared in the DTD")
+                write!(
+                    f,
+                    "element <{tag}> at {location} is not declared in the DTD"
+                )
             }
             ValidationError::ContentMismatch {
                 location,

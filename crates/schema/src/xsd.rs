@@ -174,8 +174,8 @@ impl Translator {
                 }
                 "simpleType" | "annotation" | "" => {}
                 other if other.starts_with('@') => {}
-                other @ ("import" | "include" | "redefine" | "group" | "attributeGroup"
-                | "all") => {
+                other
+                @ ("import" | "include" | "redefine" | "group" | "attributeGroup" | "all") => {
                     return Err(XsdError::new(format!("unsupported construct xs:{other}")));
                 }
                 _ => {}
@@ -322,7 +322,11 @@ impl Translator {
                 "element" => {
                     let ty = self.type_of_element(child)?;
                     names.push(ty.clone());
-                    occurs(ty, self.attr(child, "minOccurs"), self.attr(child, "maxOccurs"))
+                    occurs(
+                        ty,
+                        self.attr(child, "minOccurs"),
+                        self.attr(child, "maxOccurs"),
+                    )
                 }
                 "sequence" | "choice" => {
                     let (inner, inner_names) = self.particle_content(child)?;
@@ -347,7 +351,11 @@ impl Translator {
             "choice" => format!("({})", parts.join(" | ")),
             _ => format!("({})", parts.join(", ")),
         };
-        let wrapped = occurs(joined, self.attr(node, "minOccurs"), self.attr(node, "maxOccurs"));
+        let wrapped = occurs(
+            joined,
+            self.attr(node, "minOccurs"),
+            self.attr(node, "maxOccurs"),
+        );
         Ok((wrapped, names))
     }
 
@@ -384,7 +392,7 @@ impl Translator {
     }
 }
 
-fn tag_of<'s>(store: &'s Store, node: NodeId) -> &'s str {
+fn tag_of(store: &Store, node: NodeId) -> &str {
     store.tag(node).unwrap_or("")
 }
 
@@ -454,9 +462,18 @@ mod tests {
         let root = dtd.start();
         assert_eq!(edtd.label_of(root), "bookstore");
         // The book type reaches title and the attribute types.
-        let book = dtd.alphabet().find(|&t| edtd.label_of(t) == "book").unwrap();
-        let title = dtd.alphabet().find(|&t| edtd.label_of(t) == "title").unwrap();
-        let isbn = dtd.alphabet().find(|&t| edtd.label_of(t) == "@isbn").unwrap();
+        let book = dtd
+            .alphabet()
+            .find(|&t| edtd.label_of(t) == "book")
+            .unwrap();
+        let title = dtd
+            .alphabet()
+            .find(|&t| edtd.label_of(t) == "title")
+            .unwrap();
+        let isbn = dtd
+            .alphabet()
+            .find(|&t| edtd.label_of(t) == "@isbn")
+            .unwrap();
         assert!(dtd.reaches(book, title));
         assert!(dtd.reaches(book, isbn));
     }

@@ -26,8 +26,7 @@ pub mod views;
 pub mod xmark;
 
 pub use harness::{
-    ground_truth_matrix, maintenance_simulation, precision_report, MaintenanceReport,
-    PrecisionRow,
+    ground_truth_matrix, maintenance_simulation, precision_report, MaintenanceReport, PrecisionRow,
 };
 pub use rbench::{rbench_expression, rbench_schema};
 pub use updates::{all_updates, NamedUpdate};

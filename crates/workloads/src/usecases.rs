@@ -255,7 +255,11 @@ mod tests {
                     break;
                 }
             }
-            assert!(witnessed, "{}: no instance witnessed the dependence", pair.name);
+            assert!(
+                witnessed,
+                "{}: no instance witnessed the dependence",
+                pair.name
+            );
         }
     }
 

@@ -33,6 +33,8 @@ pub use equiv::{sequence_equiv, value_equiv};
 pub use node::{Node, NodeId, NodeKind};
 pub use parser::{parse_xml, parse_xml_keep_attributes, ParseError};
 pub use projection::{project, upward_closure};
-pub use serializer::{serialize_node, serialize_node_with_attributes, serialize_tree, serialize_tree_with_attributes};
+pub use serializer::{
+    serialize_node, serialize_node_with_attributes, serialize_tree, serialize_tree_with_attributes,
+};
 pub use store::Store;
 pub use tree::{Tree, TreeBuilder};

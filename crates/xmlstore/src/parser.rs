@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -183,8 +187,8 @@ impl<'a> Parser<'a> {
                                     }
                                 }
                                 let end = self.pos.saturating_sub(1).max(start);
-                                value = String::from_utf8_lossy(&self.bytes[start..end])
-                                    .into_owned();
+                                value =
+                                    String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
                             }
                             _ => return Err(self.error("expected quoted attribute value")),
                         }
@@ -369,8 +373,8 @@ mod tests {
 
     #[test]
     fn keep_attributes_encodes_them_as_at_children() {
-        let t = parse_xml_keep_attributes(r#"<item id="7" lang='en'><name>x</name></item>"#)
-            .unwrap();
+        let t =
+            parse_xml_keep_attributes(r#"<item id="7" lang='en'><name>x</name></item>"#).unwrap();
         let kids = t.store.children(t.root).to_vec();
         assert_eq!(kids.len(), 3);
         assert_eq!(t.store.tag(kids[0]), Some("@id"));

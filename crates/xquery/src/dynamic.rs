@@ -92,11 +92,7 @@ mod tests {
 
     #[test]
     fn overlapping_pair_is_changed() {
-        let out = check(
-            "<doc><a><c/></a><b><c/></b></doc>",
-            "//c",
-            "delete //b//c",
-        );
+        let out = check("<doc><a><c/></a><b><c/></b></doc>", "//c", "delete //b//c");
         assert_eq!(out, DynamicOutcome::Changed);
         assert!(out.is_changed());
     }

@@ -220,10 +220,7 @@ impl<'a> Evaluator<'a> {
             Query::Element { tag, content } => {
                 let inner = self.eval(content, env)?;
                 // Element construction copies its content (XQuery semantics).
-                let copies: Vec<NodeId> = inner
-                    .iter()
-                    .map(|&l| self.store.deep_copy(l))
-                    .collect();
+                let copies: Vec<NodeId> = inner.iter().map(|&l| self.store.deep_copy(l)).collect();
                 Ok(vec![self.store.new_element(tag.clone(), copies)])
             }
             Query::Step { var, axis, test } => {
@@ -405,8 +402,7 @@ impl<'a> Evaluator<'a> {
             } => {
                 let t = self.single_target(target, env, "insert")?;
                 let src = self.eval(source, env)?;
-                let copies: Vec<NodeId> =
-                    src.iter().map(|&l| self.store.deep_copy(l)).collect();
+                let copies: Vec<NodeId> = src.iter().map(|&l| self.store.deep_copy(l)).collect();
                 upl.push(UpdateCommand::Ins {
                     content: copies,
                     pos: *pos,
@@ -417,8 +413,7 @@ impl<'a> Evaluator<'a> {
             Update::Replace { target, source } => {
                 let t = self.single_target(target, env, "replace")?;
                 let src = self.eval(source, env)?;
-                let copies: Vec<NodeId> =
-                    src.iter().map(|&l| self.store.deep_copy(l)).collect();
+                let copies: Vec<NodeId> = src.iter().map(|&l| self.store.deep_copy(l)).collect();
                 upl.push(UpdateCommand::Repl {
                     target: t,
                     content: copies,

@@ -132,10 +132,10 @@ impl P {
             return false;
         }
         // must not be followed by a name character
-        match self.chars.get(end) {
-            Some(c) if c.is_alphanumeric() || *c == '_' || *c == '-' => false,
-            _ => true,
-        }
+        !matches!(
+            self.chars.get(end),
+            Some(c) if c.is_alphanumeric() || *c == '_' || *c == '-'
+        )
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -163,7 +163,8 @@ impl P {
     fn parse_name(&mut self) -> Result<String, QueryParseError> {
         self.skip_ws();
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.')) {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -243,11 +244,8 @@ impl P {
             let var = self.parse_varname()?;
             self.skip_ws();
             // accept ':=' or '='
-            if self.eat(':') {
-                self.expect('=')?;
-            } else {
-                self.expect('=')?;
-            }
+            self.eat(':');
+            self.expect('=')?;
             let source = self.parse_query_or()?;
             self.expect_keyword("return")?;
             let ret = self.parse_query_single()?;
@@ -423,7 +421,17 @@ impl P {
         // is a variable: e.g. inside predicates `annotation/description`.
         self.skip_ws();
         const RESERVED: [&str; 12] = [
-            "and", "or", "return", "then", "else", "in", "as", "with", "into", "before", "after",
+            "and",
+            "or",
+            "return",
+            "then",
+            "else",
+            "in",
+            "as",
+            "with",
+            "into",
+            "before",
+            "after",
             "satisfies",
         ];
         let relative_first = matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '*' || c == '@')
@@ -647,11 +655,9 @@ impl P {
         if self.eat_keyword("let") {
             let var = self.parse_varname()?;
             self.skip_ws();
-            if self.eat(':') {
-                self.expect('=')?;
-            } else {
-                self.expect('=')?;
-            }
+            // accept ':=' or '='
+            self.eat(':');
+            self.expect('=')?;
             let source = self.parse_query_or()?;
             self.expect_keyword("return")?;
             let body = self.parse_update_single()?;
@@ -729,7 +735,9 @@ impl P {
             } else if self.eat_keyword("after") {
                 UpdatePos::After
             } else {
-                return Err(self.err("expected into / as first into / as last into / before / after"));
+                return Err(
+                    self.err("expected into / as first into / as last into / before / after")
+                );
             };
             let target = self.parse_query_or()?;
             return Ok(Update::Insert {
@@ -789,11 +797,7 @@ mod tests {
         let q = parse_query("$x/following-sibling::bidder").unwrap();
         assert_eq!(
             q,
-            Query::step(
-                "$x",
-                Axis::FollowingSibling,
-                NodeTest::Tag("bidder".into())
-            )
+            Query::step("$x", Axis::FollowingSibling, NodeTest::Tag("bidder".into()))
         );
         let q = parse_query("$x/ancestor::listitem").unwrap();
         assert_eq!(
@@ -809,7 +813,10 @@ mod tests {
         let q = parse_query("//text()").unwrap();
         assert!(q.to_string().contains("child::text()"));
         let q = parse_query("$x/descendant-or-self::node()").unwrap();
-        assert_eq!(q, Query::step("$x", Axis::DescendantOrSelf, NodeTest::AnyNode));
+        assert_eq!(
+            q,
+            Query::step("$x", Axis::DescendantOrSelf, NodeTest::AnyNode)
+        );
     }
 
     #[test]

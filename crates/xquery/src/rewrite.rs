@@ -79,7 +79,16 @@ pub fn count_var_uses(q: &Query, var: &str) -> usize {
         Query::Concat(a, b) => count_var_uses(a, var) + count_var_uses(b, var),
         Query::Element { content, .. } => count_var_uses(content, var),
         Query::Step { var: v, .. } => usize::from(v == var),
-        Query::For { var: v, source, ret } | Query::Let { var: v, source, ret } => {
+        Query::For {
+            var: v,
+            source,
+            ret,
+        }
+        | Query::Let {
+            var: v,
+            source,
+            ret,
+        } => {
             let mut n = count_var_uses(source, var);
             if v != var {
                 n += count_var_uses(ret, var);
@@ -146,7 +155,11 @@ pub fn substitute_var(q: &Query, var: &str, repl: &Query) -> Query {
                 ret: Box::new(Query::step(fresh, *axis, test.clone())),
             }
         }
-        Query::For { var: v, source, ret } => {
+        Query::For {
+            var: v,
+            source,
+            ret,
+        } => {
             let source = Box::new(substitute_var(source, var, repl));
             let ret = if v == var {
                 ret.clone()
@@ -159,7 +172,11 @@ pub fn substitute_var(q: &Query, var: &str, repl: &Query) -> Query {
                 ret,
             }
         }
-        Query::Let { var: v, source, ret } => {
+        Query::Let {
+            var: v,
+            source,
+            ret,
+        } => {
             let source = Box::new(substitute_var(source, var, repl));
             let ret = if v == var {
                 ret.clone()
@@ -246,8 +263,18 @@ fn simplify_query(q: &Query) -> Query {
             // `for x in $y return body` iterates over a single-variable
             // sequence: the body applied to $y item-wise. When the body is a
             // single step this is exactly `$y/step`.
-            if let (Query::Step { var: sv, axis: Axis::SelfAxis, test: NodeTest::AnyNode },
-                    Query::Step { var: bv, axis, test }) = (&source, &ret)
+            if let (
+                Query::Step {
+                    var: sv,
+                    axis: Axis::SelfAxis,
+                    test: NodeTest::AnyNode,
+                },
+                Query::Step {
+                    var: bv,
+                    axis,
+                    test,
+                },
+            ) = (&source, &ret)
             {
                 if bv == var {
                     return Query::step(sv.clone(), *axis, test.clone());
@@ -269,7 +296,11 @@ fn simplify_query(q: &Query) -> Query {
             // `let x := $y return body` — substitute the variable.
             if matches!(
                 &source,
-                Query::Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, .. }
+                Query::Step {
+                    axis: Axis::SelfAxis,
+                    test: NodeTest::AnyNode,
+                    ..
+                }
             ) {
                 return substitute_var(&ret, var, &source);
             }

@@ -27,10 +27,19 @@ fn main() {
     let policy = parse_query("//record/diagnosis").unwrap();
 
     let requests = [
-        ("update the billing address", "for $a in //billing/address return replace $a with <address>new</address>"),
-        ("add a prescription", "for $r in //record return insert <prescription>aspirin</prescription> into $r"),
+        (
+            "update the billing address",
+            "for $a in //billing/address return replace $a with <address>new</address>",
+        ),
+        (
+            "add a prescription",
+            "for $r in //record return insert <prescription>aspirin</prescription> into $r",
+        ),
         ("delete a diagnosis", "delete //diagnosis"),
-        ("rename record sections", "for $r in //patient/record return rename $r as record"),
+        (
+            "rename record sections",
+            "for $r in //patient/record return rename $r as record",
+        ),
     ];
     println!("policy: updates must be independent of {policy}");
     for (label, src) in requests {

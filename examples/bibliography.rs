@@ -15,7 +15,11 @@ fn main() {
     let types = TypeSetAnalyzer::new(&dtd);
     let doc = bib_document(400, 7);
 
-    println!("bibliography DTD ({} element types), document of {} nodes\n", dtd.size(), doc.size());
+    println!(
+        "bibliography DTD ({} element types), document of {} nodes\n",
+        dtd.size(),
+        doc.size()
+    );
     println!(
         "{:<6} {:<12} {:<12} {:<12} {:<10}  rationale",
         "pair", "label", "chains", "types[6]", "dynamic"
@@ -31,9 +35,21 @@ fn main() {
         println!(
             "{:<6} {:<12} {:<12} {:<12} {:<10}  {}",
             pair.name,
-            if pair.independent { "independent" } else { "dependent" },
-            if chain_verdict.is_independent() { "independent" } else { "dependent" },
-            if type_verdict { "independent" } else { "dependent" },
+            if pair.independent {
+                "independent"
+            } else {
+                "dependent"
+            },
+            if chain_verdict.is_independent() {
+                "independent"
+            } else {
+                "dependent"
+            },
+            if type_verdict {
+                "independent"
+            } else {
+                "dependent"
+            },
             dynamic,
             pair.rationale,
         );

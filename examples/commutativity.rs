@@ -60,7 +60,11 @@ fn main() {
         ),
     ];
 
-    println!("schema: {} element types, document: {} nodes\n", dtd.size(), doc.size());
+    println!(
+        "schema: {} element types, document: {} nodes\n",
+        dtd.size(),
+        doc.size()
+    );
     for (label, s1, s2) in pairs {
         let u1 = parse_update(s1).unwrap();
         let u2 = parse_update(s2).unwrap();
@@ -83,7 +87,11 @@ fn main() {
         println!("  u2 = {s2}");
         println!(
             "  static: {}{}   (k = {}, dynamic check on this document: {})",
-            if verdict.commutes() { "COMMUTE" } else { "may not commute" },
+            if verdict.commutes() {
+                "COMMUTE"
+            } else {
+                "may not commute"
+            },
             verdict
                 .conflict
                 .map(|c| format!(" [{c:?}]"))

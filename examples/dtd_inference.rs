@@ -44,7 +44,10 @@ fn main() {
 
     // Every corpus document is valid w.r.t. the inferred schema.
     for (i, doc) in corpus.iter().enumerate() {
-        assert!(inferred.dtd.validate(doc).is_ok(), "document {i} must validate");
+        assert!(
+            inferred.dtd.validate(doc).is_ok(),
+            "document {i} must validate"
+        );
     }
     println!("\nall corpus documents validate against the inferred DTD");
 
@@ -56,13 +59,21 @@ fn main() {
     let verdict = analyzer.check(&view, &update);
     println!(
         "\nview //order/customer vs update 'delete //line/note': {}",
-        if verdict.is_independent() { "INDEPENDENT — no refresh needed" } else { "dependent" }
+        if verdict.is_independent() {
+            "INDEPENDENT — no refresh needed"
+        } else {
+            "dependent"
+        }
     );
 
     let update2 = parse_update("for $o in //order return rename $o/customer as client").unwrap();
     let verdict2 = analyzer.check(&view, &update2);
     println!(
         "view //order/customer vs update 'rename customer as client': {}",
-        if verdict2.is_independent() { "independent" } else { "DEPENDENT — refresh required" }
+        if verdict2.is_independent() {
+            "independent"
+        } else {
+            "DEPENDENT — refresh required"
+        }
     );
 }

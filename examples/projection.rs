@@ -20,13 +20,19 @@ fn main() {
 
     let views = [
         ("person names", "/people/person/name"),
-        ("open auction bids", "/open_auctions/open_auction/bidder/increase"),
+        (
+            "open auction bids",
+            "/open_auctions/open_auction/bidder/increase",
+        ),
         ("item names in Europe", "/regions/europe/item/name"),
         ("all keywords", "//keyword"),
     ];
 
     println!("XMark-style document: {} nodes\n", doc.size());
-    println!("{:<26} {:>12} {:>10} {:>8}", "view", "kept nodes", "kept %", "same?");
+    println!(
+        "{:<26} {:>12} {:>10} {:>8}",
+        "view", "kept nodes", "kept %", "same?"
+    );
     for (label, src) in views {
         let q = parse_query(src).unwrap();
         let Some(projected) = projector.project_for_query(&doc, &q) else {

@@ -64,9 +64,18 @@ fn usage() -> String {
     let mut s = String::new();
     let _ = writeln!(s, "qui — type-based XML query-update independence");
     let _ = writeln!(s, "commands:");
-    let _ = writeln!(s, "  check     --dtd <file> --query <expr> --update <expr> [--explain]");
-    let _ = writeln!(s, "  commute   --dtd <file> --update <expr> --update2 <expr>");
-    let _ = writeln!(s, "  chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>]");
+    let _ = writeln!(
+        s,
+        "  check     --dtd <file> --query <expr> --update <expr> [--explain]"
+    );
+    let _ = writeln!(
+        s,
+        "  commute   --dtd <file> --update <expr> --update2 <expr>"
+    );
+    let _ = writeln!(
+        s,
+        "  chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>]"
+    );
     let _ = writeln!(s, "  matrix    --dtd <file> --views <file> --update <expr>");
     let _ = writeln!(s, "  validate  --dtd <file> --doc <file> [--attributes]");
     let _ = writeln!(s, "  infer-dtd <doc.xml> [<doc.xml> …]");
@@ -91,8 +100,16 @@ struct CliArgs {
 impl CliArgs {
     fn parse(args: &[String]) -> Result<CliArgs, String> {
         const VALUE_OPTIONS: [&str; 10] = [
-            "--dtd", "--start", "--query", "--update", "--update2", "--views", "--doc",
-            "--nodes", "--seed", "--k",
+            "--dtd",
+            "--start",
+            "--query",
+            "--update",
+            "--update2",
+            "--views",
+            "--doc",
+            "--nodes",
+            "--seed",
+            "--k",
         ];
         const BARE_FLAGS: [&str; 2] = ["--explain", "--attributes"];
         let mut out = CliArgs::default();
@@ -215,12 +232,22 @@ fn cmd_check(args: &CliArgs) -> Result<String, String> {
     let verdict = analyzer.check(&q, &u);
     let mut out = String::new();
     if args.has_flag("--explain") {
-        out.push_str(&explain_verdict(&dtd, &q, &u, &verdict, &ExplainOptions::default()));
+        out.push_str(&explain_verdict(
+            &dtd,
+            &q,
+            &u,
+            &verdict,
+            &ExplainOptions::default(),
+        ));
     } else {
         let _ = writeln!(
             out,
             "{}",
-            if verdict.is_independent() { "independent" } else { "dependent" }
+            if verdict.is_independent() {
+                "independent"
+            } else {
+                "dependent"
+            }
         );
         let _ = writeln!(
             out,
@@ -232,7 +259,11 @@ fn cmd_check(args: &CliArgs) -> Result<String, String> {
     let _ = writeln!(
         out,
         "type-set baseline [Benedikt & Cheney]: {}",
-        if baseline.independent(&q, &u) { "independent" } else { "dependent" }
+        if baseline.independent(&q, &u) {
+            "independent"
+        } else {
+            "dependent"
+        }
     );
     Ok(out)
 }
@@ -247,7 +278,11 @@ fn cmd_commute(args: &CliArgs) -> Result<String, String> {
     let _ = writeln!(
         out,
         "{}",
-        if verdict.commutes() { "commute" } else { "may not commute" }
+        if verdict.commutes() {
+            "commute"
+        } else {
+            "may not commute"
+        }
     );
     if let Some(conflict) = verdict.conflict {
         let _ = writeln!(out, "conflict: {conflict:?}");
@@ -366,7 +401,11 @@ mod tests {
     #[test]
     fn arg_parser_separates_options_flags_and_positionals() {
         let args = CliArgs::parse(&strings(&[
-            "--dtd", "schema.dtd", "--explain", "a.xml", "b.xml",
+            "--dtd",
+            "schema.dtd",
+            "--explain",
+            "a.xml",
+            "b.xml",
         ]))
         .unwrap();
         assert_eq!(args.get("--dtd"), Some("schema.dtd"));
@@ -442,7 +481,11 @@ mod tests {
         // Write the inferred rules (minus the comment line) as a DTD and
         // validate the same document against it.
         let dtd_path = dir.join("inferred.dtd");
-        let rules: String = inferred.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let rules: String = inferred
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
         std::fs::write(&dtd_path, rules).unwrap();
         let out = run(&strings(&[
             "validate",
@@ -476,7 +519,8 @@ mod tests {
         .unwrap();
         assert!(xml.trim_start().starts_with("<bib"), "{xml}");
         let doc = parse_xml(xml.trim()).unwrap();
-        let dtd = Dtd::parse_compact("bib -> book* ; book -> title ; title -> #PCDATA", "bib").unwrap();
+        let dtd =
+            Dtd::parse_compact("bib -> book* ; book -> title ; title -> #PCDATA", "bib").unwrap();
         assert!(dtd.validate(&doc).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -7,9 +7,7 @@ use xml_qui::baseline::TypeSetAnalyzer;
 use xml_qui::core::IndependenceAnalyzer;
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, with_attributes, AttrDecl, Dtd, GenValidConfig};
-use xml_qui::xmlstore::{
-    parse_xml_keep_attributes, serialize_tree_with_attributes, Tree,
-};
+use xml_qui::xmlstore::{parse_xml_keep_attributes, serialize_tree_with_attributes, Tree};
 use xml_qui::xquery::{dynamic_independent, parse_query, parse_update, DynamicOutcome};
 
 fn catalog_dtd() -> Dtd {
@@ -92,7 +90,9 @@ fn chains_beat_types_on_attributes_of_sibling_elements() {
     let dtd = catalog_dtd();
     let q = parse_query("//name/@style").unwrap();
     let u = parse_update("delete //item/@lang").unwrap();
-    assert!(IndependenceAnalyzer::new(&dtd).check(&q, &u).is_independent());
+    assert!(IndependenceAnalyzer::new(&dtd)
+        .check(&q, &u)
+        .is_independent());
     // (The type-set baseline may or may not: @lang and @style are distinct
     // types, but the traversed set of //name/@style includes item. We only
     // assert the chain analysis, plus baseline soundness.)

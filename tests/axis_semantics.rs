@@ -100,7 +100,12 @@ fn sibling_axes_respect_document_order() {
     let before: Vec<_> = eval_step(&tree, first_b, Axis::PrecedingSibling, NodeTest::AnyNode);
     assert_eq!(before, vec![children[0]]);
     // With a tag test only the matching siblings remain.
-    let after_c = eval_step(&tree, first_b, Axis::FollowingSibling, NodeTest::Tag("c".into()));
+    let after_c = eval_step(
+        &tree,
+        first_b,
+        Axis::FollowingSibling,
+        NodeTest::Tag("c".into()),
+    );
     assert_eq!(after_c, vec![children[3]]);
 }
 
@@ -167,7 +172,9 @@ fn before_pairs_cover_observed_sibling_orders() {
             if !doc.store.is_element(node) {
                 continue;
             }
-            let Some(sym) = typing.type_of(node) else { continue };
+            let Some(sym) = typing.type_of(node) else {
+                continue;
+            };
             let pairs = dtd.before_pairs(sym);
             let kids = doc.store.children(node).to_vec();
             for i in 0..kids.len() {

@@ -3,7 +3,9 @@
 //! the unrestricted analysis on non-recursive schemas.
 
 use proptest::prelude::*;
-use xml_qui::core::{k_for_pair, k_of_query, k_of_update, AnalyzerConfig, EngineKind, IndependenceAnalyzer};
+use xml_qui::core::{
+    k_for_pair, k_of_query, k_of_update, AnalyzerConfig, EngineKind, IndependenceAnalyzer,
+};
 use xml_qui::schema::Dtd;
 use xml_qui::xquery::{parse_query, parse_update, Query, Update};
 
@@ -61,20 +63,18 @@ fn k_values_match_the_papers_worked_examples() {
     assert_eq!(k_of_query(&parse_query("/r/a/b/f/a").unwrap()), 2);
     // A single recursive step contributes 1, plus the frequency of the
     // child-step part.
-    assert_eq!(k_of_query(&parse_query("$root/descendant::b/a/b").unwrap()), 2);
+    assert_eq!(
+        k_of_query(&parse_query("$root/descendant::b/a/b").unwrap()),
+        2
+    );
     // Three recursive steps: F = 0, R = 3.
     assert_eq!(
-        k_of_query(
-            &parse_query("$root/descendant::b/descendant::c/descendant::e").unwrap()
-        ),
+        k_of_query(&parse_query("$root/descendant::b/descendant::c/descendant::e").unwrap()),
         3
     );
     // The §5 element-construction update: k_u = 3 (nested <b><b><c/></b></b>
     // gives tag frequency 2 for b, plus one recursive step).
-    let u = parse_update(
-        "for $x in /a/b return insert <b><b><c/></b></b> into $x",
-    )
-    .unwrap();
+    let u = parse_update("for $x in /a/b return insert <b><b><c/></b></b> into $x").unwrap();
     assert_eq!(k_of_update(&u), 3);
     // k for a pair is the sum.
     let q = parse_query("$root/descendant::b").unwrap();

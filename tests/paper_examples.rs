@@ -34,7 +34,9 @@ fn introduction_example_q1_u1() {
     let d = figure1();
     let q1 = parse_query("//a//c").unwrap();
     let u1 = parse_update("delete //b//c").unwrap();
-    assert!(IndependenceAnalyzer::new(&d).check(&q1, &u1).is_independent());
+    assert!(IndependenceAnalyzer::new(&d)
+        .check(&q1, &u1)
+        .is_independent());
     // The schema-less / type-set views of the world miss it.
     assert!(!TypeSetAnalyzer::new(&d).independent(&q1, &u1));
     // And dynamically the query result indeed never changes.
@@ -50,7 +52,9 @@ fn introduction_example_q2_u2() {
     let d = bib();
     let q2 = parse_query("//title").unwrap();
     let u2 = parse_update("for $x in //book return insert <author/> into $x").unwrap();
-    assert!(IndependenceAnalyzer::new(&d).check(&q2, &u2).is_independent());
+    assert!(IndependenceAnalyzer::new(&d)
+        .check(&q2, &u2)
+        .is_independent());
     assert!(!TypeSetAnalyzer::new(&d).independent(&q2, &u2));
 }
 
@@ -64,7 +68,9 @@ fn section3_nested_constructor_example() {
     )
     .unwrap();
     let a = IndependenceAnalyzer::new(&d);
-    assert!(a.check(&parse_query("//title").unwrap(), &u).is_independent());
+    assert!(a
+        .check(&parse_query("//title").unwrap(), &u)
+        .is_independent());
     assert!(!a
         .check(&parse_query("//author//first").unwrap(), &u)
         .is_independent());

@@ -40,10 +40,8 @@ fn independence_analysis_runs_over_an_xsd_schema() {
     let edtd = parse_xsd(BOOKSTORE_XSD).unwrap();
     let analyzer = IndependenceAnalyzer::new(&edtd);
     let q = parse_query("//title").unwrap();
-    let u = parse_update(
-        "for $b in //book return insert <author><last>L</last></author> into $b",
-    )
-    .unwrap();
+    let u = parse_update("for $b in //book return insert <author><last>L</last></author> into $b")
+        .unwrap();
     assert!(analyzer.check(&q, &u).is_independent());
     let q2 = parse_query("//author/last").unwrap();
     assert!(!analyzer.check(&q2, &u).is_independent());

@@ -1,0 +1,189 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! Implements the surface the `qui-bench` benches use: `Criterion`,
+//! `benchmark_group`, `BenchmarkGroup::{sample_size, warm_up_time,
+//! measurement_time, bench_function, finish}`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! mean-of-wall-clock estimate printed to stdout — no statistics, plots or
+//! `target/criterion` output. See `vendor/README.md` for the rationale.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Wall-clock measurement marker (the only measurement the shim has).
+    pub struct WallTime;
+}
+
+#[derive(Clone, Debug)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: GroupConfig::default(),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    config: GroupConfig,
+    _criterion: PhantomData<&'a mut M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run until the warm-up budget is spent, doubling the
+        // iteration count so the timed region dominates timer overhead.
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.config.warm_up_time {
+            f(&mut bencher);
+            if bencher.elapsed < Duration::from_millis(1) {
+                bencher.iters = (bencher.iters * 2).min(1 << 20);
+            }
+        }
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            if measure_start.elapsed() > self.config.measurement_time {
+                break;
+            }
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{}: {:>12} per iter ({} samples x {} iters)",
+            self.name,
+            id,
+            format_seconds(mean),
+            samples.len(),
+            bencher.iters
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
