@@ -2,13 +2,14 @@
 //!
 //! The paper reports the time each update needs to be checked against the
 //! whole view set (worst case < 40 ms, average ≈ 15 ms on its machine). The
-//! bench measures the same quantity for a representative subset of updates;
-//! the `fig3a` binary prints the full 31-row series.
+//! bench measures the same quantity for a representative subset of updates
+//! through the shared batch-analysis API (the `fig3a` binary prints the full
+//! 31-row series), plus the whole-matrix wall time sequential vs parallel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qui_bench::{
-    benchmark_views, chain_analysis_time, chain_analysis_time_cdag, representative_updates,
-};
+use qui_bench::{benchmark_views, matrix_time, representative_updates, update_row_time};
+use qui_core::parallel::machine_parallelism;
+use qui_core::{EngineKind, Jobs};
 use std::hint::black_box;
 
 fn bench_fig3a(c: &mut Criterion) {
@@ -20,10 +21,25 @@ fn bench_fig3a(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(900));
     for u in &updates {
         group.bench_function(format!("chains/{}", u.name), |b| {
-            b.iter(|| black_box(chain_analysis_time(&views, u)))
+            b.iter(|| black_box(update_row_time(&views, u, EngineKind::Auto, Jobs::Fixed(1))))
         });
         group.bench_function(format!("chains-cdag/{}", u.name), |b| {
-            b.iter(|| black_box(chain_analysis_time_cdag(&views, u)))
+            b.iter(|| black_box(update_row_time(&views, u, EngineKind::Cdag, Jobs::Fixed(1))))
+        });
+    }
+    let workers = machine_parallelism();
+    group.bench_function("matrix/jobs-1", |b| {
+        b.iter(|| black_box(matrix_time(&views, &updates, EngineKind::Auto, Jobs::Fixed(1)).wall))
+    });
+    // On a single-core machine this would duplicate the jobs-1 id, which the
+    // real criterion crate rejects.
+    if workers > 1 {
+        group.bench_function(format!("matrix/jobs-{workers}"), |b| {
+            b.iter(|| {
+                black_box(
+                    matrix_time(&views, &updates, EngineKind::Auto, Jobs::Fixed(workers)).wall,
+                )
+            })
         });
     }
     group.finish();

@@ -1,0 +1,117 @@
+//! The CI perf-baseline binary: measures matrix wall time at several scales,
+//! writes `BENCH_baseline.json`, and (with `--check`) enforces the perf gates
+//! against a committed baseline.
+//!
+//! ```text
+//! baseline [--out FILE] [--check COMMITTED.json] [--jobs N] [--reps N] [--quick]
+//! ```
+//!
+//! * `--out FILE`     — where to write the JSON report (default `BENCH_baseline.json`)
+//! * `--check FILE`   — read a committed baseline and fail (exit 1) on gate violations
+//! * `--jobs N`       — worker count for the parallel measurements (default: all cores)
+//! * `--reps N`       — repetitions per measurement, minimum kept (default 3)
+//! * `--quick`        — single repetition, S and M scales only (local smoke runs)
+//!
+//! Gate thresholds come from `QUI_BASELINE_MIN_SPEEDUP`,
+//! `QUI_BASELINE_MIN_PARALLEL_SPEEDUP` and `QUI_BASELINE_TOLERANCE` (see
+//! `qui_bench::baseline`).
+
+use qui_bench::baseline::{check_gates, json_number_field, GateConfig, DEFAULT_SCALES};
+use qui_bench::run_baseline;
+use qui_core::parallel::machine_parallelism;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("baseline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut out = "BENCH_baseline.json".to_string();
+    let mut check: Option<String> = None;
+    let mut jobs = machine_parallelism();
+    let mut reps = 3usize;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = take_value(args, &mut i, "--out")?;
+            }
+            "--check" => {
+                check = Some(take_value(args, &mut i, "--check")?);
+            }
+            "--jobs" => {
+                jobs = take_value(args, &mut i, "--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?;
+            }
+            "--reps" => {
+                reps = take_value(args, &mut i, "--reps")?
+                    .parse()
+                    .map_err(|_| "--reps expects an integer".to_string())?;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let scales = if quick {
+        &DEFAULT_SCALES[..2]
+    } else {
+        &DEFAULT_SCALES[..]
+    };
+    if quick {
+        reps = 1;
+    }
+    let report = run_baseline(scales, jobs.max(1), reps);
+    print!("{}", report.render());
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    let Some(committed_path) = check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let committed = std::fs::read_to_string(&committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let committed_norm = json_number_field(&committed, "norm_cost")
+        .ok_or_else(|| format!("{committed_path}: no norm_cost field"))?;
+    let committed_cells = json_number_field(&committed, "largest_cells")
+        .ok_or_else(|| format!("{committed_path}: no largest_cells field"))?
+        as usize;
+    let cfg = GateConfig::from_env();
+    let failures = check_gates(&report, Some((committed_norm, committed_cells)), &cfg);
+    if failures.is_empty() {
+        println!(
+            "perf gates PASS (speedup {:.2}x over per-pair, parallel {:.2}x, norm cost {:.3} vs committed {:.3})",
+            report.largest().speedup_vs_pairwise,
+            report.largest().speedup_parallel,
+            report.norm_cost,
+            committed_norm
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAIL: {f}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    let v = args
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} expects a value"))?
+        .clone();
+    *i += 2;
+    Ok(v)
+}

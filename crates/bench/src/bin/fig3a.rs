@@ -1,9 +1,15 @@
 //! Prints the full Fig. 3.a series: static chain-analysis time (ms) of each
 //! of the 31 updates against the whole set of 36 views, for the default
-//! (auto) engine and for the CDAG engine forced.
+//! (auto) engine and for the CDAG engine forced — plus the whole-matrix wall
+//! time of the batched engine, sequential vs parallel.
+//!
+//! All measurements go through the shared batch-analysis API
+//! (`qui_bench::{update_row_time, matrix_time}`), the same code path behind
+//! `qui matrix` and the `fig3a_runtime` Criterion bench.
 
-use qui_bench::{benchmark_views, chain_analysis_time, chain_analysis_time_cdag, ms};
-use qui_core::{k_of_query, k_of_update};
+use qui_bench::{benchmark_views, matrix_time, ms, update_row_time};
+use qui_core::parallel::machine_parallelism;
+use qui_core::{k_of_query, k_of_update, EngineKind, Jobs};
 use qui_workloads::all_updates;
 
 fn main() {
@@ -17,8 +23,8 @@ fn main() {
     let mut total = 0.0;
     let mut worst = 0.0f64;
     for u in &updates {
-        let auto = chain_analysis_time(&views, u);
-        let cdag = chain_analysis_time_cdag(&views, u);
+        let auto = update_row_time(&views, u, EngineKind::Auto, Jobs::Fixed(1));
+        let cdag = update_row_time(&views, u, EngineKind::Cdag, Jobs::Fixed(1));
         let ku = k_of_update(&u.update);
         let kmax = views
             .iter()
@@ -40,5 +46,18 @@ fn main() {
         "average: {:.2} ms   worst: {:.2} ms",
         total / updates.len() as f64,
         worst
+    );
+
+    let workers = machine_parallelism();
+    let seq = matrix_time(&views, &updates, EngineKind::Auto, Jobs::Fixed(1));
+    let par = matrix_time(&views, &updates, EngineKind::Auto, Jobs::Fixed(workers));
+    println!(
+        "whole matrix ({} cells): jobs=1 {} ms, jobs={} {} ms ({:.2}x), {} independent",
+        seq.verdicts.cell_count(),
+        ms(seq.wall),
+        workers,
+        ms(par.wall),
+        seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(f64::EPSILON),
+        par.verdicts.independent_count()
     );
 }

@@ -11,39 +11,103 @@
 //! | Fig. 3.c — view re-materialization time savings              | `fig3c_maintenance` | `fig3c` |
 //! | Fig. 3.d — chain-inference time on the R-benchmark           | `fig3d_rbench` | `fig3d` |
 //! | §6.1 complexity discussion (CDAG vs explicit chain sets)     | `cdag_micro` | — |
+//! | CI perf baseline (matrix wall-time, seq vs parallel)         | — | `baseline` |
 //!
-//! Run a binary with `cargo run --release -p qui-bench --bin fig3b`.
+//! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
+//!
+//! All matrix timings go through the shared batch-analysis API of
+//! [`qui_core::parallel`] — the same engine behind `qui matrix` and
+//! `IndependenceAnalyzer::check_views` — so the benches measure exactly the
+//! production code path. [`matrix_time`] measures whole-matrix wall time at a
+//! chosen worker count; [`update_row_time`] measures the classic Fig. 3.a row
+//! (one update against the whole view set).
 
-use qui_core::{AnalyzerConfig, EngineKind, IndependenceAnalyzer};
+pub mod baseline;
+
+use qui_core::parallel::MatrixVerdicts;
+use qui_core::{analyze_matrix, AnalyzerConfig, EngineKind, Jobs};
 use qui_workloads::{all_updates, all_views, xmark_dtd, NamedUpdate, NamedView};
+use qui_xquery::{Query, Update};
 use std::time::{Duration, Instant};
 
-/// Measures, for one update, the time taken by the chain analysis to check
-/// independence against every view (one bar of Fig. 3.a).
-pub fn chain_analysis_time(views: &[NamedView], update: &NamedUpdate) -> Duration {
-    let dtd = xmark_dtd();
-    let analyzer = IndependenceAnalyzer::new(&dtd);
-    let start = Instant::now();
-    for v in views {
-        let _ = analyzer.check(&v.query, &update.update);
+pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
+
+/// One whole-matrix analysis: wall time plus the verdicts it produced.
+#[derive(Clone, Debug)]
+pub struct MatrixTiming {
+    /// Wall-clock time of the batch analysis.
+    pub wall: Duration,
+    /// The verdict matrix (indexed `[update][view]`).
+    pub verdicts: MatrixVerdicts,
+}
+
+/// An analyzer configuration with the given engine policy and the default
+/// budget/ablation settings.
+pub fn engine_config(engine: EngineKind) -> AnalyzerConfig {
+    AnalyzerConfig {
+        engine,
+        ..Default::default()
     }
-    start.elapsed()
+}
+
+/// Runs the batched matrix analysis over the full views × updates matrix and
+/// measures its wall time.
+pub fn matrix_time(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    engine: EngineKind,
+    jobs: Jobs,
+) -> MatrixTiming {
+    let dtd = xmark_dtd();
+    let view_queries: Vec<Query> = views.iter().map(|v| v.query.clone()).collect();
+    let update_exprs: Vec<Update> = updates.iter().map(|u| u.update.clone()).collect();
+    let config = engine_config(engine);
+    let start = Instant::now();
+    let verdicts = analyze_matrix(&dtd, &view_queries, &update_exprs, &config, jobs);
+    MatrixTiming {
+        wall: start.elapsed(),
+        verdicts,
+    }
+}
+
+/// Measures, for one update, the time the batched analysis takes to check
+/// independence against every view (one bar of Fig. 3.a).
+pub fn update_row_time(
+    views: &[NamedView],
+    update: &NamedUpdate,
+    engine: EngineKind,
+    jobs: Jobs,
+) -> Duration {
+    matrix_time(views, std::slice::from_ref(update), engine, jobs).wall
+}
+
+/// The classic sequential Fig. 3.a row with the auto engine (kept for
+/// backwards compatibility; delegates to [`update_row_time`]).
+pub fn chain_analysis_time(views: &[NamedView], update: &NamedUpdate) -> Duration {
+    update_row_time(views, update, EngineKind::Auto, Jobs::Fixed(1))
 }
 
 /// Same measurement with the CDAG engine forced — used to compare the two
 /// engines' cost profiles.
 pub fn chain_analysis_time_cdag(views: &[NamedView], update: &NamedUpdate) -> Duration {
+    update_row_time(views, update, EngineKind::Cdag, Jobs::Fixed(1))
+}
+
+/// The legacy per-pair matrix loop (no inference sharing, no parallelism):
+/// what `check` in a double loop costs. The baseline harness measures this to
+/// quantify the batching speedup, which holds even on a single core.
+pub fn pairwise_matrix_time(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    engine: EngineKind,
+) -> Duration {
     let dtd = xmark_dtd();
-    let analyzer = IndependenceAnalyzer::with_config(
-        &dtd,
-        AnalyzerConfig {
-            engine: EngineKind::Cdag,
-            ..Default::default()
-        },
-    );
+    let analyzer = qui_core::IndependenceAnalyzer::with_config(&dtd, engine_config(engine));
     let start = Instant::now();
-    for v in views {
-        let _ = analyzer.check(&v.query, &update.update);
+    for u in updates {
+        for v in views {
+            let _ = analyzer.check(&v.query, &u.update);
+        }
     }
     start.elapsed()
 }
@@ -84,5 +148,28 @@ mod tests {
         let upd = representative_updates().remove(0);
         let t = chain_analysis_time(&views[..4], &upd);
         assert!(t > Duration::ZERO);
+    }
+
+    #[test]
+    fn matrix_time_produces_full_verdicts() {
+        let views: Vec<NamedView> = benchmark_views().into_iter().take(5).collect();
+        let updates: Vec<NamedUpdate> = representative_updates().into_iter().take(3).collect();
+        let timing = matrix_time(&views, &updates, EngineKind::Auto, Jobs::Fixed(2));
+        assert_eq!(timing.verdicts.cell_count(), 15);
+        assert!(timing.wall > Duration::ZERO);
+        // Parallel verdicts agree with the sequential per-pair loop.
+        let dtd = xmark_dtd();
+        let analyzer = qui_core::IndependenceAnalyzer::new(&dtd);
+        for (ui, u) in updates.iter().enumerate() {
+            for (vi, v) in views.iter().enumerate() {
+                assert_eq!(
+                    timing.verdicts.verdict(ui, vi).is_independent(),
+                    analyzer.check(&v.query, &u.update).is_independent(),
+                    "cell ({}, {})",
+                    u.name,
+                    v.name
+                );
+            }
+        }
     }
 }

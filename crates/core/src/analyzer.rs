@@ -11,6 +11,7 @@ use crate::conflict::{find_conflict, ConflictWitness};
 use crate::engine::cdag::CdagEngine;
 use crate::engine::explicit::ExplicitEngine;
 use crate::kbound::{k_for_pair, k_of_query, k_of_update};
+use crate::parallel::{analyze_matrix, Jobs};
 use crate::types::{QueryChains, UpdateChains};
 use crate::universe::Universe;
 use qui_schema::SchemaLike;
@@ -58,8 +59,9 @@ impl Default for AnalyzerConfig {
 /// The result of one independence check.
 #[derive(Clone, Debug)]
 pub struct Verdict {
-    /// `true` when the static analysis proves independence.
-    independent: bool,
+    /// `true` when the static analysis proves independence (crate-visible so
+    /// the batch analyzer can assemble verdicts without re-running checks).
+    pub(crate) independent: bool,
     /// The multiplicity bound `k` used by the finite analysis.
     pub k: usize,
     /// `k_q` of the query.
@@ -183,11 +185,34 @@ impl<'a, S: SchemaLike> IndependenceAnalyzer<'a, S> {
 
     /// Convenience: checks a whole set of views against one update and
     /// returns, for each view, whether it is independent of the update.
-    pub fn check_views(&self, views: &[Query], u: &Update) -> Vec<bool> {
-        views
-            .iter()
-            .map(|q| self.check(q, u).is_independent())
-            .collect()
+    ///
+    /// This runs on the batched matrix engine
+    /// ([`crate::parallel::analyze_matrix`]): each chain inference is
+    /// computed once per distinct `k` and shared across views, and the cells
+    /// are sharded over [`Jobs::Auto`] workers (`QUI_JOBS` or the machine's
+    /// parallelism). Verdicts are identical to a sequential loop of
+    /// [`check`](Self::check) for any worker count.
+    pub fn check_views(&self, views: &[Query], u: &Update) -> Vec<bool>
+    where
+        S: Sync,
+    {
+        self.check_views_jobs(views, u, Jobs::Auto)
+    }
+
+    /// [`check_views`](Self::check_views) with an explicit worker-count
+    /// policy; `Jobs::Fixed(1)` is the strictly sequential path.
+    pub fn check_views_jobs(&self, views: &[Query], u: &Update, jobs: Jobs) -> Vec<bool>
+    where
+        S: Sync,
+    {
+        analyze_matrix(
+            self.schema,
+            views,
+            std::slice::from_ref(u),
+            &self.config,
+            jobs,
+        )
+        .independent_flags(0)
     }
 }
 

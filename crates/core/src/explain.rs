@@ -1,6 +1,6 @@
 //! Human-readable reports for independence verdicts.
 //!
-//! The analyzer's [`Verdict`](crate::Verdict) is deliberately small; this
+//! The analyzer's [`Verdict`] is deliberately small; this
 //! module turns it — together with the inferred chain sets — into the kind of
 //! report a view-maintenance operator or a test failure wants to show:
 //! which chains were inferred for the query and the update, which `k` the
@@ -11,9 +11,10 @@
 //! same inference the analyzer runs, and producing a report never changes a
 //! verdict.
 
-use crate::analyzer::{IndependenceAnalyzer, Verdict};
+use crate::analyzer::{AnalyzerConfig, IndependenceAnalyzer, Verdict};
 use crate::conflict::ConflictKind;
 use crate::kbound::{k_of_query, k_of_update};
+use crate::parallel::{analyze_matrix, Jobs};
 use crate::types::{ChainItem, QueryChains, UpdateChains};
 use qui_schema::{Chain, SchemaLike};
 use qui_xquery::{Query, Update};
@@ -262,31 +263,73 @@ impl MatrixReport {
 
 /// Checks one update against a set of named views and builds a
 /// [`MatrixReport`].
-pub fn matrix_report<S: SchemaLike>(
+///
+/// Runs on the batched matrix engine ([`crate::parallel::analyze_matrix`])
+/// with the default worker policy (`QUI_JOBS` or the machine's parallelism);
+/// verdicts are identical to per-pair [`IndependenceAnalyzer::check`] calls.
+pub fn matrix_report<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
     update_name: &str,
     update: &Update,
 ) -> MatrixReport {
-    let analyzer = IndependenceAnalyzer::new(schema);
-    let mut rows = Vec::with_capacity(views.len());
-    let mut k_min = usize::MAX;
-    let mut k_max = 0usize;
-    for (name, q) in views {
-        let k = k_of_query(q) + k_of_update(update);
-        k_min = k_min.min(k);
-        k_max = k_max.max(k);
-        let verdict = analyzer.check(q, update);
-        rows.push((name.clone(), verdict.is_independent()));
-    }
-    if views.is_empty() {
-        k_min = 0;
-    }
-    MatrixReport {
-        update_name: update_name.to_string(),
-        rows,
-        k_range: (k_min, k_max),
-    }
+    matrix_report_jobs(schema, views, update_name, update, Jobs::Auto)
+}
+
+/// [`matrix_report`] with an explicit worker-count policy (`Jobs::Fixed(1)`
+/// is the strictly sequential path, used by `qui matrix --jobs 1`).
+pub fn matrix_report_jobs<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    update_name: &str,
+    update: &Update,
+    jobs: Jobs,
+) -> MatrixReport {
+    let mut reports = matrix_reports(
+        schema,
+        views,
+        std::slice::from_ref(&(update_name.to_string(), update.clone())),
+        jobs,
+    );
+    reports.pop().expect("one update produces one report")
+}
+
+/// The full views × updates matrix as one report per update, computed in a
+/// single batch so chain inference is shared across every cell (the shape of
+/// the paper's Fig. 3.a: all 31 updates against all 36 views).
+pub fn matrix_reports<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    updates: &[(String, Update)],
+    jobs: Jobs,
+) -> Vec<MatrixReport> {
+    let queries: Vec<Query> = views.iter().map(|(_, q)| q.clone()).collect();
+    let upds: Vec<Update> = updates.iter().map(|(_, u)| u.clone()).collect();
+    let config = AnalyzerConfig::default();
+    let matrix = analyze_matrix(schema, &queries, &upds, &config, jobs);
+    updates
+        .iter()
+        .enumerate()
+        .map(|(ui, (update_name, update))| {
+            let mut rows = Vec::with_capacity(views.len());
+            let mut k_min = usize::MAX;
+            let mut k_max = 0usize;
+            for (vi, (name, q)) in views.iter().enumerate() {
+                let k = k_of_query(q) + k_of_update(update);
+                k_min = k_min.min(k);
+                k_max = k_max.max(k);
+                rows.push((name.clone(), matrix.verdict(ui, vi).is_independent()));
+            }
+            if views.is_empty() {
+                k_min = 0;
+            }
+            MatrixReport {
+                update_name: update_name.clone(),
+                rows,
+                k_range: (k_min, k_max),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -375,6 +418,44 @@ mod tests {
         let text = report.render();
         assert!(text.contains("1/3 views independent"), "{text}");
         assert!(text.contains("v1"), "{text}");
+    }
+
+    #[test]
+    fn matrix_report_is_identical_across_job_counts() {
+        let dtd = fig1();
+        let views = vec![
+            ("v1".to_string(), parse_query("//a//c").unwrap()),
+            ("v2".to_string(), parse_query("//c").unwrap()),
+            ("v3".to_string(), parse_query("//b").unwrap()),
+        ];
+        let u = parse_update("delete //b//c").unwrap();
+        let sequential = matrix_report_jobs(&dtd, &views, "u1", &u, Jobs::Fixed(1));
+        for jobs in [2, 8] {
+            let parallel = matrix_report_jobs(&dtd, &views, "u1", &u, Jobs::Fixed(jobs));
+            assert_eq!(sequential.rows, parallel.rows, "jobs = {jobs}");
+            assert_eq!(sequential.k_range, parallel.k_range, "jobs = {jobs}");
+            assert_eq!(sequential.render(), parallel.render(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn matrix_reports_cover_every_update() {
+        let dtd = fig1();
+        let views = vec![
+            ("v1".to_string(), parse_query("//a//c").unwrap()),
+            ("v2".to_string(), parse_query("//c").unwrap()),
+        ];
+        let updates = vec![
+            ("u1".to_string(), parse_update("delete //b//c").unwrap()),
+            ("u2".to_string(), parse_update("delete //c").unwrap()),
+        ];
+        let reports = matrix_reports(&dtd, &views, &updates, Jobs::Fixed(2));
+        assert_eq!(reports.len(), 2);
+        for (report, (name, u)) in reports.iter().zip(&updates) {
+            assert_eq!(&report.update_name, name);
+            let solo = matrix_report(&dtd, &views, name, u);
+            assert_eq!(report.rows, solo.rows);
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod conflict;
 pub mod engine;
 pub mod explain;
 pub mod kbound;
+pub mod parallel;
 pub mod projector;
 pub mod types;
 pub mod universe;
@@ -54,8 +55,12 @@ pub mod universe;
 pub use analyzer::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict};
 pub use commutativity::{read_projection, CommutVerdict, CommutativityAnalyzer};
 pub use conflict::{chains_conflict, item_conflicts};
-pub use explain::{explain_verdict, matrix_report, ExplainOptions, MatrixReport};
+pub use explain::{
+    explain_verdict, matrix_report, matrix_report_jobs, matrix_reports, ExplainOptions,
+    MatrixReport,
+};
 pub use kbound::{k_for_pair, k_of_query, k_of_update};
+pub use parallel::{analyze_matrix, BatchAnalyzer, Jobs, MatrixVerdicts};
 pub use projector::{ChainProjector, ProjectionSpec};
 pub use types::{ChainItem, QueryChains, UpdateChain, UpdateChains};
 pub use universe::Universe;

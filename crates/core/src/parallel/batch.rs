@@ -1,0 +1,514 @@
+//! Batched analysis of the views × updates independence matrix.
+//!
+//! The naive matrix (what [`IndependenceAnalyzer::check`] in a double loop
+//! gives you) re-runs chain inference for every cell: `|V| · |U|` query
+//! inferences and as many update inferences. But inference is *per
+//! expression*: the chains of a query depend only on the query and the
+//! multiplicity bound `k`, never on which update it is paired with — and
+//! symmetrically for updates. Since `k = k_q + k_u`, a view only ever needs
+//! its chains at the handful of distinct `k_u` values present in the update
+//! set (and vice versa), so the whole matrix needs `O(|V| + |U|)` inferences
+//! (times the small number of distinct `k` values), after which every cell is
+//! a cheap conflict check over two precomputed chain sets.
+//!
+//! The precomputed sets are immutable and shared behind [`Arc`] across all
+//! cells; both the precompute pass and the cell pass are sharded over the
+//! [`pool`](super::pool) work-stealing thread pool. With `jobs = 1` nothing
+//! is spawned and the evaluation order matches a sequential double loop, so
+//! verdicts — including witnesses — are bit-identical whatever the worker
+//! count: per-cell work never mutates shared state, and each cell's verdict
+//! is a pure function of the precomputed sets.
+
+use super::pool::{run_indexed, Jobs};
+use crate::analyzer::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict};
+use crate::conflict::find_conflict;
+use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains};
+use crate::engine::explicit::ExplicitEngine;
+use crate::kbound::{k_of_query, k_of_update};
+use crate::types::{QueryChains, UpdateChains};
+use crate::universe::Universe;
+use qui_schema::SchemaLike;
+use qui_xquery::{Query, Update};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The verdicts of a full views × updates matrix, indexed `[update][view]`.
+#[derive(Clone, Debug)]
+pub struct MatrixVerdicts {
+    n_views: usize,
+    rows: Vec<Vec<Verdict>>,
+}
+
+impl MatrixVerdicts {
+    /// Number of views (columns).
+    pub fn n_views(&self) -> usize {
+        self.n_views
+    }
+
+    /// Number of updates (rows).
+    pub fn n_updates(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The verdict for one cell.
+    pub fn verdict(&self, update: usize, view: usize) -> &Verdict {
+        &self.rows[update][view]
+    }
+
+    /// All verdicts for one update, in view order.
+    pub fn row(&self, update: usize) -> &[Verdict] {
+        &self.rows[update]
+    }
+
+    /// Per-view independence flags for one update (the historical
+    /// `check_views` result shape).
+    pub fn independent_flags(&self, update: usize) -> Vec<bool> {
+        self.rows[update]
+            .iter()
+            .map(Verdict::is_independent)
+            .collect()
+    }
+
+    /// Total number of independent cells in the matrix.
+    pub fn independent_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|v| v.is_independent())
+            .count()
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.n_views * self.rows.len()
+    }
+}
+
+/// Explicit-engine chain sets precomputed for one expression at one `k`
+/// (`None` = the materialization budget was exceeded for that expression).
+type ExplicitQueryCache = HashMap<(usize, usize), Option<Arc<QueryChains>>>;
+type ExplicitUpdateCache = HashMap<(usize, usize), Option<Arc<UpdateChains>>>;
+type CdagQueryCache = HashMap<(usize, usize), Arc<DagQueryChains>>;
+type CdagUpdateCache = HashMap<(usize, usize), Arc<ChainDag>>;
+
+/// The batch analyzer: precomputes shared chain sets for a view set and an
+/// update set, then evaluates matrix cells in parallel.
+///
+/// This is the engine under [`IndependenceAnalyzer::check_views`],
+/// [`matrix_report`](crate::explain::matrix_report) and the `qui matrix`
+/// subcommand; it produces, for every cell, exactly the [`Verdict`] the
+/// sequential [`IndependenceAnalyzer::check`] would.
+pub struct BatchAnalyzer<'a, S: SchemaLike> {
+    schema: &'a S,
+    config: AnalyzerConfig,
+    jobs: Jobs,
+}
+
+impl<'a, S: SchemaLike + Sync> BatchAnalyzer<'a, S> {
+    /// Creates a batch analyzer with the default configuration.
+    pub fn new(schema: &'a S) -> Self {
+        BatchAnalyzer {
+            schema,
+            config: AnalyzerConfig::default(),
+            jobs: Jobs::Auto,
+        }
+    }
+
+    /// Creates a batch analyzer with an explicit configuration.
+    pub fn with_config(schema: &'a S, config: AnalyzerConfig) -> Self {
+        BatchAnalyzer {
+            schema,
+            config,
+            jobs: Jobs::Auto,
+        }
+    }
+
+    /// Sets the worker-count policy (`Jobs::Fixed(1)` = sequential).
+    pub fn jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Analyzes the full matrix.
+    pub fn analyze(&self, views: &[Query], updates: &[Update]) -> MatrixVerdicts {
+        analyze_matrix(self.schema, views, updates, &self.config, self.jobs)
+    }
+}
+
+/// Analyzes every (view, update) cell of the matrix, sharing chain inference
+/// across cells and sharding the work over `jobs` workers.
+pub fn analyze_matrix<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[Query],
+    updates: &[Update],
+    config: &AnalyzerConfig,
+    jobs: Jobs,
+) -> MatrixVerdicts {
+    let n_views = views.len();
+    if n_views == 0 || updates.is_empty() {
+        return MatrixVerdicts {
+            n_views,
+            rows: updates.iter().map(|_| Vec::new()).collect(),
+        };
+    }
+
+    let kq: Vec<usize> = views.iter().map(k_of_query).collect();
+    let ku: Vec<usize> = updates.iter().map(k_of_update).collect();
+    let pair_k = |vi: usize, ui: usize| config.k_override.unwrap_or(kq[vi] + ku[ui]);
+
+    // ------------------------------------------------ explicit prepass
+    // Each view (update) needs its chains at every distinct k it can be
+    // paired with; with n distinct k_u values that is n inferences per view
+    // instead of |U|.
+    let mut query_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut update_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for vi in 0..views.len() {
+        for ui in 0..updates.len() {
+            let k = pair_k(vi, ui);
+            query_tasks.insert((vi, k));
+            update_tasks.insert((ui, k));
+        }
+    }
+
+    let mut explicit_queries: ExplicitQueryCache = HashMap::new();
+    let mut explicit_updates: ExplicitUpdateCache = HashMap::new();
+    if config.engine != EngineKind::Cdag {
+        let qt: Vec<(usize, usize)> = query_tasks.iter().copied().collect();
+        let ut: Vec<(usize, usize)> = update_tasks.iter().copied().collect();
+        let n_qt = qt.len();
+        let results = run_indexed(jobs, n_qt + ut.len(), |i| {
+            if i < n_qt {
+                let (vi, k) = qt[i];
+                PrepassOut::Query(vi, k, infer_query_explicit(schema, config, &views[vi], k))
+            } else {
+                let (ui, k) = ut[i - n_qt];
+                PrepassOut::Update(
+                    ui,
+                    k,
+                    infer_update_explicit(schema, config, &updates[ui], k),
+                )
+            }
+        });
+        for r in results {
+            match r {
+                PrepassOut::Query(vi, k, qc) => {
+                    explicit_queries.insert((vi, k), qc.map(Arc::new));
+                }
+                PrepassOut::Update(ui, k, uc) => {
+                    explicit_updates.insert((ui, k), uc.map(Arc::new));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ CDAG prepass
+    // Needed for every cell when the CDAG engine is forced, and — under the
+    // auto policy — for the cells where either side of the explicit
+    // inference overflowed its budget (the analyzer then falls back to the
+    // CDAG engine for both sides of the pair).
+    let mut cdag_query_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut cdag_update_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
+    if config.engine != EngineKind::Explicit {
+        for vi in 0..views.len() {
+            for ui in 0..updates.len() {
+                let k = pair_k(vi, ui);
+                let explicit_ok = config.engine != EngineKind::Cdag
+                    && explicit_queries.get(&(vi, k)).is_some_and(Option::is_some)
+                    && explicit_updates.get(&(ui, k)).is_some_and(Option::is_some);
+                if !explicit_ok {
+                    cdag_query_tasks.insert((vi, k));
+                    cdag_update_tasks.insert((ui, k));
+                }
+            }
+        }
+    }
+
+    let mut cdag_queries: CdagQueryCache = HashMap::new();
+    let mut cdag_updates: CdagUpdateCache = HashMap::new();
+    if !cdag_query_tasks.is_empty() || !cdag_update_tasks.is_empty() {
+        let qt: Vec<(usize, usize)> = cdag_query_tasks.iter().copied().collect();
+        let ut: Vec<(usize, usize)> = cdag_update_tasks.iter().copied().collect();
+        let n_qt = qt.len();
+        let results = run_indexed(jobs, n_qt + ut.len(), |i| {
+            if i < n_qt {
+                let (vi, k) = qt[i];
+                let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
+                let qc = eng.infer_query(&eng.root_gamma(views[vi].free_vars()), &views[vi]);
+                CdagOut::Query(vi, k, qc)
+            } else {
+                let (ui, k) = ut[i - n_qt];
+                let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
+                let uc = eng.infer_update(&eng.root_gamma(updates[ui].free_vars()), &updates[ui]);
+                CdagOut::Update(ui, k, uc)
+            }
+        });
+        for r in results {
+            match r {
+                CdagOut::Query(vi, k, qc) => {
+                    cdag_queries.insert((vi, k), Arc::new(qc));
+                }
+                CdagOut::Update(ui, k, uc) => {
+                    cdag_updates.insert((ui, k), Arc::new(uc));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ cell pass
+    let cells = run_indexed(jobs, views.len() * updates.len(), |cell| {
+        let ui = cell / n_views;
+        let vi = cell % n_views;
+        cell_verdict(
+            schema,
+            config,
+            (vi, ui),
+            pair_k(vi, ui),
+            (kq[vi], ku[ui]),
+            (&explicit_queries, &explicit_updates),
+            (&cdag_queries, &cdag_updates),
+        )
+    });
+    let mut it = cells.into_iter();
+    let rows: Vec<Vec<Verdict>> = (0..updates.len())
+        .map(|_| it.by_ref().take(n_views).collect())
+        .collect();
+    MatrixVerdicts { n_views, rows }
+}
+
+enum PrepassOut {
+    Query(usize, usize, Option<QueryChains>),
+    Update(usize, usize, Option<UpdateChains>),
+}
+
+enum CdagOut {
+    Query(usize, usize, DagQueryChains),
+    Update(usize, usize, ChainDag),
+}
+
+/// Explicit query inference for one (expression, k); `None` on budget
+/// overflow. Identical to what [`IndependenceAnalyzer::infer_explicit`]
+/// computes for the query side of a pair.
+fn infer_query_explicit<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    q: &Query,
+    k: usize,
+) -> Option<QueryChains> {
+    let universe = Universe::with_k(schema, k);
+    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
+        .with_element_chains(config.element_chains);
+    eng.infer_query(&eng.root_gamma(q.free_vars()), q).ok()
+}
+
+/// Explicit update inference for one (expression, k); `None` on overflow.
+fn infer_update_explicit<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    u: &Update,
+    k: usize,
+) -> Option<UpdateChains> {
+    let universe = Universe::with_k(schema, k);
+    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
+        .with_element_chains(config.element_chains);
+    eng.infer_update(&eng.root_gamma(u.free_vars()), u).ok()
+}
+
+/// Produces one cell's verdict from the precomputed chain sets, mirroring
+/// [`IndependenceAnalyzer::check`] case for case.
+fn cell_verdict<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    (vi, ui): (usize, usize),
+    k: usize,
+    (k_query, k_update): (usize, usize),
+    (explicit_queries, explicit_updates): (&ExplicitQueryCache, &ExplicitUpdateCache),
+    (cdag_queries, cdag_updates): (&CdagQueryCache, &CdagUpdateCache),
+) -> Verdict {
+    if config.engine != EngineKind::Cdag {
+        let qc = explicit_queries.get(&(vi, k)).and_then(Option::as_ref);
+        let uc = explicit_updates.get(&(ui, k)).and_then(Option::as_ref);
+        if let (Some(qc), Some(uc)) = (qc, uc) {
+            let witness = find_conflict(qc, uc);
+            return Verdict {
+                independent: witness.is_none(),
+                k,
+                k_query,
+                k_update,
+                engine_used: EngineKind::Explicit,
+                query_chain_count: qc.total_len(),
+                update_chain_count: uc.len(),
+                witness,
+            };
+        }
+        if config.engine == EngineKind::Explicit {
+            // The caller insisted on the explicit engine; report the
+            // conservative answer (dependence) rather than guessing.
+            return Verdict {
+                independent: false,
+                k,
+                k_query,
+                k_update,
+                engine_used: EngineKind::Explicit,
+                witness: None,
+                query_chain_count: 0,
+                update_chain_count: 0,
+            };
+        }
+    }
+    let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
+    let qc = &cdag_queries[&(vi, k)];
+    let uc = &cdag_updates[&(ui, k)];
+    Verdict {
+        independent: eng.independent(qc, uc),
+        k,
+        k_query,
+        k_update,
+        engine_used: EngineKind::Cdag,
+        witness: None,
+        query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
+        update_chain_count: uc.edge_count(),
+    }
+}
+
+/// Asserts that the batch verdict for every cell equals the verdict of a
+/// sequential per-pair [`IndependenceAnalyzer::check`]. Test-support helper
+/// used by the equivalence suites; panics with the offending cell on any
+/// mismatch.
+pub fn assert_matches_sequential<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[Query],
+    updates: &[Update],
+    config: &AnalyzerConfig,
+    matrix: &MatrixVerdicts,
+) {
+    let analyzer = IndependenceAnalyzer::with_config(schema, config.clone());
+    for (ui, u) in updates.iter().enumerate() {
+        for (vi, v) in views.iter().enumerate() {
+            let seq = analyzer.check(v, u);
+            let par = matrix.verdict(ui, vi);
+            assert!(
+                seq.is_independent() == par.is_independent()
+                    && seq.k == par.k
+                    && seq.k_query == par.k_query
+                    && seq.k_update == par.k_update
+                    && seq.engine_used == par.engine_used
+                    && seq.witness == par.witness
+                    && seq.query_chain_count == par.query_chain_count
+                    && seq.update_chain_count == par.update_chain_count,
+                "cell (view {vi}, update {ui}) diverged: sequential {seq:?} vs batch {par:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    fn small_matrix() -> (Vec<Query>, Vec<Update>) {
+        let views = ["//a//c", "//c", "//b", "//a", "//node()"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let updates = [
+            "delete //b//c",
+            "delete //c",
+            "for $x in /a return insert <c/> into $x",
+            "for $x in /a return rename $x as b",
+        ]
+        .iter()
+        .map(|s| parse_update(s).unwrap())
+        .collect();
+        (views, updates)
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_engine_and_job_count() {
+        let d = figure1();
+        let (views, updates) = small_matrix();
+        for engine in [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag] {
+            let config = AnalyzerConfig {
+                engine,
+                ..Default::default()
+            };
+            for jobs in [1, 2, 8] {
+                let m = analyze_matrix(&d, &views, &updates, &config, Jobs::Fixed(jobs));
+                assert_matches_sequential(&d, &views, &updates, &config, &m);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_cdag_like_the_analyzer() {
+        let d = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let views = vec![
+            parse_query("//b//c//b").unwrap(),
+            parse_query("//b").unwrap(),
+        ];
+        let updates = vec![parse_update("delete //c//b//c").unwrap()];
+        let config = AnalyzerConfig {
+            explicit_budget: 100,
+            ..Default::default()
+        };
+        let m = analyze_matrix(&d, &views, &updates, &config, Jobs::Fixed(2));
+        assert_eq!(m.verdict(0, 0).engine_used, EngineKind::Cdag);
+        assert_matches_sequential(&d, &views, &updates, &config, &m);
+    }
+
+    #[test]
+    fn matrix_shape_and_counts() {
+        let d = figure1();
+        let (views, updates) = small_matrix();
+        let m = analyze_matrix(
+            &d,
+            &views,
+            &updates,
+            &AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+        );
+        assert_eq!(m.n_views(), 5);
+        assert_eq!(m.n_updates(), 4);
+        assert_eq!(m.cell_count(), 20);
+        assert_eq!(m.row(0).len(), 5);
+        assert_eq!(
+            m.independent_flags(0),
+            views
+                .iter()
+                .map(|v| IndependenceAnalyzer::new(&d)
+                    .check(v, &updates[0])
+                    .is_independent())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_matrices() {
+        let d = figure1();
+        let (views, updates) = small_matrix();
+        let m = analyze_matrix(&d, &[], &updates, &AnalyzerConfig::default(), Jobs::Auto);
+        assert_eq!(m.cell_count(), 0);
+        assert_eq!(m.n_updates(), 4);
+        let m = analyze_matrix(&d, &views, &[], &AnalyzerConfig::default(), Jobs::Auto);
+        assert_eq!(m.cell_count(), 0);
+        assert_eq!(m.n_updates(), 0);
+    }
+
+    #[test]
+    fn k_override_is_respected() {
+        let d = figure1();
+        let (views, updates) = small_matrix();
+        let config = AnalyzerConfig {
+            k_override: Some(7),
+            ..Default::default()
+        };
+        let m = analyze_matrix(&d, &views, &updates, &config, Jobs::Fixed(2));
+        assert!(m.rows.iter().flatten().all(|v| v.k == 7));
+        assert_matches_sequential(&d, &views, &updates, &config, &m);
+    }
+}

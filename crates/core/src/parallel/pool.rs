@@ -1,0 +1,175 @@
+//! A dependency-free work-stealing thread pool built on scoped threads.
+//!
+//! The pool is deliberately minimal: callers hand it a number of independent
+//! work items (`0..len`) and a `Fn(usize) -> R`; workers pull contiguous
+//! chunks of indices from a shared injector queue until it runs dry, so a
+//! worker that finishes its chunk early immediately steals the next one
+//! instead of idling behind a static partition. Results come back in index
+//! order regardless of which worker produced them, and `jobs = 1` runs the
+//! items inline on the caller's thread — no threads are spawned and the
+//! execution is bit-identical to a plain sequential loop, which is what the
+//! parallel ≡ sequential property tests rely on.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Name of the environment variable consulted by [`Jobs::Auto`].
+pub const JOBS_ENV: &str = "QUI_JOBS";
+
+/// Worker-count selection for the batch analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Jobs {
+    /// Use `QUI_JOBS` when set, otherwise the machine's available
+    /// parallelism.
+    #[default]
+    Auto,
+    /// Use exactly this many workers (clamped to at least 1). `Fixed(1)` is
+    /// the strictly sequential path.
+    Fixed(usize),
+}
+
+impl Jobs {
+    /// An explicit worker count (`--jobs N`), clamped to at least 1.
+    pub fn fixed(n: usize) -> Jobs {
+        Jobs::Fixed(n.max(1))
+    }
+
+    /// Resolves the selection to a concrete worker count.
+    pub fn resolve(self) -> usize {
+        match self {
+            Jobs::Fixed(n) => n.max(1),
+            Jobs::Auto => env_jobs().unwrap_or_else(machine_parallelism),
+        }
+    }
+}
+
+/// The `QUI_JOBS` override, when set to a positive integer.
+fn env_jobs() -> Option<usize> {
+    let raw = std::env::var(JOBS_ENV).ok()?;
+    raw.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// The number of hardware threads available to this process (at least 1).
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The shared injector queue: hands out contiguous chunks of `0..len`.
+///
+/// Chunks are sized so each worker performs a handful of steals over the
+/// whole run — small enough that uneven cell costs cannot strand the tail of
+/// the queue behind one slow worker, large enough to amortize the atomic
+/// fetch-add.
+struct Injector {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl Injector {
+    fn new(len: usize, workers: usize) -> Self {
+        let chunk = (len / (workers * 8)).max(1);
+        Injector {
+            next: AtomicUsize::new(0),
+            len,
+            chunk,
+        }
+    }
+
+    fn steal(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+}
+
+/// Applies `f` to every index in `0..len` using up to `jobs` workers and
+/// returns the results in index order.
+///
+/// `f` only needs `Sync` (shared state is borrowed, not moved): the scoped
+/// threads all borrow the same closure and the same inputs, so immutable
+/// batch state — schemas, precomputed chain sets — is shared without any
+/// cloning. A panic in any worker propagates to the caller once the scope
+/// joins.
+pub fn run_indexed<R, F>(jobs: Jobs, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = jobs.resolve().min(len.max(1));
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let injector = Injector::new(len, workers);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                while let Some(range) = injector.steal() {
+                    for i in range {
+                        local.push((i, f(i)));
+                    }
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [Jobs::Fixed(1), Jobs::Fixed(2), Jobs::Fixed(8)] {
+            let out = run_indexed(jobs, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(Jobs::Fixed(4), 1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(run_indexed(Jobs::Fixed(4), 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(Jobs::Fixed(4), 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn fixed_is_clamped_and_resolves() {
+        assert_eq!(Jobs::fixed(0).resolve(), 1);
+        assert_eq!(Jobs::Fixed(3).resolve(), 3);
+        assert!(Jobs::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn injector_hands_out_disjoint_covering_chunks() {
+        let inj = Injector::new(37, 3);
+        let mut seen = Vec::new();
+        while let Some(r) = inj.steal() {
+            seen.extend(r);
+        }
+        assert_eq!(seen, (0..37).collect::<Vec<_>>());
+    }
+}

@@ -5,8 +5,9 @@ use crate::updates::NamedUpdate;
 use crate::views::NamedView;
 use crate::xmark::{xmark_document, xmark_dtd};
 use qui_baseline::TypeSetAnalyzer;
-use qui_core::IndependenceAnalyzer;
-use qui_xquery::{dynamic_independent, evaluate_query, DynamicOutcome};
+use qui_core::parallel::run_indexed;
+use qui_core::{analyze_matrix, AnalyzerConfig, IndependenceAnalyzer, Jobs};
+use qui_xquery::{dynamic_independent, evaluate_query, DynamicOutcome, Query};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,21 @@ pub fn ground_truth_matrix(
     doc_nodes: usize,
     seeds: &[u64],
 ) -> HashMap<(String, String), bool> {
+    ground_truth_matrix_jobs(views, updates, doc_nodes, seeds, Jobs::Auto)
+}
+
+/// [`ground_truth_matrix`] with an explicit worker-count policy: the dynamic
+/// checks of one generated instance are independent per (update, view) cell,
+/// so they are sharded over the `qui-core` thread pool. Results are
+/// deterministic for any worker count (each cell's outcome depends only on
+/// the document and the pair).
+pub fn ground_truth_matrix_jobs(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    doc_nodes: usize,
+    seeds: &[u64],
+    jobs: Jobs,
+) -> HashMap<(String, String), bool> {
     let mut truth: HashMap<(String, String), bool> = HashMap::new();
     for v in views {
         for u in updates {
@@ -33,16 +49,22 @@ pub fn ground_truth_matrix(
     }
     for &seed in seeds {
         let doc = xmark_document(doc_nodes, seed);
-        for u in updates {
-            for v in views {
-                let key = (u.name.to_string(), v.name.to_string());
-                if !truth[&key] {
-                    continue; // already refuted
-                }
-                if let Ok(DynamicOutcome::Changed) = dynamic_independent(&doc, &v.query, &u.update)
-                {
-                    truth.insert(key, false);
-                }
+        // Only the cells not yet refuted by an earlier seed need checking.
+        let open: Vec<(&NamedUpdate, &NamedView)> = updates
+            .iter()
+            .flat_map(|u| views.iter().map(move |v| (u, v)))
+            .filter(|(u, v)| truth[&(u.name.to_string(), v.name.to_string())])
+            .collect();
+        let changed = run_indexed(jobs, open.len(), |i| {
+            let (u, v) = open[i];
+            matches!(
+                dynamic_independent(&doc, &v.query, &u.update),
+                Ok(DynamicOutcome::Changed)
+            )
+        });
+        for ((u, v), refuted) in open.into_iter().zip(changed) {
+            if refuted {
+                truth.insert((u.name.to_string(), v.name.to_string()), false);
             }
         }
     }
@@ -94,8 +116,23 @@ pub fn precision_report(
     updates: &[NamedUpdate],
     truth: &HashMap<(String, String), bool>,
 ) -> Vec<PrecisionRow> {
+    precision_report_jobs(views, updates, truth, Jobs::Auto)
+}
+
+/// [`precision_report`] with an explicit worker-count policy. The chain
+/// verdicts of each update's row run on the batched matrix engine (shared
+/// inference across the view set), the type-set baseline row is sharded over
+/// the same pool; per-row wall-clock times are still reported so the Fig. 3.a
+/// series keeps its shape.
+pub fn precision_report_jobs(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    truth: &HashMap<(String, String), bool>,
+    jobs: Jobs,
+) -> Vec<PrecisionRow> {
     let dtd = xmark_dtd();
-    let chains = IndependenceAnalyzer::new(&dtd);
+    let view_queries: Vec<Query> = views.iter().map(|v| v.query.clone()).collect();
+    let config = AnalyzerConfig::default();
     let baseline = TypeSetAnalyzer::new(&dtd);
     let mut rows = Vec::new();
     for u in updates {
@@ -103,16 +140,19 @@ pub fn precision_report(
         let mut det_chains = 0;
         let mut det_types = 0;
         let start = Instant::now();
-        let chain_verdicts: Vec<bool> = views
-            .iter()
-            .map(|v| chains.check(&v.query, &u.update).is_independent())
-            .collect();
+        let chain_verdicts: Vec<bool> = analyze_matrix(
+            &dtd,
+            &view_queries,
+            std::slice::from_ref(&u.update),
+            &config,
+            jobs,
+        )
+        .independent_flags(0);
         let chain_time = start.elapsed();
         let start = Instant::now();
-        let type_verdicts: Vec<bool> = views
-            .iter()
-            .map(|v| baseline.independent(&v.query, &u.update))
-            .collect();
+        let type_verdicts: Vec<bool> = run_indexed(jobs, views.len(), |vi| {
+            baseline.independent(&views[vi].query, &u.update)
+        });
         let types_time = start.elapsed();
         for (i, v) in views.iter().enumerate() {
             let independent = truth
@@ -193,23 +233,35 @@ pub fn maintenance_simulation(
     let baseline = TypeSetAnalyzer::new(&dtd);
     let doc = xmark_document(doc_nodes, seed);
 
-    // Static verdicts per (update, view).
-    let mut needs_chain: Vec<Vec<bool>> = Vec::new();
-    let mut needs_types: Vec<Vec<bool>> = Vec::new();
-    for u in updates {
-        needs_chain.push(
-            views
-                .iter()
-                .map(|v| !chains.check(&v.query, &u.update).is_independent())
-                .collect(),
-        );
-        needs_types.push(
+    // Static verdicts per (update, view), batched so chain inference is
+    // shared across the whole matrix.
+    let view_queries: Vec<Query> = views.iter().map(|v| v.query.clone()).collect();
+    let update_exprs: Vec<_> = updates.iter().map(|u| u.update.clone()).collect();
+    let matrix = analyze_matrix(
+        &dtd,
+        &view_queries,
+        &update_exprs,
+        chains.config(),
+        Jobs::Auto,
+    );
+    let needs_chain: Vec<Vec<bool>> = (0..updates.len())
+        .map(|ui| {
+            matrix
+                .independent_flags(ui)
+                .into_iter()
+                .map(|independent| !independent)
+                .collect()
+        })
+        .collect();
+    let needs_types: Vec<Vec<bool>> = updates
+        .iter()
+        .map(|u| {
             views
                 .iter()
                 .map(|v| !baseline.independent(&v.query, &u.update))
-                .collect(),
-        );
-    }
+                .collect()
+        })
+        .collect();
 
     // Measure the refresh cost of each view once (evaluation time dominates
     // and is identical across strategies, as in the paper's setup).

@@ -26,7 +26,8 @@ pub mod views;
 pub mod xmark;
 
 pub use harness::{
-    ground_truth_matrix, maintenance_simulation, precision_report, MaintenanceReport, PrecisionRow,
+    ground_truth_matrix, ground_truth_matrix_jobs, maintenance_simulation, precision_report,
+    precision_report_jobs, MaintenanceReport, PrecisionRow,
 };
 pub use rbench::{rbench_expression, rbench_schema};
 pub use updates::{all_updates, NamedUpdate};

@@ -3,7 +3,7 @@
 //! The paper handles query constructs outside its core fragment by
 //! *rewriting* them into the fragment before analysis (§6.2: predicates in
 //! disjunctive form, attribute removal, path extraction from function calls;
-//! §7: "the first [extension] method is based on query rewriting"). The
+//! §7: "the first \[extension\] method is based on query rewriting"). The
 //! parser in [`crate::parser`] already performs the path-expression
 //! desugaring; this module provides the remaining AST-level rewrites:
 //!

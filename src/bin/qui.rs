@@ -4,7 +4,7 @@
 //! qui check     --dtd <file> --query <expr> --update <expr> [--start <name>] [--explain]
 //! qui commute   --dtd <file> --update <expr> --update2 <expr> [--start <name>]
 //! qui chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>] [--start <name>]
-//! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>]
+//! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>] [--jobs <n>]
 //! qui validate  --dtd <file> --doc <file> [--attributes] [--start <name>]
 //! qui infer-dtd <doc.xml> [<doc.xml> …]
 //! qui generate  --dtd <file> [--nodes <n>] [--seed <n>] [--start <name>]
@@ -20,8 +20,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use xml_qui::baseline::TypeSetAnalyzer;
-use xml_qui::core::explain::{explain_verdict, matrix_report, ExplainOptions};
-use xml_qui::core::{CommutativityAnalyzer, IndependenceAnalyzer};
+use xml_qui::core::explain::{explain_verdict, matrix_report_jobs, ExplainOptions};
+use xml_qui::core::{CommutativityAnalyzer, IndependenceAnalyzer, Jobs};
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
 use xml_qui::xmlstore::{parse_xml, parse_xml_keep_attributes, serialize_tree, Tree};
@@ -76,7 +76,10 @@ fn usage() -> String {
         s,
         "  chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>]"
     );
-    let _ = writeln!(s, "  matrix    --dtd <file> --views <file> --update <expr>");
+    let _ = writeln!(
+        s,
+        "  matrix    --dtd <file> --views <file> --update <expr> [--jobs <n>]"
+    );
     let _ = writeln!(s, "  validate  --dtd <file> --doc <file> [--attributes]");
     let _ = writeln!(s, "  infer-dtd <doc.xml> [<doc.xml> …]");
     let _ = writeln!(s, "  generate  --dtd <file> [--nodes <n>] [--seed <n>]");
@@ -99,7 +102,7 @@ struct CliArgs {
 
 impl CliArgs {
     fn parse(args: &[String]) -> Result<CliArgs, String> {
-        const VALUE_OPTIONS: [&str; 10] = [
+        const VALUE_OPTIONS: [&str; 11] = [
             "--dtd",
             "--start",
             "--query",
@@ -110,6 +113,7 @@ impl CliArgs {
             "--nodes",
             "--seed",
             "--k",
+            "--jobs",
         ];
         const BARE_FLAGS: [&str; 2] = ["--explain", "--attributes"];
         let mut out = CliArgs::default();
@@ -332,7 +336,23 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
         views.push((name, q));
     }
     let u = load_update(args, "--update")?;
-    let report = matrix_report(&dtd, &views, args.get("--update").unwrap_or("update"), &u);
+    let jobs = match args.get("--jobs") {
+        Some(v) => Jobs::fixed(
+            v.parse()
+                .ok()
+                .filter(|n: &usize| *n > 0)
+                .ok_or_else(|| format!("--jobs expects a positive integer, got '{v}'"))?,
+        ),
+        // Without --jobs, defer to QUI_JOBS or the machine's parallelism.
+        None => Jobs::Auto,
+    };
+    let report = matrix_report_jobs(
+        &dtd,
+        &views,
+        args.get("--update").unwrap_or("update"),
+        &u,
+        jobs,
+    );
     Ok(report.render())
 }
 
@@ -467,6 +487,36 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.starts_with("dependent"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_command_verdicts_are_identical_across_job_counts() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-matrix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dtd_path = dir.join("fig1.dtd");
+        std::fs::write(&dtd_path, "doc -> (a|b)* ; a -> c ; b -> c").unwrap();
+        let views_path = dir.join("views.txt");
+        std::fs::write(&views_path, "v1: //a//c\nv2: //c\nv3: //b\n# comment\n").unwrap();
+        let run_with_jobs = |jobs: &str| {
+            run(&strings(&[
+                "matrix",
+                "--dtd",
+                dtd_path.to_str().unwrap(),
+                "--views",
+                views_path.to_str().unwrap(),
+                "--update",
+                "delete //b//c",
+                "--jobs",
+                jobs,
+            ]))
+            .unwrap()
+        };
+        let sequential = run_with_jobs("1");
+        assert!(sequential.contains("1/3 views independent"), "{sequential}");
+        for jobs in ["2", "8"] {
+            assert_eq!(sequential, run_with_jobs(jobs), "jobs = {jobs}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,8 +5,8 @@
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` and
 //!   `arg in strategy` parameter lists;
 //! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`];
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`;
-//! * [`Just`], integer ranges as strategies, tuples of strategies and
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`;
+//! * [`strategy::Just`], integer ranges as strategies, tuples of strategies and
 //!   `prop::collection::vec`;
 //! * [`ProptestConfig::with_cases`].
 //!
@@ -315,7 +315,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Conversion of the size argument of [`vec`]; mirrors the real crate's
+    /// Conversion of the size argument of [`vec()`]; mirrors the real crate's
     /// `Into<SizeRange>` bound for the forms this workspace uses.
     pub trait IntoSizeRange {
         /// Inclusive bounds.
