@@ -18,6 +18,7 @@
 
 use qui_bench::baseline::{check_gates, json_number_field, GateConfig, DEFAULT_SCALES};
 use qui_bench::run_baseline;
+use qui_bench::take_value;
 use qui_core::parallel::machine_parallelism;
 use std::process::ExitCode;
 
@@ -105,13 +106,4 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
-}
-
-fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
-    let v = args
-        .get(*i + 1)
-        .ok_or_else(|| format!("{flag} expects a value"))?
-        .clone();
-    *i += 2;
-    Ok(v)
 }

@@ -12,6 +12,7 @@
 //! | Fig. 3.d — chain-inference time on the R-benchmark           | `fig3d_rbench` | `fig3d` |
 //! | §6.1 complexity discussion (CDAG vs explicit chain sets)     | `cdag_micro` | — |
 //! | CI perf baseline (matrix wall-time, seq vs parallel)         | — | `baseline` |
+//! | CI fig3c gate (paper-scale ingest + maintenance)             | — | `fig3c` |
 //!
 //! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
 //!
@@ -23,6 +24,7 @@
 //! (one update against the whole view set).
 
 pub mod baseline;
+pub mod fig3c;
 
 use qui_core::parallel::MatrixVerdicts;
 use qui_core::{analyze_matrix, AnalyzerConfig, EngineKind, Jobs};
@@ -31,6 +33,7 @@ use qui_xquery::{Query, Update};
 use std::time::{Duration, Instant};
 
 pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
+pub use fig3c::{run_fig3c, Fig3cReport, Fig3cScaleResult, Fig3cScaleSpec};
 
 /// One whole-matrix analysis: wall time plus the verdicts it produced.
 #[derive(Clone, Debug)]
@@ -130,6 +133,17 @@ pub fn benchmark_views() -> Vec<NamedView> {
 /// Formats a duration in milliseconds with two decimals.
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Consumes the value of a `--flag value` pair while hand-parsing harness
+/// CLI arguments (shared by the `baseline` and `fig3c` binaries).
+pub fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    let v = args
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} expects a value"))?
+        .clone();
+    *i += 2;
+    Ok(v)
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@ use crate::engine::explicit::ExplicitEngine;
 use crate::kbound::k_of_query;
 use crate::types::QueryChains;
 use crate::universe::Universe;
-use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
-use qui_xmlstore::{project, upward_closure, NodeId, Tree};
+use qui_schema::{Chain, SchemaLike, Sym, TEXT_NAME, TEXT_SYM};
+use qui_xmlstore::{project, upward_closure, NodeId, PathSpec, Tree};
 use qui_xquery::Query;
 use std::collections::{BTreeSet, HashSet};
 
@@ -111,6 +111,46 @@ impl<'a, S: SchemaLike> ChainProjector<'a, S> {
     pub fn project_for_query(&self, tree: &Tree, q: &Query) -> Option<Tree> {
         let spec = self.spec_for_query(q)?;
         Some(self.apply(tree, &spec))
+    }
+
+    /// Materializes a chain spec as a label-path spec consumable by the
+    /// streaming parser (`qui_xmlstore::parse_xml_stream`): chains become
+    /// root-to-node label paths and the schema's labels become the known
+    /// set, so unknown regions are kept conservatively. Subtrees outside the
+    /// spec are then pruned *during* the parse — the projection never
+    /// allocates them, which is what makes projection savings measurable as
+    /// peak memory on paper-scale documents.
+    pub fn path_spec(&self, spec: &ProjectionSpec) -> PathSpec {
+        let labels = |c: &Chain| -> Vec<String> {
+            c.symbols()
+                .iter()
+                .map(|&s| {
+                    if s == TEXT_SYM {
+                        TEXT_NAME.to_string()
+                    } else {
+                        self.schema.type_label(s).to_string()
+                    }
+                })
+                .collect()
+        };
+        let mut known: HashSet<String> = self
+            .schema
+            .element_types()
+            .into_iter()
+            .map(|t| self.schema.type_label(t).to_string())
+            .collect();
+        known.insert(TEXT_NAME.to_string());
+        PathSpec {
+            keep_paths: spec.keep_paths.iter().map(&labels).collect(),
+            keep_subtrees: spec.keep_subtrees.iter().map(&labels).collect(),
+            known_labels: known,
+        }
+    }
+
+    /// Infers the streaming path spec for a query, or `None` when the chain
+    /// sets could not be materialized within the budget.
+    pub fn path_spec_for_query(&self, q: &Query) -> Option<PathSpec> {
+        Some(self.path_spec(&self.spec_for_query(q)?))
     }
 
     /// Applies a projection spec to a document.
@@ -283,6 +323,39 @@ mod tests {
             snapshot_query(&doc, &q).unwrap(),
             snapshot_query(&projected, &q).unwrap()
         );
+    }
+
+    #[test]
+    fn streamed_projection_preserves_query_results() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let doc = sample();
+        let xml = doc.to_xml();
+        for src in ["//title", "//author/last", "//book/price", "//book"] {
+            let q = parse_query(src).unwrap();
+            let spec = projector.path_spec_for_query(&q).unwrap();
+            let outcome = qui_xmlstore::parse_xml_stream(
+                std::io::Cursor::new(xml.as_bytes().to_vec()),
+                &qui_xmlstore::StreamConfig::with_projection(spec),
+            )
+            .unwrap();
+            assert_eq!(
+                snapshot_query(&doc, &q).unwrap(),
+                snapshot_query(&outcome.tree, &q).unwrap(),
+                "{src}"
+            );
+            assert!(outcome.tree.size() <= doc.size(), "{src}");
+        }
+        // A selective query prunes during the parse.
+        let q = parse_query("//title").unwrap();
+        let spec = projector.path_spec_for_query(&q).unwrap();
+        let outcome = qui_xmlstore::parse_xml_stream(
+            std::io::Cursor::new(xml.as_bytes().to_vec()),
+            &qui_xmlstore::StreamConfig::with_projection(spec),
+        )
+        .unwrap();
+        assert!(outcome.stats.nodes_pruned > 0);
+        assert!(outcome.tree.size() < doc.size());
     }
 
     #[test]

@@ -5,14 +5,25 @@
 //! documents directly from the DTD: for every element, a word of its content
 //! model is sampled, recursion is throttled by a node budget, and mandatory
 //! sub-elements are always produced so that the result validates.
+//!
+//! Generation is written against a [`DocumentSink`] receiving start/end/text
+//! events in document order, so the same sampling walk (and hence the same
+//! RNG consumption) can either build an in-memory [`Tree`]
+//! ([`generate_valid`]) or stream serialized XML straight to an
+//! [`io::Write`] ([`generate_valid_xml`]) in `O(depth)` memory — which is
+//! how the paper-scale XMark documents are produced. For a given `(dtd,
+//! config, seed)` the streamed bytes parse back to exactly the tree the
+//! in-memory path builds.
 
 use crate::content::ContentModel;
 use crate::dtd::Dtd;
 use crate::symbols::{Sym, TEXT_SYM};
+use qui_xmlstore::serializer::escape_text;
 use qui_xmlstore::{NodeId, Store, Tree};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
 
 /// Configuration for [`generate_valid`].
 #[derive(Clone, Debug)]
@@ -29,6 +40,11 @@ pub struct GenValidConfig {
     /// Maximum element depth; below it only minimal content is produced so
     /// recursive schemas cannot generate pathologically deep documents.
     pub max_depth: usize,
+    /// Hard ceiling on the repetitions sampled for one `*`/`+` however large
+    /// the budget. The default (2 000) keeps any single child list modest;
+    /// paper-scale generation raises it in proportion to the target so
+    /// multi-million-node documents do not saturate below their target.
+    pub max_repeat_cap: usize,
 }
 
 impl Default for GenValidConfig {
@@ -38,6 +54,7 @@ impl Default for GenValidConfig {
             max_repeat: 4,
             optional_probability: 0.5,
             max_depth: 48,
+            max_repeat_cap: 2_000,
         }
     }
 }
@@ -52,14 +69,202 @@ impl GenValidConfig {
     }
 }
 
+/// A consumer of generated document events, received in document order.
+///
+/// `start_element`/`end_element` calls are properly nested; `text` carries
+/// the raw (unescaped) text value.
+pub trait DocumentSink {
+    /// An element opens.
+    fn start_element(&mut self, name: &str);
+    /// The innermost open element closes.
+    fn end_element(&mut self, name: &str);
+    /// A text node in the current element.
+    fn text(&mut self, value: &str);
+    /// Returns `true` once the sink can no longer accept events (e.g. a
+    /// write error); the generation walk then stops early instead of
+    /// producing the rest of the document into a dead sink.
+    fn is_failed(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that builds an in-memory [`Tree`].
+#[derive(Default)]
+struct StoreSink {
+    store: Store,
+    /// One child list per open element.
+    stack: Vec<Vec<NodeId>>,
+    root: Option<NodeId>,
+}
+
+impl StoreSink {
+    fn attach(&mut self, id: NodeId) {
+        match self.stack.last_mut() {
+            Some(children) => children.push(id),
+            None => self.root = Some(id),
+        }
+    }
+
+    fn into_tree(self) -> Tree {
+        let mut store = self.store;
+        let root = self
+            .root
+            .unwrap_or_else(|| store.new_element("empty", vec![]));
+        Tree::new(store, root)
+    }
+}
+
+impl DocumentSink for StoreSink {
+    fn start_element(&mut self, _name: &str) {
+        self.stack.push(Vec::new());
+    }
+
+    fn end_element(&mut self, name: &str) {
+        let children = self.stack.pop().expect("balanced events");
+        let id = self.store.new_element(name, children);
+        self.attach(id);
+    }
+
+    fn text(&mut self, value: &str) {
+        let id = self.store.new_text(value);
+        self.attach(id);
+    }
+}
+
+/// A sink that streams serialized XML to a writer in `O(depth)` memory,
+/// producing exactly the bytes `qui_xmlstore::serialize_tree` would produce
+/// for the equivalent in-memory tree (`<a/>` for empty elements, predefined
+/// entities escaped).
+struct XmlWriterSink<W: Write> {
+    writer: W,
+    /// The innermost start tag has been emitted as `<name` and still needs
+    /// `>` (or `/>` if the element stays empty).
+    open_pending: bool,
+    nodes: u64,
+    bytes: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> XmlWriterSink<W> {
+    fn new(writer: W) -> Self {
+        XmlWriterSink {
+            writer,
+            open_pending: false,
+            nodes: 0,
+            bytes: 0,
+            error: None,
+        }
+    }
+
+    fn emit(&mut self, s: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(s.as_bytes()) {
+            self.error = Some(e);
+            return;
+        }
+        self.bytes += s.len() as u64;
+    }
+
+    fn close_pending(&mut self) {
+        if self.open_pending {
+            self.emit(">");
+            self.open_pending = false;
+        }
+    }
+
+    fn finish(mut self) -> io::Result<GenXmlStats> {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(GenXmlStats {
+                nodes: self.nodes,
+                bytes: self.bytes,
+            }),
+        }
+    }
+}
+
+impl<W: Write> DocumentSink for XmlWriterSink<W> {
+    fn start_element(&mut self, name: &str) {
+        self.close_pending();
+        self.nodes += 1;
+        self.emit("<");
+        self.emit(name);
+        self.open_pending = true;
+    }
+
+    fn end_element(&mut self, name: &str) {
+        if self.open_pending {
+            self.emit("/>");
+            self.open_pending = false;
+        } else {
+            self.emit("</");
+            self.emit(name);
+            self.emit(">");
+        }
+    }
+
+    fn text(&mut self, value: &str) {
+        self.close_pending();
+        self.nodes += 1;
+        self.emit(&escape_text(value));
+    }
+
+    fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// What [`generate_valid_xml`] produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenXmlStats {
+    /// Number of element and text nodes in the document.
+    pub nodes: u64,
+    /// Number of XML bytes written.
+    pub bytes: u64,
+}
+
 /// Generates a document valid w.r.t. `dtd`, deterministically from `seed`.
 ///
 /// # Panics
 /// Panics if the DTD has an element type from which no finite document can
 /// be derived (e.g. `a -> a`), which no meaningful DTD has.
 pub fn generate_valid(dtd: &Dtd, config: &GenValidConfig, seed: u64) -> Tree {
+    let mut sink = StoreSink::default();
+    generate_valid_into(dtd, config, seed, &mut sink);
+    sink.into_tree()
+}
+
+/// Streams the serialized XML of the same document [`generate_valid`] would
+/// build (byte-identical to serializing it) directly to `writer`, without
+/// ever holding more than the current element path in memory. This is how
+/// paper-scale (multi-million-node) XMark documents are produced.
+pub fn generate_valid_xml<W: Write>(
+    dtd: &Dtd,
+    config: &GenValidConfig,
+    seed: u64,
+    writer: W,
+) -> io::Result<GenXmlStats> {
+    let mut sink = XmlWriterSink::new(writer);
+    generate_valid_into(dtd, config, seed, &mut sink);
+    sink.finish()
+}
+
+/// Runs the generation walk against an arbitrary [`DocumentSink`].
+pub fn generate_valid_into<S: DocumentSink>(
+    dtd: &Dtd,
+    config: &GenValidConfig,
+    seed: u64,
+    sink: &mut S,
+) {
     let gen = Generator::new(dtd, config.clone(), seed);
-    gen.generate()
+    gen.generate(sink)
 }
 
 struct Generator<'a> {
@@ -89,22 +294,31 @@ impl<'a> Generator<'a> {
         }
     }
 
-    fn generate(mut self) -> Tree {
-        let mut store = Store::new();
+    fn generate<S: DocumentSink>(mut self, sink: &mut S) {
         let target = self.config.target_nodes.max(1);
-        let root = self.gen_element(&mut store, self.dtd.start(), 0, target);
-        Tree::new(store, root)
+        self.gen_element(sink, self.dtd.start(), 0, target);
     }
 
-    /// Generates the subtree for `sym` using at most roughly `budget` nodes.
-    /// The budget is divided equally among the element's children so that
-    /// every document region (and not just the first repeated section in
-    /// document order) receives a share of the target size.
-    fn gen_element(&mut self, store: &mut Store, sym: Sym, depth: usize, budget: usize) -> NodeId {
+    /// Generates the subtree for `sym` using at most roughly `budget` nodes,
+    /// emitting it to the sink in document order. The budget is divided
+    /// equally among the element's children so that every document region
+    /// (and not just the first repeated section in document order) receives
+    /// a share of the target size.
+    fn gen_element<S: DocumentSink>(
+        &mut self,
+        sink: &mut S,
+        sym: Sym,
+        depth: usize,
+        budget: usize,
+    ) {
+        if sink.is_failed() {
+            return;
+        }
         self.nodes_made += 1;
         if sym == TEXT_SYM {
             self.text_counter += 1;
-            return store.new_text(format!("txt{}", self.text_counter));
+            sink.text(&format!("txt{}", self.text_counter));
+            return;
         }
         let word = if budget > 1 && depth < self.config.max_depth {
             self.sample_word(&self.dtd.content(sym).clone(), budget)
@@ -112,11 +326,12 @@ impl<'a> Generator<'a> {
             self.minimal_word.get(&sym).cloned().unwrap_or_default()
         };
         let child_budget = budget.saturating_sub(1) / word.len().max(1);
-        let children: Vec<NodeId> = word
-            .into_iter()
-            .map(|child_sym| self.gen_element(store, child_sym, depth + 1, child_budget))
-            .collect();
-        store.new_element(self.dtd.name(sym), children)
+        let name = self.dtd.name(sym).to_string();
+        sink.start_element(&name);
+        for child_sym in word {
+            self.gen_element(sink, child_sym, depth + 1, child_budget);
+        }
+        sink.end_element(&name);
     }
 
     /// Samples a word of `L(r)`, restricted to terminating symbols when
@@ -129,7 +344,9 @@ impl<'a> Generator<'a> {
 
     /// Upper bound on the number of repetitions for `*`/`+` under a budget.
     fn repeat_cap(&self, budget: usize) -> usize {
-        self.config.max_repeat.max((budget / 8).min(2_000))
+        self.config
+            .max_repeat
+            .max((budget / 8).min(self.config.max_repeat_cap))
     }
 
     fn sample_into(&mut self, r: &ContentModel, budget: usize, out: &mut Vec<Sym>) {
@@ -325,5 +542,35 @@ mod tests {
     fn non_terminating_schema_panics() {
         let d = Dtd::parse_compact("a -> a", "a").unwrap();
         let _ = generate_valid(&d, &GenValidConfig::default(), 0);
+    }
+
+    #[test]
+    fn streamed_xml_is_byte_identical_to_serializing_the_tree() {
+        let d = bib_dtd();
+        for seed in [0, 7, 99] {
+            let cfg = GenValidConfig::with_target(300);
+            let tree = generate_valid(&d, &cfg, seed);
+            let mut bytes = Vec::new();
+            let stats = generate_valid_xml(&d, &cfg, seed, &mut bytes).unwrap();
+            assert_eq!(
+                String::from_utf8_lossy(&bytes),
+                qui_xmlstore::serialize_tree(&tree),
+                "seed {seed}"
+            );
+            assert_eq!(stats.nodes as usize, tree.size(), "seed {seed}");
+            assert_eq!(stats.bytes as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    fn streamed_xml_parses_back_to_the_generated_tree() {
+        let d = bib_dtd();
+        let cfg = GenValidConfig::with_target(500);
+        let tree = generate_valid(&d, &cfg, 11);
+        let mut bytes = Vec::new();
+        generate_valid_xml(&d, &cfg, 11, &mut bytes).unwrap();
+        let reparsed = qui_xmlstore::parse_xml_reader(std::io::Cursor::new(bytes)).unwrap();
+        assert!(tree.value_equiv(&reparsed));
+        assert!(d.validate(&reparsed).is_ok());
     }
 }

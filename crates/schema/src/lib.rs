@@ -41,10 +41,13 @@ pub use chain::Chain;
 pub use content::ContentModel;
 pub use dtd::Dtd;
 pub use edtd::Edtd;
-pub use genvalid::{generate_valid, GenValidConfig};
+pub use genvalid::{
+    generate_valid, generate_valid_into, generate_valid_xml, DocumentSink, GenValidConfig,
+    GenXmlStats,
+};
 pub use infer::{infer_dtd, InferenceError, InferredDtd};
 pub use parser::SchemaParseError;
 pub use schema_like::SchemaLike;
-pub use symbols::{Sym, SymbolTable, TEXT_SYM};
+pub use symbols::{Sym, SymbolTable, TEXT_NAME, TEXT_SYM};
 pub use validate::{ValidationError, Validity};
 pub use xsd::{parse_xsd, parse_xsd_with_root, XsdError};

@@ -182,11 +182,32 @@ pub fn precision_report_jobs(
 }
 
 /// The outcome of the view-maintenance simulation (Fig. 3.c) for one
-/// strategy: total time spent re-materializing views after every update.
+/// strategy: total cost of re-materializing views after every update.
+///
+/// Costs come in two currencies. The **work-unit** fields count evaluation
+/// work deterministically (document nodes scanned plus result nodes
+/// materialized per refresh) and are *bit-identical* for any worker count —
+/// the property the parallel ≡ sequential tests pin down — so the headline
+/// savings percentages are computed from them. The [`Duration`] fields carry
+/// the corresponding wall-clock measurements for perf reports.
 #[derive(Clone, Debug)]
 pub struct MaintenanceReport {
-    /// Document scale label ("1MB", "10MB", "100MB").
+    /// Document scale label ("1MB", "10MB", "100MB", "1GB").
     pub scale: String,
+    /// Actual number of nodes in the generated document.
+    pub doc_nodes: usize,
+    /// Number of (update, view) refreshes with no analysis (`|U| · |V|`).
+    pub refreshed_all: usize,
+    /// Refreshes left after pruning with the type-set baseline.
+    pub refreshed_types: usize,
+    /// Refreshes left after pruning with the chain analysis.
+    pub refreshed_chains: usize,
+    /// Work units to refresh every view after every update (no analysis).
+    pub work_all: u64,
+    /// Work units kept by the type-set baseline.
+    pub work_types: u64,
+    /// Work units kept by the chain analysis.
+    pub work_chains: u64,
     /// Time to refresh every view after every update (no analysis).
     pub refresh_all: Duration,
     /// Time to refresh only the views the type-set baseline cannot prove
@@ -195,32 +216,51 @@ pub struct MaintenanceReport {
     /// Time to refresh only the views the chain analysis cannot prove
     /// independent.
     pub refresh_chains: Duration,
+    /// Wall time of the per-view re-evaluation phase (the part sharded over
+    /// the thread pool; the basis of the parallel speedup measurements).
+    pub eval_wall: Duration,
 }
 
 impl MaintenanceReport {
-    /// Percentage of re-materialization time saved by the chain analysis.
+    /// Percentage of re-materialization work saved by the chain analysis
+    /// (deterministic).
     pub fn chains_saving_pct(&self) -> f64 {
-        saving(self.refresh_all, self.refresh_chains)
+        saving(self.work_all, self.work_chains)
     }
 
-    /// Percentage saved by the type-set baseline.
+    /// Percentage saved by the type-set baseline (deterministic).
     pub fn types_saving_pct(&self) -> f64 {
-        saving(self.refresh_all, self.refresh_types)
+        saving(self.work_all, self.work_types)
+    }
+
+    /// The deterministic part of the report, for bit-identity assertions
+    /// across worker counts.
+    pub fn deterministic_fields(&self) -> (String, usize, [usize; 3], [u64; 3]) {
+        (
+            self.scale.clone(),
+            self.doc_nodes,
+            [
+                self.refreshed_all,
+                self.refreshed_types,
+                self.refreshed_chains,
+            ],
+            [self.work_all, self.work_types, self.work_chains],
+        )
     }
 }
 
-fn saving(all: Duration, kept: Duration) -> f64 {
-    if all.is_zero() {
+fn saving(all: u64, kept: u64) -> f64 {
+    if all == 0 {
         0.0
     } else {
-        100.0 * (1.0 - kept.as_secs_f64() / all.as_secs_f64())
+        100.0 * (1.0 - kept as f64 / all as f64)
     }
 }
 
 /// Simulates view maintenance on a document of `doc_nodes` nodes: for every
 /// update, re-evaluate either all views or only those not statically proven
-/// independent, and accumulate the evaluation time (the paper's `r_i`,
-/// `r_i^type`, `r_i^chain`).
+/// independent, and accumulate the evaluation cost (the paper's `r_i`,
+/// `r_i^type`, `r_i^chain`). Uses the [`Jobs::Auto`] worker policy.
 pub fn maintenance_simulation(
     views: &[NamedView],
     updates: &[NamedUpdate],
@@ -228,22 +268,33 @@ pub fn maintenance_simulation(
     scale_label: &str,
     seed: u64,
 ) -> MaintenanceReport {
+    maintenance_simulation_jobs(views, updates, doc_nodes, scale_label, seed, Jobs::Auto)
+}
+
+/// [`maintenance_simulation`] with an explicit worker-count policy: the
+/// per-view re-evaluations are independent of each other, so they are
+/// sharded over the `qui-core` thread pool (each worker re-evaluates on its
+/// own copy of the document, exactly as independent view refreshes would).
+/// All deterministic report fields are bit-identical for any worker count.
+pub fn maintenance_simulation_jobs(
+    views: &[NamedView],
+    updates: &[NamedUpdate],
+    doc_nodes: usize,
+    scale_label: &str,
+    seed: u64,
+    jobs: Jobs,
+) -> MaintenanceReport {
     let dtd = xmark_dtd();
     let chains = IndependenceAnalyzer::new(&dtd);
     let baseline = TypeSetAnalyzer::new(&dtd);
     let doc = xmark_document(doc_nodes, seed);
+    let doc_size = doc.size();
 
     // Static verdicts per (update, view), batched so chain inference is
-    // shared across the whole matrix.
+    // shared across the whole matrix (and itself sharded over the pool).
     let view_queries: Vec<Query> = views.iter().map(|v| v.query.clone()).collect();
     let update_exprs: Vec<_> = updates.iter().map(|u| u.update.clone()).collect();
-    let matrix = analyze_matrix(
-        &dtd,
-        &view_queries,
-        &update_exprs,
-        chains.config(),
-        Jobs::Auto,
-    );
+    let matrix = analyze_matrix(&dtd, &view_queries, &update_exprs, chains.config(), jobs);
     let needs_chain: Vec<Vec<bool>> = (0..updates.len())
         .map(|ui| {
             matrix
@@ -263,37 +314,63 @@ pub fn maintenance_simulation(
         })
         .collect();
 
-    // Measure the refresh cost of each view once (evaluation time dominates
-    // and is identical across strategies, as in the paper's setup).
-    let mut view_cost: Vec<Duration> = Vec::new();
-    for v in views {
+    // Measure the refresh cost of each view once (evaluation cost dominates
+    // and is identical across strategies, as in the paper's setup). The
+    // per-view evaluations are sharded over the thread pool; the work-unit
+    // cost of a refresh — document nodes scanned plus result nodes
+    // materialized — depends only on (document, view), never on scheduling.
+    let eval_start = Instant::now();
+    let measured: Vec<(Duration, u64)> = run_indexed(jobs, views.len(), |vi| {
         let mut work = doc.clone();
         let root = work.root;
         let start = Instant::now();
-        let _ = evaluate_query(&mut work.store, root, &v.query);
-        view_cost.push(start.elapsed());
-    }
+        let result = evaluate_query(&mut work.store, root, &views[vi].query);
+        let elapsed = start.elapsed();
+        let result_nodes: u64 = result
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .map(|&n| work.store.subtree_size(n) as u64)
+                    .sum()
+            })
+            .unwrap_or(0);
+        (elapsed, doc_size as u64 + result_nodes)
+    });
+    let eval_wall = eval_start.elapsed();
 
-    let mut all = Duration::ZERO;
-    let mut types = Duration::ZERO;
-    let mut chain = Duration::ZERO;
+    let mut report = MaintenanceReport {
+        scale: scale_label.to_string(),
+        doc_nodes: doc_size,
+        refreshed_all: 0,
+        refreshed_types: 0,
+        refreshed_chains: 0,
+        work_all: 0,
+        work_types: 0,
+        work_chains: 0,
+        refresh_all: Duration::ZERO,
+        refresh_types: Duration::ZERO,
+        refresh_chains: Duration::ZERO,
+        eval_wall,
+    };
     for (ui, _u) in updates.iter().enumerate() {
         for (vi, _v) in views.iter().enumerate() {
-            all += view_cost[vi];
+            let (cost, work) = measured[vi];
+            report.refreshed_all += 1;
+            report.work_all += work;
+            report.refresh_all += cost;
             if needs_types[ui][vi] {
-                types += view_cost[vi];
+                report.refreshed_types += 1;
+                report.work_types += work;
+                report.refresh_types += cost;
             }
             if needs_chain[ui][vi] {
-                chain += view_cost[vi];
+                report.refreshed_chains += 1;
+                report.work_chains += work;
+                report.refresh_chains += cost;
             }
         }
     }
-    MaintenanceReport {
-        scale: scale_label.to_string(),
-        refresh_all: all,
-        refresh_types: types,
-        refresh_chains: chain,
-    }
+    report
 }
 
 #[cfg(test)]
@@ -365,5 +442,24 @@ mod tests {
         assert!(report.refresh_chains <= report.refresh_all);
         assert!(report.refresh_types <= report.refresh_all);
         assert!(report.refresh_chains <= report.refresh_types);
+        assert!(report.work_chains <= report.work_types);
+        assert!(report.work_types <= report.work_all);
+        assert!(report.refreshed_chains <= report.refreshed_types);
+        assert_eq!(report.refreshed_all, views.len() * updates.len());
+        assert!(report.chains_saving_pct() >= report.types_saving_pct());
+        assert!(report.doc_nodes >= 1_000);
+    }
+
+    #[test]
+    fn maintenance_reports_are_bit_identical_across_worker_counts() {
+        let (views, updates) = small_workload();
+        let reference =
+            maintenance_simulation_jobs(&views, &updates, 2_000, "tiny", 5, Jobs::Fixed(1))
+                .deterministic_fields();
+        for jobs in [2, 8] {
+            let report =
+                maintenance_simulation_jobs(&views, &updates, 2_000, "tiny", 5, Jobs::Fixed(jobs));
+            assert_eq!(report.deterministic_fields(), reference, "jobs = {jobs}");
+        }
     }
 }

@@ -26,11 +26,12 @@ pub mod views;
 pub mod xmark;
 
 pub use harness::{
-    ground_truth_matrix, ground_truth_matrix_jobs, maintenance_simulation, precision_report,
-    precision_report_jobs, MaintenanceReport, PrecisionRow,
+    ground_truth_matrix, ground_truth_matrix_jobs, maintenance_simulation,
+    maintenance_simulation_jobs, precision_report, precision_report_jobs, MaintenanceReport,
+    PrecisionRow,
 };
 pub use rbench::{rbench_expression, rbench_schema};
 pub use updates::{all_updates, NamedUpdate};
 pub use usecases::{bib_document, bib_dtd, bib_pairs, UseCasePair};
 pub use views::{all_views, NamedView};
-pub use xmark::{xmark_document, xmark_dtd};
+pub use xmark::{stream_xmark_document, xmark_document, xmark_dtd, XmarkScale};

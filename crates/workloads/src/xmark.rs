@@ -8,8 +8,9 @@
 //! generator of `qui-schema`. Attributes are omitted — the paper's fragment
 //! and its rewritten workloads do not use them.
 
-use qui_schema::{generate_valid, Dtd, GenValidConfig};
+use qui_schema::{generate_valid, generate_valid_xml, Dtd, GenValidConfig, GenXmlStats};
 use qui_xmlstore::Tree;
+use std::io::{self, Write};
 
 /// The XMark-style auction DTD.
 pub fn xmark_dtd() -> Dtd {
@@ -122,7 +123,8 @@ pub fn xmark_dtd() -> Dtd {
 
 /// The document scales of the maintenance experiment (Fig. 3.c). The paper
 /// uses 1, 10 and 100 MB XMark documents; we use node counts that grow by
-/// the same factor of ten.
+/// the same factor of ten, plus an extra-large scale one decade beyond the
+/// paper that only the streaming ingest path can reach comfortably.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum XmarkScale {
     /// ≈ the 1 MB document.
@@ -131,9 +133,20 @@ pub enum XmarkScale {
     Medium,
     /// ≈ the 100 MB document.
     Large,
+    /// ≈ a 1 GB document (beyond the paper; multi-million nodes, exercised
+    /// by the streaming ingest path and the nightly perf runs).
+    ExtraLarge,
 }
 
 impl XmarkScale {
+    /// All scales, smallest to largest.
+    pub const ALL: [XmarkScale; 4] = [
+        XmarkScale::Small,
+        XmarkScale::Medium,
+        XmarkScale::Large,
+        XmarkScale::ExtraLarge,
+    ];
+
     /// Approximate number of nodes to generate for this scale.
     ///
     /// The paper uses 1, 10 and 100 MB XMark files; we keep the same factor
@@ -146,6 +159,7 @@ impl XmarkScale {
             XmarkScale::Small => 5_000,
             XmarkScale::Medium => 50_000,
             XmarkScale::Large => 500_000,
+            XmarkScale::ExtraLarge => 5_000_000,
         }
     }
 
@@ -155,14 +169,60 @@ impl XmarkScale {
             XmarkScale::Small => "1MB",
             XmarkScale::Medium => "10MB",
             XmarkScale::Large => "100MB",
+            XmarkScale::ExtraLarge => "1GB",
         }
+    }
+
+    /// The S/M/L/XL ladder name used by CLI flags and the perf harness.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            XmarkScale::Small => "S",
+            XmarkScale::Medium => "M",
+            XmarkScale::Large => "L",
+            XmarkScale::ExtraLarge => "XL",
+        }
+    }
+
+    /// Parses a scale from its ladder name (`S`/`M`/`L`/`XL`, case
+    /// insensitive) or its size label (`1MB`/`10MB`/`100MB`/`1GB`).
+    pub fn parse(s: &str) -> Option<XmarkScale> {
+        let upper = s.trim().to_ascii_uppercase();
+        Self::ALL
+            .into_iter()
+            .find(|sc| sc.short_name() == upper || sc.label() == upper)
+    }
+}
+
+/// The generator configuration for an XMark document of roughly
+/// `target_nodes` nodes. Identical to the default configuration up to the
+/// paper's largest scale; beyond it the repeat cap grows with the target so
+/// multi-million-node documents do not saturate (the default cap of 2 000
+/// repetitions per list bounds document growth at around half a million
+/// nodes).
+pub fn xmark_config(target_nodes: usize) -> GenValidConfig {
+    GenValidConfig {
+        max_repeat_cap: (target_nodes / 250).max(2_000),
+        ..GenValidConfig::with_target(target_nodes)
     }
 }
 
 /// Generates an XMark-style document of roughly `target_nodes` nodes.
 pub fn xmark_document(target_nodes: usize, seed: u64) -> Tree {
     let dtd = xmark_dtd();
-    generate_valid(&dtd, &GenValidConfig::with_target(target_nodes), seed)
+    generate_valid(&dtd, &xmark_config(target_nodes), seed)
+}
+
+/// Streams the serialized XML of `xmark_document(target_nodes, seed)` to a
+/// writer in `O(depth)` memory — the paper-scale ingest path: the document
+/// never exists as a tree or string on the producing side. The bytes are
+/// exactly `xmark_document(target_nodes, seed).to_xml()`.
+pub fn stream_xmark_document<W: Write>(
+    target_nodes: usize,
+    seed: u64,
+    writer: W,
+) -> io::Result<GenXmlStats> {
+    let dtd = xmark_dtd();
+    generate_valid_xml(&dtd, &xmark_config(target_nodes), seed, writer)
 }
 
 #[cfg(test)]
@@ -197,7 +257,36 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
-        assert!(XmarkScale::Small.target_nodes() < XmarkScale::Medium.target_nodes());
-        assert!(XmarkScale::Medium.target_nodes() < XmarkScale::Large.target_nodes());
+        for pair in XmarkScale::ALL.windows(2) {
+            assert!(pair[0].target_nodes() < pair[1].target_nodes());
+        }
+    }
+
+    #[test]
+    fn scales_parse_from_both_namings() {
+        for sc in XmarkScale::ALL {
+            assert_eq!(XmarkScale::parse(sc.short_name()), Some(sc));
+            assert_eq!(XmarkScale::parse(sc.label()), Some(sc));
+            assert_eq!(XmarkScale::parse(&sc.short_name().to_lowercase()), Some(sc));
+        }
+        assert_eq!(XmarkScale::parse("XXL"), None);
+    }
+
+    #[test]
+    fn streamed_document_matches_the_in_memory_one() {
+        let mut bytes = Vec::new();
+        let stats = stream_xmark_document(2_000, 42, &mut bytes).unwrap();
+        let tree = xmark_document(2_000, 42);
+        let xml = tree.to_xml();
+        assert_eq!(String::from_utf8_lossy(&bytes), xml);
+        assert_eq!(stats.nodes as usize, tree.size());
+        // Reparsing merges adjacent text nodes (XMark's mixed content can
+        // generate several in a row), so the reference for the streamed
+        // parse is the in-memory parse of the same bytes.
+        let reparsed = qui_xmlstore::parse_xml_reader(std::io::Cursor::new(bytes)).unwrap();
+        assert!(qui_xmlstore::parse_xml(&xml)
+            .unwrap()
+            .value_equiv(&reparsed));
+        assert!(xmark_dtd().validate(&reparsed).is_ok());
     }
 }

@@ -15,11 +15,16 @@
 //!   [`sequence_equiv`]) used by Definition 2.4 (independence).
 //! * a small hand-rolled XML [`parser`] and [`serializer`] (no external XML
 //!   library is used anywhere in the workspace).
+//! * [`streaming`] — a pull parser over any [`std::io::Read`] source that
+//!   builds the tree incrementally without materializing the input, plus
+//!   streamed label-path projection ([`PathSpec`]) that drops pruned
+//!   subtrees during the parse (peak-memory savings, not just node counts).
 //! * [`projection`] — XML projections `t|_L` used in the soundness statements
 //!   of §3.4 and in the projection-based tests.
 //! * [`generator`] — generic random-tree generation used by property tests
 //!   (schema-driven generation lives in `qui-schema`).
 
+pub mod decode;
 pub mod equiv;
 pub mod generator;
 pub mod node;
@@ -27,8 +32,10 @@ pub mod parser;
 pub mod projection;
 pub mod serializer;
 pub mod store;
+pub mod streaming;
 pub mod tree;
 
+pub use decode::decode_entities;
 pub use equiv::{sequence_equiv, value_equiv};
 pub use node::{Node, NodeId, NodeKind};
 pub use parser::{parse_xml, parse_xml_keep_attributes, ParseError};
@@ -37,4 +44,8 @@ pub use serializer::{
     serialize_node, serialize_node_with_attributes, serialize_tree, serialize_tree_with_attributes,
 };
 pub use store::Store;
+pub use streaming::{
+    parse_xml_reader, parse_xml_stream, project_paths, PathSpec, StreamConfig, StreamOutcome,
+    StreamStats,
+};
 pub use tree::{Tree, TreeBuilder};

@@ -7,9 +7,12 @@
 //! comments and processing instructions are skipped, and a handful of
 //! standard entities are decoded.
 
+use crate::decode::{attribute_children, is_name_byte};
 use crate::store::Store;
 use crate::tree::Tree;
 use std::fmt;
+
+pub use crate::decode::decode_entities;
 
 /// An error produced while parsing an XML document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,7 +151,7 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+            if is_name_byte(b) {
                 self.pos += 1;
             } else {
                 break;
@@ -199,25 +202,6 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Converts parsed attributes into leading `@name` children (when
-    /// attribute keeping is enabled).
-    fn attribute_children(&mut self, attrs: Vec<(String, String)>) -> Vec<crate::NodeId> {
-        if !self.keep_attributes {
-            return Vec::new();
-        }
-        attrs
-            .into_iter()
-            .map(|(name, value)| {
-                let content = if value.is_empty() {
-                    vec![]
-                } else {
-                    vec![self.store.new_text(value)]
-                };
-                self.store.new_element(format!("@{name}"), content)
-            })
-            .collect()
-    }
-
     fn parse_element(&mut self) -> Result<crate::NodeId, ParseError> {
         self.skip_ws();
         if self.peek() != Some(b'<') {
@@ -234,12 +218,12 @@ impl<'a> Parser<'a> {
                     return Err(self.error("expected '>' after '/'"));
                 }
                 self.pos += 1;
-                let children = self.attribute_children(attrs);
+                let children = attribute_children(&mut self.store, attrs, self.keep_attributes);
                 Ok(self.store.new_element(tag, children))
             }
             Some(b'>') => {
                 self.pos += 1;
-                let mut children = self.attribute_children(attrs);
+                let mut children = attribute_children(&mut self.store, attrs, self.keep_attributes);
                 loop {
                     if self.starts_with("</") {
                         self.pos += 2;
@@ -302,18 +286,6 @@ fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
         return None;
     }
     (0..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
-}
-
-/// Decodes the five predefined XML entities.
-pub fn decode_entities(s: &str) -> String {
-    if !s.contains('&') {
-        return s.to_string();
-    }
-    s.replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&quot;", "\"")
-        .replace("&apos;", "'")
-        .replace("&amp;", "&")
 }
 
 #[cfg(test)]

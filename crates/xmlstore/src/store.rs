@@ -45,6 +45,26 @@ impl Store {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
+    /// A deterministic estimate of the heap bytes this store's nodes occupy
+    /// (arena slots plus tag/text/child-list payloads, by length rather than
+    /// capacity). Used by the streaming-ingest reports to compare resident
+    /// tree size against input size.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use crate::node::NodeKind;
+        let slot = std::mem::size_of::<Node>();
+        self.nodes
+            .iter()
+            .map(|n| {
+                slot + match &n.kind {
+                    NodeKind::Element { tag, children } => {
+                        tag.len() + children.len() * std::mem::size_of::<NodeId>()
+                    }
+                    NodeKind::Text(s) => s.len(),
+                }
+            })
+            .sum()
+    }
+
     /// Returns a reference to the node at `id`.
     ///
     /// # Panics

@@ -1,0 +1,1000 @@
+//! Streaming (pull) XML parsing from any [`std::io::Read`] source.
+//!
+//! The in-memory parser of [`crate::parser`] needs the whole document as a
+//! `&str` before it starts, which caps the document sizes the Fig. 3.c
+//! experiment can reach. This module parses the same XML subset *incremen-
+//! tally*: bytes are pulled from the reader in fixed-size chunks into a small
+//! sliding window, tokens are consumed as they complete, and the [`Tree`] is
+//! built element by element with an explicit stack — the input text is never
+//! materialized and memory stays `O(tree + chunk)`.
+//!
+//! On top of plain parsing, the streaming path supports **streamed
+//! projection** (paper §3.4): a [`PathSpec`] describes, as root-to-node label
+//! paths, which regions of the document a query may need; subtrees outside
+//! the spec are recognized *during* the parse and dropped before a single
+//! node is allocated for them. This turns projection savings into *peak
+//! memory* savings, not just node-count savings — the pruned subtrees never
+//! exist. [`project_paths`] applies the identical top-down semantics to an
+//! already-parsed tree and is the reference the property tests compare
+//! against; `qui-core`'s `ChainProjector::path_spec` converts its
+//! chain-based `ProjectionSpec` into a [`PathSpec`].
+//!
+//! Both parsers accept the same documents, produce value-equivalent trees,
+//! and reject malformed input with the same error message at the same byte
+//! offset; the shared decoding helpers live in [`crate::decode`].
+
+use crate::decode::{attribute_children, decode_entities, is_name_byte};
+use crate::node::NodeId;
+use crate::parser::ParseError;
+use crate::store::Store;
+use crate::tree::Tree;
+use std::collections::{BTreeSet, HashSet};
+use std::io::Read;
+
+/// The label under which text nodes participate in path specs (mirrors
+/// `qui-schema`'s `TEXT_NAME`, which this crate cannot depend on).
+pub const TEXT_LABEL: &str = "#text";
+
+/// Default refill granularity of the sliding input window.
+pub const DEFAULT_CHUNK_SIZE: usize = 8 * 1024;
+
+// ---------------------------------------------------------------------------
+// Path specs — label-path projections
+// ---------------------------------------------------------------------------
+
+/// A projection described by root-to-node **label paths**.
+///
+/// A node at label path `p` (the tags from the root down to the node, text
+/// nodes contributing [`TEXT_LABEL`]) is kept iff
+///
+/// * `p` is a prefix of some chain in `keep_paths ∪ keep_subtrees` (the node
+///   lies *on the way* to needed nodes), or
+/// * some chain in `keep_subtrees` is a prefix of `p` (the node lies *inside*
+///   a region that is kept whole), or
+/// * its own label is not in `known_labels` (the schema says nothing about
+///   it, so it is kept conservatively, together with its whole subtree).
+///
+/// Everything else is pruned with its entire subtree. The prefix conditions
+/// are monotone along root-to-leaf paths, which is exactly what lets a
+/// streaming parser decide *keep / descend / drop whole subtree* the moment
+/// it sees a start tag. Unknown labels nested strictly inside pruned regions
+/// are pruned with them (the stream never looks inside a dropped subtree);
+/// valid documents have no unknown labels, so this only matters for
+/// documents that do not conform to the schema the spec came from.
+#[derive(Clone, Debug, Default)]
+pub struct PathSpec {
+    /// Chains whose prefixes must be kept (paths leading to needed nodes).
+    pub keep_paths: BTreeSet<Vec<String>>,
+    /// Chains whose entire subtrees must be kept.
+    pub keep_subtrees: BTreeSet<Vec<String>>,
+    /// The labels the schema knows; anything else is kept conservatively.
+    /// [`TEXT_LABEL`] is always treated as known.
+    pub known_labels: HashSet<String>,
+}
+
+fn is_prefix(a: &[String], b: &[String]) -> bool {
+    a.len() <= b.len() && b[..a.len()] == *a
+}
+
+impl PathSpec {
+    /// Returns `true` when `path` is a prefix of some kept chain, i.e. the
+    /// node may lead to needed nodes and the stream must descend into it.
+    pub fn on_path(&self, path: &[String]) -> bool {
+        self.keep_paths
+            .iter()
+            .chain(self.keep_subtrees.iter())
+            .any(|c| is_prefix(path, c))
+    }
+
+    /// Returns `true` when `path` lies inside a subtree that is kept whole.
+    pub fn in_subtree(&self, path: &[String]) -> bool {
+        self.keep_subtrees.iter().any(|c| is_prefix(c, path))
+    }
+
+    /// Returns `true` when the label is known to the schema the spec was
+    /// derived from.
+    pub fn is_known(&self, label: &str) -> bool {
+        label == TEXT_LABEL || self.known_labels.contains(label)
+    }
+
+    /// Returns `true` when a text child of an element at `parent_path` is
+    /// kept — equivalent to checking `parent_path + [TEXT_LABEL]` with
+    /// [`Self::in_subtree`]`/`[`Self::on_path`], but without materializing
+    /// the extended path (this runs once per text run of a streaming parse).
+    pub fn keeps_text_child(&self, parent_path: &[String]) -> bool {
+        self.in_subtree(parent_path)
+            || self
+                .keep_paths
+                .iter()
+                .chain(self.keep_subtrees.iter())
+                .any(|c| {
+                    c.len() > parent_path.len()
+                        && c[..parent_path.len()] == *parent_path
+                        && c[parent_path.len()] == TEXT_LABEL
+                })
+    }
+
+    /// Total number of chains (size indicator for reports).
+    pub fn len(&self) -> usize {
+        self.keep_paths.len() + self.keep_subtrees.len()
+    }
+
+    /// Returns `true` when the spec keeps nothing beyond the root.
+    pub fn is_empty(&self) -> bool {
+        self.keep_paths.is_empty() && self.keep_subtrees.is_empty()
+    }
+}
+
+/// The keep decision for one element and, implicitly, its subtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Keep {
+    /// Keep the node and everything below without further checks.
+    All,
+    /// Keep the node; decide per child.
+    Filter,
+    /// Drop the node and everything below (still parsed and validated).
+    Skip,
+}
+
+/// Decides the keep state of an element with label `tag` at `path` (its own
+/// label included), given its parent's state.
+fn decide(spec: &PathSpec, parent: Keep, path: &[String], tag: &str) -> Keep {
+    match parent {
+        Keep::All => Keep::All,
+        Keep::Skip => Keep::Skip,
+        Keep::Filter => {
+            if !spec.is_known(tag) || spec.in_subtree(path) {
+                Keep::All
+            } else if spec.on_path(path) {
+                Keep::Filter
+            } else {
+                Keep::Skip
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration, stats, outcome
+// ---------------------------------------------------------------------------
+
+/// Configuration of a streaming parse.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Encode attributes as leading `@name` children (the §7 extension), as
+    /// [`crate::parser::parse_xml_keep_attributes`] does. Off by default.
+    pub keep_attributes: bool,
+    /// When set, subtrees outside the spec are dropped during the parse.
+    pub projection: Option<PathSpec>,
+    /// Refill granularity of the sliding input window.
+    pub chunk_size: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            keep_attributes: false,
+            projection: None,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config that projects the stream onto `spec` while parsing.
+    pub fn with_projection(spec: PathSpec) -> Self {
+        StreamConfig {
+            projection: Some(spec),
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing what a streaming parse did — in particular how much
+/// memory it needed relative to the input size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total bytes pulled from the reader.
+    pub bytes_read: usize,
+    /// Largest size the sliding input window ever reached (the parser's own
+    /// working memory; stays `O(chunk)` regardless of document size).
+    pub peak_buffer_bytes: usize,
+    /// Element nodes encountered in the input (kept or pruned).
+    pub elements_parsed: usize,
+    /// Significant text runs (and CDATA sections) encountered in the input.
+    pub texts_parsed: usize,
+    /// Element and text nodes actually materialized in the store
+    /// (attribute-encoding `@name` nodes not counted).
+    pub nodes_kept: usize,
+    /// Nodes parsed but dropped by the projection.
+    pub nodes_pruned: usize,
+}
+
+/// A parsed tree plus the stats of the parse that produced it.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The (possibly projected) document.
+    pub tree: Tree,
+    /// What the parse did.
+    pub stats: StreamStats,
+}
+
+// ---------------------------------------------------------------------------
+// The sliding byte window
+// ---------------------------------------------------------------------------
+
+struct ByteStream<R: Read> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Index into `buf` of the next unconsumed byte.
+    pos: usize,
+    /// Absolute offset of `buf[0]` in the input.
+    base: usize,
+    eof: bool,
+    chunk: usize,
+    bytes_read: usize,
+    peak_buffer: usize,
+}
+
+impl<R: Read> ByteStream<R> {
+    fn new(reader: R, chunk: usize) -> Self {
+        ByteStream {
+            reader,
+            buf: Vec::new(),
+            pos: 0,
+            base: 0,
+            eof: false,
+            chunk: chunk.max(16),
+            bytes_read: 0,
+            peak_buffer: 0,
+        }
+    }
+
+    /// Absolute byte offset of the next unconsumed byte (for errors).
+    fn abs(&self) -> usize {
+        self.base + self.pos
+    }
+
+    fn io_error(&self, e: std::io::Error) -> ParseError {
+        ParseError {
+            message: format!("read error: {e}"),
+            position: self.abs(),
+        }
+    }
+
+    /// Makes at least `n` bytes available past `pos`, unless the input ends
+    /// first. Returns the number of available bytes.
+    fn ensure(&mut self, n: usize) -> Result<usize, ParseError> {
+        while self.buf.len() - self.pos < n && !self.eof {
+            // Compact the consumed prefix before growing the window.
+            if self.pos > 0 {
+                self.buf.drain(..self.pos);
+                self.base += self.pos;
+                self.pos = 0;
+            }
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + self.chunk, 0);
+            match self.reader.read(&mut self.buf[old_len..]) {
+                Ok(0) => {
+                    self.buf.truncate(old_len);
+                    self.eof = true;
+                }
+                Ok(k) => {
+                    self.buf.truncate(old_len + k);
+                    self.bytes_read += k;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.buf.truncate(old_len);
+                }
+                Err(e) => {
+                    self.buf.truncate(old_len);
+                    return Err(self.io_error(e));
+                }
+            }
+            self.peak_buffer = self.peak_buffer.max(self.buf.len());
+        }
+        Ok(self.buf.len() - self.pos)
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, ParseError> {
+        self.ensure(1)?;
+        Ok(self.buf.get(self.pos).copied())
+    }
+
+    fn bump(&mut self) -> Result<Option<u8>, ParseError> {
+        let b = self.peek()?;
+        if b.is_some() {
+            self.pos += 1;
+        }
+        Ok(b)
+    }
+
+    /// Returns `true` when the unconsumed input starts with `s` (without
+    /// consuming it).
+    fn starts_with(&mut self, s: &str) -> Result<bool, ParseError> {
+        let n = s.len();
+        if self.ensure(n)? < n {
+            return Ok(false);
+        }
+        Ok(&self.buf[self.pos..self.pos + n] == s.as_bytes())
+    }
+
+    /// Consumes `s` if the input starts with it.
+    fn eat(&mut self, s: &str) -> Result<bool, ParseError> {
+        if self.starts_with(s)? {
+            self.pos += s.len();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Consumes input up to and including `end`; consumes everything when
+    /// `end` never occurs (mirroring the in-memory parser). When `collect` is
+    /// given, the bytes before `end` are appended to it.
+    fn consume_until(
+        &mut self,
+        end: &str,
+        mut collect: Option<&mut Vec<u8>>,
+    ) -> Result<(), ParseError> {
+        loop {
+            if self.eat(end)? {
+                return Ok(());
+            }
+            match self.bump()? {
+                None => return Ok(()),
+                Some(b) => {
+                    if let Some(out) = collect.as_deref_mut() {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) -> Result<(), ParseError> {
+        while matches!(self.peek()?, Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming parser
+// ---------------------------------------------------------------------------
+
+/// One open element on the parse stack.
+struct Frame {
+    tag: String,
+    children: Vec<NodeId>,
+    keep: Keep,
+}
+
+struct StreamParser<R: Read> {
+    bs: ByteStream<R>,
+    store: Store,
+    keep_attributes: bool,
+    projection: Option<PathSpec>,
+    /// Root-to-current label path; maintained only when projecting.
+    path: Vec<String>,
+    stack: Vec<Frame>,
+    stats: StreamStats,
+}
+
+/// Parses an XML document from a reader into a [`Tree`], ignoring attributes
+/// — the streaming equivalent of [`crate::parser::parse_xml`].
+pub fn parse_xml_reader<R: Read>(reader: R) -> Result<Tree, ParseError> {
+    Ok(parse_xml_stream(reader, &StreamConfig::default())?.tree)
+}
+
+/// Parses an XML document from a reader with full control over attribute
+/// keeping, projection and buffering.
+pub fn parse_xml_stream<R: Read>(
+    reader: R,
+    config: &StreamConfig,
+) -> Result<StreamOutcome, ParseError> {
+    let mut parser = StreamParser {
+        bs: ByteStream::new(reader, config.chunk_size),
+        store: Store::new(),
+        keep_attributes: config.keep_attributes,
+        projection: config.projection.clone(),
+        path: Vec::new(),
+        stack: Vec::new(),
+        stats: StreamStats::default(),
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_document_element()?;
+    parser.skip_misc()?;
+    if parser.bs.peek()?.is_some() {
+        return Err(parser.error("trailing content after document element"));
+    }
+    parser.stats.bytes_read = parser.bs.bytes_read;
+    parser.stats.peak_buffer_bytes = parser.bs.peak_buffer;
+    Ok(StreamOutcome {
+        tree: Tree::new(parser.store, root),
+        stats: parser.stats,
+    })
+}
+
+impl<R: Read> StreamParser<R> {
+    fn error(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            position: self.bs.abs(),
+        }
+    }
+
+    /// Skips the XML declaration, doctype, comments and whitespace before
+    /// the document element.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.bs.skip_ws()?;
+            if self.bs.eat("<?")? {
+                self.bs.consume_until("?>", None)?;
+            } else if self.bs.eat("<!--")? {
+                self.bs.consume_until("-->", None)?;
+            } else if self.bs.eat("<!DOCTYPE")? || self.bs.eat("<!doctype")? {
+                // Skip a possibly bracketed internal subset.
+                let mut depth = 0usize;
+                while let Some(b) = self.bs.bump()? {
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments, processing instructions and whitespace after the
+    /// document element.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.bs.skip_ws()?;
+            if self.bs.eat("<!--")? {
+                self.bs.consume_until("-->", None)?;
+            } else if self.bs.eat("<?")? {
+                self.bs.consume_until("?>", None)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let mut out = Vec::new();
+        while let Some(b) = self.bs.peek()? {
+            if is_name_byte(b) {
+                out.push(b);
+                self.bs.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// Consumes attributes up to (but not including) `>` or `/>`. The pairs
+    /// are collected only when `wanted` (i.e. the element is kept and
+    /// attribute keeping is on); otherwise they are validated and discarded.
+    fn parse_attributes(&mut self, wanted: bool) -> Result<Vec<(String, String)>, ParseError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.bs.skip_ws()?;
+            match self.bs.peek()? {
+                Some(b'>') | Some(b'/') | None => return Ok(attrs),
+                _ => {
+                    let name = self.parse_name()?;
+                    self.bs.skip_ws()?;
+                    let mut value = Vec::new();
+                    if self.bs.peek()? == Some(b'=') {
+                        self.bs.pos += 1;
+                        self.bs.skip_ws()?;
+                        match self.bs.peek()? {
+                            Some(q @ (b'"' | b'\'')) => {
+                                self.bs.pos += 1;
+                                while let Some(b) = self.bs.bump()? {
+                                    if b == q {
+                                        break;
+                                    }
+                                    value.push(b);
+                                }
+                            }
+                            _ => return Err(self.error("expected quoted attribute value")),
+                        }
+                    }
+                    if wanted {
+                        let value = String::from_utf8_lossy(&value).into_owned();
+                        attrs.push((name, decode_entities(&value)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The keep state of the enclosing element ([`Keep::Filter`] at the
+    /// document root so the root is always kept, as in [`crate::project`]).
+    fn parent_keep(&self) -> Keep {
+        self.stack.last().map(|f| f.keep).unwrap_or(Keep::Filter)
+    }
+
+    /// Decides the keep state of an element about to start; `path` already
+    /// includes its tag. The document element is never skipped.
+    fn decide_element(&self, tag: &str) -> Keep {
+        let Some(spec) = &self.projection else {
+            return Keep::Filter;
+        };
+        let keep = decide(spec, self.parent_keep(), &self.path, tag);
+        if self.stack.is_empty() && keep == Keep::Skip {
+            Keep::Filter
+        } else {
+            keep
+        }
+    }
+
+    /// Parses one element start tag (the leading `<` not yet consumed).
+    /// Returns the completed node for self-closing elements, `None` when a
+    /// frame was pushed (or the element is being skipped).
+    fn parse_open_tag(&mut self) -> Result<Option<Option<NodeId>>, ParseError> {
+        self.bs.pos += 1; // consume '<'
+        let tag = self.parse_name()?;
+        self.stats.elements_parsed += 1;
+        if self.projection.is_some() {
+            self.path.push(tag.clone());
+        }
+        let keep = self.decide_element(&tag);
+        let wanted = keep != Keep::Skip;
+        let attrs = self.parse_attributes(wanted && self.keep_attributes)?;
+        match self.bs.peek()? {
+            Some(b'/') => {
+                self.bs.pos += 1;
+                if self.bs.peek()? != Some(b'>') {
+                    return Err(self.error("expected '>' after '/'"));
+                }
+                self.bs.pos += 1;
+                if self.projection.is_some() {
+                    self.path.pop();
+                }
+                if wanted {
+                    let children = attribute_children(&mut self.store, attrs, self.keep_attributes);
+                    self.stats.nodes_kept += 1;
+                    Ok(Some(Some(self.store.new_element(tag, children))))
+                } else {
+                    self.stats.nodes_pruned += 1;
+                    Ok(Some(None))
+                }
+            }
+            Some(b'>') => {
+                self.bs.pos += 1;
+                let children = if wanted {
+                    attribute_children(&mut self.store, attrs, self.keep_attributes)
+                } else {
+                    Vec::new()
+                };
+                self.stack.push(Frame {
+                    tag,
+                    children,
+                    keep,
+                });
+                Ok(None)
+            }
+            _ => Err(self.error("expected '>' or '/>'")),
+        }
+    }
+
+    /// Parses one closing tag (the leading `</` already consumed), pops the
+    /// frame and returns the completed node (`None` when skipped).
+    fn parse_close_tag(&mut self) -> Result<Option<NodeId>, ParseError> {
+        let close = self.parse_name()?;
+        let frame = self.stack.pop().expect("close tag outside any element");
+        if close != frame.tag {
+            return Err(self.error(&format!(
+                "mismatched closing tag: expected </{}>, found </{}>",
+                frame.tag, close
+            )));
+        }
+        self.bs.skip_ws()?;
+        if self.bs.peek()? != Some(b'>') {
+            return Err(self.error("expected '>' in closing tag"));
+        }
+        self.bs.pos += 1;
+        if self.projection.is_some() {
+            self.path.pop();
+        }
+        if frame.keep == Keep::Skip {
+            self.stats.nodes_pruned += 1;
+            Ok(None)
+        } else {
+            self.stats.nodes_kept += 1;
+            Ok(Some(self.store.new_element(frame.tag, frame.children)))
+        }
+    }
+
+    /// Attaches a completed child node to the innermost open element.
+    fn attach(&mut self, node: Option<NodeId>) {
+        if let (Some(node), Some(frame)) = (node, self.stack.last_mut()) {
+            if frame.keep != Keep::Skip {
+                frame.children.push(node);
+            }
+        }
+    }
+
+    /// Whether a text node in the current position would be kept.
+    fn text_wanted(&self) -> bool {
+        match self.parent_keep() {
+            Keep::All => true,
+            Keep::Skip => false,
+            Keep::Filter => match &self.projection {
+                None => true,
+                Some(spec) => spec.keeps_text_child(&self.path),
+            },
+        }
+    }
+
+    /// Parses the document element (and everything inside it), returning its
+    /// node.
+    fn parse_document_element(&mut self) -> Result<NodeId, ParseError> {
+        self.bs.skip_ws()?;
+        if self.bs.peek()? != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        if let Some(done) = self.parse_open_tag()? {
+            // A self-closing document element; the root is never skipped.
+            return Ok(done.expect("document element is always kept"));
+        }
+        loop {
+            if self.bs.eat("</")? {
+                let node = self.parse_close_tag()?;
+                if self.stack.is_empty() {
+                    return Ok(node.expect("document element is always kept"));
+                }
+                self.attach(node);
+            } else if self.bs.eat("<!--")? {
+                self.bs.consume_until("-->", None)?;
+            } else if self.bs.eat("<?")? {
+                self.bs.consume_until("?>", None)?;
+            } else if self.bs.eat("<![CDATA[")? {
+                let wanted = self.text_wanted();
+                self.stats.texts_parsed += 1;
+                let mut raw = Vec::new();
+                self.bs.consume_until("]]>", wanted.then_some(&mut raw))?;
+                if wanted {
+                    let text = String::from_utf8_lossy(&raw).into_owned();
+                    self.stats.nodes_kept += 1;
+                    let node = Some(self.store.new_text(text));
+                    self.attach(node);
+                } else {
+                    self.stats.nodes_pruned += 1;
+                }
+            } else if self.bs.peek()? == Some(b'<') {
+                let completed = self.parse_open_tag()?;
+                if let Some(node) = completed {
+                    self.attach(node);
+                }
+            } else if self.bs.peek()?.is_none() {
+                let tag = self.stack.last().map(|f| f.tag.clone()).unwrap_or_default();
+                return Err(self.error(&format!("unexpected end of input inside <{tag}>")));
+            } else {
+                self.parse_text_run()?;
+            }
+        }
+    }
+
+    /// Parses a run of character data up to the next `<` (or EOF).
+    /// Whitespace-only runs are ignored, as in the in-memory parser.
+    fn parse_text_run(&mut self) -> Result<(), ParseError> {
+        let wanted = self.text_wanted();
+        let mut raw = Vec::new();
+        while let Some(b) = self.bs.peek()? {
+            if b == b'<' {
+                break;
+            }
+            raw.push(b);
+            self.bs.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        if text.trim().is_empty() {
+            return Ok(());
+        }
+        self.stats.texts_parsed += 1;
+        if wanted {
+            self.stats.nodes_kept += 1;
+            let node = Some(self.store.new_text(decode_entities(&text)));
+            self.attach(node);
+        } else {
+            self.stats.nodes_pruned += 1;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The in-memory reference for streamed projection
+// ---------------------------------------------------------------------------
+
+/// Applies a [`PathSpec`] to an already-parsed tree with exactly the
+/// top-down semantics of the streaming parser — the reference the
+/// streamed-projection property tests compare against.
+pub fn project_paths(tree: &Tree, spec: &PathSpec) -> Tree {
+    let mut store = Store::new();
+    let mut path: Vec<String> = Vec::new();
+    let root = copy_filtered(
+        tree,
+        tree.root,
+        spec,
+        Keep::Filter,
+        true,
+        &mut path,
+        &mut store,
+    )
+    .expect("the root is always kept");
+    Tree::new(store, root)
+}
+
+fn copy_filtered(
+    tree: &Tree,
+    node: NodeId,
+    spec: &PathSpec,
+    parent: Keep,
+    is_root: bool,
+    path: &mut Vec<String>,
+    dst: &mut Store,
+) -> Option<NodeId> {
+    match tree.store.tag(node) {
+        None => {
+            // A text node.
+            let keep = match parent {
+                Keep::All => true,
+                Keep::Skip => false,
+                Keep::Filter => spec.keeps_text_child(path),
+            };
+            keep.then(|| dst.new_text(tree.store.text_value(node).unwrap_or_default().to_string()))
+        }
+        Some(tag) => {
+            let tag = tag.to_string();
+            path.push(tag.clone());
+            let mut keep = decide(spec, parent, path, &tag);
+            if is_root && keep == Keep::Skip {
+                keep = Keep::Filter;
+            }
+            let out = if keep == Keep::Skip {
+                None
+            } else {
+                let children: Vec<NodeId> = tree
+                    .store
+                    .children(node)
+                    .to_vec()
+                    .into_iter()
+                    .filter_map(|c| copy_filtered(tree, c, spec, keep, false, path, dst))
+                    .collect();
+                Some(dst.new_element(tag, children))
+            };
+            path.pop();
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_xml, parse_xml_keep_attributes};
+    use std::io::Cursor;
+
+    fn stream(input: &str) -> Result<Tree, ParseError> {
+        parse_xml_reader(Cursor::new(input.as_bytes().to_vec()))
+    }
+
+    /// A reader that hands out one byte at a time, exercising every
+    /// token-across-chunk boundary.
+    struct TrickleReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+
+    impl Read for TrickleReader<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn agrees_with_in_memory_parser_on_basics() {
+        for input in [
+            "<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>",
+            "<a>hello &amp; &lt;world&gt;</a>",
+            "<a><![CDATA[1 < 2]]></a>",
+            "<a/>",
+            r#"<?xml version="1.0"?><!DOCTYPE doc [ <!ELEMENT doc (a)> ]>
+               <!-- c --><doc id="1"><a x='2'/><!-- inner --></doc>"#,
+            "<r><x>1 &amp; 2</x><y/></r><!-- trailing -->",
+        ] {
+            let expected = parse_xml(input).unwrap();
+            let got = stream(input).unwrap();
+            assert!(expected.value_equiv(&got), "{input}");
+        }
+    }
+
+    #[test]
+    fn rejects_what_the_in_memory_parser_rejects_at_the_same_position() {
+        for input in [
+            "<a></b>",
+            "<a/><b/>",
+            "<a>",
+            "plain",
+            "<a =></a>",
+            "<a x=nope/>",
+            "<a><b></a></b>",
+        ] {
+            let expected = parse_xml(input).expect_err(input);
+            let got = stream(input).expect_err(input);
+            assert_eq!(expected.message, got.message, "{input}");
+            assert_eq!(expected.position, got.position, "{input}");
+        }
+    }
+
+    #[test]
+    fn one_byte_reads_still_parse() {
+        let input = "<doc><a attr=\"v\"><c/></a><b>text &amp; more</b></doc>";
+        let expected = parse_xml(input).unwrap();
+        let outcome = parse_xml_stream(
+            TrickleReader {
+                data: input.as_bytes(),
+                pos: 0,
+            },
+            &StreamConfig {
+                chunk_size: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(expected.value_equiv(&outcome.tree));
+        assert_eq!(outcome.stats.bytes_read, input.len());
+    }
+
+    #[test]
+    fn keep_attributes_matches_in_memory_encoding() {
+        let input = r#"<item id="7" lang='en'><name>x &amp; y</name><edge from="a"/></item>"#;
+        let expected = parse_xml_keep_attributes(input).unwrap();
+        let got = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig {
+                keep_attributes: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(expected.value_equiv(&got.tree));
+    }
+
+    #[test]
+    fn peak_buffer_stays_small_on_large_inputs() {
+        // ~200 KiB of flat elements parsed through a 1 KiB window.
+        let mut input = String::from("<doc>");
+        for i in 0..10_000 {
+            input.push_str(&format!("<item>v{i}</item>"));
+        }
+        input.push_str("</doc>");
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig {
+                chunk_size: 1024,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.tree.size(), 20_001);
+        assert!(
+            outcome.stats.peak_buffer_bytes <= 4 * 1024,
+            "window grew to {}",
+            outcome.stats.peak_buffer_bytes
+        );
+        assert_eq!(outcome.stats.bytes_read, input.len());
+    }
+
+    fn spec(paths: &[&[&str]], subtrees: &[&[&str]], known: &[&str]) -> PathSpec {
+        let to_chain = |c: &&[&str]| c.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        PathSpec {
+            keep_paths: paths.iter().map(to_chain).collect(),
+            keep_subtrees: subtrees.iter().map(to_chain).collect(),
+            known_labels: known.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn streamed_projection_drops_pruned_subtrees() {
+        let input =
+            "<bib><book><title>t1</title><price>9</price></book><junk><x/><x/></junk></bib>";
+        let s = spec(
+            &[&["bib", "book", "title", "#text"]],
+            &[],
+            &["bib", "book", "title", "price", "junk", "x"],
+        );
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::with_projection(s.clone()),
+        )
+        .unwrap();
+        let expected = project_paths(&parse_xml(input).unwrap(), &s);
+        assert!(outcome.tree.value_equiv(&expected));
+        let xml = outcome.tree.to_xml();
+        assert!(xml.contains("<title>t1</title>"), "{xml}");
+        assert!(!xml.contains("junk") && !xml.contains("price"), "{xml}");
+        assert!(outcome.stats.nodes_pruned > 0);
+        assert_eq!(
+            outcome.stats.nodes_kept + outcome.stats.nodes_pruned,
+            outcome.stats.elements_parsed + outcome.stats.texts_parsed
+        );
+    }
+
+    #[test]
+    fn streamed_projection_keeps_subtrees_whole_and_unknown_labels() {
+        let input =
+            "<bib><book><title>t</title><price>9</price></book><extra><blob>x</blob></extra></bib>";
+        let s = spec(
+            &[&["bib", "book"]],
+            &[&["bib", "book"]],
+            &["bib", "book", "title", "price"],
+        );
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::with_projection(s.clone()),
+        )
+        .unwrap();
+        let expected = project_paths(&parse_xml(input).unwrap(), &s);
+        assert!(outcome.tree.value_equiv(&expected));
+        let xml = outcome.tree.to_xml();
+        // The whole book subtree survives, and the unknown extra region is
+        // kept conservatively.
+        assert!(xml.contains("<price>9</price>"), "{xml}");
+        assert!(xml.contains("<blob>x</blob>"), "{xml}");
+    }
+
+    #[test]
+    fn empty_spec_projects_to_the_root_only() {
+        let input = "<doc><a><c/></a><b/></doc>";
+        let s = spec(&[], &[], &["doc", "a", "b", "c"]);
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::with_projection(s.clone()),
+        )
+        .unwrap();
+        assert_eq!(outcome.tree.size(), 1);
+        assert_eq!(outcome.tree.root_tag(), Some("doc"));
+        assert!(outcome
+            .tree
+            .value_equiv(&project_paths(&parse_xml(input).unwrap(), &s)));
+    }
+
+    #[test]
+    fn path_spec_prefix_logic() {
+        let s = spec(
+            &[&["a", "b", "c"]],
+            &[&["a", "d"]],
+            &["a", "b", "c", "d", "e"],
+        );
+        let p = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(s.on_path(&p(&["a"])));
+        assert!(s.on_path(&p(&["a", "b"])));
+        assert!(s.on_path(&p(&["a", "d"])));
+        assert!(!s.on_path(&p(&["a", "e"])));
+        assert!(s.in_subtree(&p(&["a", "d", "e"])));
+        assert!(!s.in_subtree(&p(&["a", "b", "c"])));
+        assert!(s.is_known("#text") && !s.is_known("zzz"));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

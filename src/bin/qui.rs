@@ -5,9 +5,11 @@
 //! qui commute   --dtd <file> --update <expr> --update2 <expr> [--start <name>]
 //! qui chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>] [--start <name>]
 //! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>] [--jobs <n>]
-//! qui validate  --dtd <file> --doc <file> [--attributes] [--start <name>]
+//! qui validate  --dtd <file> --doc <file> [--attributes] [--stream] [--start <name>]
 //! qui infer-dtd <doc.xml> [<doc.xml> …]
 //! qui generate  --dtd <file> [--nodes <n>] [--seed <n>] [--start <name>]
+//! qui xmark     (--scale S|M|L|XL | --nodes <n>) [--seed <n>] [--out <file>]
+//! qui maintain  [--scale S|M|L|XL | --nodes <n>] [--seed <n>] [--jobs <n>]
 //! ```
 //!
 //! Expressions may be given inline or as `@path/to/file`. DTD files may use
@@ -24,6 +26,9 @@ use xml_qui::core::explain::{explain_verdict, matrix_report_jobs, ExplainOptions
 use xml_qui::core::{CommutativityAnalyzer, IndependenceAnalyzer, Jobs};
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
+use xml_qui::workloads::{
+    all_updates, all_views, maintenance_simulation_jobs, stream_xmark_document, XmarkScale,
+};
 use xml_qui::xmlstore::{parse_xml, parse_xml_keep_attributes, serialize_tree, Tree};
 use xml_qui::xquery::{parse_query, parse_update, Query, Update};
 
@@ -56,6 +61,8 @@ fn run(args: &[String]) -> Result<String, String> {
         "validate" => cmd_validate(&parsed),
         "infer-dtd" => cmd_infer_dtd(&parsed),
         "generate" => cmd_generate(&parsed),
+        "xmark" => cmd_xmark(&parsed),
+        "maintain" => cmd_maintain(&parsed),
         other => Err(format!("unknown command '{other}' (try 'qui help')")),
     }
 }
@@ -80,11 +87,30 @@ fn usage() -> String {
         s,
         "  matrix    --dtd <file> --views <file> --update <expr> [--jobs <n>]"
     );
-    let _ = writeln!(s, "  validate  --dtd <file> --doc <file> [--attributes]");
+    let _ = writeln!(
+        s,
+        "  validate  --dtd <file> --doc <file> [--attributes] [--stream]"
+    );
     let _ = writeln!(s, "  infer-dtd <doc.xml> [<doc.xml> …]");
     let _ = writeln!(s, "  generate  --dtd <file> [--nodes <n>] [--seed <n>]");
+    let _ = writeln!(
+        s,
+        "  xmark     (--scale S|M|L|XL | --nodes <n>) [--seed <n>] [--out <file>]"
+    );
+    let _ = writeln!(
+        s,
+        "  maintain  [--scale S|M|L|XL | --nodes <n>] [--seed <n>] [--jobs <n>]"
+    );
     let _ = writeln!(s, "options: --start <name> overrides the DTD start symbol;");
-    let _ = writeln!(s, "         expressions may be written inline or as @file.");
+    let _ = writeln!(s, "         expressions may be written inline or as @file;");
+    let _ = writeln!(
+        s,
+        "         --stream parses documents incrementally from disk;"
+    );
+    let _ = writeln!(
+        s,
+        "         --jobs <n> (or QUI_JOBS) shards work over n threads."
+    );
     s
 }
 
@@ -102,7 +128,7 @@ struct CliArgs {
 
 impl CliArgs {
     fn parse(args: &[String]) -> Result<CliArgs, String> {
-        const VALUE_OPTIONS: [&str; 11] = [
+        const VALUE_OPTIONS: [&str; 13] = [
             "--dtd",
             "--start",
             "--query",
@@ -114,8 +140,10 @@ impl CliArgs {
             "--seed",
             "--k",
             "--jobs",
+            "--scale",
+            "--out",
         ];
-        const BARE_FLAGS: [&str; 2] = ["--explain", "--attributes"];
+        const BARE_FLAGS: [&str; 3] = ["--explain", "--attributes", "--stream"];
         let mut out = CliArgs::default();
         let mut i = 0;
         while i < args.len() {
@@ -359,8 +387,12 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
 fn cmd_validate(args: &CliArgs) -> Result<String, String> {
     let dtd = load_dtd(args)?;
     let doc_path = args.require("--doc")?;
-    let doc_src = read_file(doc_path)?;
-    let doc = parse_document(&doc_src, args.has_flag("--attributes"))?;
+    let doc = if args.has_flag("--stream") {
+        load_document_streamed(doc_path, args.has_flag("--attributes"))?
+    } else {
+        let doc_src = read_file(doc_path)?;
+        parse_document(&doc_src, args.has_flag("--attributes"))?
+    };
     match dtd.validate(&doc) {
         Ok(typing) => Ok(format!(
             "valid: {} nodes typed against {} element types\n",
@@ -369,6 +401,19 @@ fn cmd_validate(args: &CliArgs) -> Result<String, String> {
         )),
         Err(e) => Err(format!("invalid: {e}")),
     }
+}
+
+/// Parses a document incrementally from disk without materializing the file
+/// contents (the `--stream` ingest path).
+fn load_document_streamed(path: &str, keep_attributes: bool) -> Result<Tree, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let config = xml_qui::xmlstore::StreamConfig {
+        keep_attributes,
+        ..Default::default()
+    };
+    xml_qui::xmlstore::parse_xml_stream(file, &config)
+        .map(|outcome| outcome.tree)
+        .map_err(|e| e.to_string())
 }
 
 fn parse_document(src: &str, keep_attributes: bool) -> Result<Tree, String> {
@@ -408,6 +453,110 @@ fn cmd_generate(args: &CliArgs) -> Result<String, String> {
     let seed = args.get_usize("--seed", 42)? as u64;
     let doc = generate_valid(&dtd, &GenValidConfig::with_target(nodes), seed);
     Ok(format!("{}\n", serialize_tree(&doc)))
+}
+
+/// The `--scale` option, when present.
+fn scale_arg(args: &CliArgs) -> Result<Option<XmarkScale>, String> {
+    match args.get("--scale") {
+        None => Ok(None),
+        Some(s) => XmarkScale::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("--scale expects S, M, L or XL, got '{s}'")),
+    }
+}
+
+/// Resolves the target node count from `--nodes` (wins) or `--scale`,
+/// together with a label for reports.
+fn resolve_scale(args: &CliArgs, default: Option<XmarkScale>) -> Result<(usize, String), String> {
+    let scale = scale_arg(args)?.or(default);
+    match (args.get("--nodes"), scale) {
+        (Some(_), _) => {
+            let nodes = args.get_usize("--nodes", 0)?;
+            Ok((nodes, format!("{nodes}n")))
+        }
+        (None, Some(sc)) => Ok((
+            sc.target_nodes(),
+            format!("{} ({})", sc.short_name(), sc.label()),
+        )),
+        (None, None) => Err("expected --scale S|M|L|XL or --nodes <n>".to_string()),
+    }
+}
+
+fn cmd_xmark(args: &CliArgs) -> Result<String, String> {
+    let (nodes, label) = resolve_scale(args, None)?;
+    let seed = args.get_usize("--seed", 7)? as u64;
+    match args.get("--out") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let stats = stream_xmark_document(nodes, seed, std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "streamed {} nodes ({} bytes) to {path} — scale {label}, seed {seed}\n",
+                stats.nodes, stats.bytes
+            ))
+        }
+        None => {
+            // Stream straight to stdout; the document never exists in
+            // memory, and the bytes are exactly the --out file contents.
+            let stdout = std::io::stdout();
+            let lock = std::io::BufWriter::new(stdout.lock());
+            stream_xmark_document(nodes, seed, lock)
+                .map_err(|e| format!("cannot write to stdout: {e}"))?;
+            Ok(String::new())
+        }
+    }
+}
+
+fn cmd_maintain(args: &CliArgs) -> Result<String, String> {
+    let (nodes, label) = resolve_scale(args, Some(XmarkScale::Small))?;
+    let seed = args.get_usize("--seed", 7)? as u64;
+    let jobs = match args.get("--jobs") {
+        Some(v) => Jobs::fixed(
+            v.parse()
+                .ok()
+                .filter(|n: &usize| *n > 0)
+                .ok_or_else(|| format!("--jobs expects a positive integer, got '{v}'"))?,
+        ),
+        None => Jobs::Auto,
+    };
+    let views = all_views();
+    let updates = all_updates();
+    let report = maintenance_simulation_jobs(&views, &updates, nodes, &label, seed, jobs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 3.c maintenance — scale {}, {} nodes, {} views × {} updates",
+        report.scale,
+        report.doc_nodes,
+        views.len(),
+        updates.len()
+    );
+    let _ = writeln!(
+        out,
+        "refreshes: all {}, types {}, chains {}",
+        report.refreshed_all, report.refreshed_types, report.refreshed_chains
+    );
+    let _ = writeln!(
+        out,
+        "work units: all {}, types {}, chains {}",
+        report.work_all, report.work_types, report.work_chains
+    );
+    let _ = writeln!(
+        out,
+        "savings: types {:.1}%, chains {:.1}%",
+        report.types_saving_pct(),
+        report.chains_saving_pct()
+    );
+    let _ = writeln!(
+        out,
+        "wall: eval phase {:.1} ms; refresh all {:.1} ms, types {:.1} ms, chains {:.1} ms",
+        report.eval_wall.as_secs_f64() * 1e3,
+        report.refresh_all.as_secs_f64() * 1e3,
+        report.refresh_types.as_secs_f64() * 1e3,
+        report.refresh_chains.as_secs_f64() * 1e3
+    );
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -549,6 +698,54 @@ mod tests {
         .unwrap();
         assert!(out.starts_with("valid"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn xmark_streams_a_document_and_validate_ingests_it_streamed() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-xmark-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc_path = dir.join("xmark.xml");
+        let out = run(&strings(&[
+            "xmark",
+            "--nodes",
+            "800",
+            "--seed",
+            "3",
+            "--out",
+            doc_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.starts_with("streamed "), "{out}");
+        // The streamed file equals the in-memory generation byte for byte.
+        let bytes = std::fs::read_to_string(&doc_path).unwrap();
+        assert_eq!(bytes, xml_qui::workloads::xmark_document(800, 3).to_xml());
+        // And validates against the XMark DTD through the streaming parser.
+        let dtd_path = dir.join("xmark.dtd");
+        std::fs::write(&dtd_path, xml_qui::workloads::xmark_dtd().to_compact()).unwrap();
+        let out = run(&strings(&[
+            "validate",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--start",
+            "site",
+            "--doc",
+            doc_path.to_str().unwrap(),
+            "--stream",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("valid"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn xmark_and_maintain_reject_bad_scales() {
+        assert!(run(&strings(&["xmark", "--scale", "XXL"])).is_err());
+        assert!(
+            run(&strings(&["xmark"])).is_err(),
+            "scale or nodes required"
+        );
+        assert!(run(&strings(&["maintain", "--scale", "huge"])).is_err());
+        assert!(run(&strings(&["maintain", "--jobs", "0"])).is_err());
     }
 
     #[test]
