@@ -2,12 +2,17 @@
 //!
 //! * explicit chain sets vs the CDAG representation on the schema of
 //!   footnote 8 (`a_i ← (b_i, c_i)*`, `b_i, c_i ← a_{i+1}`), whose number of
-//!   distinct chains grows as `2^n`;
+//!   distinct chains grows as `2^n` — with **closure construction**
+//!   (building the chain universe / sizing the CDAG grid) measured
+//!   separately from **per-query inference**, so a regression in either
+//!   phase is attributable;
+//! * the incremental k-ladder vs a fresh build per bound;
 //! * the `k = k_q + k_u` bound vs the unsound `k = max(k_q, k_u)` choice
-//!   (§5's `/descendant::b` vs `delete /descendant::c` example).
+//!   (§5's `/descendant::b` vs `delete /descendant::c` example), again with
+//!   the universe construction hoisted out of the measured loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qui_core::engine::cdag::CdagEngine;
+use qui_core::engine::cdag::{CdagEngine, QueryKLadder};
 use qui_core::engine::explicit::ExplicitEngine;
 use qui_core::Universe;
 use qui_schema::Dtd;
@@ -33,38 +38,84 @@ fn footnote8_schema(n: usize) -> Dtd {
     b.build("a1").expect("footnote-8 schema is well-formed")
 }
 
-fn bench_representation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cdag_vs_explicit_footnote8");
+fn quick_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
+    group
+}
+
+/// Closure construction only: the explicit chain universe vs the CDAG grid.
+fn bench_closure_construction(c: &mut Criterion) {
+    let mut group = quick_group(c, "closure_construction_footnote8");
     for n in [6usize, 8, 10] {
         let schema = footnote8_schema(n);
-        let query = parse_query(&format!("//a{n}")).unwrap();
-        group.bench_function(format!("explicit/n{n}"), |b| {
-            b.iter(|| {
-                let universe = Universe::with_k(&schema, 2);
-                let eng = ExplicitEngine::new(&universe, 1_000_000);
-                let gamma = eng.root_gamma(query.free_vars());
-                black_box(eng.infer_query(&gamma, &query).map(|q| q.total_len()))
-            })
+        group.bench_function(format!("explicit_universe/n{n}"), |b| {
+            b.iter(|| black_box(Universe::with_k(&schema, 2)).root_chain())
         });
-        group.bench_function(format!("cdag/n{n}"), |b| {
-            b.iter(|| {
-                let eng = CdagEngine::new(&schema, 2);
-                let chains = eng.infer_query(&eng.root_gamma(query.free_vars()), &query);
-                black_box(chains.returns.edge_count())
-            })
+        group.bench_function(format!("cdag_engine/n{n}"), |b| {
+            b.iter(|| black_box(CdagEngine::new(&schema, 2)).grid_depth())
         });
     }
     group.finish();
 }
 
+/// Per-query inference only: universes and engines are built outside the
+/// measured loop.
+fn bench_inference(c: &mut Criterion) {
+    let mut group = quick_group(c, "infer_only_footnote8");
+    for n in [6usize, 8, 10] {
+        let schema = footnote8_schema(n);
+        let query = parse_query(&format!("//a{n}")).unwrap();
+        let universe = Universe::with_k(&schema, 2);
+        group.bench_function(format!("explicit/n{n}"), |b| {
+            let eng = ExplicitEngine::new(&universe, 1_000_000);
+            let gamma = eng.root_gamma(query.free_vars());
+            b.iter(|| black_box(eng.infer_query(&gamma, &query).map(|q| q.total_len())))
+        });
+        group.bench_function(format!("cdag/n{n}"), |b| {
+            let eng = CdagEngine::new(&schema, 2);
+            let gamma = eng.root_gamma(query.free_vars());
+            b.iter(|| black_box(eng.infer_query(&gamma, &query).returns.edge_count()))
+        });
+    }
+    group.finish();
+}
+
+/// The incremental k-ladder vs one fresh CDAG inference per bound.
+fn bench_k_ladder(c: &mut Criterion) {
+    let mut group = quick_group(c, "k_ladder_footnote8");
+    let schema = footnote8_schema(8);
+    let query = parse_query("//a8").unwrap();
+    group.bench_function("ladder_k1_to_k4", |b| {
+        b.iter(|| {
+            let mut ladder = QueryKLadder::new(&schema, &query, 1, true);
+            for k in 2..=4 {
+                ladder.extend_to(&query, k);
+            }
+            black_box(ladder.result().returns.edge_count())
+        })
+    });
+    group.bench_function("fresh_k1_to_k4", |b| {
+        b.iter(|| {
+            let mut edges = 0;
+            for k in 1..=4 {
+                let eng = CdagEngine::new(&schema, k);
+                let chains = eng.infer_query(&eng.root_gamma(query.free_vars()), &query);
+                edges = chains.returns.edge_count();
+            }
+            black_box(edges)
+        })
+    });
+    group.finish();
+}
+
 fn bench_k_choice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("k_bound_ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+    let mut group = quick_group(c, "k_bound_ablation");
     let d1 = Dtd::builder()
         .rule("r", "a")
         .rule("a", "(b, c, e)*")
@@ -77,17 +128,23 @@ fn bench_k_choice(c: &mut Criterion) {
         .unwrap();
     let q = parse_query("$root/descendant::b").unwrap();
     for k in [1usize, 2, 4] {
+        // Universe construction hoisted out: the group measures inference
+        // cost as a function of k, not closure construction.
+        let universe = Universe::with_k(&d1, k);
         group.bench_function(format!("infer/k{k}"), |b| {
-            b.iter(|| {
-                let universe = Universe::with_k(&d1, k);
-                let eng = ExplicitEngine::new(&universe, 1_000_000);
-                let gamma = eng.root_gamma(q.free_vars());
-                black_box(eng.infer_query(&gamma, &q).map(|qc| qc.total_len()))
-            })
+            let eng = ExplicitEngine::new(&universe, 1_000_000);
+            let gamma = eng.root_gamma(q.free_vars());
+            b.iter(|| black_box(eng.infer_query(&gamma, &q).map(|qc| qc.total_len())))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_representation, bench_k_choice);
+criterion_group!(
+    benches,
+    bench_closure_construction,
+    bench_inference,
+    bench_k_ladder,
+    bench_k_choice
+);
 criterion_main!(benches);

@@ -1,0 +1,596 @@
+//! The CDAG perf harness: CI-gated evidence that the CDAG-first engine
+//! policy carries its weight.
+//!
+//! `cargo run -p qui-bench --bin cdag --release` measures, on the full
+//! 36 × 31 XMark views × updates matrix:
+//!
+//! * **engine order** — whole-matrix wall time of the default CDAG-first
+//!   `EngineKind::Auto` vs the legacy explicit-first order
+//!   (`AnalyzerConfig::cdag_first = false`), plus a verdict-by-verdict
+//!   equality check between the two (must be zero mismatches — the orders
+//!   may only differ in cost, never in answers);
+//! * **incremental k-ladder** — the CDAG prepass walking each expression's
+//!   distinct `k` bounds through a `QueryKLadder`/`UpdateKLadder` vs
+//!   recomputing per `(expr, k)`, with the deterministic share of bounds
+//!   served from the ladder cache;
+//! * **CDAG-backed projection** — a descendant-axis view over the XMark
+//!   `parlist`/`listitem` recursive clique whose explicit chain spec
+//!   overflows any budget: the compiled `PathAutomaton` must still prune a
+//!   non-trivial share of a streamed XMark document (the keep-everything
+//!   fallback it replaces pruned 0%).
+//!
+//! The JSON artifact (`BENCH_cdag.json`, committed reference in
+//! `ci/BENCH_cdag.json`) feeds the `perf-cdag` CI job. Thresholds are
+//! env-tunable: `QUI_CDAG_MAX_AUTO_RATIO` (default 1.10 — CDAG-first may
+//! not be more than 10% slower than explicit-first; in practice it wins),
+//! `QUI_CDAG_MIN_LADDER_SPEEDUP` (default 0.85 — a parity guard: the
+//! saturating recursive expressions rebuild at every bound and dominate
+//! wall time, so the honest headline metric for the ladder is the
+//! *deterministic* reuse share, not noisy wall clock),
+//! `QUI_CDAG_MIN_LADDER_REUSE` (default 0.30; ~51% of the XMark matrix's
+//! (expr, k) bounds are served from the ladder cache),
+//! `QUI_CDAG_MIN_AUTOMATON_SAVING` (percent, default 5; measured ~87%),
+//! `QUI_CDAG_TOLERANCE` (default 0.25, normalized-cost regression vs the
+//! committed reference). Regenerate the committed file with
+//! `--out ci/BENCH_cdag.json` when the engine legitimately changes cost.
+
+use crate::baseline::calibrate;
+use qui_core::engine::cdag::{QueryKLadder, UpdateKLadder};
+use qui_core::parallel::{group_prepass_tasks, matrix_prepass_tasks};
+use qui_core::{analyze_matrix, AnalyzerConfig, ChainProjector, EngineKind, Jobs, MatrixVerdicts};
+use qui_workloads::{all_updates, all_views, xmark_document, xmark_dtd, XmarkScale};
+use qui_xmlstore::{parse_xml_stream, Projection, StreamConfig};
+use qui_xquery::{parse_query, Query, Update};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The descendant-axis view over the recursive clique used by the projection
+/// measurement (its explicit chain spec overflows the default budget).
+pub const AUTOMATON_VIEW: &str = "//parlist//keyword";
+
+/// The seed of the streamed XMark document the projection measurement uses.
+pub const CDAG_SEED: u64 = 7;
+
+/// The full harness report (all times in milliseconds; minima over reps).
+#[derive(Clone, Debug)]
+pub struct CdagReport {
+    /// Wall time of the fixed CPU-calibration workload on this machine.
+    pub calibration_ms: f64,
+    /// Number of views in the measured matrix.
+    pub views: usize,
+    /// Number of updates in the measured matrix.
+    pub updates: usize,
+    /// Number of matrix cells.
+    pub cells: usize,
+    /// Whole matrix, `Auto` with the default CDAG-first order, `jobs = 1`.
+    pub auto_cdag_first_ms: f64,
+    /// Whole matrix, `Auto` with the legacy explicit-first order, `jobs = 1`.
+    pub auto_explicit_first_ms: f64,
+    /// `auto_cdag_first_ms / auto_explicit_first_ms` (< 1 = CDAG-first wins).
+    pub auto_ratio: f64,
+    /// Cells whose independence verdict differs between the two orders
+    /// (must be 0).
+    pub verdict_mismatches: usize,
+    /// Independent cells under the CDAG-first order (determinism check).
+    pub independent_cells: usize,
+    /// CDAG prepass over all (expr, k) tasks via per-expression k-ladders.
+    pub ladder_ms: f64,
+    /// The same prepass recomputing every (expr, k) from scratch.
+    pub per_k_ms: f64,
+    /// `per_k_ms / ladder_ms`.
+    pub ladder_speedup: f64,
+    /// Inferences the ladder actually ran (initial builds + rebuilds).
+    pub ladder_inferences: usize,
+    /// Inferences the per-k strategy runs (= number of (expr, k) tasks).
+    pub per_k_inferences: usize,
+    /// `1 - ladder_inferences / per_k_inferences` (deterministic).
+    pub ladder_reuse_share: f64,
+    /// The view the projection measurement used.
+    pub automaton_view: String,
+    /// Whether its explicit chain spec overflowed the default budget (it
+    /// must, or the measurement is not exercising the new path).
+    pub explicit_spec_overflows: bool,
+    /// States of the compiled path automaton.
+    pub automaton_states: usize,
+    /// Nodes kept by the automaton-projected streamed parse.
+    pub automaton_kept_nodes: usize,
+    /// Nodes pruned (never allocated) by the automaton-projected parse.
+    pub automaton_pruned_nodes: usize,
+    /// Percentage of parsed nodes pruned (deterministic given the seed).
+    pub automaton_saving_pct: f64,
+    /// `auto_cdag_first_ms / calibration_ms` — the machine-normalized cost
+    /// the regression gate tracks.
+    pub norm_cost: f64,
+}
+
+impl CdagReport {
+    /// Serializes the report as pretty-printed JSON (hand-rolled: the
+    /// workspace is dependency-free by construction).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema_version\": 1,");
+        let _ = writeln!(s, "  \"calibration_ms\": {:.3},", self.calibration_ms);
+        let _ = writeln!(s, "  \"views\": {},", self.views);
+        let _ = writeln!(s, "  \"updates\": {},", self.updates);
+        let _ = writeln!(s, "  \"cells\": {},", self.cells);
+        let _ = writeln!(
+            s,
+            "  \"auto_cdag_first_ms\": {:.3},",
+            self.auto_cdag_first_ms
+        );
+        let _ = writeln!(
+            s,
+            "  \"auto_explicit_first_ms\": {:.3},",
+            self.auto_explicit_first_ms
+        );
+        let _ = writeln!(s, "  \"auto_ratio\": {:.4},", self.auto_ratio);
+        let _ = writeln!(s, "  \"verdict_mismatches\": {},", self.verdict_mismatches);
+        let _ = writeln!(s, "  \"independent_cells\": {},", self.independent_cells);
+        let _ = writeln!(s, "  \"ladder_ms\": {:.3},", self.ladder_ms);
+        let _ = writeln!(s, "  \"per_k_ms\": {:.3},", self.per_k_ms);
+        let _ = writeln!(s, "  \"ladder_speedup\": {:.3},", self.ladder_speedup);
+        let _ = writeln!(s, "  \"ladder_inferences\": {},", self.ladder_inferences);
+        let _ = writeln!(s, "  \"per_k_inferences\": {},", self.per_k_inferences);
+        let _ = writeln!(
+            s,
+            "  \"ladder_reuse_share\": {:.4},",
+            self.ladder_reuse_share
+        );
+        let _ = writeln!(s, "  \"automaton_view\": \"{}\",", self.automaton_view);
+        let _ = writeln!(
+            s,
+            "  \"explicit_spec_overflows\": {},",
+            self.explicit_spec_overflows
+        );
+        let _ = writeln!(s, "  \"automaton_states\": {},", self.automaton_states);
+        let _ = writeln!(
+            s,
+            "  \"automaton_kept_nodes\": {},",
+            self.automaton_kept_nodes
+        );
+        let _ = writeln!(
+            s,
+            "  \"automaton_pruned_nodes\": {},",
+            self.automaton_pruned_nodes
+        );
+        let _ = writeln!(
+            s,
+            "  \"automaton_saving_pct\": {:.3},",
+            self.automaton_saving_pct
+        );
+        let _ = writeln!(s, "  \"norm_cost\": {:.4}", self.norm_cost);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Renders a human-readable summary of the measurements.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cdag harness — {}x{} matrix ({} cells), calibration {:.1} ms, norm cost {:.3}",
+            self.views, self.updates, self.cells, self.calibration_ms, self.norm_cost
+        );
+        let _ = writeln!(
+            s,
+            "auto order : cdag-first {:.2} ms vs explicit-first {:.2} ms (ratio {:.3}, {} mismatches, {} independent)",
+            self.auto_cdag_first_ms,
+            self.auto_explicit_first_ms,
+            self.auto_ratio,
+            self.verdict_mismatches,
+            self.independent_cells
+        );
+        let _ = writeln!(
+            s,
+            "k-ladder   : {:.2} ms vs per-k {:.2} ms ({:.2}x, {}/{} inferences, reuse {:.0}%)",
+            self.ladder_ms,
+            self.per_k_ms,
+            self.ladder_speedup,
+            self.ladder_inferences,
+            self.per_k_inferences,
+            self.ladder_reuse_share * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "projection : {} — {} states, kept {} / pruned {} ({:.1}% saved), explicit overflow: {}",
+            self.automaton_view,
+            self.automaton_states,
+            self.automaton_kept_nodes,
+            self.automaton_pruned_nodes,
+            self.automaton_saving_pct,
+            self.explicit_spec_overflows
+        );
+        s
+    }
+}
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+/// One whole-matrix measurement at `jobs = 1` with the given engine order.
+fn auto_matrix(views: &[Query], updates: &[Update], cdag_first: bool) -> (f64, MatrixVerdicts) {
+    let dtd = xmark_dtd();
+    let config = AnalyzerConfig {
+        engine: EngineKind::Auto,
+        cdag_first,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let verdicts = analyze_matrix(&dtd, views, updates, &config, Jobs::Fixed(1));
+    (ms(start), verdicts)
+}
+
+/// Runs the CDAG prepass through k-ladders — the production task set
+/// ([`matrix_prepass_tasks`]) walked by the production `walk_bounds`, result
+/// materialization included; returns (wall ms, inferences actually run).
+fn ladder_prepass(views: &[Query], updates: &[Update]) -> (f64, usize) {
+    let dtd = xmark_dtd();
+    let (qt, ut) = matrix_prepass_tasks(views, updates, None);
+    let start = Instant::now();
+    let mut inferences = 0usize;
+    for (vi, ks) in group_prepass_tasks(&qt) {
+        let (out, n) = QueryKLadder::walk_bounds(&dtd, &views[vi], &ks, true);
+        std::hint::black_box(out);
+        inferences += n;
+    }
+    for (ui, ks) in group_prepass_tasks(&ut) {
+        let (out, n) = UpdateKLadder::walk_bounds(&dtd, &updates[ui], &ks, true);
+        std::hint::black_box(out);
+        inferences += n;
+    }
+    (ms(start), inferences)
+}
+
+/// Runs the CDAG prepass with one fresh inference per (expression, k);
+/// returns (wall ms, inferences run).
+fn per_k_prepass(views: &[Query], updates: &[Update]) -> (f64, usize) {
+    use qui_core::engine::cdag::CdagEngine;
+    let dtd = xmark_dtd();
+    let (qt, ut) = matrix_prepass_tasks(views, updates, None);
+    let start = Instant::now();
+    for &(vi, k) in &qt {
+        let eng = CdagEngine::new(&dtd, k);
+        let q = &views[vi];
+        std::hint::black_box(eng.infer_query(&eng.root_gamma(q.free_vars()), q));
+    }
+    for &(ui, k) in &ut {
+        let eng = CdagEngine::new(&dtd, k);
+        let u = &updates[ui];
+        std::hint::black_box(eng.infer_update(&eng.root_gamma(u.free_vars()), u));
+    }
+    (ms(start), qt.len() + ut.len())
+}
+
+/// The automaton-projection measurement over a streamed S-scale XMark
+/// document.
+struct AutomatonMeasurement {
+    explicit_overflows: bool,
+    states: usize,
+    kept: usize,
+    pruned: usize,
+}
+
+fn measure_automaton_projection() -> AutomatonMeasurement {
+    let dtd = xmark_dtd();
+    let projector = ChainProjector::new(&dtd);
+    let view = parse_query(AUTOMATON_VIEW).expect("the automaton view parses");
+    let explicit_overflows = projector.spec_for_query(&view).is_none();
+    let projection = projector.streaming_projection_for_query(&view);
+    let states = match &projection {
+        Projection::Automaton(a) => a.len(),
+        Projection::Paths(_) => 0,
+    };
+    let doc = xmark_document(XmarkScale::Small.target_nodes(), CDAG_SEED);
+    let xml = doc.to_xml();
+    let outcome = parse_xml_stream(
+        std::io::Cursor::new(xml.into_bytes()),
+        &StreamConfig::with_projection_spec(projection),
+    )
+    .expect("the streamed projection parses");
+    AutomatonMeasurement {
+        explicit_overflows,
+        states,
+        kept: outcome.stats.nodes_kept,
+        pruned: outcome.stats.nodes_pruned,
+    }
+}
+
+/// Runs the full harness (`reps` repetitions per timing, minima kept).
+pub fn run_cdag(reps: usize) -> CdagReport {
+    let views: Vec<Query> = all_views().into_iter().map(|v| v.query).collect();
+    let updates: Vec<Update> = all_updates().into_iter().map(|u| u.update).collect();
+    let calibration_ms = calibrate();
+
+    let mut cdag_first_ms = f64::MAX;
+    let mut explicit_first_ms = f64::MAX;
+    let mut ladder_ms = f64::MAX;
+    let mut per_k_ms = f64::MAX;
+    let mut mismatches = 0;
+    let mut independent_cells = 0;
+    let mut ladder_inferences = 0;
+    let mut per_k_inferences = 0;
+    for _ in 0..reps.max(1) {
+        let (t_new, new_order) = auto_matrix(&views, &updates, true);
+        let (t_old, old_order) = auto_matrix(&views, &updates, false);
+        cdag_first_ms = cdag_first_ms.min(t_new);
+        explicit_first_ms = explicit_first_ms.min(t_old);
+        independent_cells = new_order.independent_count();
+        mismatches = (0..updates.len())
+            .flat_map(|ui| (0..views.len()).map(move |vi| (ui, vi)))
+            .filter(|&(ui, vi)| {
+                new_order.verdict(ui, vi).is_independent()
+                    != old_order.verdict(ui, vi).is_independent()
+            })
+            .count();
+        let (t_ladder, n_ladder) = ladder_prepass(&views, &updates);
+        let (t_per_k, n_per_k) = per_k_prepass(&views, &updates);
+        ladder_ms = ladder_ms.min(t_ladder);
+        per_k_ms = per_k_ms.min(t_per_k);
+        ladder_inferences = n_ladder;
+        per_k_inferences = n_per_k;
+    }
+    let auto = measure_automaton_projection();
+    let parsed = auto.kept + auto.pruned;
+    CdagReport {
+        calibration_ms,
+        views: views.len(),
+        updates: updates.len(),
+        cells: views.len() * updates.len(),
+        auto_cdag_first_ms: cdag_first_ms,
+        auto_explicit_first_ms: explicit_first_ms,
+        auto_ratio: cdag_first_ms / explicit_first_ms.max(f64::EPSILON),
+        verdict_mismatches: mismatches,
+        independent_cells,
+        ladder_ms,
+        per_k_ms,
+        ladder_speedup: per_k_ms / ladder_ms.max(f64::EPSILON),
+        ladder_inferences,
+        per_k_inferences,
+        ladder_reuse_share: 1.0 - ladder_inferences as f64 / per_k_inferences.max(1) as f64,
+        automaton_view: AUTOMATON_VIEW.to_string(),
+        explicit_spec_overflows: auto.explicit_overflows,
+        automaton_states: auto.states,
+        automaton_kept_nodes: auto.kept,
+        automaton_pruned_nodes: auto.pruned,
+        automaton_saving_pct: if parsed == 0 {
+            0.0
+        } else {
+            100.0 * auto.pruned as f64 / parsed as f64
+        },
+        norm_cost: cdag_first_ms / calibration_ms.max(f64::EPSILON),
+    }
+}
+
+/// Gate thresholds (see the module docs for the environment overrides).
+#[derive(Clone, Copy, Debug)]
+pub struct CdagGateConfig {
+    /// Largest allowed `auto_ratio` (CDAG-first over explicit-first).
+    pub max_auto_ratio: f64,
+    /// Required `ladder_speedup`.
+    pub min_ladder_speedup: f64,
+    /// Required `ladder_reuse_share` (deterministic).
+    pub min_ladder_reuse: f64,
+    /// Required `automaton_saving_pct` (deterministic given the seed).
+    pub min_automaton_saving: f64,
+    /// Allowed relative regression of `norm_cost` against the committed
+    /// reference (0.25 = 25%).
+    pub tolerance: f64,
+}
+
+impl Default for CdagGateConfig {
+    fn default() -> Self {
+        CdagGateConfig {
+            max_auto_ratio: 1.10,
+            min_ladder_speedup: 0.85,
+            min_ladder_reuse: 0.30,
+            min_automaton_saving: 5.0,
+            tolerance: 0.25,
+        }
+    }
+}
+
+impl CdagGateConfig {
+    /// Reads the environment overrides on top of the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = CdagGateConfig::default();
+        if let Some(v) = env_f64("QUI_CDAG_MAX_AUTO_RATIO") {
+            cfg.max_auto_ratio = v;
+        }
+        if let Some(v) = env_f64("QUI_CDAG_MIN_LADDER_SPEEDUP") {
+            cfg.min_ladder_speedup = v;
+        }
+        if let Some(v) = env_f64("QUI_CDAG_MIN_LADDER_REUSE") {
+            cfg.min_ladder_reuse = v;
+        }
+        if let Some(v) = env_f64("QUI_CDAG_MIN_AUTOMATON_SAVING") {
+            cfg.min_automaton_saving = v;
+        }
+        if let Some(v) = env_f64("QUI_CDAG_TOLERANCE") {
+            cfg.tolerance = v;
+        }
+        cfg
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Applies the perf gates; returns the list of failures (empty = pass).
+///
+/// `committed` is the committed reference's `(norm_cost, cells)` pair; the
+/// regression gate only applies when the measured matrix matches it.
+pub fn check_cdag_gates(
+    report: &CdagReport,
+    committed: Option<(f64, usize)>,
+    cfg: &CdagGateConfig,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report.verdict_mismatches != 0 {
+        failures.push(format!(
+            "{} cells change verdicts between the CDAG-first and explicit-first orders (must be 0)",
+            report.verdict_mismatches
+        ));
+    }
+    if report.auto_ratio > cfg.max_auto_ratio {
+        failures.push(format!(
+            "CDAG-first auto is {:.3}x the explicit-first wall time, allowed <= {:.2}x",
+            report.auto_ratio, cfg.max_auto_ratio
+        ));
+    }
+    if report.ladder_speedup < cfg.min_ladder_speedup {
+        failures.push(format!(
+            "k-ladder prepass speedup is {:.2}x over per-k recomputation, required >= {:.2}x",
+            report.ladder_speedup, cfg.min_ladder_speedup
+        ));
+    }
+    if report.ladder_reuse_share < cfg.min_ladder_reuse {
+        failures.push(format!(
+            "k-ladder served only {:.0}% of (expr, k) bounds from cache, required >= {:.0}%",
+            report.ladder_reuse_share * 100.0,
+            cfg.min_ladder_reuse * 100.0
+        ));
+    }
+    if !report.explicit_spec_overflows {
+        failures.push(format!(
+            "the explicit chain spec for {} no longer overflows — the automaton measurement is vacuous",
+            report.automaton_view
+        ));
+    }
+    if report.automaton_saving_pct < cfg.min_automaton_saving {
+        failures.push(format!(
+            "the CDAG-backed projection prunes {:.1}% of the document, required >= {:.1}% \
+             (keep-everything would be 0%)",
+            report.automaton_saving_pct, cfg.min_automaton_saving
+        ));
+    }
+    if let Some((committed_norm, committed_cells)) = committed {
+        if committed_cells != report.cells {
+            eprintln!(
+                "note: regression gate skipped — measured {} cells, committed reference has {}",
+                report.cells, committed_cells
+            );
+            return failures;
+        }
+        let limit = committed_norm * (1.0 + cfg.tolerance);
+        if report.norm_cost > limit {
+            failures.push(format!(
+                "normalized CDAG-first matrix cost regressed: {:.3} vs committed {:.3} (limit {:.3}, tolerance {:.0}%)",
+                report.norm_cost,
+                committed_norm,
+                limit,
+                cfg.tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::json_number_field;
+
+    fn tiny_report() -> CdagReport {
+        CdagReport {
+            calibration_ms: 10.0,
+            views: 2,
+            updates: 2,
+            cells: 4,
+            auto_cdag_first_ms: 20.0,
+            auto_explicit_first_ms: 25.0,
+            auto_ratio: 0.8,
+            verdict_mismatches: 0,
+            independent_cells: 3,
+            ladder_ms: 10.0,
+            per_k_ms: 20.0,
+            ladder_speedup: 2.0,
+            ladder_inferences: 4,
+            per_k_inferences: 8,
+            ladder_reuse_share: 0.5,
+            automaton_view: AUTOMATON_VIEW.to_string(),
+            explicit_spec_overflows: true,
+            automaton_states: 40,
+            automaton_kept_nodes: 500,
+            automaton_pruned_nodes: 500,
+            automaton_saving_pct: 50.0,
+            norm_cost: 2.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_the_gate_fields() {
+        let json = tiny_report().to_json();
+        assert_eq!(json_number_field(&json, "norm_cost"), Some(2.0));
+        assert_eq!(json_number_field(&json, "cells"), Some(4.0));
+        assert_eq!(json_number_field(&json, "auto_ratio"), Some(0.8));
+        assert_eq!(json_number_field(&json, "ladder_speedup"), Some(2.0));
+        assert_eq!(json_number_field(&json, "automaton_saving_pct"), Some(50.0));
+        assert_eq!(json_number_field(&json, "verdict_mismatches"), Some(0.0));
+    }
+
+    #[test]
+    fn gates_pass_and_fail_as_configured() {
+        let report = tiny_report();
+        let cfg = CdagGateConfig::default();
+        assert!(check_cdag_gates(&report, Some((2.0, 4)), &cfg).is_empty());
+        // Normalized-cost regression fails.
+        assert_eq!(check_cdag_gates(&report, Some((1.0, 4)), &cfg).len(), 1);
+        // A committed reference at a different matrix size skips regression.
+        assert!(check_cdag_gates(&report, Some((1.0, 999)), &cfg).is_empty());
+        // Verdict mismatches always fail.
+        let mut bad = report.clone();
+        bad.verdict_mismatches = 1;
+        assert!(!check_cdag_gates(&bad, None, &cfg).is_empty());
+        // A slower CDAG-first order fails.
+        let mut slow = report.clone();
+        slow.auto_ratio = 1.5;
+        assert!(!check_cdag_gates(&slow, None, &cfg).is_empty());
+        // Losing the ladder speedup or its reuse share fails.
+        let mut lost = report.clone();
+        lost.ladder_speedup = 0.5;
+        lost.ladder_reuse_share = 0.0;
+        assert_eq!(check_cdag_gates(&lost, None, &cfg).len(), 2);
+        // A vacuous or keep-everything projection fails.
+        let mut vac = report.clone();
+        vac.explicit_spec_overflows = false;
+        vac.automaton_saving_pct = 0.0;
+        assert_eq!(check_cdag_gates(&vac, None, &cfg).len(), 2);
+    }
+
+    #[test]
+    fn tiny_cdag_run_is_consistent() {
+        // A reduced matrix keeps the test fast while exercising the whole
+        // measurement pipeline (both auto orders, both prepass strategies,
+        // the automaton projection).
+        let views: Vec<Query> = all_views().into_iter().take(4).map(|v| v.query).collect();
+        let updates: Vec<Update> = all_updates()
+            .into_iter()
+            .take(3)
+            .map(|u| u.update)
+            .collect();
+        let (t_new, new_order) = auto_matrix(&views, &updates, true);
+        let (t_old, old_order) = auto_matrix(&views, &updates, false);
+        assert!(t_new > 0.0 && t_old > 0.0);
+        assert_eq!(new_order.cell_count(), 12);
+        for ui in 0..updates.len() {
+            for vi in 0..views.len() {
+                assert_eq!(
+                    new_order.verdict(ui, vi).is_independent(),
+                    old_order.verdict(ui, vi).is_independent(),
+                    "cell ({ui}, {vi})"
+                );
+            }
+        }
+        let (t_ladder, n_ladder) = ladder_prepass(&views, &updates);
+        let (t_per_k, n_per_k) = per_k_prepass(&views, &updates);
+        assert!(t_ladder > 0.0 && t_per_k > 0.0);
+        assert!(n_ladder <= n_per_k, "the ladder never runs MORE inferences");
+        let auto = measure_automaton_projection();
+        assert!(auto.explicit_overflows, "{AUTOMATON_VIEW} must overflow");
+        assert!(auto.states > 0);
+        assert!(auto.pruned > 0, "the automaton must prune something");
+    }
+}

@@ -286,13 +286,13 @@ fn run_scale(
     let gen_stream_ms = ms_f64(start.elapsed());
     let xml_bytes = fs::metadata(&path)?.len() as usize;
 
-    // The chain-derived spec for the streamed projection measurement.
+    // The chain-derived projection for the streamed projection measurement
+    // (total: explicit spec when it fits the budget, CDAG-compiled automaton
+    // otherwise — never keep-everything).
     let dtd = qui_workloads::xmark_dtd();
     let projector = ChainProjector::new(&dtd);
     let projection_query = parse_query(PROJECTION_VIEW).expect("the projection view parses");
-    let path_spec = projector
-        .path_spec_for_query(&projection_query)
-        .expect("the projection view has a chain spec");
+    let path_spec = projector.streaming_projection_for_query(&projection_query);
 
     let mut ingest_mem = f64::MAX;
     let mut ingest_stream = f64::MAX;
@@ -329,7 +329,7 @@ fn run_scale(
         // Streamed projection: pruned subtrees are never allocated.
         let projected = parse_xml_stream(
             fs::File::open(&path)?,
-            &StreamConfig::with_projection(path_spec.clone()),
+            &StreamConfig::with_projection_spec(path_spec.clone()),
         )
         .expect("the projected parse succeeds");
         projected_tree_bytes = projected.tree.store.approx_heap_bytes();

@@ -13,6 +13,7 @@
 //! | §6.1 complexity discussion (CDAG vs explicit chain sets)     | `cdag_micro` | — |
 //! | CI perf baseline (matrix wall-time, seq vs parallel)         | — | `baseline` |
 //! | CI fig3c gate (paper-scale ingest + maintenance)             | — | `fig3c` |
+//! | CI cdag gate (CDAG-first auto, k-ladder, path automaton)     | — | `cdag` |
 //!
 //! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
 //!
@@ -24,6 +25,7 @@
 //! (one update against the whole view set).
 
 pub mod baseline;
+pub mod cdag;
 pub mod fig3c;
 
 use qui_core::parallel::MatrixVerdicts;
@@ -33,6 +35,7 @@ use qui_xquery::{Query, Update};
 use std::time::{Duration, Instant};
 
 pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
+pub use cdag::{run_cdag, CdagGateConfig, CdagReport};
 pub use fig3c::{run_fig3c, Fig3cReport, Fig3cScaleResult, Fig3cScaleSpec};
 
 /// One whole-matrix analysis: wall time plus the verdicts it produced.

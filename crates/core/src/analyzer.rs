@@ -2,10 +2,18 @@
 //!
 //! [`IndependenceAnalyzer::check`] runs the full pipeline of the paper for a
 //! query-update pair: compute `k = k_q + k_u` (Table 3), infer chains over
-//! `C_d^k` (Tables 1 and 2), and test C-independence (Definition 4.1). By
-//! default the explicit engine is used under a materialization budget and the
-//! CDAG engine takes over when the budget is exceeded, which matches the
-//! paper's implementation strategy of keeping inference polynomial.
+//! `C_d^k` (Tables 1 and 2), and test C-independence (Definition 4.1).
+//!
+//! The default [`EngineKind::Auto`] policy is **CDAG-first**: the polynomial
+//! CDAG engine runs every pair, and because its chain sets over-approximate
+//! the explicit sets, a CDAG independence verdict is final. Only pairs the
+//! CDAG flags as dependent are re-checked with the explicit (reference)
+//! engine under a materialization budget — this recovers full explicit
+//! precision *and* the conflict witness — and when that budget overflows the
+//! conservative CDAG verdict stands, which matches the paper's strategy of
+//! keeping inference polynomial. The legacy explicit-first behaviour is kept
+//! behind [`AnalyzerConfig::cdag_first`]` = false` for the perf harness to
+//! compare against.
 
 use crate::conflict::{find_conflict, ConflictWitness};
 use crate::engine::cdag::CdagEngine;
@@ -20,13 +28,27 @@ use qui_xquery::{Query, Update};
 /// Which inference engine produced a verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
-    /// Pick the explicit engine and fall back to the CDAG engine when the
-    /// materialization budget is exceeded.
+    /// Combine both engines: the CDAG engine proves independence outright,
+    /// the explicit engine confirms dependence (and produces the witness)
+    /// within its materialization budget. See
+    /// [`AnalyzerConfig::cdag_first`] for the engine order.
     Auto,
     /// Always use the explicit (reference) engine.
     Explicit,
     /// Always use the CDAG engine.
     Cdag,
+}
+
+impl EngineKind {
+    /// Parses a CLI-style engine name (`auto` / `explicit` / `cdag`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(EngineKind::Auto),
+            "explicit" => Some(EngineKind::Explicit),
+            "cdag" => Some(EngineKind::Cdag),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of the analyzer.
@@ -43,6 +65,14 @@ pub struct AnalyzerConfig {
     /// Overrides the multiplicity bound `k` computed from the pair — used by
     /// the R-benchmark, which sweeps `k` explicitly.
     pub k_override: Option<usize>,
+    /// Engine order of [`EngineKind::Auto`]. `true` (the default) runs the
+    /// CDAG engine first and the explicit engine only on pairs the CDAG
+    /// could not prove independent; `false` is the legacy order (explicit
+    /// first, CDAG only on budget overflow), kept for the `cdag` perf
+    /// harness to compare the two policies. Verdicts are identical either
+    /// way — the orders differ only in cost profile and in which
+    /// [`Verdict::engine_used`] is reported for independent pairs.
+    pub cdag_first: bool,
 }
 
 impl Default for AnalyzerConfig {
@@ -52,6 +82,7 @@ impl Default for AnalyzerConfig {
             explicit_budget: 20_000,
             element_chains: true,
             k_override: None,
+            cdag_first: true,
         }
     }
 }
@@ -119,39 +150,65 @@ impl<'a, S: SchemaLike> IndependenceAnalyzer<'a, S> {
 
     /// Checks independence of a query-update pair.
     pub fn check(&self, q: &Query, u: &Update) -> Verdict {
-        let k = self.k_for(q, u);
-        let k_query = k_of_query(q);
-        let k_update = k_of_update(u);
-        if self.config.engine != EngineKind::Cdag {
-            if let Some((qc, uc)) = self.infer_explicit(q, u, k) {
-                let witness = find_conflict(&qc, &uc);
-                return Verdict {
-                    independent: witness.is_none(),
-                    k,
-                    k_query,
-                    k_update,
-                    engine_used: EngineKind::Explicit,
-                    query_chain_count: qc.total_len(),
-                    update_chain_count: uc.len(),
-                    witness,
-                };
+        let meta = (self.k_for(q, u), k_of_query(q), k_of_update(u));
+        match self.config.engine {
+            EngineKind::Explicit => {
+                // The caller insisted on the explicit engine; on overflow,
+                // report the conservative answer (dependence) rather than
+                // guessing.
+                self.explicit_verdict(q, u, meta)
+                    .unwrap_or_else(|| conservative_explicit_verdict(meta))
             }
-            if self.config.engine == EngineKind::Explicit {
-                // The caller insisted on the explicit engine; report the
-                // conservative answer (dependence) rather than guessing.
-                return Verdict {
-                    independent: false,
-                    k,
-                    k_query,
-                    k_update,
-                    engine_used: EngineKind::Explicit,
-                    witness: None,
-                    query_chain_count: 0,
-                    update_chain_count: 0,
-                };
+            EngineKind::Cdag => self.cdag_verdict(q, u, meta),
+            EngineKind::Auto if self.config.cdag_first => {
+                // CDAG-first: the CDAG chain sets over-approximate the
+                // explicit ones, so a CDAG independence proof is final.
+                let cdag = self.cdag_verdict(q, u, meta);
+                if cdag.independent {
+                    return cdag;
+                }
+                // Not proved independent: confirm with the reference engine
+                // (restoring full explicit precision and the conflict
+                // witness); on budget overflow the conservative CDAG verdict
+                // stands.
+                self.explicit_verdict(q, u, meta).unwrap_or(cdag)
+            }
+            EngineKind::Auto => {
+                // Legacy order: explicit first, CDAG only on overflow.
+                self.explicit_verdict(q, u, meta)
+                    .unwrap_or_else(|| self.cdag_verdict(q, u, meta))
             }
         }
-        // CDAG engine.
+    }
+
+    /// The explicit-engine verdict, or `None` on budget overflow.
+    fn explicit_verdict(
+        &self,
+        q: &Query,
+        u: &Update,
+        (k, k_query, k_update): (usize, usize, usize),
+    ) -> Option<Verdict> {
+        let (qc, uc) = self.infer_explicit(q, u, k)?;
+        let witness = find_conflict(&qc, &uc);
+        Some(Verdict {
+            independent: witness.is_none(),
+            k,
+            k_query,
+            k_update,
+            engine_used: EngineKind::Explicit,
+            query_chain_count: qc.total_len(),
+            update_chain_count: uc.len(),
+            witness,
+        })
+    }
+
+    /// The CDAG-engine verdict (never fails; the CDAG is polynomial).
+    fn cdag_verdict(
+        &self,
+        q: &Query,
+        u: &Update,
+        (k, k_query, k_update): (usize, usize, usize),
+    ) -> Verdict {
         let eng = CdagEngine::new(self.schema, k).with_element_chains(self.config.element_chains);
         let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), q);
         let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), u);
@@ -216,6 +273,24 @@ impl<'a, S: SchemaLike> IndependenceAnalyzer<'a, S> {
     }
 }
 
+/// The conservative (dependent) verdict reported when the caller forced the
+/// explicit engine and its materialization budget overflowed. Crate-visible
+/// so the batch analyzer mirrors it cell for cell.
+pub(crate) fn conservative_explicit_verdict(
+    (k, k_query, k_update): (usize, usize, usize),
+) -> Verdict {
+    Verdict {
+        independent: false,
+        k,
+        k_query,
+        k_update,
+        engine_used: EngineKind::Explicit,
+        witness: None,
+        query_chain_count: 0,
+        update_chain_count: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,7 +318,9 @@ mod tests {
         let u1 = parse_update("delete //b//c").unwrap();
         let v = a.check(&q1, &u1);
         assert!(v.is_independent());
-        assert_eq!(v.engine_used, EngineKind::Explicit);
+        // The CDAG-first auto policy proves independent pairs without ever
+        // materializing explicit chain sets.
+        assert_eq!(v.engine_used, EngineKind::Cdag);
         assert!(v.k >= 2);
     }
 
@@ -369,6 +446,41 @@ mod tests {
             },
         );
         assert!(bad.check(&q, &u).is_independent());
+    }
+
+    #[test]
+    fn auto_orders_agree_and_differ_only_in_engine_reporting() {
+        let d = figure1();
+        let (queries, updates) = (
+            ["//a//c", "//c", "//b", "/a/c"],
+            [
+                "delete //b//c",
+                "delete //c",
+                "for $x in /a return insert <c/> into $x",
+            ],
+        );
+        let cdag_first = IndependenceAnalyzer::new(&d);
+        let legacy = IndependenceAnalyzer::with_config(
+            &d,
+            AnalyzerConfig {
+                cdag_first: false,
+                ..Default::default()
+            },
+        );
+        for q in queries.iter().map(|s| parse_query(s).unwrap()) {
+            for u in updates.iter().map(|s| parse_update(s).unwrap()) {
+                let a = cdag_first.check(&q, &u);
+                let b = legacy.check(&q, &u);
+                assert_eq!(a.is_independent(), b.is_independent(), "({q}, {u})");
+                assert_eq!(a.k, b.k);
+                if !a.is_independent() {
+                    // Dependent pairs are confirmed by the explicit engine in
+                    // both orders, witness included.
+                    assert_eq!(a.engine_used, EngineKind::Explicit);
+                    assert_eq!(a.witness, b.witness);
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,14 +21,42 @@
 //!   instead of chain-by-chain, which only enlarges the inferred sets.
 //!
 //! Every approximation enlarges the inferred chain sets, so independence
-//! verdicts remain sound; the cross-check tests in `tests/` verify that the
-//! two engines agree on the workloads where the explicit engine is feasible.
+//! verdicts remain sound; the cross-check tests in `tests/` (in particular
+//! `tests/engine_differential.rs`) verify that the two engines agree on the
+//! workloads where the explicit engine is feasible.
+//!
+//! ## Performance
+//!
+//! The engine is the default first pass of `EngineKind::Auto`, so its
+//! inference and conflict primitives are hot paths (see the `cdag_micro`
+//! bench and the `cdag` perf harness). Three things keep them cheap:
+//!
+//! * all node/edge sets hash with [`crate::fxhash`] instead of SipHash
+//!   (node indices are dense small integers, never attacker-controlled),
+//! * graph passes (provenance trimming, descendant closure, prefix
+//!   conflicts) run over a per-engine scratch workspace of
+//!   generation-stamped mark vectors and reusable adjacency lists instead of
+//!   allocating fresh hash maps per call,
+//! * the descendant closure is shared across all context ends (one
+//!   `O(nodes + edges)` sweep instead of one sweep per end).
+//!
+//! ## Incremental k-extension
+//!
+//! The engine records whether an inference ever hit the `k·|d|` depth cap
+//! (*saturation*). When it did not, the exact same DAG — node indices encode
+//! `(type, depth)` with a k-independent width — is what a fresh engine at any
+//! larger `k` would compute, so [`QueryKLadder`]/[`UpdateKLadder`] can serve
+//! every later bound from the cached result. The batch analyzer walks each
+//! expression's bounds in ascending order through a ladder, which turns the
+//! per-`(expr, k)` matrix prepass into per-`expr` work for every
+//! non-saturating expression.
 
 use super::label_syms;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::types::{ChainItem, QueryChains, UpdateChains};
 use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
 use qui_xquery::{Axis, NodeTest, Query, Update, UpdatePos};
-use std::collections::{HashMap, HashSet};
+use std::cell::{Cell, RefCell};
 
 /// A node of the CDAG: a (type, depth) pair, encoded as `depth * width + sym`.
 pub type NodeIdx = u32;
@@ -38,10 +66,10 @@ pub type NodeIdx = u32;
 pub struct ChainDag {
     /// Present edges, as (from-node, to-node) pairs. The to-node is always at
     /// the from-node's depth plus one.
-    pub edges: HashSet<(NodeIdx, NodeIdx)>,
+    pub edges: FxHashSet<(NodeIdx, NodeIdx)>,
     /// End nodes with their extensibility flag (`true` = the set also
     /// contains every descendant extension of chains ending here).
-    pub ends: HashMap<NodeIdx, bool>,
+    pub ends: FxHashMap<NodeIdx, bool>,
 }
 
 impl ChainDag {
@@ -93,6 +121,67 @@ impl ChainDag {
     }
 }
 
+/// Reusable graph-pass workspace (see the module docs): generation-stamped
+/// mark vectors and adjacency lists indexed by dense [`NodeIdx`]. Everything
+/// auto-grows on first touch and is logically cleared in `O(touched)` by
+/// bumping the generation / draining the touched list, so a pass over a
+/// small DAG never pays for the full `width · depth` grid.
+#[derive(Default)]
+struct Scratch {
+    /// Primary mark color (`mark[n] == gen` ⇔ marked this pass).
+    mark: Vec<u32>,
+    /// Secondary mark color for passes that need two node sets at once.
+    mark2: Vec<u32>,
+    /// Monotone generation counter shared by both mark vectors.
+    gen: u32,
+    /// Adjacency lists; non-empty slots are tracked in `touched`.
+    adj: Vec<Vec<NodeIdx>>,
+    /// Slots of `adj` that must be cleared before the next pass.
+    touched: Vec<NodeIdx>,
+    /// Reusable DFS/BFS stack.
+    stack: Vec<NodeIdx>,
+}
+
+#[inline]
+fn mark_set(marks: &mut Vec<u32>, n: NodeIdx, gen: u32) {
+    let i = n as usize;
+    if i >= marks.len() {
+        marks.resize(i + 1, 0);
+    }
+    marks[i] = gen;
+}
+
+#[inline]
+fn mark_has(marks: &[u32], n: NodeIdx, gen: u32) -> bool {
+    marks.get(n as usize).is_some_and(|&g| g == gen)
+}
+
+impl Scratch {
+    fn next_gen(&mut self) -> u32 {
+        self.gen += 1;
+        self.gen
+    }
+
+    #[inline]
+    fn adj_push(&mut self, from: NodeIdx, to: NodeIdx) {
+        let i = from as usize;
+        if i >= self.adj.len() {
+            self.adj.resize_with(i + 1, Vec::new);
+        }
+        if self.adj[i].is_empty() {
+            self.touched.push(from);
+        }
+        self.adj[i].push(to);
+    }
+
+    fn adj_clear(&mut self) {
+        for &n in &self.touched {
+            self.adj[n as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
 /// The CDAG engine: holds the schema, the dimensions of the node grid, and
 /// implements inference and conflict checking over [`ChainDag`] values.
 pub struct CdagEngine<'a, S: SchemaLike> {
@@ -102,16 +191,24 @@ pub struct CdagEngine<'a, S: SchemaLike> {
     width: u32,
     /// Number of levels (maximum chain length).
     max_depth: u32,
+    /// The multiplicity bound the grid was sized for.
+    k: usize,
     /// Element-chain inference toggle (see the explicit engine).
     element_chains: bool,
+    /// Set when an inference hits the depth cap (so its result may be
+    /// missing chains a deeper grid would add); cleared by
+    /// [`Self::take_saturated`].
+    saturated: Cell<bool>,
+    /// Reusable graph-pass workspace.
+    scratch: RefCell<Scratch>,
 }
 
 /// Variable environment for the CDAG engine.
-pub type DagGamma = HashMap<String, ChainDag>;
+pub type DagGamma = FxHashMap<String, ChainDag>;
 
 /// Query chains in CDAG form: returns and used chains as DAGs, element
 /// chains as symbolic items (they are not rooted at the schema root).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DagQueryChains {
     /// Return chains.
     pub returns: ChainDag,
@@ -144,7 +241,10 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             schema,
             width,
             max_depth: depth,
+            k,
             element_chains: true,
+            saturated: Cell::new(false),
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -157,6 +257,25 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// The schema this engine analyses.
     pub fn schema(&self) -> &'a S {
         self.schema
+    }
+
+    /// The multiplicity bound the engine was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of levels of the node grid (`k·|d| + 2`); no chain the
+    /// engine infers is longer than this.
+    pub fn grid_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Returns whether any inference since the last call hit the `k·|d|`
+    /// depth cap, and clears the flag. When this returns `false`, every DAG
+    /// the engine produced since is exactly what a fresh engine at any
+    /// larger `k` would produce — the property the k-ladders build on.
+    pub fn take_saturated(&self) -> bool {
+        self.saturated.replace(false)
     }
 
     // ------------------------------------------------------ node encoding
@@ -174,11 +293,14 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         depth * self.width + self.sym_slot(s)
     }
 
-    fn depth_of(&self, n: NodeIdx) -> u32 {
+    /// The depth (chain length minus one) encoded in a node index.
+    pub fn depth_of(&self, n: NodeIdx) -> u32 {
         n / self.width
     }
 
-    fn sym_of(&self, n: NodeIdx) -> Option<Sym> {
+    /// The schema type encoded in a node index (`None` for the unknown-label
+    /// sentinel slot).
+    pub fn sym_of(&self, n: NodeIdx) -> Option<Sym> {
         let slot = n % self.width;
         if slot == self.width - 1 {
             None // unknown-label sentinel
@@ -189,10 +311,10 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
 
     /// The singleton set containing just the root chain.
     pub fn root_dag(&self) -> ChainDag {
-        let mut ends = HashMap::new();
+        let mut ends = FxHashMap::default();
         ends.insert(self.node(self.schema.start_type(), 0), false);
         ChainDag {
-            edges: HashSet::new(),
+            edges: FxHashSet::default(),
             ends,
         }
     }
@@ -217,13 +339,14 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     }
 
     /// Enumerates the chains denoted by a DAG (without extensions), up to
-    /// `cap` chains — used by tests and debugging output only.
+    /// `cap` chains — used by tests, the differential harness and debugging
+    /// output only.
     pub fn enumerate(&self, dag: &ChainDag, cap: usize) -> Option<Vec<Chain>> {
         let root = self.node(self.schema.start_type(), 0);
         let mut out = Vec::new();
         let mut stack = vec![(root, Chain::single(self.schema.start_type()))];
         // Adjacency for forward traversal.
-        let mut adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let mut adj: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
         for &(f, t) in &dag.edges {
             adj.entry(f).or_default().push(t);
         }
@@ -257,8 +380,16 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     }
 
     /// The root node of the grid.
-    fn root_node(&self) -> NodeIdx {
+    pub fn root_node(&self) -> NodeIdx {
         self.node(self.schema.start_type(), 0)
+    }
+
+    /// Marks the engine saturated when skipping extensions below `sym` at the
+    /// depth cap actually dropped anything.
+    fn note_depth_cap(&self, sym: Sym) {
+        if !self.schema.child_types(sym).is_empty() {
+            self.saturated.set(true);
+        }
     }
 
     /// Prunes a DAG to the edges lying on some path from the root to one of
@@ -269,54 +400,73 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// DAG nodes merge.
     fn trim_to(
         &self,
-        edges: &HashSet<(NodeIdx, NodeIdx)>,
-        ends: &HashSet<NodeIdx>,
-    ) -> HashSet<(NodeIdx, NodeIdx)> {
+        edges: &FxHashSet<(NodeIdx, NodeIdx)>,
+        ends: &FxHashSet<NodeIdx>,
+    ) -> FxHashSet<(NodeIdx, NodeIdx)> {
         if ends.is_empty() || edges.is_empty() {
-            return HashSet::new();
+            return FxHashSet::default();
         }
-        // Backward reachability from the ends.
-        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let mut s = self.scratch.borrow_mut();
+        let s = &mut *s;
+        // Backward reachability from the ends ("above").
+        let above = s.next_gen();
         for &(f, t) in edges {
-            preds.entry(t).or_default().push(f);
+            s.adj_push(t, f);
         }
-        let mut above: HashSet<NodeIdx> = ends.clone();
-        let mut stack: Vec<NodeIdx> = ends.iter().copied().collect();
-        while let Some(n) = stack.pop() {
-            for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
-                if above.insert(p) {
-                    stack.push(p);
+        s.stack.clear();
+        for &e in ends {
+            if !mark_has(&s.mark, e, above) {
+                mark_set(&mut s.mark, e, above);
+                s.stack.push(e);
+            }
+        }
+        while let Some(n) = s.stack.pop() {
+            let i = n as usize;
+            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
+                let p = s.adj[i][j];
+                if !mark_has(&s.mark, p, above) {
+                    mark_set(&mut s.mark, p, above);
+                    s.stack.push(p);
                 }
             }
         }
+        s.adj_clear();
         // Forward reachability from the root, restricted to `above`.
-        let mut succs: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let reach = s.next_gen();
         for &(f, t) in edges {
-            if above.contains(&f) && above.contains(&t) {
-                succs.entry(f).or_default().push(t);
+            if mark_has(&s.mark, f, above) && mark_has(&s.mark, t, above) {
+                s.adj_push(f, t);
             }
         }
         let root = self.root_node();
-        let mut reach: HashSet<NodeIdx> = HashSet::new();
-        reach.insert(root);
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
-            for &m in succs.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
-                if reach.insert(m) {
-                    stack.push(m);
+        mark_set(&mut s.mark2, root, reach);
+        s.stack.clear();
+        s.stack.push(root);
+        while let Some(n) = s.stack.pop() {
+            let i = n as usize;
+            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
+                let m = s.adj[i][j];
+                if !mark_has(&s.mark2, m, reach) {
+                    mark_set(&mut s.mark2, m, reach);
+                    s.stack.push(m);
                 }
             }
         }
+        s.adj_clear();
         edges
             .iter()
             .copied()
-            .filter(|&(f, t)| reach.contains(&f) && above.contains(&t) && reach.contains(&t))
+            .filter(|&(f, t)| {
+                mark_has(&s.mark2, f, reach)
+                    && mark_has(&s.mark, t, above)
+                    && mark_has(&s.mark2, t, reach)
+            })
             .collect()
     }
 
     /// Prunes a whole DAG to the paths leading to its own ends.
     pub fn trim(&self, dag: &ChainDag) -> ChainDag {
-        let ends: HashSet<NodeIdx> = dag.ends.keys().copied().collect();
+        let ends: FxHashSet<NodeIdx> = dag.ends.keys().copied().collect();
         ChainDag {
             edges: self.trim_to(&dag.edges, &ends),
             ends: dag.ends.clone(),
@@ -333,17 +483,14 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// node test discarded would pollute later steps through shared CDAG
     /// nodes.
     pub fn step(&self, ctx: &ChainDag, axis: Axis, test: &NodeTest) -> (ChainDag, ChainDag) {
-        let mut new_edges: HashSet<(NodeIdx, NodeIdx)> = HashSet::new();
-        let mut result = ChainDag {
-            edges: HashSet::new(),
-            ends: HashMap::new(),
-        };
-        let mut used = ChainDag {
-            edges: HashSet::new(),
-            ends: HashMap::new(),
-        };
+        if matches!(axis, Axis::Descendant | Axis::DescendantOrSelf) {
+            return self.step_descendant(ctx, axis == Axis::DescendantOrSelf, test);
+        }
+        let mut new_edges: FxHashSet<(NodeIdx, NodeIdx)> = FxHashSet::default();
+        let mut result = ChainDag::empty();
+        let mut used = ChainDag::empty();
         // Reverse adjacency of the context DAG, needed by upward axes.
-        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let mut preds: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
         if matches!(
             axis,
             Axis::Parent
@@ -379,35 +526,12 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                                 produced = true;
                             }
                         }
+                    } else {
+                        self.note_depth_cap(end_sym);
                     }
                 }
                 Axis::Descendant | Axis::DescendantOrSelf => {
-                    if axis == Axis::DescendantOrSelf && self.test_matches(end_sym, test) {
-                        result.ends.insert(end, false);
-                        produced = true;
-                    }
-                    // Breadth-first closure over schema edges, bounded by the
-                    // grid depth.
-                    let mut frontier = vec![end];
-                    let mut visited: HashSet<NodeIdx> = HashSet::new();
-                    while let Some(n) = frontier.pop() {
-                        let d = self.depth_of(n);
-                        if d + 1 >= self.max_depth {
-                            continue;
-                        }
-                        let Some(sym) = self.sym_of(n) else { continue };
-                        for &c in self.schema.child_types(sym) {
-                            let cn = self.node(c, d + 1);
-                            new_edges.insert((n, cn));
-                            if self.test_matches(c, test) {
-                                result.ends.insert(cn, false);
-                                produced = true;
-                            }
-                            if visited.insert(cn) {
-                                frontier.push(cn);
-                            }
-                        }
-                    }
+                    unreachable!("handled by step_descendant")
                 }
                 Axis::Parent => {
                     for &p in preds.get(&end).map(|v| v.as_slice()).unwrap_or(&[]) {
@@ -425,7 +549,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                         produced = true;
                     }
                     let mut frontier = vec![end];
-                    let mut visited: HashSet<NodeIdx> = HashSet::new();
+                    let mut visited: FxHashSet<NodeIdx> = FxHashSet::default();
                     while let Some(n) = frontier.pop() {
                         for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
                             if let Some(ps) = self.sym_of(p) {
@@ -467,15 +591,115 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 used.ends.insert(end, false);
             }
         }
-        // Provenance trimming: keep only the context edges that lie on paths
-        // to the *contributing* ends, add the edges created by this step, and
-        // trim the result to the paths reaching its own ends.
-        let contributing: HashSet<NodeIdx> = used.ends.keys().copied().collect();
+        self.finish_step(ctx, new_edges, result, used)
+    }
+
+    /// The descendant / descendant-or-self step, with the closure over schema
+    /// edges shared across **all** context ends: one bounded sweep discovers
+    /// every reachable (type, depth) node, then one backward pass over the
+    /// discovered edges computes which ends actually produced a match (the
+    /// STEPUH `used` restriction). Results are identical to the per-end
+    /// closure, cell for cell.
+    fn step_descendant(
+        &self,
+        ctx: &ChainDag,
+        or_self: bool,
+        test: &NodeTest,
+    ) -> (ChainDag, ChainDag) {
+        let mut new_edges: FxHashSet<(NodeIdx, NodeIdx)> = FxHashSet::default();
+        let mut result = ChainDag::empty();
+        let mut used = ChainDag::empty();
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        // Phase 1: shared forward closure from every end, recording forward
+        // adjacency for phase 2 and collecting matched descendants.
+        let visited = s.next_gen();
+        let mut desc_matched: Vec<NodeIdx> = Vec::new();
+        s.stack.clear();
+        for &end in ctx.ends.keys() {
+            if self.sym_of(end).is_some() && !mark_has(&s.mark, end, visited) {
+                mark_set(&mut s.mark, end, visited);
+                s.stack.push(end);
+            }
+        }
+        while let Some(n) = s.stack.pop() {
+            let Some(sym) = self.sym_of(n) else { continue };
+            let d = self.depth_of(n);
+            if d + 1 >= self.max_depth {
+                self.note_depth_cap(sym);
+                continue;
+            }
+            for &c in self.schema.child_types(sym) {
+                let cn = self.node(c, d + 1);
+                if new_edges.insert((n, cn)) {
+                    s.adj_push(cn, n); // backward adjacency for phase 2
+                }
+                if self.test_matches(c, test) && result.ends.insert(cn, false).is_none() {
+                    desc_matched.push(cn);
+                }
+                if !mark_has(&s.mark, cn, visited) {
+                    mark_set(&mut s.mark, cn, visited);
+                    s.stack.push(cn);
+                }
+            }
+        }
+        // Phase 2: `produces` = nodes with a path of length >= 1 to a matched
+        // node — exactly the ends whose per-end closure would have produced a
+        // result. Backward closure from the matched nodes over the recorded
+        // adjacency, shifted one level up.
+        let produces = s.next_gen();
+        s.stack.clear();
+        let reach_matched = s.next_gen();
+        for &m in &desc_matched {
+            mark_set(&mut s.mark2, m, reach_matched);
+            s.stack.push(m);
+        }
+        while let Some(n) = s.stack.pop() {
+            let i = n as usize;
+            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
+                let p = s.adj[i][j];
+                mark_set(&mut s.mark, p, produces);
+                if !mark_has(&s.mark2, p, reach_matched) {
+                    mark_set(&mut s.mark2, p, reach_matched);
+                    s.stack.push(p);
+                }
+            }
+        }
+        s.adj_clear();
+        for &end in ctx.ends.keys() {
+            let Some(end_sym) = self.sym_of(end) else {
+                continue;
+            };
+            let mut produced = mark_has(&s.mark, end, produces);
+            if or_self && self.test_matches(end_sym, test) {
+                result.ends.insert(end, false);
+                produced = true;
+            }
+            if produced {
+                used.ends.insert(end, false);
+            }
+        }
+        // Release the scratch borrow: `finish_step`'s trimming re-borrows it.
+        drop(guard);
+        self.finish_step(ctx, new_edges, result, used)
+    }
+
+    /// Shared tail of every step: provenance trimming. Keeps only the context
+    /// edges on paths to the *contributing* ends, adds the edges created by
+    /// the step, and trims the result to the paths reaching its own ends.
+    fn finish_step(
+        &self,
+        ctx: &ChainDag,
+        new_edges: FxHashSet<(NodeIdx, NodeIdx)>,
+        mut result: ChainDag,
+        mut used: ChainDag,
+    ) -> (ChainDag, ChainDag) {
+        let contributing: FxHashSet<NodeIdx> = used.ends.keys().copied().collect();
         let base_edges = self.trim_to(&ctx.edges, &contributing);
         used.edges = base_edges.clone();
         let mut all_edges = base_edges;
         all_edges.extend(new_edges);
-        let result_ends: HashSet<NodeIdx> = result.ends.keys().copied().collect();
+        let result_ends: FxHashSet<NodeIdx> = result.ends.keys().copied().collect();
         result.edges = self.trim_to(&all_edges, &result_ends);
         (result, used)
     }
@@ -484,7 +708,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
 
     /// The initial environment binding every free variable to the root chain.
     pub fn root_gamma(&self, vars: impl IntoIterator<Item = String>) -> DagGamma {
-        let mut g = DagGamma::new();
+        let mut g = DagGamma::default();
         for v in vars {
             g.insert(v, self.root_dag());
         }
@@ -520,10 +744,35 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 }
             }
             Query::For { var, source, ret } => {
-                // The loop variable is bound to the whole return set at once
-                // (a sound approximation of the per-chain iteration of the
-                // explicit rule; see the module documentation).
                 let q1 = self.infer_query(gamma, source);
+                // Exact fast path: when the body is a single step on the
+                // loop variable (every desugared path query), the step's
+                // produced-ends restriction *is* the FOR chain filter — the
+                // iteration chains that become used are exactly the context
+                // ends the step produced results from, for upward and
+                // downward axes alike. This avoids the node-sharing
+                // over-approximation of the general case below, keeping the
+                // CDAG verdicts aligned with the explicit engine on plain
+                // navigation.
+                if let Query::Step {
+                    var: step_var,
+                    axis,
+                    test,
+                } = &**ret
+                {
+                    if step_var == var {
+                        let (returns, step_used) = self.step(&q1.returns, *axis, test);
+                        return DagQueryChains {
+                            returns,
+                            used: q1.used.clone().union(&step_used),
+                            elements: Vec::new(),
+                        };
+                    }
+                }
+                // General case: the loop variable is bound to the whole
+                // return set at once (a sound approximation of the per-chain
+                // iteration of the explicit rule; see the module
+                // documentation).
                 let mut inner = gamma.clone();
                 inner.insert(var.clone(), q1.returns.clone());
                 let q2 = self.infer_query(&inner, ret);
@@ -598,7 +847,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// Restricts a source return DAG to the ends that the body's inferred
     /// chains pass through (the FOR-rule chain filter, approximated on DAGs).
     fn contributing_sources(&self, source: &ChainDag, body: &DagQueryChains) -> ChainDag {
-        let mut body_nodes: HashSet<NodeIdx> = HashSet::new();
+        let mut body_nodes: FxHashSet<NodeIdx> = FxHashSet::default();
         for dag in [&body.returns, &body.used] {
             for &(f, t) in &dag.edges {
                 body_nodes.insert(f);
@@ -606,7 +855,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             }
             body_nodes.extend(dag.ends.keys().copied());
         }
-        let live: HashMap<NodeIdx, bool> = source
+        let live: FxHashMap<NodeIdx, bool> = source
             .ends
             .iter()
             .filter(|(n, _)| body_nodes.contains(n))
@@ -660,7 +909,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 let mut out = r0.clone();
                 // c:b for every new-label type b: add a sibling end next to
                 // each target end (same parent, same depth, type b).
-                let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+                let mut preds: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
                 for &(f, t) in &r0.edges {
                     preds.entry(t).or_default().push(f);
                 }
@@ -710,13 +959,13 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
 
     /// The set of parent chains of every chain in `dag` (within the DAG).
     fn parents_of(&self, dag: &ChainDag) -> ChainDag {
-        let mut preds: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let mut preds: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
         for &(f, t) in &dag.edges {
             preds.entry(t).or_default().push(f);
         }
         let mut out = ChainDag {
             edges: dag.edges.clone(),
-            ends: HashMap::new(),
+            ends: FxHashMap::default(),
         };
         for &end in dag.ends.keys() {
             for &p in preds.get(&end).map(|v| v.as_slice()).unwrap_or(&[]) {
@@ -731,7 +980,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     fn insertion_dag(&self, bases: &ChainDag, src: &DagQueryChains) -> ChainDag {
         let mut out = ChainDag {
             edges: bases.edges.clone(),
-            ends: HashMap::new(),
+            ends: FxHashMap::default(),
         };
         // Suffixes to attach: element chains (with their extensibility) plus
         // one extensible single-symbol suffix per source return type.
@@ -752,6 +1001,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 for (depth, &s) in (self.depth_of(base)..).zip(suf.chain.symbols()) {
                     if depth + 1 >= self.max_depth {
                         truncated = true;
+                        self.saturated.set(true);
                         break;
                     }
                     let next = self.node(s, depth + 1);
@@ -774,42 +1024,65 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         if a.is_empty() || b.is_empty() {
             return false;
         }
+        let mut s = self.scratch.borrow_mut();
+        let s = &mut *s;
         // Nodes from which an end of b is reachable via b's edges.
-        let mut b_adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
+        let reaches_b = s.next_gen();
         for &(f, t) in &b.edges {
-            b_adj.entry(t).or_default().push(f);
+            s.adj_push(t, f);
         }
-        let mut reaches_b_end: HashSet<NodeIdx> = b.ends.keys().copied().collect();
-        let mut frontier: Vec<NodeIdx> = reaches_b_end.iter().copied().collect();
-        while let Some(n) = frontier.pop() {
-            for &p in b_adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
-                if reaches_b_end.insert(p) {
-                    frontier.push(p);
+        s.stack.clear();
+        for &e in b.ends.keys() {
+            if !mark_has(&s.mark, e, reaches_b) {
+                mark_set(&mut s.mark, e, reaches_b);
+                s.stack.push(e);
+            }
+        }
+        while let Some(n) = s.stack.pop() {
+            let i = n as usize;
+            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
+                let p = s.adj[i][j];
+                if !mark_has(&s.mark, p, reaches_b) {
+                    mark_set(&mut s.mark, p, reaches_b);
+                    s.stack.push(p);
                 }
             }
         }
+        s.adj_clear();
         // Walk from the root along edges common to a and b; if we hit an end
         // of a from which b can still reach an end, the prefix relation holds.
-        let root = self.node(self.schema.start_type(), 0);
-        let common: HashSet<(NodeIdx, NodeIdx)> = a.edges.intersection(&b.edges).copied().collect();
-        let mut adj: HashMap<NodeIdx, Vec<NodeIdx>> = HashMap::new();
-        for &(f, t) in &common {
-            adj.entry(f).or_default().push(t);
-        }
-        let mut visited = HashSet::new();
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
-            if !visited.insert(n) {
-                continue;
-            }
-            if a.ends.contains_key(&n) && reaches_b_end.contains(&n) {
-                return true;
-            }
-            for &m in adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
-                stack.push(m);
+        let (small, other) = if a.edges.len() <= b.edges.len() {
+            (&a.edges, &b.edges)
+        } else {
+            (&b.edges, &a.edges)
+        };
+        for &(f, t) in small {
+            if other.contains(&(f, t)) {
+                s.adj_push(f, t);
             }
         }
-        false
+        let root = self.root_node();
+        let visited = s.next_gen();
+        mark_set(&mut s.mark2, root, visited);
+        s.stack.clear();
+        s.stack.push(root);
+        let mut found = false;
+        while let Some(n) = s.stack.pop() {
+            if a.ends.contains_key(&n) && mark_has(&s.mark, n, reaches_b) {
+                found = true;
+                break;
+            }
+            let i = n as usize;
+            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
+                let m = s.adj[i][j];
+                if !mark_has(&s.mark2, m, visited) {
+                    mark_set(&mut s.mark2, m, visited);
+                    s.stack.push(m);
+                }
+            }
+        }
+        s.adj_clear();
+        found
     }
 
     /// Full conflict check `∃ x ∈ set(a), y ∈ set(b): x ⪯ y`, taking the
@@ -870,6 +1143,179 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         out
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental k-ladders
+// ---------------------------------------------------------------------------
+
+/// Shared bookkeeping of the two ladders: the bound the cached result was
+/// built at, whether it is exact for every larger bound, and reuse counters
+/// for the perf harness.
+#[derive(Clone, Copy, Debug)]
+struct LadderState {
+    /// The bound of the last fresh build (never moved by cache hits, so a
+    /// complete ladder keeps serving *any* bound ≥ the build bound, even
+    /// after serving a larger one).
+    k: usize,
+    complete: bool,
+    reused: usize,
+    rebuilt: usize,
+}
+
+impl LadderState {
+    /// Decides whether a request for bound `k` can be served from the cache;
+    /// updates the counters accordingly.
+    fn serve(&mut self, k: usize) -> bool {
+        if k == self.k || (self.complete && k >= self.k) {
+            self.reused += 1;
+            true
+        } else {
+            self.rebuilt += 1;
+            false
+        }
+    }
+}
+
+/// Generates a ladder type: the query and update ladders are identical
+/// except for the expression type, the result type, and which inference the
+/// engine runs — everything else (cache policy, counters, accessors) is
+/// shared here and in [`LadderState`] so the two can never diverge.
+macro_rules! define_k_ladder {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $expr_ty:ty, $result_ty:ty, $empty:expr, $infer:ident
+    ) => {
+        $(#[$doc])*
+        pub struct $name<'a, S: SchemaLike> {
+            schema: &'a S,
+            element_chains: bool,
+            state: LadderState,
+            result: $result_ty,
+        }
+
+        impl<'a, S: SchemaLike> $name<'a, S> {
+            /// Builds the ladder with a fresh inference at bound `k`.
+            pub fn new(schema: &'a S, expr: &$expr_ty, k: usize, element_chains: bool) -> Self {
+                let mut ladder = $name {
+                    schema,
+                    element_chains,
+                    state: LadderState {
+                        k,
+                        complete: false,
+                        reused: 0,
+                        rebuilt: 0,
+                    },
+                    result: $empty,
+                };
+                ladder.rebuild(expr, k);
+                ladder.state.rebuilt = 0; // the initial build is not a re-build
+                ladder
+            }
+
+            fn rebuild(&mut self, expr: &$expr_ty, k: usize) {
+                let eng = CdagEngine::new(self.schema, k).with_element_chains(self.element_chains);
+                self.result = eng.$infer(&eng.root_gamma(expr.free_vars()), expr);
+                self.state.complete = !eng.take_saturated();
+                self.state.k = k;
+            }
+
+            /// Returns the chains of the expression at bound `k`, reusing the
+            /// cached result when it is known to be exact for `k`.
+            pub fn extend_to(&mut self, expr: &$expr_ty, k: usize) -> &$result_ty {
+                if !self.state.serve(k) {
+                    self.rebuild(expr, k);
+                }
+                &self.result
+            }
+
+            /// The cached result (at bound [`Self::k`]).
+            pub fn result(&self) -> &$result_ty {
+                &self.result
+            }
+
+            /// Builds a ladder at the first of `bounds` and walks the rest in
+            /// ascending order, returning the chains at every bound — bounds
+            /// served from the cache share one `Arc` — plus the number of
+            /// inferences actually run. This is the batch prepass's walk,
+            /// kept here so the query and update sides can never drift.
+            pub fn walk_bounds(
+                schema: &'a S,
+                expr: &$expr_ty,
+                bounds: &[usize],
+                element_chains: bool,
+            ) -> (Vec<(usize, std::sync::Arc<$result_ty>)>, usize) {
+                let Some((&first, rest)) = bounds.split_first() else {
+                    return (Vec::new(), 0);
+                };
+                let mut ladder = Self::new(schema, expr, first, element_chains);
+                let mut arc = std::sync::Arc::new(ladder.result().clone());
+                let mut out = Vec::with_capacity(bounds.len());
+                out.push((first, std::sync::Arc::clone(&arc)));
+                let mut rebuilds = 0usize;
+                for &k in rest {
+                    ladder.extend_to(expr, k);
+                    if ladder.rebuild_count() != rebuilds {
+                        rebuilds = ladder.rebuild_count();
+                        arc = std::sync::Arc::new(ladder.result().clone());
+                    }
+                    out.push((k, std::sync::Arc::clone(&arc)));
+                }
+                (out, 1 + ladder.rebuild_count())
+            }
+
+            /// The bound the cached result was last built at (the result is
+            /// additionally exact for every larger bound when
+            /// [`Self::is_complete`]).
+            pub fn k(&self) -> usize {
+                self.state.k
+            }
+
+            /// Whether the cached result is exact for every bound ≥ [`Self::k`].
+            pub fn is_complete(&self) -> bool {
+                self.state.complete
+            }
+
+            /// How many `extend_to` calls were served from the cache.
+            pub fn reuse_count(&self) -> usize {
+                self.state.reused
+            }
+
+            /// How many `extend_to` calls had to re-infer from scratch.
+            pub fn rebuild_count(&self) -> usize {
+                self.state.rebuilt
+            }
+        }
+    };
+}
+
+define_k_ladder!(
+    /// Incremental CDAG inference for one query across increasing
+    /// multiplicity bounds.
+    ///
+    /// A ladder built at bound `k` serves any bound `k' ≥ k` from the cached
+    /// result whenever the `k` inference never hit its depth cap (the common
+    /// case for non-recursive navigation): the DAG node encoding is
+    /// independent of `k`, so the cached DAG *is* the fresh-`k'` DAG. When
+    /// the inference did saturate, extension falls back to a fresh build at
+    /// the new bound — the result is always exactly
+    /// [`CdagEngine::infer_query`] at the requested bound (property-tested
+    /// by `tests/engine_differential.rs`).
+    QueryKLadder,
+    Query,
+    DagQueryChains,
+    DagQueryChains::default(),
+    infer_query
+);
+
+define_k_ladder!(
+    /// Incremental CDAG inference for one update across increasing
+    /// multiplicity bounds — see [`QueryKLadder`].
+    UpdateKLadder,
+    Update,
+    ChainDag,
+    ChainDag::empty(),
+    infer_update
+);
 
 #[cfg(test)]
 mod tests {
@@ -989,5 +1435,79 @@ mod tests {
         let shown = show(&d, &eng, &qc.returns);
         assert!(shown.contains(&"a.d".to_string()));
         assert!(shown.iter().all(|c| !c.contains(".b")), "{shown:?}");
+    }
+
+    #[test]
+    fn saturation_is_reported_on_recursive_descendants_only() {
+        let rec = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let eng = CdagEngine::new(&rec, 1);
+        let q = parse_query("//b").unwrap();
+        let _ = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        assert!(eng.take_saturated(), "recursive closure must hit the cap");
+        assert!(!eng.take_saturated(), "the flag is cleared by take");
+
+        let flat = figure1();
+        let eng = CdagEngine::new(&flat, 2);
+        let q = parse_query("//a//c").unwrap();
+        let _ = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        assert!(
+            !eng.take_saturated(),
+            "a non-recursive schema never reaches the cap"
+        );
+    }
+
+    #[test]
+    fn query_ladder_matches_fresh_builds() {
+        for src in ["//a//c", "/a/c", "//node()", "//b/parent::doc"] {
+            let d = figure1();
+            let q = parse_query(src).unwrap();
+            let mut ladder = QueryKLadder::new(&d, &q, 1, true);
+            for k in 2..=4 {
+                let stepped = ladder.extend_to(&q, k).clone();
+                let eng = CdagEngine::new(&d, k);
+                let fresh = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+                assert_eq!(stepped, fresh, "{src} at k = {k}");
+            }
+            assert!(ladder.is_complete(), "{src} is non-recursive");
+            assert_eq!(ladder.rebuild_count(), 0, "{src} never rebuilds");
+            // A complete ladder keeps serving bounds *below* ones it already
+            // served (but at or above the build bound) from the cache.
+            let rebuilds = ladder.rebuild_count();
+            ladder.extend_to(&q, 2);
+            assert_eq!(ladder.rebuild_count(), rebuilds, "{src} at k = 2 again");
+            assert_eq!(ladder.k(), 1, "the build bound never moves");
+        }
+    }
+
+    #[test]
+    fn ladder_walk_bounds_shares_arcs_and_counts_inferences() {
+        let d = figure1();
+        let q = parse_query("//a//c").unwrap();
+        let (out, inferences) = QueryKLadder::walk_bounds(&d, &q, &[2, 3, 4], true);
+        assert_eq!(inferences, 1, "non-recursive: one build serves all bounds");
+        assert_eq!(out.len(), 3);
+        assert!(
+            std::sync::Arc::ptr_eq(&out[0].1, &out[2].1),
+            "cache-served bounds share one allocation"
+        );
+        let eng = CdagEngine::new(&d, 4);
+        let fresh = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        assert_eq!(*out[2].1, fresh);
+        assert!(QueryKLadder::walk_bounds(&d, &q, &[], true).0.is_empty());
+    }
+
+    #[test]
+    fn update_ladder_matches_fresh_builds_even_when_saturated() {
+        let d = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let u = parse_update("delete //c//b").unwrap();
+        let mut ladder = UpdateKLadder::new(&d, &u, 1, true);
+        assert!(!ladder.is_complete(), "recursive deletes saturate");
+        for k in 2..=3 {
+            let stepped = ladder.extend_to(&u, k).clone();
+            let eng = CdagEngine::new(&d, k);
+            let fresh = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+            assert_eq!(stepped, fresh, "k = {k}");
+        }
+        assert_eq!(ladder.rebuild_count(), 2, "saturated ladders rebuild");
     }
 }

@@ -285,10 +285,31 @@ pub fn matrix_report_jobs<S: SchemaLike + Sync>(
     update: &Update,
     jobs: Jobs,
 ) -> MatrixReport {
-    let mut reports = matrix_reports(
+    matrix_report_config(
+        schema,
+        views,
+        update_name,
+        update,
+        &AnalyzerConfig::default(),
+        jobs,
+    )
+}
+
+/// [`matrix_report_jobs`] with a full analyzer configuration (engine policy,
+/// budget, ablations) — used by `qui matrix --engine`.
+pub fn matrix_report_config<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    update_name: &str,
+    update: &Update,
+    config: &AnalyzerConfig,
+    jobs: Jobs,
+) -> MatrixReport {
+    let mut reports = matrix_reports_config(
         schema,
         views,
         std::slice::from_ref(&(update_name.to_string(), update.clone())),
+        config,
         jobs,
     );
     reports.pop().expect("one update produces one report")
@@ -303,10 +324,20 @@ pub fn matrix_reports<S: SchemaLike + Sync>(
     updates: &[(String, Update)],
     jobs: Jobs,
 ) -> Vec<MatrixReport> {
+    matrix_reports_config(schema, views, updates, &AnalyzerConfig::default(), jobs)
+}
+
+/// [`matrix_reports`] with a full analyzer configuration.
+pub fn matrix_reports_config<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    updates: &[(String, Update)],
+    config: &AnalyzerConfig,
+    jobs: Jobs,
+) -> Vec<MatrixReport> {
     let queries: Vec<Query> = views.iter().map(|(_, q)| q.clone()).collect();
     let upds: Vec<Update> = updates.iter().map(|(_, u)| u.clone()).collect();
-    let config = AnalyzerConfig::default();
-    let matrix = analyze_matrix(schema, &queries, &upds, &config, jobs);
+    let matrix = analyze_matrix(schema, &queries, &upds, config, jobs);
     updates
         .iter()
         .enumerate()

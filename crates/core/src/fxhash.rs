@@ -1,0 +1,133 @@
+//! A dependency-free fast hasher for the CDAG hot paths.
+//!
+//! The CDAG engine stores chain sets as hash sets of dense `u32` node
+//! indices and `(u32, u32)` edges; `std`'s default SipHash is built for
+//! HashDoS resistance the engine does not need (keys are small integers
+//! derived from schema types, never attacker-controlled strings), and its
+//! per-lookup cost dominated the `cdag_micro` profiles. This is the familiar
+//! Fx/rustc multiply-rotate hash specialized for that workload: a couple of
+//! arithmetic instructions per word, deterministic across runs (so CDAG
+//! iteration-independent results stay reproducible), and `BuildHasherDefault`
+//! so the map types keep their `Default`/`Clone`/`PartialEq` derives.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style Fx hasher: one multiply and one rotate per ingested word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit golden-ratio multiplier (same constant rustc's FxHasher uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (only used for non-integer keys): fold 8-byte words.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// The `BuildHasher` the CDAG collections use.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let build = FxBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..10_000 {
+            let mut h = std::hash::BuildHasher::build_hasher(&build);
+            h.write_u32(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn sets_and_maps_behave_like_std() {
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for i in 0..100u32 {
+            set.insert((i, i + 1));
+        }
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&(7, 8)));
+        let mut map: FxHashMap<u32, bool> = FxHashMap::default();
+        map.insert(3, true);
+        assert_eq!(map.get(&3), Some(&true));
+        // Equality is contents-based, independent of insertion order.
+        let mut other: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for i in (0..100u32).rev() {
+            other.insert((i, i + 1));
+        }
+        assert_eq!(set, other);
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let build = FxBuildHasher::default();
+        let h = |bytes: &[u8]| {
+            let mut h = std::hash::BuildHasher::build_hasher(&build);
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(h(b"abcdefgh-tail"), h(b"abcdefgh-tail"));
+        assert_ne!(h(b"abcdefgh-tail"), h(b"abcdefgh-tali"));
+    }
+}

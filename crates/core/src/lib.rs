@@ -21,8 +21,12 @@
 //!   space is small enough), and [`engine::cdag`] represents chain sets as
 //!   chain-DAGs whose width is bounded by the schema size, giving the
 //!   polynomial-space/time behaviour the paper reports. The
-//!   [`IndependenceAnalyzer`] runs the explicit engine under a configurable
-//!   budget and falls back to the CDAG engine when the budget is exceeded.
+//!   [`IndependenceAnalyzer`]'s default `Auto` policy runs the CDAG engine
+//!   first (it proves most independent pairs outright in polynomial time)
+//!   and confirms the remaining pairs with the explicit engine under a
+//!   configurable budget — which also recovers the conflict witness — so the
+//!   explicit engine stays the reference oracle while the CDAG carries the
+//!   bulk of the matrix.
 //!
 //! ## Entry point
 //!
@@ -46,6 +50,7 @@ pub mod commutativity;
 pub mod conflict;
 pub mod engine;
 pub mod explain;
+pub mod fxhash;
 pub mod kbound;
 pub mod parallel;
 pub mod projector;
@@ -56,8 +61,8 @@ pub use analyzer::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict};
 pub use commutativity::{read_projection, CommutVerdict, CommutativityAnalyzer};
 pub use conflict::{chains_conflict, item_conflicts};
 pub use explain::{
-    explain_verdict, matrix_report, matrix_report_jobs, matrix_reports, ExplainOptions,
-    MatrixReport,
+    explain_verdict, matrix_report, matrix_report_config, matrix_report_jobs, matrix_reports,
+    matrix_reports_config, ExplainOptions, MatrixReport,
 };
 pub use kbound::{k_for_pair, k_of_query, k_of_update};
 pub use parallel::{analyze_matrix, BatchAnalyzer, Jobs, MatrixVerdicts};

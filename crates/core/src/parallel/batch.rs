@@ -11,18 +11,32 @@
 //! (times the small number of distinct `k` values), after which every cell is
 //! a cheap conflict check over two precomputed chain sets.
 //!
-//! The precomputed sets are immutable and shared behind [`Arc`] across all
-//! cells; both the precompute pass and the cell pass are sharded over the
-//! [`pool`](super::pool) work-stealing thread pool. With `jobs = 1` nothing
-//! is spawned and the evaluation order matches a sequential double loop, so
-//! verdicts — including witnesses — are bit-identical whatever the worker
-//! count: per-cell work never mutates shared state, and each cell's verdict
-//! is a pure function of the precomputed sets.
+//! On top of the per-`(expr, k)` sharing, the CDAG prepass walks each
+//! expression's distinct `k` values in ascending order through a
+//! [`QueryKLadder`]/[`UpdateKLadder`]: whenever the inference at the smallest
+//! bound never hit its depth cap (every non-recursive expression), all later
+//! bounds are served from the same DAG, collapsing the per-`(expr, k)` work
+//! to per-`expr` work across *overlapping* bounds, not just identical ones.
+//!
+//! The engine order mirrors [`IndependenceAnalyzer::check`] cell for cell.
+//! Under the default CDAG-first auto policy the CDAG pass runs every cell
+//! and proves most independent ones outright; only the remaining cells'
+//! expressions enter the explicit prepass, and explicit budget overflow
+//! leaves the conservative CDAG verdict in place. The precomputed sets are
+//! immutable and shared behind [`Arc`] across all cells; every pass is
+//! sharded over the [`pool`](super::pool) work-stealing thread pool. With
+//! `jobs = 1` nothing is spawned and the evaluation order matches a
+//! sequential double loop, so verdicts — including witnesses — are
+//! bit-identical whatever the worker count: per-cell work never mutates
+//! shared state, and each cell's verdict is a pure function of the
+//! precomputed sets.
 
 use super::pool::{run_indexed, Jobs};
-use crate::analyzer::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict};
+use crate::analyzer::{
+    conservative_explicit_verdict, AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict,
+};
 use crate::conflict::find_conflict;
-use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains};
+use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains, QueryKLadder, UpdateKLadder};
 use crate::engine::explicit::ExplicitEngine;
 use crate::kbound::{k_of_query, k_of_update};
 use crate::types::{QueryChains, UpdateChains};
@@ -155,109 +169,83 @@ pub fn analyze_matrix<S: SchemaLike + Sync>(
     let kq: Vec<usize> = views.iter().map(k_of_query).collect();
     let ku: Vec<usize> = updates.iter().map(k_of_update).collect();
     let pair_k = |vi: usize, ui: usize| config.k_override.unwrap_or(kq[vi] + ku[ui]);
-
-    // ------------------------------------------------ explicit prepass
-    // Each view (update) needs its chains at every distinct k it can be
-    // paired with; with n distinct k_u values that is n inferences per view
-    // instead of |U|.
-    let mut query_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
-    let mut update_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for vi in 0..views.len() {
-        for ui in 0..updates.len() {
-            let k = pair_k(vi, ui);
-            query_tasks.insert((vi, k));
-            update_tasks.insert((ui, k));
-        }
-    }
-
-    let mut explicit_queries: ExplicitQueryCache = HashMap::new();
-    let mut explicit_updates: ExplicitUpdateCache = HashMap::new();
-    if config.engine != EngineKind::Cdag {
-        let qt: Vec<(usize, usize)> = query_tasks.iter().copied().collect();
-        let ut: Vec<(usize, usize)> = update_tasks.iter().copied().collect();
-        let n_qt = qt.len();
-        let results = run_indexed(jobs, n_qt + ut.len(), |i| {
-            if i < n_qt {
-                let (vi, k) = qt[i];
-                PrepassOut::Query(vi, k, infer_query_explicit(schema, config, &views[vi], k))
-            } else {
-                let (ui, k) = ut[i - n_qt];
-                PrepassOut::Update(
-                    ui,
-                    k,
-                    infer_update_explicit(schema, config, &updates[ui], k),
-                )
-            }
-        });
-        for r in results {
-            match r {
-                PrepassOut::Query(vi, k, qc) => {
-                    explicit_queries.insert((vi, k), qc.map(Arc::new));
-                }
-                PrepassOut::Update(ui, k, uc) => {
-                    explicit_updates.insert((ui, k), uc.map(Arc::new));
-                }
-            }
-        }
-    }
+    let n_cells = views.len() * updates.len();
+    let cell_pos = |cell: usize| (cell % n_views, cell / n_views); // (vi, ui)
 
     // ------------------------------------------------ CDAG prepass
-    // Needed for every cell when the CDAG engine is forced, and — under the
-    // auto policy — for the cells where either side of the explicit
-    // inference overflowed its budget (the analyzer then falls back to the
-    // CDAG engine for both sides of the pair).
-    let mut cdag_query_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
-    let mut cdag_update_tasks: BTreeSet<(usize, usize)> = BTreeSet::new();
-    if config.engine != EngineKind::Explicit {
-        for vi in 0..views.len() {
-            for ui in 0..updates.len() {
-                let k = pair_k(vi, ui);
-                let explicit_ok = config.engine != EngineKind::Cdag
-                    && explicit_queries.get(&(vi, k)).is_some_and(Option::is_some)
-                    && explicit_updates.get(&(ui, k)).is_some_and(Option::is_some);
-                if !explicit_ok {
-                    cdag_query_tasks.insert((vi, k));
-                    cdag_update_tasks.insert((ui, k));
-                }
+    // Under the CDAG-first auto policy (and the forced CDAG engine) every
+    // cell starts with a CDAG check, so the prepass covers all (expr, k)
+    // pairs — each expression walking its bounds through a k-ladder.
+    let cdag_all = config.engine == EngineKind::Cdag
+        || (config.engine == EngineKind::Auto && config.cdag_first);
+    let (mut cdag_queries, mut cdag_updates) = if cdag_all {
+        let (qt, ut) = matrix_prepass_tasks(views, updates, config.k_override);
+        cdag_prepass(schema, config, views, updates, &qt, &ut, jobs)
+    } else {
+        (CdagQueryCache::new(), CdagUpdateCache::new())
+    };
+
+    // ------------------------------------------------ CDAG cell pass
+    // Precompute each cell's CDAG independence so the explicit prepass knows
+    // which expressions still need the reference engine.
+    let cdag_independent: Vec<Option<bool>> = if cdag_all {
+        run_indexed(jobs, n_cells, |cell| {
+            let (vi, ui) = cell_pos(cell);
+            let k = pair_k(vi, ui);
+            let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
+            Some(eng.independent(&cdag_queries[&(vi, k)], &cdag_updates[&(ui, k)]))
+        })
+    } else {
+        vec![None; n_cells]
+    };
+
+    // ------------------------------------------------ explicit prepass
+    // Forced-explicit and legacy-auto need every expression; CDAG-first auto
+    // only the expressions of cells the CDAG could not prove independent.
+    let (explicit_queries, explicit_updates) = if config.engine != EngineKind::Cdag {
+        let mut qt: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut ut: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (cell, proved) in cdag_independent.iter().enumerate() {
+            let (vi, ui) = cell_pos(cell);
+            if config.engine == EngineKind::Auto && config.cdag_first && *proved == Some(true) {
+                continue;
+            }
+            let k = pair_k(vi, ui);
+            qt.insert((vi, k));
+            ut.insert((ui, k));
+        }
+        explicit_prepass(schema, config, views, updates, &qt, &ut, jobs)
+    } else {
+        (ExplicitQueryCache::new(), ExplicitUpdateCache::new())
+    };
+
+    // ------------------------------------------------ legacy CDAG prepass
+    // Under the legacy (explicit-first) auto order the CDAG engine only runs
+    // for the cells where either side of the explicit inference overflowed
+    // its budget — mirrored cell for cell from the analyzer's fallback.
+    if config.engine == EngineKind::Auto && !config.cdag_first {
+        let mut qt: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut ut: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for cell in 0..n_cells {
+            let (vi, ui) = cell_pos(cell);
+            let k = pair_k(vi, ui);
+            let explicit_ok = explicit_queries.get(&(vi, k)).is_some_and(Option::is_some)
+                && explicit_updates.get(&(ui, k)).is_some_and(Option::is_some);
+            if !explicit_ok {
+                qt.insert((vi, k));
+                ut.insert((ui, k));
             }
         }
-    }
-
-    let mut cdag_queries: CdagQueryCache = HashMap::new();
-    let mut cdag_updates: CdagUpdateCache = HashMap::new();
-    if !cdag_query_tasks.is_empty() || !cdag_update_tasks.is_empty() {
-        let qt: Vec<(usize, usize)> = cdag_query_tasks.iter().copied().collect();
-        let ut: Vec<(usize, usize)> = cdag_update_tasks.iter().copied().collect();
-        let n_qt = qt.len();
-        let results = run_indexed(jobs, n_qt + ut.len(), |i| {
-            if i < n_qt {
-                let (vi, k) = qt[i];
-                let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
-                let qc = eng.infer_query(&eng.root_gamma(views[vi].free_vars()), &views[vi]);
-                CdagOut::Query(vi, k, qc)
-            } else {
-                let (ui, k) = ut[i - n_qt];
-                let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
-                let uc = eng.infer_update(&eng.root_gamma(updates[ui].free_vars()), &updates[ui]);
-                CdagOut::Update(ui, k, uc)
-            }
-        });
-        for r in results {
-            match r {
-                CdagOut::Query(vi, k, qc) => {
-                    cdag_queries.insert((vi, k), Arc::new(qc));
-                }
-                CdagOut::Update(ui, k, uc) => {
-                    cdag_updates.insert((ui, k), Arc::new(uc));
-                }
-            }
+        if !qt.is_empty() || !ut.is_empty() {
+            let (cq, cu) = cdag_prepass(schema, config, views, updates, &qt, &ut, jobs);
+            cdag_queries.extend(cq);
+            cdag_updates.extend(cu);
         }
     }
 
     // ------------------------------------------------ cell pass
-    let cells = run_indexed(jobs, views.len() * updates.len(), |cell| {
-        let ui = cell / n_views;
-        let vi = cell % n_views;
+    let cells = run_indexed(jobs, n_cells, |cell| {
+        let (vi, ui) = cell_pos(cell);
         cell_verdict(
             schema,
             config,
@@ -266,6 +254,7 @@ pub fn analyze_matrix<S: SchemaLike + Sync>(
             (kq[vi], ku[ui]),
             (&explicit_queries, &explicit_updates),
             (&cdag_queries, &cdag_updates),
+            cdag_independent[cell],
         )
     });
     let mut it = cells.into_iter();
@@ -275,14 +264,147 @@ pub fn analyze_matrix<S: SchemaLike + Sync>(
     MatrixVerdicts { n_views, rows }
 }
 
+/// One side's sorted `(expression index, k)` inference tasks.
+pub type PrepassTasks = BTreeSet<(usize, usize)>;
+
+/// The distinct `(expression index, k)` inference tasks of a full matrix
+/// prepass (query side, update side). This is exactly the task set the CDAG
+/// prepass covers under the CDAG-first auto policy; it is public so the
+/// `cdag` perf harness measures the very same workload the production
+/// prepass runs.
+pub fn matrix_prepass_tasks(
+    views: &[Query],
+    updates: &[Update],
+    k_override: Option<usize>,
+) -> (PrepassTasks, PrepassTasks) {
+    let kq: Vec<usize> = views.iter().map(k_of_query).collect();
+    let ku: Vec<usize> = updates.iter().map(k_of_update).collect();
+    let mut qt = BTreeSet::new();
+    let mut ut = BTreeSet::new();
+    for (vi, &kqv) in kq.iter().enumerate() {
+        for (ui, &kuv) in ku.iter().enumerate() {
+            let k = k_override.unwrap_or(kqv + kuv);
+            qt.insert((vi, k));
+            ut.insert((ui, k));
+        }
+    }
+    (qt, ut)
+}
+
+/// Groups sorted `(expression, k)` tasks into per-expression ascending bound
+/// lists — the shape the k-ladders' `walk_bounds` consumes. Public for the
+/// same reason as [`matrix_prepass_tasks`].
+pub fn group_prepass_tasks(tasks: &PrepassTasks) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &(i, k) in tasks {
+        match groups.last_mut() {
+            Some((gi, ks)) if *gi == i => ks.push(k),
+            _ => groups.push((i, vec![k])),
+        }
+    }
+    groups
+}
+
 enum PrepassOut {
     Query(usize, usize, Option<QueryChains>),
     Update(usize, usize, Option<UpdateChains>),
 }
 
 enum CdagOut {
-    Query(usize, usize, DagQueryChains),
-    Update(usize, usize, ChainDag),
+    Query(usize, Vec<(usize, Arc<DagQueryChains>)>),
+    Update(usize, Vec<(usize, Arc<ChainDag>)>),
+}
+
+/// Runs the explicit engine for every requested `(expression, k)` pair in
+/// parallel; `None` marks a budget overflow.
+fn explicit_prepass<S: SchemaLike + Sync>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    views: &[Query],
+    updates: &[Update],
+    query_tasks: &PrepassTasks,
+    update_tasks: &PrepassTasks,
+    jobs: Jobs,
+) -> (ExplicitQueryCache, ExplicitUpdateCache) {
+    let mut queries = ExplicitQueryCache::new();
+    let mut updates_out = ExplicitUpdateCache::new();
+    let qt: Vec<(usize, usize)> = query_tasks.iter().copied().collect();
+    let ut: Vec<(usize, usize)> = update_tasks.iter().copied().collect();
+    let n_qt = qt.len();
+    let results = run_indexed(jobs, n_qt + ut.len(), |i| {
+        if i < n_qt {
+            let (vi, k) = qt[i];
+            PrepassOut::Query(vi, k, infer_query_explicit(schema, config, &views[vi], k))
+        } else {
+            let (ui, k) = ut[i - n_qt];
+            PrepassOut::Update(
+                ui,
+                k,
+                infer_update_explicit(schema, config, &updates[ui], k),
+            )
+        }
+    });
+    for r in results {
+        match r {
+            PrepassOut::Query(vi, k, qc) => {
+                queries.insert((vi, k), qc.map(Arc::new));
+            }
+            PrepassOut::Update(ui, k, uc) => {
+                updates_out.insert((ui, k), uc.map(Arc::new));
+            }
+        }
+    }
+    (queries, updates_out)
+}
+
+/// Runs the CDAG engine for every requested `(expression, k)` pair, one
+/// k-ladder per expression: tasks are grouped by expression, the distinct
+/// bounds walked in ascending order, and a bound served from the ladder
+/// cache shares the *same* `Arc` as the bound it was derived from.
+fn cdag_prepass<S: SchemaLike + Sync>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    views: &[Query],
+    updates: &[Update],
+    query_tasks: &PrepassTasks,
+    update_tasks: &PrepassTasks,
+    jobs: Jobs,
+) -> (CdagQueryCache, CdagUpdateCache) {
+    // BTreeSet iteration is sorted by (expression, k), so consecutive runs
+    // group into ascending-k ladders.
+    let q_groups = group_prepass_tasks(query_tasks);
+    let u_groups = group_prepass_tasks(update_tasks);
+    let n_q = q_groups.len();
+    let results = run_indexed(jobs, n_q + u_groups.len(), |i| {
+        if i < n_q {
+            let (vi, ks) = &q_groups[i];
+            let (out, _) =
+                QueryKLadder::walk_bounds(schema, &views[*vi], ks, config.element_chains);
+            CdagOut::Query(*vi, out)
+        } else {
+            let (ui, ks) = &u_groups[i - n_q];
+            let (out, _) =
+                UpdateKLadder::walk_bounds(schema, &updates[*ui], ks, config.element_chains);
+            CdagOut::Update(*ui, out)
+        }
+    });
+    let mut queries = CdagQueryCache::new();
+    let mut updates_out = CdagUpdateCache::new();
+    for r in results {
+        match r {
+            CdagOut::Query(vi, ks) => {
+                for (k, qc) in ks {
+                    queries.insert((vi, k), qc);
+                }
+            }
+            CdagOut::Update(ui, ks) => {
+                for (k, uc) in ks {
+                    updates_out.insert((ui, k), uc);
+                }
+            }
+        }
+    }
+    (queries, updates_out)
 }
 
 /// Explicit query inference for one (expression, k); `None` on budget
@@ -314,7 +436,9 @@ fn infer_update_explicit<S: SchemaLike>(
 }
 
 /// Produces one cell's verdict from the precomputed chain sets, mirroring
-/// [`IndependenceAnalyzer::check`] case for case.
+/// [`IndependenceAnalyzer::check`] case for case (including the engine
+/// order selected by [`AnalyzerConfig::cdag_first`]).
+#[allow(clippy::too_many_arguments)]
 fn cell_verdict<S: SchemaLike>(
     schema: &S,
     config: &AnalyzerConfig,
@@ -323,50 +447,53 @@ fn cell_verdict<S: SchemaLike>(
     (k_query, k_update): (usize, usize),
     (explicit_queries, explicit_updates): (&ExplicitQueryCache, &ExplicitUpdateCache),
     (cdag_queries, cdag_updates): (&CdagQueryCache, &CdagUpdateCache),
+    cdag_independent: Option<bool>,
 ) -> Verdict {
-    if config.engine != EngineKind::Cdag {
-        let qc = explicit_queries.get(&(vi, k)).and_then(Option::as_ref);
-        let uc = explicit_updates.get(&(ui, k)).and_then(Option::as_ref);
-        if let (Some(qc), Some(uc)) = (qc, uc) {
-            let witness = find_conflict(qc, uc);
-            return Verdict {
-                independent: witness.is_none(),
-                k,
-                k_query,
-                k_update,
-                engine_used: EngineKind::Explicit,
-                query_chain_count: qc.total_len(),
-                update_chain_count: uc.len(),
-                witness,
-            };
+    let explicit = || -> Option<Verdict> {
+        let qc = explicit_queries.get(&(vi, k)).and_then(Option::as_ref)?;
+        let uc = explicit_updates.get(&(ui, k)).and_then(Option::as_ref)?;
+        let witness = find_conflict(qc, uc);
+        Some(Verdict {
+            independent: witness.is_none(),
+            k,
+            k_query,
+            k_update,
+            engine_used: EngineKind::Explicit,
+            query_chain_count: qc.total_len(),
+            update_chain_count: uc.len(),
+            witness,
+        })
+    };
+    let cdag = |independent: Option<bool>| -> Verdict {
+        let qc = &cdag_queries[&(vi, k)];
+        let uc = &cdag_updates[&(ui, k)];
+        let independent = independent.unwrap_or_else(|| {
+            let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
+            eng.independent(qc, uc)
+        });
+        Verdict {
+            independent,
+            k,
+            k_query,
+            k_update,
+            engine_used: EngineKind::Cdag,
+            witness: None,
+            query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
+            update_chain_count: uc.edge_count(),
         }
-        if config.engine == EngineKind::Explicit {
-            // The caller insisted on the explicit engine; report the
-            // conservative answer (dependence) rather than guessing.
-            return Verdict {
-                independent: false,
-                k,
-                k_query,
-                k_update,
-                engine_used: EngineKind::Explicit,
-                witness: None,
-                query_chain_count: 0,
-                update_chain_count: 0,
-            };
+    };
+    match config.engine {
+        EngineKind::Explicit => {
+            explicit().unwrap_or_else(|| conservative_explicit_verdict((k, k_query, k_update)))
         }
-    }
-    let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
-    let qc = &cdag_queries[&(vi, k)];
-    let uc = &cdag_updates[&(ui, k)];
-    Verdict {
-        independent: eng.independent(qc, uc),
-        k,
-        k_query,
-        k_update,
-        engine_used: EngineKind::Cdag,
-        witness: None,
-        query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
-        update_chain_count: uc.edge_count(),
+        EngineKind::Cdag => cdag(cdag_independent),
+        EngineKind::Auto if config.cdag_first => {
+            if cdag_independent == Some(true) {
+                return cdag(Some(true));
+            }
+            explicit().unwrap_or_else(|| cdag(cdag_independent))
+        }
+        EngineKind::Auto => explicit().unwrap_or_else(|| cdag(None)),
     }
 }
 
@@ -433,13 +560,16 @@ mod tests {
         let d = figure1();
         let (views, updates) = small_matrix();
         for engine in [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag] {
-            let config = AnalyzerConfig {
-                engine,
-                ..Default::default()
-            };
-            for jobs in [1, 2, 8] {
-                let m = analyze_matrix(&d, &views, &updates, &config, Jobs::Fixed(jobs));
-                assert_matches_sequential(&d, &views, &updates, &config, &m);
+            for cdag_first in [true, false] {
+                let config = AnalyzerConfig {
+                    engine,
+                    cdag_first,
+                    ..Default::default()
+                };
+                for jobs in [1, 2, 8] {
+                    let m = analyze_matrix(&d, &views, &updates, &config, Jobs::Fixed(jobs));
+                    assert_matches_sequential(&d, &views, &updates, &config, &m);
+                }
             }
         }
     }

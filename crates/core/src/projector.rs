@@ -14,21 +14,27 @@
 //!   *subtrees* must be kept (returned elements embody their descendants);
 //! * [`ChainProjector::project_for_query`] applies a spec to a document,
 //!   producing a smaller document on which the query evaluates to the same
-//!   result (asserted by the integration property tests).
+//!   result (asserted by the integration property tests);
+//! * [`ChainProjector::streaming_projection_for_query`] never falls back to
+//!   keep-everything: when materializing the chains overflows the budget
+//!   (descendant-axis views over recursive schema cliques), the query's
+//!   chain-DAGs are compiled into a [`PathAutomaton`] that makes the same
+//!   keep / descend / drop decisions implicitly.
 //!
 //! Projection is computed against a DTD, where a node's chain is simply its
 //! root-to-node label path; labels that do not belong to the schema are kept
 //! conservatively, so projecting a document that is not actually valid can
 //! only keep too much, never too little.
 
+use crate::engine::cdag::{CdagEngine, ChainDag, NodeIdx};
 use crate::engine::explicit::ExplicitEngine;
 use crate::kbound::k_of_query;
 use crate::types::QueryChains;
 use crate::universe::Universe;
 use qui_schema::{Chain, SchemaLike, Sym, TEXT_NAME, TEXT_SYM};
-use qui_xmlstore::{project, upward_closure, NodeId, PathSpec, Tree};
+use qui_xmlstore::{project, upward_closure, NodeId, PathAutomaton, PathSpec, Projection, Tree};
 use qui_xquery::Query;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The materialized shape of a query projection.
 #[derive(Clone, Debug, Default)]
@@ -151,6 +157,153 @@ impl<'a, S: SchemaLike> ChainProjector<'a, S> {
     /// sets could not be materialized within the budget.
     pub fn path_spec_for_query(&self, q: &Query) -> Option<PathSpec> {
         Some(self.path_spec(&self.spec_for_query(q)?))
+    }
+
+    /// Infers a streaming projection for a query, **never** falling back to
+    /// keep-everything: the explicit chain spec is used when it fits the
+    /// materialization budget, and otherwise the query's chain-DAGs are
+    /// compiled into a [`PathAutomaton`] — covering exactly the
+    /// descendant-axis views over recursive schema cliques where the
+    /// enumerated spec overflows.
+    pub fn streaming_projection_for_query(&self, q: &Query) -> Projection {
+        match self.path_spec_for_query(q) {
+            Some(spec) => Projection::Paths(spec),
+            None => Projection::Automaton(self.path_automaton_for_query(q)),
+        }
+    }
+
+    /// Compiles the query's CDAG chain sets into a [`PathAutomaton`]
+    /// (implicit keep decisions; polynomial in the schema whatever the chain
+    /// count).
+    pub fn path_automaton_for_query(&self, q: &Query) -> PathAutomaton {
+        let k = k_of_query(q).max(1) + 1;
+        let eng = CdagEngine::new(self.schema, k);
+        let chains = eng.infer_query(&eng.root_gamma(q.free_vars()), q);
+        self.compile_automaton(&eng, &chains.returns, &chains.used)
+    }
+
+    /// Compiles a pair of CDAG chain sets (return chains keep their whole
+    /// subtrees, used chains keep their paths, extensible used chains their
+    /// subtrees — the same classes as [`Self::spec_for_query`]) into a
+    /// [`PathAutomaton`]. States are the CDAG nodes of either DAG;
+    /// transitions carry the child node's label. Nodes on the `k·|d|` grid
+    /// horizon are flagged subtree-keep so document paths deeper than the
+    /// grid stay conservatively kept — the compiled automaton thus
+    /// over-approximates chain inference over the *unrestricted* universe,
+    /// which is what Theorem 3.2's projection soundness needs.
+    pub fn compile_automaton(
+        &self,
+        eng: &CdagEngine<'_, S>,
+        returns: &ChainDag,
+        used: &ChainDag,
+    ) -> PathAutomaton {
+        let mut index: HashMap<NodeIdx, u32> = HashMap::new();
+        let mut order: Vec<NodeIdx> = Vec::new();
+        let mut intern = |n: NodeIdx, order: &mut Vec<NodeIdx>| -> u32 {
+            *index.entry(n).or_insert_with(|| {
+                order.push(n);
+                (order.len() - 1) as u32
+            })
+        };
+        let root = eng.root_node();
+        intern(root, &mut order);
+        for dag in [returns, used] {
+            for &(f, t) in &dag.edges {
+                intern(f, &mut order);
+                intern(t, &mut order);
+            }
+            for &e in dag.ends.keys() {
+                intern(e, &mut order);
+            }
+        }
+        let n = order.len();
+        let mut transitions: Vec<Vec<(String, u32)>> = vec![Vec::new(); n];
+        let mut reaches_end = vec![false; n];
+        let mut subtree = vec![false; n];
+        let label_of = |s: Sym| -> String {
+            if s == TEXT_SYM {
+                TEXT_NAME.to_string()
+            } else {
+                self.schema.type_label(s).to_string()
+            }
+        };
+        // Return ends embody whole subtrees; used ends keep their paths,
+        // extensible ones their subtrees (mirroring `spec_for_query`).
+        for (dag, subtree_at_end) in [(returns, true), (used, false)] {
+            for (&end, &ext) in &dag.ends {
+                let si = index[&end] as usize;
+                reaches_end[si] = true;
+                if subtree_at_end || ext {
+                    subtree[si] = true;
+                }
+            }
+            for &(f, t) in &dag.edges {
+                let fi = index[&f] as usize;
+                match eng.sym_of(t) {
+                    Some(s) => {
+                        let entry = (label_of(s), index[&t]);
+                        if !transitions[fi].contains(&entry) {
+                            transitions[fi].push(entry);
+                        }
+                    }
+                    None => {
+                        // Chains running through the unknown-label sentinel
+                        // cannot be matched against document labels; keep
+                        // everything below the last known node.
+                        subtree[fi] = true;
+                        reaches_end[fi] = true;
+                    }
+                }
+            }
+        }
+        // Grid-horizon nodes: anything deeper than the grid is invisible to
+        // the engine, so it must be kept conservatively.
+        for (si, &node) in order.iter().enumerate() {
+            if eng.depth_of(node) + 1 >= eng.grid_depth() {
+                subtree[si] = true;
+                reaches_end[si] = true;
+            }
+        }
+        // Propagate `reaches_end` backward so every ancestor of a kept
+        // region decides to descend.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (fi, outs) in transitions.iter().enumerate() {
+            for &(_, t) in outs {
+                preds[t as usize].push(fi as u32);
+            }
+        }
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&s| reaches_end[s as usize] || subtree[s as usize])
+            .collect();
+        for &s in &stack {
+            reaches_end[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &preds[s as usize] {
+                if !reaches_end[p as usize] {
+                    reaches_end[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let mut known: HashSet<String> = self
+            .schema
+            .element_types()
+            .into_iter()
+            .map(|t| self.schema.type_label(t).to_string())
+            .collect();
+        known.insert(TEXT_NAME.to_string());
+        let starts = match eng.sym_of(root) {
+            Some(s) => vec![(label_of(s), index[&root])],
+            None => Vec::new(),
+        };
+        PathAutomaton {
+            starts,
+            transitions,
+            reaches_end,
+            subtree,
+            known_labels: known,
+        }
     }
 
     /// Applies a projection spec to a document.
@@ -356,6 +509,77 @@ mod tests {
         .unwrap();
         assert!(outcome.stats.nodes_pruned > 0);
         assert!(outcome.tree.size() < doc.size());
+    }
+
+    #[test]
+    fn automaton_projection_covers_recursive_cliques() {
+        // The 3-clique blows any explicit budget for descendant views; the
+        // compiled automaton must still project soundly and non-trivially.
+        let dtd = Dtd::parse_compact(
+            "a -> (b|c|d)* ; b -> (b|c)* ; c -> (b|c)* ; d -> EMPTY",
+            "a",
+        )
+        .unwrap();
+        let projector = ChainProjector::new(&dtd).with_budget(50);
+        let doc =
+            parse_xml("<a><b><c><b><c/></b></c><b/></b><c><b><b><c/></b></b></c><d/><d/><d/></a>")
+                .unwrap();
+        for src in ["//b//c", "//c//b", "//b"] {
+            let q = parse_query(src).unwrap();
+            assert!(
+                projector.spec_for_query(&q).is_none(),
+                "{src}: the explicit spec must overflow for this test to bite"
+            );
+            let projection = projector.streaming_projection_for_query(&q);
+            assert!(
+                matches!(projection, qui_xmlstore::Projection::Automaton(_)),
+                "{src}: overflow must fall back to the automaton"
+            );
+            let projected = qui_xmlstore::project_spec(&doc, &projection);
+            assert_eq!(
+                snapshot_query(&doc, &q).unwrap(),
+                snapshot_query(&projected, &q).unwrap(),
+                "{src}: projection must preserve the query result"
+            );
+            // Non-trivial: the d leaves are never on a //b-or-//c path.
+            assert!(
+                projected.size() < doc.size(),
+                "{src}: keep-everything defeats the purpose"
+            );
+        }
+    }
+
+    #[test]
+    fn automaton_projection_agrees_with_streamed_parse() {
+        let dtd = Dtd::parse_compact("a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*", "a").unwrap();
+        let projector = ChainProjector::new(&dtd).with_budget(50);
+        let q = parse_query("//b//c").unwrap();
+        let projection = projector.streaming_projection_for_query(&q);
+        let doc = parse_xml("<a><b><c><b/></c></b><c><c><c/></c></c></a>").unwrap();
+        let xml = doc.to_xml();
+        let outcome = qui_xmlstore::parse_xml_stream(
+            std::io::Cursor::new(xml.as_bytes().to_vec()),
+            &qui_xmlstore::StreamConfig::with_projection_spec(projection.clone()),
+        )
+        .unwrap();
+        assert!(outcome
+            .tree
+            .value_equiv(&qui_xmlstore::project_spec(&doc, &projection)));
+        assert_eq!(
+            snapshot_query(&doc, &q).unwrap(),
+            snapshot_query(&outcome.tree, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_projection_prefers_the_explicit_spec() {
+        let dtd = bib();
+        let projector = ChainProjector::new(&dtd);
+        let q = parse_query("//title").unwrap();
+        assert!(matches!(
+            projector.streaming_projection_for_query(&q),
+            qui_xmlstore::Projection::Paths(_)
+        ));
     }
 
     #[test]

@@ -125,6 +125,218 @@ impl PathSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Path automata — implicit label-path projections
+// ---------------------------------------------------------------------------
+
+/// A projection whose kept label paths are described *implicitly* by a small
+/// automaton instead of an enumerated [`PathSpec`].
+///
+/// On recursive schemas the set of kept root-to-node paths can be huge or
+/// infinite (a descendant-axis view over a recursive clique keeps `a.b.a.b…`
+/// to any depth), so enumerating chains is hopeless — but the *decision*
+/// "may this path lead to a needed node?" only needs the automaton:
+/// `qui-core` compiles its chain-DAGs (one state per reachable (type, depth)
+/// pair, transitions labeled with the child's label) into this type. The
+/// keep semantics mirror [`PathSpec`] exactly:
+///
+/// * a path is *on-path* when the automaton can still reach an end state
+///   after consuming it (the node may lead to needed nodes — descend),
+/// * a path is *in-subtree* once any consumed prefix lands on a state
+///   flagged subtree-keep (returned elements embody their descendants),
+/// * labels outside `known_labels` are kept conservatively, as in
+///   [`PathSpec`].
+///
+/// Both properties are monotone along root-to-leaf paths, so the streaming
+/// parser can make the same keep / descend / drop decision at a start tag as
+/// it does for an explicit spec.
+#[derive(Clone, Debug, Default)]
+pub struct PathAutomaton {
+    /// Start states with their labels: the document element's label must
+    /// match one of them (pairs of label and state).
+    pub starts: Vec<(String, u32)>,
+    /// Per-state outgoing transitions: (child label, target state).
+    pub transitions: Vec<Vec<(String, u32)>>,
+    /// Per-state: an end state is reachable from here (including itself) —
+    /// the *on-path* flag.
+    pub reaches_end: Vec<bool>,
+    /// Per-state: chains ending here keep their whole subtree.
+    pub subtree: Vec<bool>,
+    /// The labels the schema knows; anything else is kept conservatively.
+    /// [`TEXT_LABEL`] is always treated as known.
+    pub known_labels: HashSet<String>,
+}
+
+impl PathAutomaton {
+    /// Runs the automaton over `path`, returning `(on_path, in_subtree)` in
+    /// a single simulation — the streaming hot path uses this so each start
+    /// tag pays one pass, not one per flag.
+    pub fn classify_path(&self, path: &[String]) -> (bool, bool) {
+        self.classify(path, None)
+    }
+
+    /// Runs the automaton over `path` (plus an optional extra trailing
+    /// label), returning `(on_path, in_subtree)` for the extended path.
+    fn classify(&self, path: &[String], extra: Option<&str>) -> (bool, bool) {
+        let mut states: Vec<u32> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        let mut in_subtree = false;
+        let labels = path.iter().map(String::as_str).chain(extra).enumerate();
+        for (i, label) in labels {
+            next.clear();
+            if i == 0 {
+                for (l, st) in &self.starts {
+                    if l == label && !next.contains(st) {
+                        next.push(*st);
+                    }
+                }
+            } else {
+                for &st in &states {
+                    for (l, t) in &self.transitions[st as usize] {
+                        if l == label && !next.contains(t) {
+                            next.push(*t);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut states, &mut next);
+            if states.is_empty() {
+                return (false, in_subtree);
+            }
+            if !in_subtree && states.iter().any(|&s| self.subtree[s as usize]) {
+                in_subtree = true;
+            }
+        }
+        (
+            in_subtree || states.iter().any(|&s| self.reaches_end[s as usize]),
+            in_subtree,
+        )
+    }
+
+    /// Returns `true` when the automaton can still reach an end after
+    /// consuming `path` — the node may lead to needed nodes.
+    pub fn on_path(&self, path: &[String]) -> bool {
+        self.classify(path, None).0
+    }
+
+    /// Returns `true` when `path` lies inside a subtree that is kept whole.
+    pub fn in_subtree(&self, path: &[String]) -> bool {
+        self.classify(path, None).1
+    }
+
+    /// Returns `true` when the label is known to the schema the automaton
+    /// was compiled from.
+    pub fn is_known(&self, label: &str) -> bool {
+        label == TEXT_LABEL || self.known_labels.contains(label)
+    }
+
+    /// Returns `true` when a text child of an element at `parent_path` is
+    /// kept.
+    pub fn keeps_text_child(&self, parent_path: &[String]) -> bool {
+        let (on_path, in_subtree) = self.classify(parent_path, Some(TEXT_LABEL));
+        on_path || in_subtree
+    }
+
+    /// Number of automaton states (size indicator for reports).
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns `true` when the automaton keeps nothing beyond the root.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+            || !self
+                .reaches_end
+                .iter()
+                .chain(self.subtree.iter())
+                .any(|&b| b)
+    }
+}
+
+/// Either way of describing a streamed projection: explicit label paths
+/// (materialized chain sets) or the compact automaton (chain-DAGs over
+/// recursive schemas, where enumeration would overflow any budget). The
+/// streaming parser and [`project_spec`] treat both uniformly.
+#[derive(Clone, Debug)]
+pub enum Projection {
+    /// Enumerated label paths.
+    Paths(PathSpec),
+    /// Automaton-described label paths.
+    Automaton(PathAutomaton),
+}
+
+impl From<PathSpec> for Projection {
+    fn from(spec: PathSpec) -> Projection {
+        Projection::Paths(spec)
+    }
+}
+
+impl From<PathAutomaton> for Projection {
+    fn from(auto: PathAutomaton) -> Projection {
+        Projection::Automaton(auto)
+    }
+}
+
+impl Projection {
+    /// See [`PathSpec::on_path`] / [`PathAutomaton::on_path`].
+    pub fn on_path(&self, path: &[String]) -> bool {
+        match self {
+            Projection::Paths(s) => s.on_path(path),
+            Projection::Automaton(a) => a.on_path(path),
+        }
+    }
+
+    /// See [`PathSpec::in_subtree`] / [`PathAutomaton::in_subtree`].
+    pub fn in_subtree(&self, path: &[String]) -> bool {
+        match self {
+            Projection::Paths(s) => s.in_subtree(path),
+            Projection::Automaton(a) => a.in_subtree(path),
+        }
+    }
+
+    /// Both keep flags — `(on_path, in_subtree)` — in one pass; for the
+    /// automaton this runs a single simulation instead of one per flag.
+    pub fn classify(&self, path: &[String]) -> (bool, bool) {
+        match self {
+            Projection::Paths(s) => (s.on_path(path), s.in_subtree(path)),
+            Projection::Automaton(a) => a.classify_path(path),
+        }
+    }
+
+    /// See [`PathSpec::is_known`] / [`PathAutomaton::is_known`].
+    pub fn is_known(&self, label: &str) -> bool {
+        match self {
+            Projection::Paths(s) => s.is_known(label),
+            Projection::Automaton(a) => a.is_known(label),
+        }
+    }
+
+    /// See [`PathSpec::keeps_text_child`] /
+    /// [`PathAutomaton::keeps_text_child`].
+    pub fn keeps_text_child(&self, parent_path: &[String]) -> bool {
+        match self {
+            Projection::Paths(s) => s.keeps_text_child(parent_path),
+            Projection::Automaton(a) => a.keeps_text_child(parent_path),
+        }
+    }
+
+    /// Size indicator for reports (chains or automaton states).
+    pub fn len(&self) -> usize {
+        match self {
+            Projection::Paths(s) => s.len(),
+            Projection::Automaton(a) => a.len(),
+        }
+    }
+
+    /// Returns `true` when the projection keeps nothing beyond the root.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Projection::Paths(s) => s.is_empty(),
+            Projection::Automaton(a) => a.is_empty(),
+        }
+    }
+}
+
 /// The keep decision for one element and, implicitly, its subtree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Keep {
@@ -138,14 +350,18 @@ enum Keep {
 
 /// Decides the keep state of an element with label `tag` at `path` (its own
 /// label included), given its parent's state.
-fn decide(spec: &PathSpec, parent: Keep, path: &[String], tag: &str) -> Keep {
+fn decide(spec: &Projection, parent: Keep, path: &[String], tag: &str) -> Keep {
     match parent {
         Keep::All => Keep::All,
         Keep::Skip => Keep::Skip,
         Keep::Filter => {
-            if !spec.is_known(tag) || spec.in_subtree(path) {
+            if !spec.is_known(tag) {
+                return Keep::All;
+            }
+            let (on_path, in_subtree) = spec.classify(path);
+            if in_subtree {
                 Keep::All
-            } else if spec.on_path(path) {
+            } else if on_path {
                 Keep::Filter
             } else {
                 Keep::Skip
@@ -164,8 +380,9 @@ pub struct StreamConfig {
     /// Encode attributes as leading `@name` children (the §7 extension), as
     /// [`crate::parser::parse_xml_keep_attributes`] does. Off by default.
     pub keep_attributes: bool,
-    /// When set, subtrees outside the spec are dropped during the parse.
-    pub projection: Option<PathSpec>,
+    /// When set, subtrees outside the projection are dropped during the
+    /// parse.
+    pub projection: Option<Projection>,
     /// Refill granularity of the sliding input window.
     pub chunk_size: usize,
 }
@@ -181,8 +398,18 @@ impl Default for StreamConfig {
 }
 
 impl StreamConfig {
-    /// A config that projects the stream onto `spec` while parsing.
+    /// A config that projects the stream onto an explicit path spec while
+    /// parsing.
     pub fn with_projection(spec: PathSpec) -> Self {
+        StreamConfig {
+            projection: Some(Projection::Paths(spec)),
+            ..Default::default()
+        }
+    }
+
+    /// A config that projects the stream onto any [`Projection`] (explicit
+    /// paths or a compiled automaton) while parsing.
+    pub fn with_projection_spec(spec: Projection) -> Self {
         StreamConfig {
             projection: Some(spec),
             ..Default::default()
@@ -375,7 +602,7 @@ struct StreamParser<R: Read> {
     bs: ByteStream<R>,
     store: Store,
     keep_attributes: bool,
-    projection: Option<PathSpec>,
+    projection: Option<Projection>,
     /// Root-to-current label path; maintained only when projecting.
     path: Vec<String>,
     stack: Vec<Frame>,
@@ -724,6 +951,13 @@ impl<R: Read> StreamParser<R> {
 /// top-down semantics of the streaming parser — the reference the
 /// streamed-projection property tests compare against.
 pub fn project_paths(tree: &Tree, spec: &PathSpec) -> Tree {
+    project_spec(tree, &Projection::Paths(spec.clone()))
+}
+
+/// Applies any [`Projection`] (explicit paths or a compiled automaton) to an
+/// already-parsed tree with exactly the top-down semantics of the streaming
+/// parser.
+pub fn project_spec(tree: &Tree, spec: &Projection) -> Tree {
     let mut store = Store::new();
     let mut path: Vec<String> = Vec::new();
     let root = copy_filtered(
@@ -742,7 +976,7 @@ pub fn project_paths(tree: &Tree, spec: &PathSpec) -> Tree {
 fn copy_filtered(
     tree: &Tree,
     node: NodeId,
-    spec: &PathSpec,
+    spec: &Projection,
     parent: Keep,
     is_root: bool,
     path: &mut Vec<String>,
@@ -977,6 +1211,98 @@ mod tests {
         assert!(outcome
             .tree
             .value_equiv(&project_paths(&parse_xml(input).unwrap(), &s)));
+    }
+
+    /// A tiny automaton equivalent to the spec
+    /// `keep_paths = {bib.book.title.#text}, keep_subtrees = {bib.extra}`:
+    /// states 0=bib, 1=book, 2=title, 3=#text-end, 4=extra (subtree).
+    fn small_automaton() -> PathAutomaton {
+        PathAutomaton {
+            starts: vec![("bib".to_string(), 0)],
+            transitions: vec![
+                vec![("book".to_string(), 1), ("extra".to_string(), 4)],
+                vec![("title".to_string(), 2)],
+                vec![(TEXT_LABEL.to_string(), 3)],
+                vec![],
+                vec![],
+            ],
+            reaches_end: vec![true, true, true, true, true],
+            subtree: vec![false, false, false, false, true],
+            known_labels: ["bib", "book", "title", "price", "extra"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn automaton_classification_mirrors_spec_semantics() {
+        let a = small_automaton();
+        let p = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(a.on_path(&p(&["bib"])));
+        assert!(a.on_path(&p(&["bib", "book", "title"])));
+        assert!(!a.on_path(&p(&["bib", "book", "price"])), "dead branch");
+        assert!(!a.on_path(&p(&["book"])), "wrong root label");
+        assert!(a.in_subtree(&p(&["bib", "extra"])));
+        assert!(a.in_subtree(&p(&["bib", "extra", "anything"])));
+        assert!(!a.in_subtree(&p(&["bib", "book"])));
+        assert!(a.keeps_text_child(&p(&["bib", "book", "title"])));
+        assert!(!a.keeps_text_child(&p(&["bib", "book"])));
+        assert!(a.keeps_text_child(&p(&["bib", "extra", "x"])), "in subtree");
+        assert!(a.is_known("price") && !a.is_known("junk"));
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn streamed_automaton_projection_matches_reference_and_spec() {
+        let input = "<bib><book><title>t1</title><price>9</price></book>\
+                     <extra><blob>x</blob></extra><book><title>t2</title></book></bib>";
+        let auto = small_automaton();
+        let equivalent_spec = spec(
+            &[&["bib", "book", "title", "#text"]],
+            &[&["bib", "extra"]],
+            &["bib", "book", "title", "price", "extra"],
+        );
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::with_projection_spec(Projection::Automaton(auto.clone())),
+        )
+        .unwrap();
+        let tree = parse_xml(input).unwrap();
+        // Streaming ≡ in-memory reference for the automaton...
+        let reference = project_spec(&tree, &Projection::Automaton(auto));
+        assert!(outcome.tree.value_equiv(&reference));
+        // ... and the automaton ≡ the enumerated spec it encodes. The blob
+        // label is unknown to both, kept conservatively inside the subtree.
+        let via_spec = project_paths(&tree, &equivalent_spec);
+        assert!(outcome.tree.value_equiv(&via_spec));
+        let xml = outcome.tree.to_xml();
+        assert!(xml.contains("<title>t1</title>"), "{xml}");
+        assert!(xml.contains("<blob>x</blob>"), "{xml}");
+        assert!(!xml.contains("price"), "{xml}");
+        assert!(outcome.stats.nodes_pruned > 0);
+    }
+
+    #[test]
+    fn recursive_automaton_keeps_unbounded_paths() {
+        // keep a.b.a.b… — impossible to enumerate as a PathSpec.
+        let auto = PathAutomaton {
+            starts: vec![("a".to_string(), 0)],
+            transitions: vec![vec![("b".to_string(), 1)], vec![("a".to_string(), 0)]],
+            reaches_end: vec![true, true],
+            subtree: vec![false, false],
+            known_labels: ["a", "b", "c"].iter().map(|s| s.to_string()).collect(),
+        };
+        let input = "<a><b><a><b><a/></b></a></b><c/></a>";
+        let outcome = parse_xml_stream(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::with_projection_spec(Projection::Automaton(auto)),
+        )
+        .unwrap();
+        let xml = outcome.tree.to_xml();
+        assert_eq!(xml, "<a><b><a><b><a/></b></a></b></a>");
+        assert_eq!(outcome.stats.nodes_pruned, 1, "only <c/> is dropped");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! `qui` — the command-line front end of the workspace.
 //!
 //! ```text
-//! qui check     --dtd <file> --query <expr> --update <expr> [--start <name>] [--explain]
+//! qui check     --dtd <file> --query <expr> --update <expr> [--start <name>] [--explain] [--engine auto|explicit|cdag]
 //! qui commute   --dtd <file> --update <expr> --update2 <expr> [--start <name>]
 //! qui chains    --dtd <file> (--query <expr> | --update <expr>) [--k <n>] [--start <name>]
-//! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>] [--jobs <n>]
+//! qui matrix    --dtd <file> --views <file> --update <expr> [--start <name>] [--jobs <n>] [--engine auto|explicit|cdag]
 //! qui validate  --dtd <file> --doc <file> [--attributes] [--stream] [--start <name>]
 //! qui infer-dtd <doc.xml> [<doc.xml> …]
 //! qui generate  --dtd <file> [--nodes <n>] [--seed <n>] [--start <name>]
@@ -22,8 +22,10 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use xml_qui::baseline::TypeSetAnalyzer;
-use xml_qui::core::explain::{explain_verdict, matrix_report_jobs, ExplainOptions};
-use xml_qui::core::{CommutativityAnalyzer, IndependenceAnalyzer, Jobs};
+use xml_qui::core::explain::{explain_verdict, matrix_report_config, ExplainOptions};
+use xml_qui::core::{
+    AnalyzerConfig, CommutativityAnalyzer, EngineKind, IndependenceAnalyzer, Jobs,
+};
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
 use xml_qui::workloads::{
@@ -73,7 +75,7 @@ fn usage() -> String {
     let _ = writeln!(s, "commands:");
     let _ = writeln!(
         s,
-        "  check     --dtd <file> --query <expr> --update <expr> [--explain]"
+        "  check     --dtd <file> --query <expr> --update <expr> [--explain] [--engine E]"
     );
     let _ = writeln!(
         s,
@@ -85,7 +87,7 @@ fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "  matrix    --dtd <file> --views <file> --update <expr> [--jobs <n>]"
+        "  matrix    --dtd <file> --views <file> --update <expr> [--jobs <n>] [--engine E]"
     );
     let _ = writeln!(
         s,
@@ -109,7 +111,15 @@ fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "         --jobs <n> (or QUI_JOBS) shards work over n threads."
+        "         --jobs <n> (or QUI_JOBS) shards work over n threads;"
+    );
+    let _ = writeln!(
+        s,
+        "         --engine auto|explicit|cdag picks the inference engine"
+    );
+    let _ = writeln!(
+        s,
+        "         (auto = CDAG-first with explicit confirmation, the default)."
     );
     s
 }
@@ -128,7 +138,7 @@ struct CliArgs {
 
 impl CliArgs {
     fn parse(args: &[String]) -> Result<CliArgs, String> {
-        const VALUE_OPTIONS: [&str; 13] = [
+        const VALUE_OPTIONS: [&str; 14] = [
             "--dtd",
             "--start",
             "--query",
@@ -142,6 +152,7 @@ impl CliArgs {
             "--jobs",
             "--scale",
             "--out",
+            "--engine",
         ];
         const BARE_FLAGS: [&str; 3] = ["--explain", "--attributes", "--stream"];
         let mut out = CliArgs::default();
@@ -256,11 +267,24 @@ fn load_update(args: &CliArgs, key: &str) -> Result<Update, String> {
 // Commands
 // ---------------------------------------------------------------------------
 
+/// The `--engine` option resolved to an analyzer configuration.
+fn engine_config(args: &CliArgs) -> Result<AnalyzerConfig, String> {
+    let engine = match args.get("--engine") {
+        None => EngineKind::Auto,
+        Some(s) => EngineKind::parse(s)
+            .ok_or_else(|| format!("--engine expects auto, explicit or cdag, got '{s}'"))?,
+    };
+    Ok(AnalyzerConfig {
+        engine,
+        ..Default::default()
+    })
+}
+
 fn cmd_check(args: &CliArgs) -> Result<String, String> {
     let dtd = load_dtd(args)?;
     let q = load_query(args)?;
     let u = load_update(args, "--update")?;
-    let analyzer = IndependenceAnalyzer::new(&dtd);
+    let analyzer = IndependenceAnalyzer::with_config(&dtd, engine_config(args)?);
     let verdict = analyzer.check(&q, &u);
     let mut out = String::new();
     if args.has_flag("--explain") {
@@ -374,11 +398,12 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
         // Without --jobs, defer to QUI_JOBS or the machine's parallelism.
         None => Jobs::Auto,
     };
-    let report = matrix_report_jobs(
+    let report = matrix_report_config(
         &dtd,
         &views,
         args.get("--update").unwrap_or("update"),
         &u,
+        &engine_config(args)?,
         jobs,
     );
     Ok(report.render())
@@ -636,6 +661,46 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.starts_with("dependent"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_flag_selects_engines_and_rejects_junk() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dtd_path = dir.join("fig1.dtd");
+        std::fs::write(&dtd_path, "doc -> (a|b)* ; a -> c ; b -> c").unwrap();
+        let check = |engine: &str| {
+            run(&strings(&[
+                "check",
+                "--dtd",
+                dtd_path.to_str().unwrap(),
+                "--query",
+                "//a//c",
+                "--update",
+                "delete //b//c",
+                "--engine",
+                engine,
+            ]))
+        };
+        // All three engines agree on the paper's introduction example, and
+        // the report names the engine that ran.
+        let auto = check("auto").unwrap();
+        assert!(
+            auto.starts_with("independent") && auto.contains("engine = Cdag"),
+            "{auto}"
+        );
+        let explicit = check("explicit").unwrap();
+        assert!(
+            explicit.starts_with("independent") && explicit.contains("engine = Explicit"),
+            "{explicit}"
+        );
+        let cdag = check("cdag").unwrap();
+        assert!(
+            cdag.starts_with("independent") && cdag.contains("engine = Cdag"),
+            "{cdag}"
+        );
+        assert!(check("frobnicator").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

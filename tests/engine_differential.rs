@@ -1,0 +1,438 @@
+//! The differential harness for the two inference engines (and the pieces
+//! the CDAG-first promotion rests on):
+//!
+//! * **verdict equivalence** — across randomized schemas, queries, updates
+//!   and multiplicity bounds `k ∈ {1..4}`, the CDAG engine's independence
+//!   verdict equals the explicit (reference) engine's wherever the latter
+//!   is feasible, and the explicit witness chains are *denoted* by the CDAG
+//!   sets (checked through `CdagEngine::enumerate`);
+//! * **k-ladder equivalence** — `extend(k → k+1)` produces exactly the DAGs
+//!   a fresh build at `k+1` produces, saturated or not;
+//! * **CDAG-backed projection** — on recursive schemas where the explicit
+//!   projection spec overflows its budget, the compiled `PathAutomaton`
+//!   still preserves query results (and actually prunes);
+//! * **auto fallback boundary** — a workload straddling `explicit_budget`
+//!   produces bit-identical mixed-engine verdicts for jobs ∈ {1, 2, 8}.
+//!
+//! The nightly workflow re-runs this suite with a larger deterministic case
+//! count via `QUI_PROPTEST_CASES`.
+
+use proptest::prelude::*;
+use xml_qui::core::engine::cdag::{CdagEngine, QueryKLadder, UpdateKLadder};
+use xml_qui::core::engine::explicit::ExplicitEngine;
+use xml_qui::core::parallel::assert_matches_sequential;
+use xml_qui::core::{
+    analyze_matrix, AnalyzerConfig, ChainProjector, EngineKind, IndependenceAnalyzer, Jobs,
+    Universe,
+};
+use xml_qui::schema::{Chain, Dtd, SchemaLike};
+use xml_qui::xmlstore::parse_xml;
+use xml_qui::xquery::dynamic::snapshot_query;
+use xml_qui::xquery::{parse_query, parse_update, Query, Update};
+
+/// Deterministic case count, raised by the nightly run via
+/// `QUI_PROPTEST_CASES`.
+fn cases(default: u32) -> u32 {
+    std::env::var("QUI_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// The randomized workload: schema pool × per-schema expression pools
+// ---------------------------------------------------------------------------
+
+/// Schema pool: non-recursive, mildly recursive (§5's d1), and the heavily
+/// recursive cliques that force the CDAG representation.
+fn schema_pool() -> Vec<Dtd> {
+    vec![
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap(),
+        Dtd::parse_compact(
+            "bib -> book* ; book -> (title, author*, price?) ; title -> #PCDATA ; \
+             author -> (first?, last) ; first -> #PCDATA ; last -> #PCDATA ; price -> #PCDATA",
+            "bib",
+        )
+        .unwrap(),
+        Dtd::builder()
+            .rule("r", "a")
+            .rule("a", "(b, c, e)*")
+            .rule("b", "f")
+            .rule("c", "f")
+            .rule("e", "f")
+            .rule("f", "(a, g)")
+            .rule("g", "EMPTY")
+            .build("r")
+            .unwrap(),
+        Dtd::parse_compact(
+            "r -> (a|x)* ; a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)* ; x -> y ; y -> EMPTY",
+            "r",
+        )
+        .unwrap(),
+        Dtd::parse_compact(
+            "a -> (b|d)* ; b -> c ; d -> c ; c -> (e?, f?) ; e -> EMPTY ; f -> EMPTY",
+            "a",
+        )
+        .unwrap(),
+    ]
+}
+
+/// Assembles a navigation query from drawn (axis, label-index) pairs over
+/// the schema alphabet, so every schema gets structurally varied queries
+/// without hand-curating per-schema pools.
+fn build_query(schema: &Dtd, shape: usize, l1: usize, l2: usize) -> Query {
+    let labels = schema.labels();
+    let a = &labels[l1 % labels.len()];
+    let b = &labels[l2 % labels.len()];
+    let src = match shape % 8 {
+        0 => format!("//{a}"),
+        1 => format!("/{a}/{b}"),
+        2 => format!("//{a}//{b}"),
+        3 => format!("//{a}/{b}"),
+        4 => format!("//{a}/parent::node()"),
+        5 => format!("//{a}/ancestor::{b}"),
+        6 => format!("for $x in //{a} return $x/{b}"),
+        7 => format!("//{a}/following-sibling::{b}"),
+        _ => unreachable!(),
+    };
+    parse_query(&src).expect("generated query parses")
+}
+
+/// Assembles an update the same way.
+fn build_update(schema: &Dtd, shape: usize, l1: usize, l2: usize) -> Update {
+    let labels = schema.labels();
+    let a = &labels[l1 % labels.len()];
+    let b = &labels[l2 % labels.len()];
+    let src = match shape % 6 {
+        0 => format!("delete //{a}"),
+        1 => format!("delete //{a}//{b}"),
+        2 => format!("delete /{a}/{b}"),
+        3 => format!("for $x in //{a} return insert <{b}/> into $x"),
+        4 => format!("for $x in //{a} return rename $x as {b}"),
+        5 => format!("for $x in //{a} return replace $x with <{b}/>"),
+        _ => unreachable!(),
+    };
+    parse_update(&src).expect("generated update parses")
+}
+
+/// Explicit-engine verdict at bound `k`, or `None` on budget overflow.
+fn explicit_verdict(schema: &Dtd, q: &Query, u: &Update, k: usize) -> Option<bool> {
+    let universe = Universe::with_k(schema, k);
+    let eng = ExplicitEngine::new(&universe, 100_000);
+    let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), q).ok()?;
+    let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), u).ok()?;
+    Some(xml_qui::core::conflict::find_conflict(&qc, &uc).is_none())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// The headline differential property, in three parts:
+    ///
+    /// 1. **Soundness** (universal): the CDAG never claims independence the
+    ///    explicit engine refutes — its chain sets over-approximate.
+    /// 2. **Attributability**: when the CDAG flags dependence the explicit
+    ///    engine at the same `k` disproves, the disagreement must be one of
+    ///    the CDAG's *documented* over-approximations — either the
+    ///    depth-for-multiplicity relaxation (`k`-chains vs `k·|d|`-deep
+    ///    chains; then the explicit engine at the depth-equivalent bound
+    ///    also flags dependence) or grid-horizon saturation (the inference
+    ///    hit the depth cap and truncated suffixes into extensible ends,
+    ///    reported by `take_saturated`). Anything else is an engine bug and
+    ///    fails the suite.
+    /// 3. **Production equality** (zero mismatches): the CDAG-first `Auto`
+    ///    verdict equals the pure explicit verdict wherever the explicit
+    ///    engine is feasible.
+    ///
+    /// When both engines flag dependence, the explicit witness chains must
+    /// additionally be *denoted* by the CDAG sets (via `enumerate`).
+    #[test]
+    fn cdag_verdicts_match_explicit_verdicts(
+        si in 0usize..5,
+        q_shape in 0usize..8,
+        ql1 in 0usize..16,
+        ql2 in 0usize..16,
+        u_shape in 0usize..6,
+        ul1 in 0usize..16,
+        ul2 in 0usize..16,
+        k in 1usize..5,
+    ) {
+        let schemas = schema_pool();
+        let schema = &schemas[si];
+        let q = build_query(schema, q_shape, ql1, ql2);
+        let u = build_update(schema, u_shape, ul1, ul2);
+
+        let Some(explicit) = explicit_verdict(schema, &q, &u, k) else {
+            // Explicit overflow: nothing to differentiate against (the CDAG
+            // verdict is the production answer by construction).
+            return Ok(());
+        };
+        let eng = CdagEngine::new(schema, k);
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        let saturated = eng.take_saturated();
+        let cdag = eng.independent(&qc, &uc);
+
+        // (1) Soundness: a CDAG independence proof is always right.
+        if cdag {
+            prop_assert!(
+                explicit,
+                "UNSOUND: CDAG claims ({}, {}) independent at k = {} over schema #{}, explicit refutes",
+                q, u, k, si
+            );
+        }
+        // (2) Attributability: a CDAG dependence the explicit engine
+        // disproves must come from a documented over-approximation.
+        if !cdag && explicit && !saturated {
+            let k_relaxed = k * schema.schema_size() + 2;
+            if let Some(relaxed) = explicit_verdict(schema, &q, &u, k_relaxed) {
+                prop_assert!(
+                    !relaxed,
+                    "CDAG dependence on ({}, {}) at k = {} is NOT a documented relaxation: \
+                     the inference never saturated and the explicit engine stays \
+                     independent at k = {}",
+                    q, u, k, k_relaxed
+                );
+            }
+        }
+        // (3) Production equality: the CDAG-first auto pipeline answers
+        // with full explicit precision.
+        let auto = IndependenceAnalyzer::with_config(
+            schema,
+            AnalyzerConfig {
+                k_override: Some(k),
+                explicit_budget: 100_000,
+                ..Default::default()
+            },
+        )
+        .check(&q, &u);
+        prop_assert_eq!(
+            auto.is_independent(), explicit,
+            "the CDAG-first auto verdict mismatches the explicit engine on ({}, {}) at k = {}",
+            q, u, k
+        );
+
+        // Witness containment: the explicit witness chains must be denoted
+        // by the (over-approximating) CDAG sets.
+        if !explicit && !cdag {
+            let universe = Universe::with_k(schema, k);
+            let ex = ExplicitEngine::new(&universe, 100_000);
+            let eqc = ex.infer_query(&ex.root_gamma(q.free_vars()), &q).unwrap();
+            let euc = ex.infer_update(&ex.root_gamma(u.free_vars()), &u).unwrap();
+            let witness = xml_qui::core::conflict::find_conflict(&eqc, &euc)
+                .expect("dependence implies a witness");
+            let denoted = |dag: &xml_qui::core::engine::cdag::ChainDag, chain: &Chain| {
+                match eng.enumerate(dag, 100_000) {
+                    // The witness may also be an *extension* of a denoted
+                    // extensible chain; prefix containment covers both.
+                    Some(chains) => chains.iter().any(|c| c.is_prefix_of(chain) || c == chain),
+                    None => true, // too many chains to enumerate — skip
+                }
+            };
+            let q_dag = qc.returns.clone().union(&qc.used);
+            prop_assert!(
+                denoted(&q_dag, &witness.query_chain.chain)
+                    // Element chains are not rooted; they are checked by the
+                    // explicit/CDAG set equality tests instead.
+                    || !witness.query_chain.chain.symbols().first().map(|&s| s == schema.start_type()).unwrap_or(true),
+                "CDAG query sets do not denote the witness chain of ({q}, {u})"
+            );
+            prop_assert!(
+                denoted(&uc, &witness.update_chain.chain)
+                    || !witness.update_chain.chain.symbols().first().map(|&s| s == schema.start_type()).unwrap_or(true),
+                "CDAG update set does not denote the witness chain of ({q}, {u})"
+            );
+        }
+    }
+
+    /// The k-ladder is indistinguishable from fresh builds at every bound —
+    /// for queries and updates, saturated (recursive) or not.
+    #[test]
+    fn ladder_extension_equals_fresh_builds(
+        si in 0usize..5,
+        q_shape in 0usize..8,
+        u_shape in 0usize..6,
+        l1 in 0usize..16,
+        l2 in 0usize..16,
+        k0 in 1usize..3,
+    ) {
+        let schemas = schema_pool();
+        let schema = &schemas[si];
+        let q = build_query(schema, q_shape, l1, l2);
+        let u = build_update(schema, u_shape, l2, l1);
+        let mut q_ladder = QueryKLadder::new(schema, &q, k0, true);
+        let mut u_ladder = UpdateKLadder::new(schema, &u, k0, true);
+        for k in k0..=k0 + 3 {
+            let q_stepped = q_ladder.extend_to(&q, k).clone();
+            let u_stepped = u_ladder.extend_to(&u, k).clone();
+            let eng = CdagEngine::new(schema, k);
+            let q_fresh = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+            let u_fresh = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+            prop_assert_eq!(&q_stepped, &q_fresh, "query ladder diverged at k = {} for {}", k, q);
+            prop_assert_eq!(&u_stepped, &u_fresh, "update ladder diverged at k = {} for {}", k, u);
+        }
+    }
+
+    /// On the recursive cliques (schema #3 of the pool) the explicit
+    /// projection spec overflows, and the compiled automaton must still
+    /// preserve query results on concrete documents.
+    #[test]
+    fn automaton_projection_preserves_results_on_recursive_schemas(
+        q_shape in 0usize..4,
+        l1 in 0usize..4,
+        l2 in 0usize..4,
+        doc_i in 0usize..4,
+    ) {
+        let schema = Dtd::parse_compact(
+            "r -> (a|x)* ; a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)* ; x -> y ; y -> EMPTY",
+            "r",
+        )
+        .unwrap();
+        // Descendant-heavy shapes over the clique labels so the explicit
+        // spec overflows its (reduced) budget.
+        let clique = ["a", "b", "c", "y"];
+        let (a, b) = (clique[l1 % 4], clique[l2 % 4]);
+        let src = match q_shape {
+            0 => format!("//{a}"),
+            1 => format!("//{a}//{b}"),
+            2 => format!("//{a}/{b}"),
+            3 => format!("//{a}//{b}//{a}"),
+            _ => unreachable!(),
+        };
+        let q = parse_query(&src).unwrap();
+        let docs = [
+            "<r><a><b><c><b/></c></b></a><x><y/></x></r>",
+            "<r><a><c><b><b><c/></b></b></c><b/></a><a/><x><y/></x><x><y/></x></r>",
+            "<r><x><y/></x></r>",
+            "<r><a><b><b><b><c/></b></b></b><c><c/></c></a></r>",
+        ];
+        let doc = parse_xml(docs[doc_i]).unwrap();
+        let projector = ChainProjector::new(&schema).with_budget(64);
+        let projection = projector.streaming_projection_for_query(&q);
+        let projected = xml_qui::xmlstore::project_spec(&doc, &projection);
+        prop_assert_eq!(
+            snapshot_query(&doc, &q).unwrap(),
+            snapshot_query(&projected, &q).unwrap(),
+            "projection changed the result of {} on document #{}",
+            src, doc_i
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The auto-engine fallback boundary (satellite: budget straddling)
+// ---------------------------------------------------------------------------
+
+/// A workload whose recursive half overflows a reduced explicit budget while
+/// the flat half stays comfortably inside it.
+fn straddling_workload() -> (Dtd, Vec<Query>, Vec<Update>) {
+    let schema = Dtd::parse_compact(
+        "r -> (a|x)* ; a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)* ; x -> y ; y -> EMPTY",
+        "r",
+    )
+    .unwrap();
+    let views = ["//b//c", "//b", "/x/y", "//x", "//y/parent::x", "//c//b//c"]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+    let updates = [
+        "delete //c//b",
+        "delete /x/y",
+        "for $x in //x return insert <y/> into $x",
+        "delete //b",
+    ]
+    .iter()
+    .map(|s| parse_update(s).unwrap())
+    .collect();
+    (schema, views, updates)
+}
+
+#[test]
+fn budget_straddling_matrix_mixes_engines_and_stays_bit_identical() {
+    let (schema, views, updates) = straddling_workload();
+    let config = AnalyzerConfig {
+        explicit_budget: 60,
+        ..Default::default()
+    };
+    let reference = analyze_matrix(&schema, &views, &updates, &config, Jobs::Fixed(1));
+    // The workload genuinely straddles the budget: both engines appear.
+    let engines: Vec<EngineKind> = (0..updates.len())
+        .flat_map(|ui| (0..views.len()).map(move |vi| (ui, vi)))
+        .map(|(ui, vi)| reference.verdict(ui, vi).engine_used)
+        .collect();
+    assert!(
+        engines.contains(&EngineKind::Explicit),
+        "no cell used the explicit engine — the budget no longer straddles: {engines:?}"
+    );
+    assert!(
+        engines.contains(&EngineKind::Cdag),
+        "no cell used the CDAG engine — the budget no longer straddles: {engines:?}"
+    );
+    // Cell-for-cell mirroring of the sequential analyzer, for every worker
+    // count, including witnesses.
+    for jobs in [1usize, 2, 8] {
+        let m = analyze_matrix(&schema, &views, &updates, &config, Jobs::Fixed(jobs));
+        assert_matches_sequential(&schema, &views, &updates, &config, &m);
+        for ui in 0..updates.len() {
+            for vi in 0..views.len() {
+                let a = reference.verdict(ui, vi);
+                let b = m.verdict(ui, vi);
+                assert!(
+                    a.is_independent() == b.is_independent()
+                        && a.engine_used == b.engine_used
+                        && a.witness == b.witness
+                        && a.query_chain_count == b.query_chain_count
+                        && a.update_chain_count == b.update_chain_count,
+                    "jobs = {jobs} diverged at cell ({ui}, {vi})"
+                );
+            }
+        }
+    }
+    // The legacy explicit-first order agrees verdict-for-verdict on the
+    // same straddling workload (only engine attribution may differ).
+    let legacy = AnalyzerConfig {
+        explicit_budget: 60,
+        cdag_first: false,
+        ..Default::default()
+    };
+    let legacy_m = analyze_matrix(&schema, &views, &updates, &legacy, Jobs::Fixed(2));
+    assert_matches_sequential(&schema, &views, &updates, &legacy, &legacy_m);
+    for ui in 0..updates.len() {
+        for vi in 0..views.len() {
+            assert_eq!(
+                reference.verdict(ui, vi).is_independent(),
+                legacy_m.verdict(ui, vi).is_independent(),
+                "orders disagree at cell ({ui}, {vi})"
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_engines_agree_with_auto_on_the_straddling_flat_half() {
+    // On the flat (non-overflowing) half, all three engine policies give
+    // the same verdicts.
+    let (schema, views, updates) = straddling_workload();
+    let flat_views: Vec<Query> = views.into_iter().skip(2).take(3).collect();
+    let flat_updates: Vec<Update> = updates.into_iter().skip(1).take(2).collect();
+    let verdicts: Vec<Vec<bool>> = [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag]
+        .into_iter()
+        .map(|engine| {
+            let config = AnalyzerConfig {
+                engine,
+                ..Default::default()
+            };
+            let analyzer = IndependenceAnalyzer::with_config(&schema, config);
+            flat_updates
+                .iter()
+                .flat_map(|u| {
+                    flat_views
+                        .iter()
+                        .map(|v| analyzer.check(v, u).is_independent())
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(verdicts[0], verdicts[1]);
+    assert_eq!(verdicts[0], verdicts[2]);
+}
