@@ -14,6 +14,7 @@
 //! | CI perf baseline (matrix wall-time, seq vs parallel)         | — | `baseline` |
 //! | CI fig3c gate (paper-scale ingest + maintenance)             | — | `fig3c` |
 //! | CI cdag gate (CDAG-first auto, k-ladder, path automaton)     | — | `cdag` |
+//! | CI session gate (warm vs cold matrix, per-edit incremental)  | — | `session` |
 //!
 //! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
 //!
@@ -27,6 +28,7 @@
 pub mod baseline;
 pub mod cdag;
 pub mod fig3c;
+pub mod session;
 
 use qui_core::parallel::MatrixVerdicts;
 use qui_core::{analyze_matrix, AnalyzerConfig, EngineKind, Jobs};
@@ -37,6 +39,7 @@ use std::time::{Duration, Instant};
 pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
 pub use cdag::{run_cdag, CdagGateConfig, CdagReport};
 pub use fig3c::{run_fig3c, Fig3cReport, Fig3cScaleResult, Fig3cScaleSpec};
+pub use session::{run_session, SessionGateConfig, SessionReport};
 
 /// One whole-matrix analysis: wall time plus the verdicts it produced.
 #[derive(Clone, Debug)]

@@ -15,11 +15,11 @@
 //! behind [`AnalyzerConfig::cdag_first`]` = false` for the perf harness to
 //! compare against.
 
-use crate::conflict::{find_conflict, ConflictWitness};
-use crate::engine::cdag::CdagEngine;
+use crate::conflict::ConflictWitness;
 use crate::engine::explicit::ExplicitEngine;
-use crate::kbound::{k_for_pair, k_of_query, k_of_update};
+use crate::kbound::k_for_pair;
 use crate::parallel::{analyze_matrix, Jobs};
+use crate::session::SessionBuilder;
 use crate::types::{QueryChains, UpdateChains};
 use crate::universe::Universe;
 use qui_schema::SchemaLike;
@@ -41,12 +41,17 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// Parses a CLI-style engine name (`auto` / `explicit` / `cdag`).
-    pub fn parse(s: &str) -> Option<EngineKind> {
+    ///
+    /// Unknown names are an error that lists the valid engines, so a CLI
+    /// typo surfaces instead of silently falling back to a default.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
         match s.to_ascii_lowercase().as_str() {
-            "auto" => Some(EngineKind::Auto),
-            "explicit" => Some(EngineKind::Explicit),
-            "cdag" => Some(EngineKind::Cdag),
-            _ => None,
+            "auto" => Ok(EngineKind::Auto),
+            "explicit" => Ok(EngineKind::Explicit),
+            "cdag" => Ok(EngineKind::Cdag),
+            other => Err(format!(
+                "unknown engine '{other}'; valid engines are auto, explicit, cdag"
+            )),
         }
     }
 }
@@ -149,79 +154,18 @@ impl<'a, S: SchemaLike> IndependenceAnalyzer<'a, S> {
     }
 
     /// Checks independence of a query-update pair.
+    ///
+    /// This is a stateless wrapper over
+    /// [`AnalysisSession::check`](crate::session::AnalysisSession::check) —
+    /// a fresh one-shot session per call, so nothing is cached between
+    /// calls. Callers checking many pairs against the same schema should
+    /// hold a session (via [`crate::session::SessionBuilder`]) and keep its
+    /// inference caches warm.
     pub fn check(&self, q: &Query, u: &Update) -> Verdict {
-        let meta = (self.k_for(q, u), k_of_query(q), k_of_update(u));
-        match self.config.engine {
-            EngineKind::Explicit => {
-                // The caller insisted on the explicit engine; on overflow,
-                // report the conservative answer (dependence) rather than
-                // guessing.
-                self.explicit_verdict(q, u, meta)
-                    .unwrap_or_else(|| conservative_explicit_verdict(meta))
-            }
-            EngineKind::Cdag => self.cdag_verdict(q, u, meta),
-            EngineKind::Auto if self.config.cdag_first => {
-                // CDAG-first: the CDAG chain sets over-approximate the
-                // explicit ones, so a CDAG independence proof is final.
-                let cdag = self.cdag_verdict(q, u, meta);
-                if cdag.independent {
-                    return cdag;
-                }
-                // Not proved independent: confirm with the reference engine
-                // (restoring full explicit precision and the conflict
-                // witness); on budget overflow the conservative CDAG verdict
-                // stands.
-                self.explicit_verdict(q, u, meta).unwrap_or(cdag)
-            }
-            EngineKind::Auto => {
-                // Legacy order: explicit first, CDAG only on overflow.
-                self.explicit_verdict(q, u, meta)
-                    .unwrap_or_else(|| self.cdag_verdict(q, u, meta))
-            }
-        }
-    }
-
-    /// The explicit-engine verdict, or `None` on budget overflow.
-    fn explicit_verdict(
-        &self,
-        q: &Query,
-        u: &Update,
-        (k, k_query, k_update): (usize, usize, usize),
-    ) -> Option<Verdict> {
-        let (qc, uc) = self.infer_explicit(q, u, k)?;
-        let witness = find_conflict(&qc, &uc);
-        Some(Verdict {
-            independent: witness.is_none(),
-            k,
-            k_query,
-            k_update,
-            engine_used: EngineKind::Explicit,
-            query_chain_count: qc.total_len(),
-            update_chain_count: uc.len(),
-            witness,
-        })
-    }
-
-    /// The CDAG-engine verdict (never fails; the CDAG is polynomial).
-    fn cdag_verdict(
-        &self,
-        q: &Query,
-        u: &Update,
-        (k, k_query, k_update): (usize, usize, usize),
-    ) -> Verdict {
-        let eng = CdagEngine::new(self.schema, k).with_element_chains(self.config.element_chains);
-        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), q);
-        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), u);
-        Verdict {
-            independent: eng.independent(&qc, &uc),
-            k,
-            k_query,
-            k_update,
-            engine_used: EngineKind::Cdag,
-            witness: None,
-            query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
-            update_chain_count: uc.edge_count(),
-        }
+        SessionBuilder::new(self.schema)
+            .config(self.config.clone())
+            .build()
+            .check(q, u)
     }
 
     /// Infers chains for the pair with the explicit engine, or `None` on
@@ -258,6 +202,12 @@ impl<'a, S: SchemaLike> IndependenceAnalyzer<'a, S> {
 
     /// [`check_views`](Self::check_views) with an explicit worker-count
     /// policy; `Jobs::Fixed(1)` is the strictly sequential path.
+    ///
+    /// **Deprecation note:** retained as a thin wrapper over
+    /// [`crate::session::AnalysisSession`]; prefer registering the views on
+    /// a session and reading
+    /// [`independent_flags`](crate::session::AnalysisSession::independent_flags),
+    /// which stays warm across updates.
     pub fn check_views_jobs(&self, views: &[Query], u: &Update, jobs: Jobs) -> Vec<bool>
     where
         S: Sync,

@@ -1236,21 +1236,43 @@ macro_rules! define_k_ladder {
             /// Builds a ladder at the first of `bounds` and walks the rest in
             /// ascending order, returning the chains at every bound — bounds
             /// served from the cache share one `Arc` — plus the number of
-            /// inferences actually run. This is the batch prepass's walk,
-            /// kept here so the query and update sides can never drift.
+            /// inferences actually run. This is the session prepass's walk
+            /// (and the one the `cdag` perf harness measures), kept here so
+            /// the query and update sides can never drift.
             pub fn walk_bounds(
                 schema: &'a S,
                 expr: &$expr_ty,
                 bounds: &[usize],
                 element_chains: bool,
             ) -> (Vec<(usize, std::sync::Arc<$result_ty>)>, usize) {
+                let (steps, inferences) =
+                    Self::walk_bounds_complete(schema, expr, bounds, element_chains);
+                (steps.into_iter().map(|(k, r, _)| (k, r)).collect(), inferences)
+            }
+
+            /// [`Self::walk_bounds`], additionally reporting for every bound
+            /// the build bound its result is exact *from* (`Some(k0)` when
+            /// the `k0` inference never saturated, so the result serves any
+            /// bound ≥ `k0`; `None` when it saturated) — the information a
+            /// cross-call cache needs to keep serving later requests.
+            pub fn walk_bounds_complete(
+                schema: &'a S,
+                expr: &$expr_ty,
+                bounds: &[usize],
+                element_chains: bool,
+            ) -> (
+                Vec<(usize, std::sync::Arc<$result_ty>, Option<usize>)>,
+                usize,
+            ) {
                 let Some((&first, rest)) = bounds.split_first() else {
                     return (Vec::new(), 0);
                 };
                 let mut ladder = Self::new(schema, expr, first, element_chains);
                 let mut arc = std::sync::Arc::new(ladder.result().clone());
                 let mut out = Vec::with_capacity(bounds.len());
-                out.push((first, std::sync::Arc::clone(&arc)));
+                let complete_from =
+                    |ladder: &Self| ladder.is_complete().then(|| ladder.k());
+                out.push((first, std::sync::Arc::clone(&arc), complete_from(&ladder)));
                 let mut rebuilds = 0usize;
                 for &k in rest {
                     ladder.extend_to(expr, k);
@@ -1258,7 +1280,7 @@ macro_rules! define_k_ladder {
                         rebuilds = ladder.rebuild_count();
                         arc = std::sync::Arc::new(ladder.result().clone());
                     }
-                    out.push((k, std::sync::Arc::clone(&arc)));
+                    out.push((k, std::sync::Arc::clone(&arc), complete_from(&ladder)));
                 }
                 (out, 1 + ladder.rebuild_count())
             }

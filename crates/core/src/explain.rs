@@ -13,8 +13,8 @@
 
 use crate::analyzer::{AnalyzerConfig, IndependenceAnalyzer, Verdict};
 use crate::conflict::ConflictKind;
-use crate::kbound::{k_of_query, k_of_update};
-use crate::parallel::{analyze_matrix, Jobs};
+use crate::parallel::Jobs;
+use crate::session::SessionBuilder;
 use crate::types::{ChainItem, QueryChains, UpdateChains};
 use qui_schema::{Chain, SchemaLike};
 use qui_xquery::{Query, Update};
@@ -264,9 +264,11 @@ impl MatrixReport {
 /// Checks one update against a set of named views and builds a
 /// [`MatrixReport`].
 ///
-/// Runs on the batched matrix engine ([`crate::parallel::analyze_matrix`])
-/// with the default worker policy (`QUI_JOBS` or the machine's parallelism);
-/// verdicts are identical to per-pair [`IndependenceAnalyzer::check`] calls.
+/// Runs on a one-shot [`crate::session::AnalysisSession`] with the default
+/// worker policy (`QUI_JOBS` or the machine's parallelism); verdicts are
+/// identical to per-pair [`IndependenceAnalyzer::check`] calls. Callers
+/// reporting on more than one workload should hold a session and read
+/// [`reports`](crate::session::AnalysisSession::reports) from it instead.
 pub fn matrix_report<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -278,6 +280,11 @@ pub fn matrix_report<S: SchemaLike + Sync>(
 
 /// [`matrix_report`] with an explicit worker-count policy (`Jobs::Fixed(1)`
 /// is the strictly sequential path, used by `qui matrix --jobs 1`).
+///
+/// **Deprecation note:** retained as a thin wrapper over
+/// [`crate::session::AnalysisSession`] for source compatibility; prefer
+/// [`SessionBuilder::jobs`](crate::session::SessionBuilder::jobs) on a
+/// session you keep alive.
 pub fn matrix_report_jobs<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -297,6 +304,10 @@ pub fn matrix_report_jobs<S: SchemaLike + Sync>(
 
 /// [`matrix_report_jobs`] with a full analyzer configuration (engine policy,
 /// budget, ablations) — used by `qui matrix --engine`.
+///
+/// **Deprecation note:** retained as a thin wrapper; prefer a
+/// [`crate::session::SessionBuilder`], which collapses the configuration,
+/// worker-policy and explain-option parameters into one builder.
 pub fn matrix_report_config<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -328,6 +339,11 @@ pub fn matrix_reports<S: SchemaLike + Sync>(
 }
 
 /// [`matrix_reports`] with a full analyzer configuration.
+///
+/// **Deprecation note:** retained as a thin stateless wrapper — it builds a
+/// one-shot [`crate::session::AnalysisSession`], registers the workload and
+/// reads [`reports`](crate::session::AnalysisSession::reports). Long-lived
+/// callers should hold the session and edit the workload incrementally.
 pub fn matrix_reports_config<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -335,32 +351,12 @@ pub fn matrix_reports_config<S: SchemaLike + Sync>(
     config: &AnalyzerConfig,
     jobs: Jobs,
 ) -> Vec<MatrixReport> {
-    let queries: Vec<Query> = views.iter().map(|(_, q)| q.clone()).collect();
-    let upds: Vec<Update> = updates.iter().map(|(_, u)| u.clone()).collect();
-    let matrix = analyze_matrix(schema, &queries, &upds, config, jobs);
-    updates
-        .iter()
-        .enumerate()
-        .map(|(ui, (update_name, update))| {
-            let mut rows = Vec::with_capacity(views.len());
-            let mut k_min = usize::MAX;
-            let mut k_max = 0usize;
-            for (vi, (name, q)) in views.iter().enumerate() {
-                let k = k_of_query(q) + k_of_update(update);
-                k_min = k_min.min(k);
-                k_max = k_max.max(k);
-                rows.push((name.clone(), matrix.verdict(ui, vi).is_independent()));
-            }
-            if views.is_empty() {
-                k_min = 0;
-            }
-            MatrixReport {
-                update_name: update_name.clone(),
-                rows,
-                k_range: (k_min, k_max),
-            }
-        })
-        .collect()
+    let mut session = SessionBuilder::new(schema)
+        .config(config.clone())
+        .jobs(jobs)
+        .build();
+    session.add_workload(views.iter().cloned(), updates.iter().cloned());
+    session.reports()
 }
 
 #[cfg(test)]

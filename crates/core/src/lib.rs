@@ -30,12 +30,34 @@
 //!
 //! ## Entry point
 //!
+//! The canonical entry point is the stateful [`session`] API — an
+//! [`AnalysisSession`] is built once per schema and owns every piece of
+//! reusable inference state, so repeated checks and incrementally edited
+//! view/update workloads stay warm:
+//!
+//! ```
+//! use qui_schema::Dtd;
+//! use qui_xquery::{parse_query, parse_update};
+//! use qui_core::SessionBuilder;
+//!
+//! // The paper's running example (introduction): q1 = //a//c, u1 = delete //b//c
+//! let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+//! let q1 = parse_query("//a//c").unwrap();
+//! let u1 = parse_update("delete //b//c").unwrap();
+//!
+//! let mut session = SessionBuilder::new(&dtd).build();
+//! assert!(session.check(&q1, &u1).is_independent());
+//! ```
+//!
+//! The historical stateless API ([`IndependenceAnalyzer::check`],
+//! [`analyze_matrix`], `matrix_report*`) is kept as thin wrappers over
+//! one-shot sessions:
+//!
 //! ```
 //! use qui_schema::Dtd;
 //! use qui_xquery::{parse_query, parse_update};
 //! use qui_core::IndependenceAnalyzer;
 //!
-//! // The paper's running example (introduction): q1 = //a//c, u1 = delete //b//c
 //! let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
 //! let q1 = parse_query("//a//c").unwrap();
 //! let u1 = parse_update("delete //b//c").unwrap();
@@ -54,6 +76,7 @@ pub mod fxhash;
 pub mod kbound;
 pub mod parallel;
 pub mod projector;
+pub mod session;
 pub mod types;
 pub mod universe;
 
@@ -67,5 +90,6 @@ pub use explain::{
 pub use kbound::{k_for_pair, k_of_query, k_of_update};
 pub use parallel::{analyze_matrix, BatchAnalyzer, Jobs, MatrixVerdicts};
 pub use projector::{ChainProjector, ProjectionSpec};
+pub use session::{AnalysisSession, SessionBuilder, SessionStats};
 pub use types::{ChainItem, QueryChains, UpdateChain, UpdateChains};
 pub use universe::Universe;

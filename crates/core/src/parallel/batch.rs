@@ -11,40 +11,27 @@
 //! (times the small number of distinct `k` values), after which every cell is
 //! a cheap conflict check over two precomputed chain sets.
 //!
-//! On top of the per-`(expr, k)` sharing, the CDAG prepass walks each
-//! expression's distinct `k` values in ascending order through a
-//! [`QueryKLadder`]/[`UpdateKLadder`]: whenever the inference at the smallest
-//! bound never hit its depth cap (every non-recursive expression), all later
-//! bounds are served from the same DAG, collapsing the per-`(expr, k)` work
-//! to per-`expr` work across *overlapping* bounds, not just identical ones.
-//!
-//! The engine order mirrors [`IndependenceAnalyzer::check`] cell for cell.
-//! Under the default CDAG-first auto policy the CDAG pass runs every cell
-//! and proves most independent ones outright; only the remaining cells'
-//! expressions enter the explicit prepass, and explicit budget overflow
-//! leaves the conservative CDAG verdict in place. The precomputed sets are
-//! immutable and shared behind [`Arc`] across all cells; every pass is
-//! sharded over the [`pool`](super::pool) work-stealing thread pool. With
+//! Since the session API landed, the implementation of all of this lives in
+//! [`crate::session`]: [`analyze_matrix`] constructs a one-shot
+//! [`AnalysisSession`](crate::session::AnalysisSession), registers the
+//! workload in bulk (one batched prepass: per-expression k-ladders for the
+//! CDAG side, per-`(expression, k)` explicit inference for the cells the
+//! CDAG could not prove, all sharded over the [`pool`](super::pool)
+//! work-stealing thread pool), and returns the materialized matrix. With
 //! `jobs = 1` nothing is spawned and the evaluation order matches a
 //! sequential double loop, so verdicts — including witnesses — are
 //! bit-identical whatever the worker count: per-cell work never mutates
 //! shared state, and each cell's verdict is a pure function of the
-//! precomputed sets.
+//! precomputed sets. Long-lived callers should hold a session directly and
+//! reuse it; these free functions are retained as thin stateless wrappers.
 
-use super::pool::{run_indexed, Jobs};
-use crate::analyzer::{
-    conservative_explicit_verdict, AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict,
-};
-use crate::conflict::find_conflict;
-use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains, QueryKLadder, UpdateKLadder};
-use crate::engine::explicit::ExplicitEngine;
+use super::pool::Jobs;
+use crate::analyzer::{AnalyzerConfig, IndependenceAnalyzer, Verdict};
 use crate::kbound::{k_of_query, k_of_update};
-use crate::types::{QueryChains, UpdateChains};
-use crate::universe::Universe;
+use crate::session::SessionBuilder;
 use qui_schema::SchemaLike;
 use qui_xquery::{Query, Update};
-use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::collections::BTreeSet;
 
 /// The verdicts of a full views × updates matrix, indexed `[update][view]`.
 #[derive(Clone, Debug)]
@@ -54,6 +41,11 @@ pub struct MatrixVerdicts {
 }
 
 impl MatrixVerdicts {
+    /// Assembles a matrix from its rows (the session's materialized state).
+    pub(crate) fn from_rows(n_views: usize, rows: Vec<Vec<Verdict>>) -> Self {
+        MatrixVerdicts { n_views, rows }
+    }
+
     /// Number of views (columns).
     pub fn n_views(&self) -> usize {
         self.n_views
@@ -98,20 +90,14 @@ impl MatrixVerdicts {
     }
 }
 
-/// Explicit-engine chain sets precomputed for one expression at one `k`
-/// (`None` = the materialization budget was exceeded for that expression).
-type ExplicitQueryCache = HashMap<(usize, usize), Option<Arc<QueryChains>>>;
-type ExplicitUpdateCache = HashMap<(usize, usize), Option<Arc<UpdateChains>>>;
-type CdagQueryCache = HashMap<(usize, usize), Arc<DagQueryChains>>;
-type CdagUpdateCache = HashMap<(usize, usize), Arc<ChainDag>>;
-
-/// The batch analyzer: precomputes shared chain sets for a view set and an
-/// update set, then evaluates matrix cells in parallel.
+/// The batch analyzer: a one-shot wrapper pairing a schema with a
+/// configuration and a worker policy.
 ///
-/// This is the engine under [`IndependenceAnalyzer::check_views`],
-/// [`matrix_report`](crate::explain::matrix_report) and the `qui matrix`
-/// subcommand; it produces, for every cell, exactly the [`Verdict`] the
-/// sequential [`IndependenceAnalyzer::check`] would.
+/// **Session note:** this type predates
+/// [`AnalysisSession`](crate::session::AnalysisSession); it is retained as a
+/// thin wrapper (every [`analyze`](Self::analyze) call builds a fresh
+/// session). Long-lived callers should construct a session once and reuse
+/// its caches across calls.
 pub struct BatchAnalyzer<'a, S: SchemaLike> {
     schema: &'a S,
     config: AnalyzerConfig,
@@ -151,6 +137,12 @@ impl<'a, S: SchemaLike + Sync> BatchAnalyzer<'a, S> {
 
 /// Analyzes every (view, update) cell of the matrix, sharing chain inference
 /// across cells and sharding the work over `jobs` workers.
+///
+/// This is a stateless wrapper over [`crate::session::AnalysisSession`]: a
+/// fresh session is built, the whole workload registered in one batched
+/// pass, and the materialized matrix returned. Callers that analyze more
+/// than one workload against the same schema should hold a session instead
+/// and keep its caches warm.
 pub fn analyze_matrix<S: SchemaLike + Sync>(
     schema: &S,
     views: &[Query],
@@ -158,110 +150,21 @@ pub fn analyze_matrix<S: SchemaLike + Sync>(
     config: &AnalyzerConfig,
     jobs: Jobs,
 ) -> MatrixVerdicts {
-    let n_views = views.len();
-    if n_views == 0 || updates.is_empty() {
-        return MatrixVerdicts {
-            n_views,
-            rows: updates.iter().map(|_| Vec::new()).collect(),
-        };
-    }
-
-    let kq: Vec<usize> = views.iter().map(k_of_query).collect();
-    let ku: Vec<usize> = updates.iter().map(k_of_update).collect();
-    let pair_k = |vi: usize, ui: usize| config.k_override.unwrap_or(kq[vi] + ku[ui]);
-    let n_cells = views.len() * updates.len();
-    let cell_pos = |cell: usize| (cell % n_views, cell / n_views); // (vi, ui)
-
-    // ------------------------------------------------ CDAG prepass
-    // Under the CDAG-first auto policy (and the forced CDAG engine) every
-    // cell starts with a CDAG check, so the prepass covers all (expr, k)
-    // pairs — each expression walking its bounds through a k-ladder.
-    let cdag_all = config.engine == EngineKind::Cdag
-        || (config.engine == EngineKind::Auto && config.cdag_first);
-    let (mut cdag_queries, mut cdag_updates) = if cdag_all {
-        let (qt, ut) = matrix_prepass_tasks(views, updates, config.k_override);
-        cdag_prepass(schema, config, views, updates, &qt, &ut, jobs)
-    } else {
-        (CdagQueryCache::new(), CdagUpdateCache::new())
-    };
-
-    // ------------------------------------------------ CDAG cell pass
-    // Precompute each cell's CDAG independence so the explicit prepass knows
-    // which expressions still need the reference engine.
-    let cdag_independent: Vec<Option<bool>> = if cdag_all {
-        run_indexed(jobs, n_cells, |cell| {
-            let (vi, ui) = cell_pos(cell);
-            let k = pair_k(vi, ui);
-            let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
-            Some(eng.independent(&cdag_queries[&(vi, k)], &cdag_updates[&(ui, k)]))
-        })
-    } else {
-        vec![None; n_cells]
-    };
-
-    // ------------------------------------------------ explicit prepass
-    // Forced-explicit and legacy-auto need every expression; CDAG-first auto
-    // only the expressions of cells the CDAG could not prove independent.
-    let (explicit_queries, explicit_updates) = if config.engine != EngineKind::Cdag {
-        let mut qt: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut ut: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for (cell, proved) in cdag_independent.iter().enumerate() {
-            let (vi, ui) = cell_pos(cell);
-            if config.engine == EngineKind::Auto && config.cdag_first && *proved == Some(true) {
-                continue;
-            }
-            let k = pair_k(vi, ui);
-            qt.insert((vi, k));
-            ut.insert((ui, k));
-        }
-        explicit_prepass(schema, config, views, updates, &qt, &ut, jobs)
-    } else {
-        (ExplicitQueryCache::new(), ExplicitUpdateCache::new())
-    };
-
-    // ------------------------------------------------ legacy CDAG prepass
-    // Under the legacy (explicit-first) auto order the CDAG engine only runs
-    // for the cells where either side of the explicit inference overflowed
-    // its budget — mirrored cell for cell from the analyzer's fallback.
-    if config.engine == EngineKind::Auto && !config.cdag_first {
-        let mut qt: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut ut: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for cell in 0..n_cells {
-            let (vi, ui) = cell_pos(cell);
-            let k = pair_k(vi, ui);
-            let explicit_ok = explicit_queries.get(&(vi, k)).is_some_and(Option::is_some)
-                && explicit_updates.get(&(ui, k)).is_some_and(Option::is_some);
-            if !explicit_ok {
-                qt.insert((vi, k));
-                ut.insert((ui, k));
-            }
-        }
-        if !qt.is_empty() || !ut.is_empty() {
-            let (cq, cu) = cdag_prepass(schema, config, views, updates, &qt, &ut, jobs);
-            cdag_queries.extend(cq);
-            cdag_updates.extend(cu);
-        }
-    }
-
-    // ------------------------------------------------ cell pass
-    let cells = run_indexed(jobs, n_cells, |cell| {
-        let (vi, ui) = cell_pos(cell);
-        cell_verdict(
-            schema,
-            config,
-            (vi, ui),
-            pair_k(vi, ui),
-            (kq[vi], ku[ui]),
-            (&explicit_queries, &explicit_updates),
-            (&cdag_queries, &cdag_updates),
-            cdag_independent[cell],
-        )
-    });
-    let mut it = cells.into_iter();
-    let rows: Vec<Vec<Verdict>> = (0..updates.len())
-        .map(|_| it.by_ref().take(n_views).collect())
-        .collect();
-    MatrixVerdicts { n_views, rows }
+    let mut session = SessionBuilder::new(schema)
+        .config(config.clone())
+        .jobs(jobs)
+        .build();
+    session.add_workload(
+        views
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (format!("v{}", i + 1), q.clone())),
+        updates
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (format!("u{}", i + 1), u.clone())),
+    );
+    session.into_verdicts()
 }
 
 /// One side's sorted `(expression index, k)` inference tasks.
@@ -305,198 +208,6 @@ pub fn group_prepass_tasks(tasks: &PrepassTasks) -> Vec<(usize, Vec<usize>)> {
     groups
 }
 
-enum PrepassOut {
-    Query(usize, usize, Option<QueryChains>),
-    Update(usize, usize, Option<UpdateChains>),
-}
-
-enum CdagOut {
-    Query(usize, Vec<(usize, Arc<DagQueryChains>)>),
-    Update(usize, Vec<(usize, Arc<ChainDag>)>),
-}
-
-/// Runs the explicit engine for every requested `(expression, k)` pair in
-/// parallel; `None` marks a budget overflow.
-fn explicit_prepass<S: SchemaLike + Sync>(
-    schema: &S,
-    config: &AnalyzerConfig,
-    views: &[Query],
-    updates: &[Update],
-    query_tasks: &PrepassTasks,
-    update_tasks: &PrepassTasks,
-    jobs: Jobs,
-) -> (ExplicitQueryCache, ExplicitUpdateCache) {
-    let mut queries = ExplicitQueryCache::new();
-    let mut updates_out = ExplicitUpdateCache::new();
-    let qt: Vec<(usize, usize)> = query_tasks.iter().copied().collect();
-    let ut: Vec<(usize, usize)> = update_tasks.iter().copied().collect();
-    let n_qt = qt.len();
-    let results = run_indexed(jobs, n_qt + ut.len(), |i| {
-        if i < n_qt {
-            let (vi, k) = qt[i];
-            PrepassOut::Query(vi, k, infer_query_explicit(schema, config, &views[vi], k))
-        } else {
-            let (ui, k) = ut[i - n_qt];
-            PrepassOut::Update(
-                ui,
-                k,
-                infer_update_explicit(schema, config, &updates[ui], k),
-            )
-        }
-    });
-    for r in results {
-        match r {
-            PrepassOut::Query(vi, k, qc) => {
-                queries.insert((vi, k), qc.map(Arc::new));
-            }
-            PrepassOut::Update(ui, k, uc) => {
-                updates_out.insert((ui, k), uc.map(Arc::new));
-            }
-        }
-    }
-    (queries, updates_out)
-}
-
-/// Runs the CDAG engine for every requested `(expression, k)` pair, one
-/// k-ladder per expression: tasks are grouped by expression, the distinct
-/// bounds walked in ascending order, and a bound served from the ladder
-/// cache shares the *same* `Arc` as the bound it was derived from.
-fn cdag_prepass<S: SchemaLike + Sync>(
-    schema: &S,
-    config: &AnalyzerConfig,
-    views: &[Query],
-    updates: &[Update],
-    query_tasks: &PrepassTasks,
-    update_tasks: &PrepassTasks,
-    jobs: Jobs,
-) -> (CdagQueryCache, CdagUpdateCache) {
-    // BTreeSet iteration is sorted by (expression, k), so consecutive runs
-    // group into ascending-k ladders.
-    let q_groups = group_prepass_tasks(query_tasks);
-    let u_groups = group_prepass_tasks(update_tasks);
-    let n_q = q_groups.len();
-    let results = run_indexed(jobs, n_q + u_groups.len(), |i| {
-        if i < n_q {
-            let (vi, ks) = &q_groups[i];
-            let (out, _) =
-                QueryKLadder::walk_bounds(schema, &views[*vi], ks, config.element_chains);
-            CdagOut::Query(*vi, out)
-        } else {
-            let (ui, ks) = &u_groups[i - n_q];
-            let (out, _) =
-                UpdateKLadder::walk_bounds(schema, &updates[*ui], ks, config.element_chains);
-            CdagOut::Update(*ui, out)
-        }
-    });
-    let mut queries = CdagQueryCache::new();
-    let mut updates_out = CdagUpdateCache::new();
-    for r in results {
-        match r {
-            CdagOut::Query(vi, ks) => {
-                for (k, qc) in ks {
-                    queries.insert((vi, k), qc);
-                }
-            }
-            CdagOut::Update(ui, ks) => {
-                for (k, uc) in ks {
-                    updates_out.insert((ui, k), uc);
-                }
-            }
-        }
-    }
-    (queries, updates_out)
-}
-
-/// Explicit query inference for one (expression, k); `None` on budget
-/// overflow. Identical to what [`IndependenceAnalyzer::infer_explicit`]
-/// computes for the query side of a pair.
-fn infer_query_explicit<S: SchemaLike>(
-    schema: &S,
-    config: &AnalyzerConfig,
-    q: &Query,
-    k: usize,
-) -> Option<QueryChains> {
-    let universe = Universe::with_k(schema, k);
-    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
-        .with_element_chains(config.element_chains);
-    eng.infer_query(&eng.root_gamma(q.free_vars()), q).ok()
-}
-
-/// Explicit update inference for one (expression, k); `None` on overflow.
-fn infer_update_explicit<S: SchemaLike>(
-    schema: &S,
-    config: &AnalyzerConfig,
-    u: &Update,
-    k: usize,
-) -> Option<UpdateChains> {
-    let universe = Universe::with_k(schema, k);
-    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
-        .with_element_chains(config.element_chains);
-    eng.infer_update(&eng.root_gamma(u.free_vars()), u).ok()
-}
-
-/// Produces one cell's verdict from the precomputed chain sets, mirroring
-/// [`IndependenceAnalyzer::check`] case for case (including the engine
-/// order selected by [`AnalyzerConfig::cdag_first`]).
-#[allow(clippy::too_many_arguments)]
-fn cell_verdict<S: SchemaLike>(
-    schema: &S,
-    config: &AnalyzerConfig,
-    (vi, ui): (usize, usize),
-    k: usize,
-    (k_query, k_update): (usize, usize),
-    (explicit_queries, explicit_updates): (&ExplicitQueryCache, &ExplicitUpdateCache),
-    (cdag_queries, cdag_updates): (&CdagQueryCache, &CdagUpdateCache),
-    cdag_independent: Option<bool>,
-) -> Verdict {
-    let explicit = || -> Option<Verdict> {
-        let qc = explicit_queries.get(&(vi, k)).and_then(Option::as_ref)?;
-        let uc = explicit_updates.get(&(ui, k)).and_then(Option::as_ref)?;
-        let witness = find_conflict(qc, uc);
-        Some(Verdict {
-            independent: witness.is_none(),
-            k,
-            k_query,
-            k_update,
-            engine_used: EngineKind::Explicit,
-            query_chain_count: qc.total_len(),
-            update_chain_count: uc.len(),
-            witness,
-        })
-    };
-    let cdag = |independent: Option<bool>| -> Verdict {
-        let qc = &cdag_queries[&(vi, k)];
-        let uc = &cdag_updates[&(ui, k)];
-        let independent = independent.unwrap_or_else(|| {
-            let eng = CdagEngine::new(schema, k).with_element_chains(config.element_chains);
-            eng.independent(qc, uc)
-        });
-        Verdict {
-            independent,
-            k,
-            k_query,
-            k_update,
-            engine_used: EngineKind::Cdag,
-            witness: None,
-            query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
-            update_chain_count: uc.edge_count(),
-        }
-    };
-    match config.engine {
-        EngineKind::Explicit => {
-            explicit().unwrap_or_else(|| conservative_explicit_verdict((k, k_query, k_update)))
-        }
-        EngineKind::Cdag => cdag(cdag_independent),
-        EngineKind::Auto if config.cdag_first => {
-            if cdag_independent == Some(true) {
-                return cdag(Some(true));
-            }
-            explicit().unwrap_or_else(|| cdag(cdag_independent))
-        }
-        EngineKind::Auto => explicit().unwrap_or_else(|| cdag(None)),
-    }
-}
-
 /// Asserts that the batch verdict for every cell equals the verdict of a
 /// sequential per-pair [`IndependenceAnalyzer::check`]. Test-support helper
 /// used by the equivalence suites; panics with the offending cell on any
@@ -531,6 +242,7 @@ pub fn assert_matches_sequential<S: SchemaLike + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyzer::EngineKind;
     use qui_schema::Dtd;
     use qui_xquery::{parse_query, parse_update};
 

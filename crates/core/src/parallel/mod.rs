@@ -12,7 +12,9 @@
 //!   inference **once per distinct multiplicity bound `k`** and shares the
 //!   immutable results (behind [`std::sync::Arc`]) across all matrix cells,
 //!   turning `O(|V|·|U|)` inferences into `O(|V|+|U|)` plus cheap per-cell
-//!   conflict checks.
+//!   conflict checks. The implementation lives in [`crate::session`]
+//!   (the batch entry points are thin one-shot-session wrappers), which
+//!   additionally keeps those shared results warm across calls and edits.
 //!
 //! `jobs = 1` runs the same batched algorithm strictly sequentially (no
 //! threads spawned), and any worker count produces bit-identical verdicts —

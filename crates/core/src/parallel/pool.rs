@@ -35,11 +35,27 @@ impl Jobs {
         Jobs::Fixed(n.max(1))
     }
 
+    /// The worker policy implied by the environment: `Jobs::Fixed(n)` when
+    /// `QUI_JOBS` is set to a positive integer, `Jobs::Auto` otherwise.
+    ///
+    /// This is the single place `QUI_JOBS` is interpreted — the CLI and the
+    /// harness entry points all resolve their "no `--jobs` flag given"
+    /// default through it.
+    pub fn from_env() -> Jobs {
+        match env_jobs() {
+            Some(n) => Jobs::Fixed(n),
+            None => Jobs::Auto,
+        }
+    }
+
     /// Resolves the selection to a concrete worker count.
     pub fn resolve(self) -> usize {
         match self {
             Jobs::Fixed(n) => n.max(1),
-            Jobs::Auto => env_jobs().unwrap_or_else(machine_parallelism),
+            Jobs::Auto => match Jobs::from_env() {
+                Jobs::Fixed(n) => n,
+                Jobs::Auto => machine_parallelism(),
+            },
         }
     }
 }

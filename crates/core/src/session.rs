@@ -1,0 +1,1367 @@
+//! The stateful front door of the analysis: [`AnalysisSession`] and
+//! [`SessionBuilder`].
+//!
+//! Everything expensive in the paper's static analysis depends only on the
+//! *schema* and the *expressions* — chain universes, CDAG closures,
+//! k-ladders, compiled path automata — never on which pair a check happens
+//! to be part of. The historical API was stateless (`check`, `check_views`,
+//! `matrix_report`, …), so every call rebuilt that state from scratch. A
+//! session is constructed **once per schema** and owns all reusable
+//! inference state, so repeated checks and matrix queries are warm:
+//!
+//! * CDAG chain sets per `(expression, k)`, with the incremental k-ladder
+//!   policy (a bound whose inference never saturated serves every larger
+//!   bound from the same result);
+//! * explicit chain sets per `(expression, k)` (including remembered budget
+//!   overflows, so a hopeless expression is never re-materialized);
+//! * one [`CdagEngine`] per multiplicity bound, whose generation-stamped
+//!   scratch workspace is reused across sequential ad-hoc
+//!   [`check`](AnalysisSession::check) calls (the parallel matrix passes
+//!   use a fresh engine per cell — engines are not `Sync` — exactly as the
+//!   historical batch code did);
+//! * compiled [`Projection`]s (path automata) per view for streamed
+//!   document projection.
+//!
+//! On top of the caches the session maintains a **registered workload**: a
+//! set of named views and named updates whose full verdict matrix is kept
+//! materialized. [`add_view`](AnalysisSession::add_view) /
+//! [`add_update`](AnalysisSession::add_update) recompute only the affected
+//! column/row (sharded over the [`crate::parallel::pool`] work-stealing
+//! pool); [`remove_view`](AnalysisSession::remove_view) /
+//! [`remove_update`](AnalysisSession::remove_update) only drop the
+//! column/row. Any edit sequence yields verdicts bit-identical to a
+//! from-scratch [`crate::parallel::analyze_matrix`] over the same workload
+//! (property-tested in `tests/session_incremental.rs`).
+//!
+//! The session is the **single implementation** of the analysis pipeline:
+//! [`IndependenceAnalyzer::check`](crate::IndependenceAnalyzer::check),
+//! `check_views*`, `matrix_report*` and `analyze_matrix` are all thin
+//! wrappers over it.
+//!
+//! ```
+//! use qui_schema::Dtd;
+//! use qui_xquery::{parse_query, parse_update};
+//! use qui_core::session::SessionBuilder;
+//!
+//! let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+//! let mut session = SessionBuilder::new(&dtd).build();
+//!
+//! // Ad-hoc checks share inference state across calls.
+//! let q = parse_query("//a//c").unwrap();
+//! let u = parse_update("delete //b//c").unwrap();
+//! assert!(session.check(&q, &u).is_independent());
+//!
+//! // A registered workload keeps its verdict matrix materialized and
+//! // updates it incrementally on edits.
+//! session.add_view("v1", q);
+//! session.add_update("u1", u);
+//! session.add_update("u2", parse_update("delete //c").unwrap());
+//! assert_eq!(session.independent_flags(0), vec![true]);
+//! assert_eq!(session.independent_flags(1), vec![false]);
+//! session.remove_update("u2");
+//! assert_eq!(session.n_updates(), 1);
+//! ```
+
+use crate::analyzer::{conservative_explicit_verdict, AnalyzerConfig, EngineKind, Verdict};
+use crate::conflict::find_conflict;
+use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains, QueryKLadder, UpdateKLadder};
+use crate::engine::explicit::ExplicitEngine;
+use crate::explain::{explain_verdict, ExplainOptions, MatrixReport};
+use crate::kbound::{k_for_pair, k_of_query, k_of_update};
+use crate::parallel::{run_indexed, Jobs, MatrixVerdicts};
+use crate::projector::ChainProjector;
+use crate::types::{QueryChains, UpdateChains};
+use crate::universe::Universe;
+use qui_schema::SchemaLike;
+use qui_xmlstore::Projection;
+use qui_xquery::{Query, Update};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Fluent construction of an [`AnalysisSession`]: collapses the historical
+/// `AnalyzerConfig` / `EngineKind` / [`Jobs`] / [`ExplainOptions`] parameter
+/// sprawl into one builder.
+///
+/// ```
+/// use qui_schema::Dtd;
+/// use qui_core::session::SessionBuilder;
+/// use qui_core::{EngineKind, Jobs};
+///
+/// let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+/// let session = SessionBuilder::new(&dtd)
+///     .engine(EngineKind::Auto)
+///     .explicit_budget(10_000)
+///     .jobs(Jobs::Fixed(2))
+///     .build();
+/// assert_eq!(session.n_views(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionBuilder<'a, S: SchemaLike> {
+    schema: &'a S,
+    config: AnalyzerConfig,
+    jobs: Jobs,
+    explain: ExplainOptions,
+}
+
+impl<'a, S: SchemaLike> SessionBuilder<'a, S> {
+    /// Starts a builder with the default configuration (CDAG-first auto
+    /// engine, default budget, `Jobs::Auto`).
+    pub fn new(schema: &'a S) -> Self {
+        SessionBuilder {
+            schema,
+            config: AnalyzerConfig::default(),
+            jobs: Jobs::Auto,
+            explain: ExplainOptions::default(),
+        }
+    }
+
+    /// Replaces the whole analyzer configuration at once (the escape hatch
+    /// for callers that already hold an [`AnalyzerConfig`]).
+    pub fn config(mut self, config: AnalyzerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Engine selection policy (see [`EngineKind`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Materialization budget of the explicit engine.
+    pub fn explicit_budget(mut self, budget: usize) -> Self {
+        self.config.explicit_budget = budget;
+        self
+    }
+
+    /// Element-chain inference (§3); disabling reproduces the paper's
+    /// ablation.
+    pub fn element_chains(mut self, on: bool) -> Self {
+        self.config.element_chains = on;
+        self
+    }
+
+    /// Overrides the multiplicity bound `k` computed per pair.
+    pub fn k_override(mut self, k: Option<usize>) -> Self {
+        self.config.k_override = k;
+        self
+    }
+
+    /// Engine order of [`EngineKind::Auto`] (see
+    /// [`AnalyzerConfig::cdag_first`]).
+    pub fn cdag_first(mut self, on: bool) -> Self {
+        self.config.cdag_first = on;
+        self
+    }
+
+    /// Worker-count policy for matrix (re)computation.
+    pub fn jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Report verbosity for [`AnalysisSession::explain`].
+    pub fn explain_options(mut self, options: ExplainOptions) -> Self {
+        self.explain = options;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisSession<'a, S> {
+        AnalysisSession {
+            schema: self.schema,
+            config: self.config,
+            jobs: self.jobs,
+            explain: self.explain,
+            views: Vec::new(),
+            updates: Vec::new(),
+            rows: Vec::new(),
+            cdag_queries: HashMap::new(),
+            cdag_updates: HashMap::new(),
+            explicit_queries: HashMap::new(),
+            explicit_updates: HashMap::new(),
+            engines: HashMap::new(),
+            projections: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Caches
+// ---------------------------------------------------------------------------
+
+/// Per-expression CDAG results across multiplicity bounds, with the
+/// k-ladder serving policy: a result whose inference never saturated at
+/// bound `k0` is exact for *every* bound `≥ k0` (the DAG node encoding is
+/// k-independent), so it serves all of them from one `Arc`.
+struct CdagCache<T> {
+    /// `(k0, result)`: exact for every bound `≥ k0`.
+    complete: Option<(usize, Arc<T>)>,
+    /// Saturated (per-bound) results.
+    per_k: HashMap<usize, Arc<T>>,
+}
+
+impl<T> Default for CdagCache<T> {
+    fn default() -> Self {
+        CdagCache {
+            complete: None,
+            per_k: HashMap::new(),
+        }
+    }
+}
+
+impl<T> CdagCache<T> {
+    fn get(&self, k: usize) -> Option<Arc<T>> {
+        if let Some((k0, r)) = &self.complete {
+            if k >= *k0 {
+                return Some(Arc::clone(r));
+            }
+        }
+        self.per_k.get(&k).cloned()
+    }
+
+    /// Records a result served at bound `k`; `complete_from` is the build
+    /// bound when the inference never saturated there.
+    fn insert(&mut self, k: usize, complete_from: Option<usize>, result: Arc<T>) {
+        if let Some(k0) = complete_from {
+            match &self.complete {
+                Some((existing, _)) if *existing <= k0 => {}
+                _ => self.complete = Some((k0, Arc::clone(&result))),
+            }
+        }
+        self.per_k.insert(k, result);
+    }
+}
+
+/// A registered view: display name, expression, cache key and `k_q`.
+struct RegisteredView {
+    name: String,
+    query: Query,
+    key: Arc<str>,
+    k_q: usize,
+}
+
+/// A registered update: display name, expression, cache key and `k_u`.
+struct RegisteredUpdate {
+    name: String,
+    update: Update,
+    key: Arc<str>,
+    k_u: usize,
+}
+
+/// Cache-effectiveness counters of a session (all monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Fresh CDAG inferences run (ladder builds and rebuilds).
+    pub cdag_inferences: usize,
+    /// `(expression, k)` CDAG requests served from the session cache.
+    pub cdag_cache_hits: usize,
+    /// Fresh explicit-engine inferences run (overflows included).
+    pub explicit_inferences: usize,
+    /// `(expression, k)` explicit requests served from the session cache.
+    pub explicit_cache_hits: usize,
+    /// Matrix cells evaluated (conflict checks, not inferences).
+    pub cells_computed: usize,
+    /// Workload edits applied (`add_*` / `remove_*` calls).
+    pub edits: usize,
+}
+
+/// Read-only view of the four chain caches, handed to the parallel cell
+/// passes after all mutation is done.
+struct CacheView<'x> {
+    cdag_queries: &'x HashMap<Arc<str>, CdagCache<DagQueryChains>>,
+    cdag_updates: &'x HashMap<Arc<str>, CdagCache<ChainDag>>,
+    explicit_queries: &'x HashMap<(Arc<str>, usize), Option<Arc<QueryChains>>>,
+    explicit_updates: &'x HashMap<(Arc<str>, usize), Option<Arc<UpdateChains>>>,
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// A long-lived, stateful analysis session over one schema.
+///
+/// See the [module docs](self) for the full picture. Construct with
+/// [`SessionBuilder`] (or [`AnalysisSession::new`] for the defaults), then
+/// either run ad-hoc [`check`](Self::check)s — warm across calls — or
+/// register a views × updates workload whose verdict matrix is maintained
+/// incrementally under [`add_view`](Self::add_view) /
+/// [`remove_update`](Self::remove_update) / … edits.
+pub struct AnalysisSession<'a, S: SchemaLike> {
+    schema: &'a S,
+    config: AnalyzerConfig,
+    jobs: Jobs,
+    explain: ExplainOptions,
+    views: Vec<RegisteredView>,
+    updates: Vec<RegisteredUpdate>,
+    /// The materialized verdict matrix, indexed `[update][view]`.
+    rows: Vec<Vec<Verdict>>,
+    cdag_queries: HashMap<Arc<str>, CdagCache<DagQueryChains>>,
+    cdag_updates: HashMap<Arc<str>, CdagCache<ChainDag>>,
+    explicit_queries: HashMap<(Arc<str>, usize), Option<Arc<QueryChains>>>,
+    explicit_updates: HashMap<(Arc<str>, usize), Option<Arc<UpdateChains>>>,
+    /// One CDAG engine per bound; its generation-stamped scratch workspace
+    /// is reused across sequential independence checks.
+    engines: HashMap<usize, CdagEngine<'a, S>>,
+    /// Compiled streamed projections per query (display string).
+    projections: HashMap<String, Projection>,
+    stats: SessionStats,
+}
+
+impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
+    /// A session with the default configuration.
+    pub fn new(schema: &'a S) -> Self {
+        SessionBuilder::new(schema).build()
+    }
+
+    /// The schema the session was built over.
+    pub fn schema(&self) -> &'a S {
+        self.schema
+    }
+
+    /// The analyzer configuration in use (immutable for the session's
+    /// lifetime — verdicts must stay comparable across edits).
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// The worker-count policy in use.
+    pub fn jobs(&self) -> Jobs {
+        self.jobs
+    }
+
+    /// Cache-effectiveness counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of registered views (matrix columns).
+    pub fn n_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of registered updates (matrix rows).
+    pub fn n_updates(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// The registered views, in column order.
+    pub fn views(&self) -> impl Iterator<Item = (&str, &Query)> {
+        self.views.iter().map(|v| (v.name.as_str(), &v.query))
+    }
+
+    /// The registered updates, in row order.
+    pub fn updates(&self) -> impl Iterator<Item = (&str, &Update)> {
+        self.updates.iter().map(|u| (u.name.as_str(), &u.update))
+    }
+
+    /// The materialized verdict of one cell.
+    pub fn verdict(&self, update: usize, view: usize) -> &Verdict {
+        &self.rows[update][view]
+    }
+
+    /// Per-view independence flags for one update (the historical
+    /// `check_views` result shape).
+    pub fn independent_flags(&self, update: usize) -> Vec<bool> {
+        self.rows[update]
+            .iter()
+            .map(Verdict::is_independent)
+            .collect()
+    }
+
+    /// Number of independent cells in the materialized matrix.
+    pub fn independent_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|v| v.is_independent())
+            .count()
+    }
+
+    /// The materialized matrix as a [`MatrixVerdicts`] (the historical
+    /// `analyze_matrix` result shape). Clones the matrix; a one-shot caller
+    /// that is done with the session should use
+    /// [`into_verdicts`](Self::into_verdicts) instead.
+    pub fn verdicts(&self) -> MatrixVerdicts {
+        MatrixVerdicts::from_rows(self.views.len(), self.rows.clone())
+    }
+
+    /// Consumes the session and returns the materialized matrix without
+    /// copying it — the path the stateless `analyze_matrix` wrapper takes.
+    pub fn into_verdicts(self) -> MatrixVerdicts {
+        MatrixVerdicts::from_rows(self.views.len(), self.rows)
+    }
+
+    /// One [`MatrixReport`] per registered update, over the registered
+    /// views — the historical `matrix_reports` result shape, read from the
+    /// materialized matrix.
+    pub fn reports(&self) -> Vec<MatrixReport> {
+        self.updates
+            .iter()
+            .enumerate()
+            .map(|(ui, u)| {
+                let mut k_min = usize::MAX;
+                let mut k_max = 0usize;
+                let rows = self
+                    .views
+                    .iter()
+                    .enumerate()
+                    .map(|(vi, v)| {
+                        let k = v.k_q + u.k_u;
+                        k_min = k_min.min(k);
+                        k_max = k_max.max(k);
+                        (v.name.clone(), self.rows[ui][vi].is_independent())
+                    })
+                    .collect();
+                if self.views.is_empty() {
+                    k_min = 0;
+                }
+                MatrixReport {
+                    update_name: u.name.clone(),
+                    rows,
+                    k_range: (k_min, k_max),
+                }
+            })
+            .collect()
+    }
+
+    /// The multiplicity bound used for a pair (`k_q + k_u`, or the
+    /// configured override).
+    pub fn k_for(&self, q: &Query, u: &Update) -> usize {
+        self.config.k_override.unwrap_or_else(|| k_for_pair(q, u))
+    }
+
+    // -- ad-hoc checks ------------------------------------------------------
+
+    /// Checks independence of one query-update pair, warm: chain sets
+    /// inferred by earlier checks or workload edits are reused, and fresh
+    /// inference results enter the session caches. The verdict is
+    /// bit-identical to a fresh
+    /// [`IndependenceAnalyzer::check`](crate::IndependenceAnalyzer::check)
+    /// under the same configuration.
+    pub fn check(&mut self, q: &Query, u: &Update) -> Verdict {
+        let meta = (self.k_for(q, u), k_of_query(q), k_of_update(u));
+        let k = meta.0;
+        let qkey = expr_key(q);
+        let ukey = expr_key(u);
+        let engine = self.config.engine;
+        let cdag_first = self.config.cdag_first;
+        let cdag_all = engine == EngineKind::Cdag || (engine == EngineKind::Auto && cdag_first);
+        let mut cdag_flag = None;
+        if cdag_all {
+            self.ensure_cdag_query(&qkey, q, k);
+            self.ensure_cdag_update(&ukey, u, k);
+            cdag_flag = Some(self.cdag_independent(&qkey, &ukey, k));
+        }
+        let need_explicit = match engine {
+            EngineKind::Explicit => true,
+            EngineKind::Cdag => false,
+            EngineKind::Auto => !cdag_first || cdag_flag != Some(true),
+        };
+        if need_explicit {
+            self.ensure_explicit_query(&qkey, q, k);
+            self.ensure_explicit_update(&ukey, u, k);
+        }
+        if engine == EngineKind::Auto && !cdag_first {
+            let q_ok = self
+                .explicit_queries
+                .get(&(Arc::clone(&qkey), k))
+                .is_some_and(Option::is_some);
+            let u_ok = self
+                .explicit_updates
+                .get(&(Arc::clone(&ukey), k))
+                .is_some_and(Option::is_some);
+            if !(q_ok && u_ok) {
+                self.ensure_cdag_query(&qkey, q, k);
+                self.ensure_cdag_update(&ukey, u, k);
+            }
+        }
+        let caches = CacheView {
+            cdag_queries: &self.cdag_queries,
+            cdag_updates: &self.cdag_updates,
+            explicit_queries: &self.explicit_queries,
+            explicit_updates: &self.explicit_updates,
+        };
+        cell_verdict(
+            self.schema,
+            &self.config,
+            meta,
+            &qkey,
+            &ukey,
+            &caches,
+            cdag_flag,
+        )
+    }
+
+    /// [`check`](Self::check) followed by a human-readable report, using the
+    /// session's [`ExplainOptions`].
+    pub fn explain(&mut self, q: &Query, u: &Update) -> String {
+        let verdict = self.check(q, u);
+        let options = self.explain;
+        explain_verdict(self.schema, q, u, &verdict, &options)
+    }
+
+    /// The streamed projection for a query (an enumerated path spec when
+    /// the explicit chains fit the budget, a compiled [`Projection`]
+    /// automaton otherwise), cached per query across the session.
+    pub fn streaming_projection(&mut self, q: &Query) -> Projection {
+        let key = format!("{q:?}");
+        if let Some(p) = self.projections.get(&key) {
+            return p.clone();
+        }
+        let p = ChainProjector::new(self.schema).streaming_projection_for_query(q);
+        self.projections.insert(key, p.clone());
+        p
+    }
+
+    // -- sequential cache plumbing -----------------------------------------
+
+    /// The cached CDAG engine for bound `k` (created on first use); its
+    /// scratch workspace amortizes across sequential ad-hoc checks. The
+    /// matrix cell passes cannot use it — the engine is not `Sync`, so
+    /// each parallel cell builds a fresh one, as the historical batch code
+    /// did.
+    fn engine_for(&mut self, k: usize) -> &CdagEngine<'a, S> {
+        let schema = self.schema;
+        let element_chains = self.config.element_chains;
+        self.engines
+            .entry(k)
+            .or_insert_with(|| CdagEngine::new(schema, k).with_element_chains(element_chains))
+    }
+
+    fn cdag_independent(&mut self, qkey: &Arc<str>, ukey: &Arc<str>, k: usize) -> bool {
+        let qc = self.cdag_queries[qkey]
+            .get(k)
+            .expect("cdag query chains ensured");
+        let uc = self.cdag_updates[ukey]
+            .get(k)
+            .expect("cdag update chains ensured");
+        self.engine_for(k).independent(&qc, &uc)
+    }
+
+    fn ensure_cdag_query(&mut self, key: &Arc<str>, q: &Query, k: usize) {
+        let cache = self.cdag_queries.entry(Arc::clone(key)).or_default();
+        if cache.get(k).is_some() {
+            self.stats.cdag_cache_hits += 1;
+            return;
+        }
+        let ladder = QueryKLadder::new(self.schema, q, k, self.config.element_chains);
+        let complete = ladder.is_complete().then_some(k);
+        cache.insert(k, complete, Arc::new(ladder.result().clone()));
+        self.stats.cdag_inferences += 1;
+    }
+
+    fn ensure_cdag_update(&mut self, key: &Arc<str>, u: &Update, k: usize) {
+        let cache = self.cdag_updates.entry(Arc::clone(key)).or_default();
+        if cache.get(k).is_some() {
+            self.stats.cdag_cache_hits += 1;
+            return;
+        }
+        let ladder = UpdateKLadder::new(self.schema, u, k, self.config.element_chains);
+        let complete = ladder.is_complete().then_some(k);
+        cache.insert(k, complete, Arc::new(ladder.result().clone()));
+        self.stats.cdag_inferences += 1;
+    }
+
+    fn ensure_explicit_query(&mut self, key: &Arc<str>, q: &Query, k: usize) {
+        if self.explicit_queries.contains_key(&(Arc::clone(key), k)) {
+            self.stats.explicit_cache_hits += 1;
+            return;
+        }
+        let qc = infer_query_explicit(self.schema, &self.config, q, k);
+        self.explicit_queries
+            .insert((Arc::clone(key), k), qc.map(Arc::new));
+        self.stats.explicit_inferences += 1;
+    }
+
+    fn ensure_explicit_update(&mut self, key: &Arc<str>, u: &Update, k: usize) {
+        if self.explicit_updates.contains_key(&(Arc::clone(key), k)) {
+            self.stats.explicit_cache_hits += 1;
+            return;
+        }
+        let uc = infer_update_explicit(self.schema, &self.config, u, k);
+        self.explicit_updates
+            .insert((Arc::clone(key), k), uc.map(Arc::new));
+        self.stats.explicit_inferences += 1;
+    }
+
+    fn register_view(&mut self, name: String, query: Query) -> usize {
+        let key = expr_key(&query);
+        let k_q = k_of_query(&query);
+        self.views.push(RegisteredView {
+            name,
+            query,
+            key,
+            k_q,
+        });
+        self.views.len() - 1
+    }
+
+    fn register_update(&mut self, name: String, update: Update) -> usize {
+        let key = expr_key(&update);
+        let k_u = k_of_update(&update);
+        self.updates.push(RegisteredUpdate {
+            name,
+            update,
+            key,
+            k_u,
+        });
+        self.updates.len() - 1
+    }
+
+    /// Removes the view at `index`, dropping its matrix column. Returns its
+    /// name and expression, or `None` when out of range. Chain caches are
+    /// kept — re-adding the view is instant.
+    pub fn remove_view_at(&mut self, index: usize) -> Option<(String, Query)> {
+        if index >= self.views.len() {
+            return None;
+        }
+        let v = self.views.remove(index);
+        for row in &mut self.rows {
+            row.remove(index);
+        }
+        self.stats.edits += 1;
+        Some((v.name, v.query))
+    }
+
+    /// Removes the first view with the given name (see
+    /// [`remove_view_at`](Self::remove_view_at)).
+    pub fn remove_view(&mut self, name: &str) -> Option<(String, Query)> {
+        let idx = self.views.iter().position(|v| v.name == name)?;
+        self.remove_view_at(idx)
+    }
+
+    /// Removes the update at `index`, dropping its matrix row.
+    pub fn remove_update_at(&mut self, index: usize) -> Option<(String, Update)> {
+        if index >= self.updates.len() {
+            return None;
+        }
+        let u = self.updates.remove(index);
+        self.rows.remove(index);
+        self.stats.edits += 1;
+        Some((u.name, u.update))
+    }
+
+    /// Removes the first update with the given name.
+    pub fn remove_update(&mut self, name: &str) -> Option<(String, Update)> {
+        let idx = self.updates.iter().position(|u| u.name == name)?;
+        self.remove_update_at(idx)
+    }
+}
+
+impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
+    /// Registers a view and computes its matrix column against every
+    /// registered update (only the new cells are evaluated; chain sets
+    /// cached from earlier work are reused). Returns the view's column
+    /// index.
+    pub fn add_view(&mut self, name: impl Into<String>, query: Query) -> usize {
+        let vi = self.register_view(name.into(), query);
+        let cells: Vec<(usize, usize)> = (0..self.updates.len()).map(|ui| (vi, ui)).collect();
+        let verdicts = self.compute_cells(&cells);
+        for (row, v) in self.rows.iter_mut().zip(verdicts) {
+            row.push(v);
+        }
+        self.stats.edits += 1;
+        vi
+    }
+
+    /// Registers an update and computes its matrix row against every
+    /// registered view. Returns the update's row index.
+    pub fn add_update(&mut self, name: impl Into<String>, update: Update) -> usize {
+        let ui = self.register_update(name.into(), update);
+        let cells: Vec<(usize, usize)> = (0..self.views.len()).map(|vi| (vi, ui)).collect();
+        let row = self.compute_cells(&cells);
+        self.rows.push(row);
+        self.stats.edits += 1;
+        ui
+    }
+
+    /// Bulk registration: adds all given views and updates, then computes
+    /// every new cell in **one** batched pass (the whole-matrix prepass of
+    /// the historical `analyze_matrix`). Much faster than one-at-a-time
+    /// `add_*` calls for a cold workload.
+    pub fn add_workload(
+        &mut self,
+        views: impl IntoIterator<Item = (String, Query)>,
+        updates: impl IntoIterator<Item = (String, Update)>,
+    ) {
+        let nv0 = self.views.len();
+        let nu0 = self.updates.len();
+        for (name, q) in views {
+            self.register_view(name, q);
+        }
+        for (name, u) in updates {
+            self.register_update(name, u);
+        }
+        let mut cells = Vec::new();
+        for ui in 0..self.updates.len() {
+            for vi in 0..self.views.len() {
+                if vi >= nv0 || ui >= nu0 {
+                    cells.push((vi, ui));
+                }
+            }
+        }
+        let verdicts = self.compute_cells(&cells);
+        let mut it = verdicts.into_iter();
+        for ui in 0..self.updates.len() {
+            if ui >= self.rows.len() {
+                self.rows.push(Vec::with_capacity(self.views.len()));
+            }
+            for vi in 0..self.views.len() {
+                if vi >= nv0 || ui >= nu0 {
+                    self.rows[ui].push(it.next().expect("one verdict per new cell"));
+                }
+            }
+        }
+        self.stats.edits += 1;
+    }
+
+    /// Recomputes every cell of the materialized matrix from the session
+    /// caches (used by the perf harness to measure the warm path; verdicts
+    /// are bit-identical to the ones already materialized).
+    pub fn recompute(&mut self) {
+        let (nv, nu) = (self.views.len(), self.updates.len());
+        let cells: Vec<(usize, usize)> = (0..nu)
+            .flat_map(|ui| (0..nv).map(move |vi| (vi, ui)))
+            .collect();
+        let verdicts = self.compute_cells(&cells);
+        let mut it = verdicts.into_iter();
+        self.rows = (0..nu).map(|_| it.by_ref().take(nv).collect()).collect();
+    }
+
+    /// Evaluates the given cells `(view, update)` and returns their
+    /// verdicts in input order. This is the single implementation of the
+    /// analysis pipeline: a CDAG prepass over missing `(expression, k)`
+    /// chain sets (per-expression k-ladders, sharded over the pool), the
+    /// CDAG cell pass, the explicit prepass for cells the CDAG could not
+    /// prove (mirroring the configured engine order), and the final cell
+    /// pass — all reading from and filling the session caches.
+    fn compute_cells(&mut self, cells: &[(usize, usize)]) -> Vec<Verdict> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let engine = self.config.engine;
+        let cdag_first = self.config.cdag_first;
+        let cdag_all = engine == EngineKind::Cdag || (engine == EngineKind::Auto && cdag_first);
+        let ks: Vec<usize> = cells
+            .iter()
+            .map(|&(vi, ui)| {
+                self.config
+                    .k_override
+                    .unwrap_or(self.views[vi].k_q + self.updates[ui].k_u)
+            })
+            .collect();
+
+        // ------------------------------------------------ CDAG prepass
+        if cdag_all {
+            let mut qt = BTreeSet::new();
+            let mut ut = BTreeSet::new();
+            for (&(vi, ui), &k) in cells.iter().zip(&ks) {
+                qt.insert((vi, k));
+                ut.insert((ui, k));
+            }
+            self.ensure_cdag_bulk(&qt, &ut);
+        }
+
+        // ------------------------------------------------ CDAG cell pass
+        let cdag_flags: Vec<Option<bool>> = if cdag_all {
+            let schema = self.schema;
+            let element_chains = self.config.element_chains;
+            let (views, updates) = (&self.views, &self.updates);
+            let (cq, cu) = (&self.cdag_queries, &self.cdag_updates);
+            run_indexed(self.jobs, cells.len(), |i| {
+                let (vi, ui) = cells[i];
+                let k = ks[i];
+                let qc = cq[&views[vi].key]
+                    .get(k)
+                    .expect("cdag query chains ensured");
+                let uc = cu[&updates[ui].key]
+                    .get(k)
+                    .expect("cdag update chains ensured");
+                let eng = CdagEngine::new(schema, k).with_element_chains(element_chains);
+                Some(eng.independent(&qc, &uc))
+            })
+        } else {
+            vec![None; cells.len()]
+        };
+
+        // ------------------------------------------------ explicit prepass
+        if engine != EngineKind::Cdag {
+            let mut qt = BTreeSet::new();
+            let mut ut = BTreeSet::new();
+            for ((&(vi, ui), &k), proved) in cells.iter().zip(&ks).zip(&cdag_flags) {
+                if engine == EngineKind::Auto && cdag_first && *proved == Some(true) {
+                    continue;
+                }
+                qt.insert((vi, k));
+                ut.insert((ui, k));
+            }
+            self.ensure_explicit_bulk(&qt, &ut);
+        }
+
+        // ------------------------------------------------ legacy CDAG pass
+        // Under the legacy (explicit-first) auto order the CDAG engine only
+        // runs for cells where either side overflowed its budget.
+        if engine == EngineKind::Auto && !cdag_first {
+            let mut qt = BTreeSet::new();
+            let mut ut = BTreeSet::new();
+            for (&(vi, ui), &k) in cells.iter().zip(&ks) {
+                let q_ok = self
+                    .explicit_queries
+                    .get(&(Arc::clone(&self.views[vi].key), k))
+                    .is_some_and(Option::is_some);
+                let u_ok = self
+                    .explicit_updates
+                    .get(&(Arc::clone(&self.updates[ui].key), k))
+                    .is_some_and(Option::is_some);
+                if !(q_ok && u_ok) {
+                    qt.insert((vi, k));
+                    ut.insert((ui, k));
+                }
+            }
+            if !qt.is_empty() || !ut.is_empty() {
+                self.ensure_cdag_bulk(&qt, &ut);
+            }
+        }
+
+        // ------------------------------------------------ cell pass
+        let schema = self.schema;
+        let config = &self.config;
+        let (views, updates) = (&self.views, &self.updates);
+        let caches = CacheView {
+            cdag_queries: &self.cdag_queries,
+            cdag_updates: &self.cdag_updates,
+            explicit_queries: &self.explicit_queries,
+            explicit_updates: &self.explicit_updates,
+        };
+        let out = run_indexed(self.jobs, cells.len(), |i| {
+            let (vi, ui) = cells[i];
+            cell_verdict(
+                schema,
+                config,
+                (ks[i], views[vi].k_q, updates[ui].k_u),
+                &views[vi].key,
+                &updates[ui].key,
+                &caches,
+                cdag_flags[i],
+            )
+        });
+        self.stats.cells_computed += cells.len();
+        out
+    }
+
+    /// Fills the CDAG caches for the requested `(view index, k)` /
+    /// `(update index, k)` tasks: missing bounds are grouped per distinct
+    /// expression, each group walks its ascending bounds through a
+    /// k-ladder, and the groups run in parallel over the pool.
+    fn ensure_cdag_bulk(
+        &mut self,
+        query_tasks: &BTreeSet<(usize, usize)>,
+        update_tasks: &BTreeSet<(usize, usize)>,
+    ) {
+        let mut q_groups: BTreeMap<Arc<str>, (Query, Vec<usize>)> = BTreeMap::new();
+        for &(vi, k) in query_tasks {
+            let v = &self.views[vi];
+            if self
+                .cdag_queries
+                .get(&v.key)
+                .and_then(|c| c.get(k))
+                .is_some()
+            {
+                self.stats.cdag_cache_hits += 1;
+                continue;
+            }
+            let entry = q_groups
+                .entry(Arc::clone(&v.key))
+                .or_insert_with(|| (v.query.clone(), Vec::new()));
+            if !entry.1.contains(&k) {
+                entry.1.push(k);
+            }
+        }
+        let mut u_groups: BTreeMap<Arc<str>, (Update, Vec<usize>)> = BTreeMap::new();
+        for &(ui, k) in update_tasks {
+            let u = &self.updates[ui];
+            if self
+                .cdag_updates
+                .get(&u.key)
+                .and_then(|c| c.get(k))
+                .is_some()
+            {
+                self.stats.cdag_cache_hits += 1;
+                continue;
+            }
+            let entry = u_groups
+                .entry(Arc::clone(&u.key))
+                .or_insert_with(|| (u.update.clone(), Vec::new()));
+            if !entry.1.contains(&k) {
+                entry.1.push(k);
+            }
+        }
+        if q_groups.is_empty() && u_groups.is_empty() {
+            return;
+        }
+        let qg: Vec<(Arc<str>, Query, Vec<usize>)> = q_groups
+            .into_iter()
+            .map(|(key, (q, mut ks))| {
+                ks.sort_unstable();
+                (key, q, ks)
+            })
+            .collect();
+        let ug: Vec<(Arc<str>, Update, Vec<usize>)> = u_groups
+            .into_iter()
+            .map(|(key, (u, mut ks))| {
+                ks.sort_unstable();
+                (key, u, ks)
+            })
+            .collect();
+        let schema = self.schema;
+        let element_chains = self.config.element_chains;
+        let n_q = qg.len();
+        enum Out {
+            Query(usize, Vec<LadderStep<DagQueryChains>>, usize),
+            Update(usize, Vec<LadderStep<ChainDag>>, usize),
+        }
+        let results = run_indexed(self.jobs, n_q + ug.len(), |i| {
+            if i < n_q {
+                let (_, q, ks) = &qg[i];
+                let (steps, inferences) =
+                    QueryKLadder::walk_bounds_complete(schema, q, ks, element_chains);
+                Out::Query(i, steps, inferences)
+            } else {
+                let (_, u, ks) = &ug[i - n_q];
+                let (steps, inferences) =
+                    UpdateKLadder::walk_bounds_complete(schema, u, ks, element_chains);
+                Out::Update(i - n_q, steps, inferences)
+            }
+        });
+        for r in results {
+            match r {
+                Out::Query(i, steps, inferences) => {
+                    let key = &qg[i].0;
+                    let served = steps.len();
+                    let cache = self.cdag_queries.entry(Arc::clone(key)).or_default();
+                    for (k, result, complete_from) in steps {
+                        cache.insert(k, complete_from, result);
+                    }
+                    self.stats.cdag_inferences += inferences;
+                    self.stats.cdag_cache_hits += served - inferences.min(served);
+                }
+                Out::Update(i, steps, inferences) => {
+                    let key = &ug[i].0;
+                    let served = steps.len();
+                    let cache = self.cdag_updates.entry(Arc::clone(key)).or_default();
+                    for (k, result, complete_from) in steps {
+                        cache.insert(k, complete_from, result);
+                    }
+                    self.stats.cdag_inferences += inferences;
+                    self.stats.cdag_cache_hits += served - inferences.min(served);
+                }
+            }
+        }
+    }
+
+    /// Fills the explicit caches for the requested tasks, one fresh
+    /// inference per missing `(expression, k)`, sharded over the pool.
+    fn ensure_explicit_bulk(
+        &mut self,
+        query_tasks: &BTreeSet<(usize, usize)>,
+        update_tasks: &BTreeSet<(usize, usize)>,
+    ) {
+        let mut qt: Vec<(Arc<str>, Query, usize)> = Vec::new();
+        let mut seen_q: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
+        for &(vi, k) in query_tasks {
+            let v = &self.views[vi];
+            if self.explicit_queries.contains_key(&(Arc::clone(&v.key), k)) {
+                self.stats.explicit_cache_hits += 1;
+                continue;
+            }
+            if seen_q.insert((Arc::clone(&v.key), k)) {
+                qt.push((Arc::clone(&v.key), v.query.clone(), k));
+            }
+        }
+        let mut ut: Vec<(Arc<str>, Update, usize)> = Vec::new();
+        let mut seen_u: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
+        for &(ui, k) in update_tasks {
+            let u = &self.updates[ui];
+            if self.explicit_updates.contains_key(&(Arc::clone(&u.key), k)) {
+                self.stats.explicit_cache_hits += 1;
+                continue;
+            }
+            if seen_u.insert((Arc::clone(&u.key), k)) {
+                ut.push((Arc::clone(&u.key), u.update.clone(), k));
+            }
+        }
+        if qt.is_empty() && ut.is_empty() {
+            return;
+        }
+        let schema = self.schema;
+        let config = &self.config;
+        enum Out {
+            Query(usize, Option<QueryChains>),
+            Update(usize, Option<UpdateChains>),
+        }
+        let n_q = qt.len();
+        let results = run_indexed(self.jobs, n_q + ut.len(), |i| {
+            if i < n_q {
+                let (_, q, k) = &qt[i];
+                Out::Query(i, infer_query_explicit(schema, config, q, *k))
+            } else {
+                let (_, u, k) = &ut[i - n_q];
+                Out::Update(i - n_q, infer_update_explicit(schema, config, u, *k))
+            }
+        });
+        for r in results {
+            match r {
+                Out::Query(i, qc) => {
+                    let (key, _, k) = &qt[i];
+                    self.explicit_queries
+                        .insert((Arc::clone(key), *k), qc.map(Arc::new));
+                    self.stats.explicit_inferences += 1;
+                }
+                Out::Update(i, uc) => {
+                    let (key, _, k) = &ut[i];
+                    self.explicit_updates
+                        .insert((Arc::clone(key), *k), uc.map(Arc::new));
+                    self.stats.explicit_inferences += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared inference and verdict assembly
+// ---------------------------------------------------------------------------
+
+/// The cache key of an expression: its derived `Debug` representation.
+/// `Debug` prints the full AST structure, so — unlike `Display`, which
+/// elides grouping (a `Concat` renders without parentheses) — structurally
+/// different expressions never share a key.
+fn expr_key<T: std::fmt::Debug>(expr: &T) -> Arc<str> {
+    Arc::from(format!("{expr:?}").as_str())
+}
+
+/// One bound produced by a ladder walk, as returned by
+/// `QueryKLadder::walk_bounds_complete` / `UpdateKLadder::walk_bounds_complete`:
+/// the bound, its result, and the build bound the result is complete from
+/// (`None` when that build saturated).
+type LadderStep<T> = (usize, Arc<T>, Option<usize>);
+
+/// Explicit query inference for one `(expression, k)`; `None` on budget
+/// overflow. Identical to the query side of
+/// [`IndependenceAnalyzer::infer_explicit`](crate::IndependenceAnalyzer::infer_explicit).
+fn infer_query_explicit<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    q: &Query,
+    k: usize,
+) -> Option<QueryChains> {
+    let universe = Universe::with_k(schema, k);
+    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
+        .with_element_chains(config.element_chains);
+    eng.infer_query(&eng.root_gamma(q.free_vars()), q).ok()
+}
+
+/// Explicit update inference for one `(expression, k)`; `None` on overflow.
+fn infer_update_explicit<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    u: &Update,
+    k: usize,
+) -> Option<UpdateChains> {
+    let universe = Universe::with_k(schema, k);
+    let eng = ExplicitEngine::new(&universe, config.explicit_budget)
+        .with_element_chains(config.element_chains);
+    eng.infer_update(&eng.root_gamma(u.free_vars()), u).ok()
+}
+
+/// Produces one cell's verdict from the session caches, mirroring the
+/// engine order of the historical `IndependenceAnalyzer::check` case for
+/// case (including [`AnalyzerConfig::cdag_first`]). This is the only place
+/// a [`Verdict`] is assembled.
+fn cell_verdict<S: SchemaLike>(
+    schema: &S,
+    config: &AnalyzerConfig,
+    (k, k_query, k_update): (usize, usize, usize),
+    qkey: &Arc<str>,
+    ukey: &Arc<str>,
+    caches: &CacheView<'_>,
+    cdag_independent: Option<bool>,
+) -> Verdict {
+    let explicit = || -> Option<Verdict> {
+        let qc = caches
+            .explicit_queries
+            .get(&(Arc::clone(qkey), k))?
+            .as_ref()?;
+        let uc = caches
+            .explicit_updates
+            .get(&(Arc::clone(ukey), k))?
+            .as_ref()?;
+        let witness = find_conflict(qc, uc);
+        Some(Verdict {
+            independent: witness.is_none(),
+            k,
+            k_query,
+            k_update,
+            engine_used: EngineKind::Explicit,
+            query_chain_count: qc.total_len(),
+            update_chain_count: uc.len(),
+            witness,
+        })
+    };
+    let cdag = |independent: Option<bool>| -> Verdict {
+        let qc = caches.cdag_queries[qkey]
+            .get(k)
+            .expect("cdag query chains ensured");
+        let uc = caches.cdag_updates[ukey]
+            .get(k)
+            .expect("cdag update chains ensured");
+        let independent = independent.unwrap_or_else(|| {
+            CdagEngine::new(schema, k)
+                .with_element_chains(config.element_chains)
+                .independent(&qc, &uc)
+        });
+        Verdict {
+            independent,
+            k,
+            k_query,
+            k_update,
+            engine_used: EngineKind::Cdag,
+            witness: None,
+            query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
+            update_chain_count: uc.edge_count(),
+        }
+    };
+    match config.engine {
+        EngineKind::Explicit => {
+            explicit().unwrap_or_else(|| conservative_explicit_verdict((k, k_query, k_update)))
+        }
+        EngineKind::Cdag => cdag(cdag_independent),
+        EngineKind::Auto if config.cdag_first => {
+            if cdag_independent == Some(true) {
+                return cdag(Some(true));
+            }
+            explicit().unwrap_or_else(|| cdag(cdag_independent))
+        }
+        EngineKind::Auto => explicit().unwrap_or_else(|| cdag(None)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::IndependenceAnalyzer;
+    use crate::parallel::analyze_matrix;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    fn verdicts_eq(a: &Verdict, b: &Verdict) -> bool {
+        a.is_independent() == b.is_independent()
+            && a.k == b.k
+            && a.k_query == b.k_query
+            && a.k_update == b.k_update
+            && a.engine_used == b.engine_used
+            && a.witness == b.witness
+            && a.query_chain_count == b.query_chain_count
+            && a.update_chain_count == b.update_chain_count
+    }
+
+    #[test]
+    fn warm_check_is_bit_identical_to_fresh_analyzer() {
+        let d = figure1();
+        let pairs = [
+            ("//a//c", "delete //b//c"),
+            ("//c", "delete //b//c"),
+            ("//b", "delete //c"),
+        ];
+        for engine in [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag] {
+            let config = AnalyzerConfig {
+                engine,
+                ..Default::default()
+            };
+            let mut session = SessionBuilder::new(&d).config(config.clone()).build();
+            let analyzer = IndependenceAnalyzer::with_config(&d, config);
+            for (qs, us) in pairs {
+                let q = parse_query(qs).unwrap();
+                let u = parse_update(us).unwrap();
+                let fresh = analyzer.check(&q, &u);
+                // First (cold) and second (warm) session check both match.
+                assert!(verdicts_eq(&session.check(&q, &u), &fresh), "({qs}, {us})");
+                assert!(verdicts_eq(&session.check(&q, &u), &fresh), "({qs}, {us})");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_checks_hit_the_caches() {
+        let d = figure1();
+        let mut session = AnalysisSession::new(&d);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        session.check(&q, &u);
+        let after_first = session.stats();
+        session.check(&q, &u);
+        let after_second = session.stats();
+        assert_eq!(
+            after_first.cdag_inferences, after_second.cdag_inferences,
+            "the warm check must not re-infer"
+        );
+        assert!(after_second.cdag_cache_hits > after_first.cdag_cache_hits);
+    }
+
+    #[test]
+    fn incremental_edits_match_fresh_matrix() {
+        let d = figure1();
+        let views = ["//a//c", "//c", "//b"];
+        let updates = ["delete //b//c", "delete //c"];
+        let mut session = AnalysisSession::new(&d);
+        for (i, v) in views.iter().enumerate() {
+            session.add_view(format!("v{i}"), parse_query(v).unwrap());
+        }
+        for (i, u) in updates.iter().enumerate() {
+            session.add_update(format!("u{i}"), parse_update(u).unwrap());
+        }
+        // Edit: drop a view and an update, then add a new view.
+        session.remove_view("v1");
+        session.remove_update("u0");
+        session.add_view("v3", parse_query("//node()").unwrap());
+        let remaining_views: Vec<Query> = session.views().map(|(_, q)| q.clone()).collect();
+        let remaining_updates: Vec<Update> = session.updates().map(|(_, u)| u.clone()).collect();
+        let fresh = analyze_matrix(
+            &d,
+            &remaining_views,
+            &remaining_updates,
+            &AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+        );
+        let materialized = session.verdicts();
+        assert_eq!(materialized.n_views(), fresh.n_views());
+        assert_eq!(materialized.n_updates(), fresh.n_updates());
+        for ui in 0..fresh.n_updates() {
+            for vi in 0..fresh.n_views() {
+                assert!(
+                    verdicts_eq(materialized.verdict(ui, vi), fresh.verdict(ui, vi)),
+                    "cell ({ui}, {vi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_workload_equals_one_at_a_time() {
+        let d = figure1();
+        let views = ["//a//c", "//c", "//b"];
+        let updates = ["delete //b//c", "delete //c"];
+        let mut bulk = AnalysisSession::new(&d);
+        bulk.add_workload(
+            views
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (format!("v{i}"), parse_query(v).unwrap())),
+            updates
+                .iter()
+                .enumerate()
+                .map(|(i, u)| (format!("u{i}"), parse_update(u).unwrap())),
+        );
+        let mut single = AnalysisSession::new(&d);
+        for (i, v) in views.iter().enumerate() {
+            single.add_view(format!("v{i}"), parse_query(v).unwrap());
+        }
+        for (i, u) in updates.iter().enumerate() {
+            single.add_update(format!("u{i}"), parse_update(u).unwrap());
+        }
+        for ui in 0..updates.len() {
+            assert_eq!(
+                bulk.independent_flags(ui),
+                single.independent_flags(ui),
+                "update {ui}"
+            );
+        }
+        // And a second workload on top of the first only computes new cells.
+        bulk.add_workload(
+            std::iter::once(("v9".to_string(), parse_query("//node()").unwrap())),
+            std::iter::empty(),
+        );
+        assert_eq!(bulk.n_views(), 4);
+        assert_eq!(bulk.independent_flags(0).len(), 4);
+    }
+
+    #[test]
+    fn recompute_is_idempotent_and_warm() {
+        let d = figure1();
+        let mut session = AnalysisSession::new(&d);
+        session.add_workload(
+            [("v0".to_string(), parse_query("//a//c").unwrap())],
+            [("u0".to_string(), parse_update("delete //b//c").unwrap())],
+        );
+        let before = session.independent_flags(0);
+        let inferences = session.stats().cdag_inferences;
+        session.recompute();
+        assert_eq!(session.independent_flags(0), before);
+        assert_eq!(
+            session.stats().cdag_inferences,
+            inferences,
+            "recompute must be served entirely from the caches"
+        );
+    }
+
+    #[test]
+    fn reports_match_the_materialized_matrix() {
+        let d = figure1();
+        let mut session = AnalysisSession::new(&d);
+        session.add_workload(
+            [
+                ("v1".to_string(), parse_query("//a//c").unwrap()),
+                ("v2".to_string(), parse_query("//c").unwrap()),
+            ],
+            [("u1".to_string(), parse_update("delete //b//c").unwrap())],
+        );
+        let reports = session.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].update_name, "u1");
+        assert_eq!(reports[0].rows.len(), 2);
+        assert_eq!(reports[0].independent_count(), 1);
+    }
+
+    #[test]
+    fn display_colliding_expressions_get_distinct_cache_entries() {
+        // These two queries print identically under `Display` (Concat is
+        // rendered without parentheses) but are structurally different —
+        // they even have different k bounds. The cache key must separate
+        // them, or a warm check would serve one the other's chain sets.
+        let d = figure1();
+        let q1 = parse_query("for $x in //b return ($x/c, //a)").unwrap();
+        let q2 = parse_query("for $x in //b return $x/c, //a").unwrap();
+        assert_eq!(q1.to_string(), q2.to_string());
+        assert_ne!(q1, q2, "the parses must differ structurally");
+        let u = parse_update("delete //b//c").unwrap();
+        let analyzer = IndependenceAnalyzer::new(&d);
+        let mut session = AnalysisSession::new(&d);
+        for q in [&q1, &q2, &q1, &q2] {
+            assert!(
+                verdicts_eq(&session.check(q, &u), &analyzer.check(q, &u)),
+                "cached check diverged for {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_projection_is_cached() {
+        let d = figure1();
+        let mut session = AnalysisSession::new(&d);
+        let q = parse_query("//a//c").unwrap();
+        let p1 = session.streaming_projection(&q);
+        let p2 = session.streaming_projection(&q);
+        assert_eq!(p1.len(), p2.len());
+        assert!(!p1.is_empty());
+    }
+}

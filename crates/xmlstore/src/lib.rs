@@ -45,7 +45,7 @@ pub use serializer::{
 };
 pub use store::Store;
 pub use streaming::{
-    parse_xml_reader, parse_xml_stream, project_paths, project_spec, PathAutomaton, PathSpec,
-    Projection, StreamConfig, StreamOutcome, StreamStats,
+    parse_xml_reader, parse_xml_stream, project_paths, project_spec, AutomatonCursor,
+    PathAutomaton, PathSpec, Projection, StreamConfig, StreamOutcome, StreamStats,
 };
 pub use tree::{Tree, TreeBuilder};

@@ -253,6 +253,138 @@ impl PathAutomaton {
     }
 }
 
+/// Incremental simulation of a [`PathAutomaton`] along a root-to-node path.
+///
+/// [`PathAutomaton::classify_path`] re-simulates the whole path from the
+/// root — `O(depth · states)` per call, which the streaming parser used to
+/// pay at *every* start tag. The cursor instead keeps one state-set frame
+/// per open element: [`push`](Self::push) steps the top frame's states over
+/// one label (`O(states · transitions-per-label)`, amortized `O(states)`)
+/// and [`pop`](Self::pop) restores the parent frame when the element
+/// closes. The flags it reports are exactly those of a full re-simulation
+/// of the current path (`tests/streaming_xmark.rs` asserts the equivalence
+/// on random walks).
+#[derive(Clone, Debug, Default)]
+pub struct AutomatonCursor {
+    frames: Vec<CursorFrame>,
+}
+
+/// One open element's simulation state.
+#[derive(Clone, Debug)]
+struct CursorFrame {
+    /// The automaton states reachable by the path down to this element
+    /// (empty once the automaton has died on the path — deeper pushes stay
+    /// dead, mirroring `classify`'s early return).
+    states: Vec<u32>,
+    /// Whether any consumed prefix landed on a subtree-keep state
+    /// (monotone along the path).
+    in_subtree: bool,
+}
+
+impl AutomatonCursor {
+    /// A cursor at the document root (empty path).
+    pub fn new() -> Self {
+        AutomatonCursor::default()
+    }
+
+    /// Number of labels currently on the path.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Steps the cursor down into a child with the given label and returns
+    /// the `(on_path, in_subtree)` flags of the extended path — identical
+    /// to [`PathAutomaton::classify_path`] on the full path.
+    pub fn push(&mut self, auto: &PathAutomaton, label: &str) -> (bool, bool) {
+        let (parent_states, parent_in): (&[u32], bool) = match self.frames.last() {
+            Some(f) => (&f.states, f.in_subtree),
+            None => (&[], false),
+        };
+        let mut states: Vec<u32> = Vec::new();
+        if self.frames.is_empty() {
+            for (l, st) in &auto.starts {
+                if l == label && !states.contains(st) {
+                    states.push(*st);
+                }
+            }
+        } else {
+            for &st in parent_states {
+                for (l, t) in &auto.transitions[st as usize] {
+                    if l == label && !states.contains(t) {
+                        states.push(*t);
+                    }
+                }
+            }
+        }
+        if states.is_empty() {
+            self.frames.push(CursorFrame {
+                states,
+                in_subtree: parent_in,
+            });
+            return (false, parent_in);
+        }
+        let in_subtree = parent_in || states.iter().any(|&s| auto.subtree[s as usize]);
+        let on_path = in_subtree || states.iter().any(|&s| auto.reaches_end[s as usize]);
+        self.frames.push(CursorFrame { states, in_subtree });
+        (on_path, in_subtree)
+    }
+
+    /// Pushes a frame without simulating — used inside regions whose keep
+    /// decision is already final (`Keep::All` / `Keep::Skip` subtrees, and
+    /// below schema-unknown labels), where the flags are never consulted;
+    /// the frame only keeps the stack aligned with the element depth.
+    fn push_dead(&mut self) {
+        let in_subtree = self.frames.last().map(|f| f.in_subtree).unwrap_or(false);
+        self.frames.push(CursorFrame {
+            states: Vec::new(),
+            in_subtree,
+        });
+    }
+
+    /// Steps back up out of the current element.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// The `(on_path, in_subtree)` flags of the current path — identical to
+    /// [`PathAutomaton::classify_path`] on the labels pushed so far.
+    pub fn flags(&self, auto: &PathAutomaton) -> (bool, bool) {
+        match self.frames.last() {
+            None => (false, false),
+            Some(f) if f.states.is_empty() => (false, f.in_subtree),
+            Some(f) => (
+                f.in_subtree || f.states.iter().any(|&s| auto.reaches_end[s as usize]),
+                f.in_subtree,
+            ),
+        }
+    }
+
+    /// Whether a text child of the current element is kept — identical to
+    /// [`PathAutomaton::keeps_text_child`] on the current path, but `O(states)`
+    /// instead of a full re-simulation.
+    pub fn text_child_kept(&self, auto: &PathAutomaton) -> bool {
+        let Some(top) = self.frames.last() else {
+            return false;
+        };
+        if top.in_subtree {
+            return true;
+        }
+        let mut any = false;
+        let mut in_subtree = false;
+        let mut reaches = false;
+        for &st in &top.states {
+            for (l, t) in &auto.transitions[st as usize] {
+                if l == TEXT_LABEL {
+                    any = true;
+                    in_subtree |= auto.subtree[*t as usize];
+                    reaches |= auto.reaches_end[*t as usize];
+                }
+            }
+        }
+        any && (in_subtree || reaches)
+    }
+}
+
 /// Either way of describing a streamed projection: explicit label paths
 /// (materialized chain sets) or the compact automaton (chain-DAGs over
 /// recursive schemas, where enumeration would overflow any budget). The
@@ -603,8 +735,13 @@ struct StreamParser<R: Read> {
     store: Store,
     keep_attributes: bool,
     projection: Option<Projection>,
-    /// Root-to-current label path; maintained only when projecting.
+    /// Root-to-current label path; maintained only for explicit
+    /// [`Projection::Paths`] specs.
     path: Vec<String>,
+    /// Incremental automaton state-set stack; maintained only for
+    /// [`Projection::Automaton`] specs, so each start tag costs `O(states)`
+    /// instead of re-simulating the whole root-to-node path.
+    cursor: AutomatonCursor,
     stack: Vec<Frame>,
     stats: StreamStats,
 }
@@ -627,6 +764,7 @@ pub fn parse_xml_stream<R: Read>(
         keep_attributes: config.keep_attributes,
         projection: config.projection.clone(),
         path: Vec::new(),
+        cursor: AutomatonCursor::new(),
         stack: Vec::new(),
         stats: StreamStats::default(),
     };
@@ -753,17 +891,55 @@ impl<R: Read> StreamParser<R> {
         self.stack.last().map(|f| f.keep).unwrap_or(Keep::Filter)
     }
 
-    /// Decides the keep state of an element about to start; `path` already
-    /// includes its tag. The document element is never skipped.
-    fn decide_element(&self, tag: &str) -> Keep {
-        let Some(spec) = &self.projection else {
-            return Keep::Filter;
+    /// Pushes `tag` onto the projection tracking state and decides the keep
+    /// state of the element about to start. Explicit path specs re-classify
+    /// the materialized label path; the automaton steps its incremental
+    /// state-set stack one label (`O(states)` instead of re-simulating the
+    /// whole root-to-node path). The document element is never skipped.
+    fn enter_element(&mut self, tag: &str) -> Keep {
+        let parent = self.parent_keep();
+        let keep = match &self.projection {
+            None => Keep::Filter,
+            Some(spec @ Projection::Paths(_)) => {
+                self.path.push(tag.to_string());
+                decide(spec, parent, &self.path, tag)
+            }
+            Some(Projection::Automaton(auto)) => match parent {
+                Keep::All | Keep::Skip => {
+                    self.cursor.push_dead();
+                    parent
+                }
+                Keep::Filter if !auto.is_known(tag) => {
+                    self.cursor.push_dead();
+                    Keep::All
+                }
+                Keep::Filter => {
+                    let (on_path, in_subtree) = self.cursor.push(auto, tag);
+                    if in_subtree {
+                        Keep::All
+                    } else if on_path {
+                        Keep::Filter
+                    } else {
+                        Keep::Skip
+                    }
+                }
+            },
         };
-        let keep = decide(spec, self.parent_keep(), &self.path, tag);
         if self.stack.is_empty() && keep == Keep::Skip {
             Keep::Filter
         } else {
             keep
+        }
+    }
+
+    /// Pops the projection tracking state when an element closes.
+    fn exit_element(&mut self) {
+        match &self.projection {
+            None => {}
+            Some(Projection::Paths(_)) => {
+                self.path.pop();
+            }
+            Some(Projection::Automaton(_)) => self.cursor.pop(),
         }
     }
 
@@ -774,10 +950,7 @@ impl<R: Read> StreamParser<R> {
         self.bs.pos += 1; // consume '<'
         let tag = self.parse_name()?;
         self.stats.elements_parsed += 1;
-        if self.projection.is_some() {
-            self.path.push(tag.clone());
-        }
-        let keep = self.decide_element(&tag);
+        let keep = self.enter_element(&tag);
         let wanted = keep != Keep::Skip;
         let attrs = self.parse_attributes(wanted && self.keep_attributes)?;
         match self.bs.peek()? {
@@ -787,9 +960,7 @@ impl<R: Read> StreamParser<R> {
                     return Err(self.error("expected '>' after '/'"));
                 }
                 self.bs.pos += 1;
-                if self.projection.is_some() {
-                    self.path.pop();
-                }
+                self.exit_element();
                 if wanted {
                     let children = attribute_children(&mut self.store, attrs, self.keep_attributes);
                     self.stats.nodes_kept += 1;
@@ -833,9 +1004,7 @@ impl<R: Read> StreamParser<R> {
             return Err(self.error("expected '>' in closing tag"));
         }
         self.bs.pos += 1;
-        if self.projection.is_some() {
-            self.path.pop();
-        }
+        self.exit_element();
         if frame.keep == Keep::Skip {
             self.stats.nodes_pruned += 1;
             Ok(None)
@@ -861,7 +1030,8 @@ impl<R: Read> StreamParser<R> {
             Keep::Skip => false,
             Keep::Filter => match &self.projection {
                 None => true,
-                Some(spec) => spec.keeps_text_child(&self.path),
+                Some(spec @ Projection::Paths(_)) => spec.keeps_text_child(&self.path),
+                Some(Projection::Automaton(auto)) => self.cursor.text_child_kept(auto),
             },
         }
     }

@@ -22,9 +22,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use xml_qui::baseline::TypeSetAnalyzer;
-use xml_qui::core::explain::{explain_verdict, matrix_report_config, ExplainOptions};
+use xml_qui::core::explain::matrix_report_config;
 use xml_qui::core::{
-    AnalyzerConfig, CommutativityAnalyzer, EngineKind, IndependenceAnalyzer, Jobs,
+    AnalyzerConfig, CommutativityAnalyzer, EngineKind, IndependenceAnalyzer, Jobs, SessionBuilder,
 };
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
@@ -60,6 +60,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "commute" => cmd_commute(&parsed),
         "chains" => cmd_chains(&parsed),
         "matrix" => cmd_matrix(&parsed),
+        "session" => cmd_session(&parsed),
         "validate" => cmd_validate(&parsed),
         "infer-dtd" => cmd_infer_dtd(&parsed),
         "generate" => cmd_generate(&parsed),
@@ -88,6 +89,10 @@ fn usage() -> String {
     let _ = writeln!(
         s,
         "  matrix    --dtd <file> --views <file> --update <expr> [--jobs <n>] [--engine E]"
+    );
+    let _ = writeln!(
+        s,
+        "  session   --dtd <file> [--jobs <n>] [--engine E]   (REPL on stdin)"
     );
     let _ = writeln!(
         s,
@@ -267,12 +272,12 @@ fn load_update(args: &CliArgs, key: &str) -> Result<Update, String> {
 // Commands
 // ---------------------------------------------------------------------------
 
-/// The `--engine` option resolved to an analyzer configuration.
+/// The `--engine` option resolved to an analyzer configuration. A typo
+/// is an error naming the valid engines — never a silent fallback.
 fn engine_config(args: &CliArgs) -> Result<AnalyzerConfig, String> {
     let engine = match args.get("--engine") {
         None => EngineKind::Auto,
-        Some(s) => EngineKind::parse(s)
-            .ok_or_else(|| format!("--engine expects auto, explicit or cdag, got '{s}'"))?,
+        Some(s) => EngineKind::parse(s).map_err(|e| format!("--engine: {e}"))?,
     };
     Ok(AnalyzerConfig {
         engine,
@@ -280,22 +285,35 @@ fn engine_config(args: &CliArgs) -> Result<AnalyzerConfig, String> {
     })
 }
 
+/// The `--jobs` option resolved to a worker policy; without the flag the
+/// `QUI_JOBS` environment override applies (via [`Jobs::from_env`], the one
+/// place that variable is interpreted).
+fn jobs_arg(args: &CliArgs) -> Result<Jobs, String> {
+    match args.get("--jobs") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|n: &usize| *n > 0)
+                .ok_or_else(|| format!("--jobs expects a positive integer, got '{v}'"))?;
+            Ok(Jobs::fixed(n))
+        }
+        None => Ok(Jobs::from_env()),
+    }
+}
+
 fn cmd_check(args: &CliArgs) -> Result<String, String> {
     let dtd = load_dtd(args)?;
     let q = load_query(args)?;
     let u = load_update(args, "--update")?;
-    let analyzer = IndependenceAnalyzer::with_config(&dtd, engine_config(args)?);
-    let verdict = analyzer.check(&q, &u);
+    let mut session = SessionBuilder::new(&dtd)
+        .config(engine_config(args)?)
+        .build();
     let mut out = String::new();
     if args.has_flag("--explain") {
-        out.push_str(&explain_verdict(
-            &dtd,
-            &q,
-            &u,
-            &verdict,
-            &ExplainOptions::default(),
-        ));
+        out.push_str(&session.explain(&q, &u));
     } else {
+        let verdict = session.check(&q, &u);
         let _ = writeln!(
             out,
             "{}",
@@ -380,24 +398,21 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // A `name:` prefix is any slash-free text before the first colon —
+        // unless that colon opens an axis step (`child::a` is a query, not
+        // a named line).
         let (name, src) = match line.split_once(':') {
-            Some((n, s)) if !n.contains('/') => (n.trim().to_string(), s.trim()),
+            Some((n, s)) if !n.contains('/') && !s.starts_with(':') => {
+                (n.trim().to_string(), s.trim())
+            }
             _ => (format!("v{}", i + 1), line),
         };
         let q = parse_query(src).map_err(|e| format!("{views_path}:{}: {e}", i + 1))?;
         views.push((name, q));
     }
     let u = load_update(args, "--update")?;
-    let jobs = match args.get("--jobs") {
-        Some(v) => Jobs::fixed(
-            v.parse()
-                .ok()
-                .filter(|n: &usize| *n > 0)
-                .ok_or_else(|| format!("--jobs expects a positive integer, got '{v}'"))?,
-        ),
-        // Without --jobs, defer to QUI_JOBS or the machine's parallelism.
-        None => Jobs::Auto,
-    };
+    // Without --jobs, defer to QUI_JOBS or the machine's parallelism.
+    let jobs = jobs_arg(args)?;
     let report = matrix_report_config(
         &dtd,
         &views,
@@ -407,6 +422,208 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
         jobs,
     );
     Ok(report.render())
+}
+
+/// `qui session` — a REPL over a long-lived [`xml_qui::core::AnalysisSession`],
+/// demonstrating the incremental workload API: views and updates are
+/// registered one line at a time, the verdict matrix is maintained across
+/// edits, and only the affected row/column is recomputed per command.
+fn cmd_session(args: &CliArgs) -> Result<String, String> {
+    let dtd = load_dtd(args)?;
+    let config = engine_config(args)?;
+    let jobs = jobs_arg(args)?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_session_repl(&dtd, config, jobs, stdin.lock(), &mut stdout.lock())
+        .map_err(|e| format!("session: {e}"))?;
+    Ok(String::new())
+}
+
+const SESSION_HELP: &str = "session commands:
+  view [name:] <query>    register a view (column) and compute its verdicts
+  update [name:] <expr>   register an update (row) and compute its verdicts
+  drop <name>             remove the view or update with that name
+  matrix                  print the materialized verdict matrix
+  stats                   print cache-effectiveness counters
+  help                    this text
+  quit                    leave the session
+";
+
+/// The REPL loop behind `qui session`, factored over generic IO so tests
+/// can drive it with in-memory buffers. Command errors are reported and the
+/// session continues; only IO failures abort.
+fn run_session_repl<R: std::io::BufRead, W: std::io::Write>(
+    dtd: &Dtd,
+    config: AnalyzerConfig,
+    jobs: Jobs,
+    input: R,
+    out: &mut W,
+) -> Result<(), String> {
+    let mut session = SessionBuilder::new(dtd).config(config).jobs(jobs).build();
+    let mut auto_views = 0usize;
+    let mut auto_updates = 0usize;
+    let io = |e: std::io::Error| format!("cannot write output: {e}");
+    writeln!(
+        out,
+        "session over {} element types — 'help' lists commands",
+        dtd.size()
+    )
+    .map_err(io)?;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("cannot read input: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (command, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match command {
+            "view" => match parse_named(rest, parse_query) {
+                Ok((name, q)) => {
+                    if let Some(name) = name.as_deref().filter(|n| name_taken(&session, n)) {
+                        writeln!(
+                            out,
+                            "error: name '{name}' is already registered (drop it first)"
+                        )
+                        .map_err(io)?;
+                        continue;
+                    }
+                    let name = name.unwrap_or_else(|| {
+                        next_auto_name("v", &mut auto_views, |n| name_taken(&session, n))
+                    });
+                    let vi = session.add_view(name.clone(), q);
+                    let independent = (0..session.n_updates())
+                        .filter(|&ui| session.verdict(ui, vi).is_independent())
+                        .count();
+                    writeln!(
+                        out,
+                        "view {name} registered — independent of {independent}/{} updates",
+                        session.n_updates()
+                    )
+                    .map_err(io)?;
+                }
+                Err(e) => writeln!(out, "error: {e}").map_err(io)?,
+            },
+            "update" => match parse_named(rest, parse_update) {
+                Ok((name, u)) => {
+                    if let Some(name) = name.as_deref().filter(|n| name_taken(&session, n)) {
+                        writeln!(
+                            out,
+                            "error: name '{name}' is already registered (drop it first)"
+                        )
+                        .map_err(io)?;
+                        continue;
+                    }
+                    let name = name.unwrap_or_else(|| {
+                        next_auto_name("u", &mut auto_updates, |n| name_taken(&session, n))
+                    });
+                    let ui = session.add_update(name.clone(), u);
+                    let independent = session
+                        .independent_flags(ui)
+                        .into_iter()
+                        .filter(|&i| i)
+                        .count();
+                    writeln!(
+                        out,
+                        "update {name} registered — {independent}/{} views independent",
+                        session.n_views()
+                    )
+                    .map_err(io)?;
+                }
+                Err(e) => writeln!(out, "error: {e}").map_err(io)?,
+            },
+            "drop" => {
+                if rest.is_empty() {
+                    writeln!(out, "error: drop expects a view or update name").map_err(io)?;
+                } else if session.remove_view(rest).is_some() {
+                    writeln!(out, "dropped view {rest}").map_err(io)?;
+                } else if session.remove_update(rest).is_some() {
+                    writeln!(out, "dropped update {rest}").map_err(io)?;
+                } else {
+                    writeln!(out, "error: no view or update named '{rest}'").map_err(io)?;
+                }
+            }
+            "matrix" => {
+                for report in session.reports() {
+                    write!(out, "{}", report.render()).map_err(io)?;
+                }
+                writeln!(
+                    out,
+                    "matrix: {} views x {} updates, {}/{} cells independent",
+                    session.n_views(),
+                    session.n_updates(),
+                    session.independent_count(),
+                    session.n_views() * session.n_updates()
+                )
+                .map_err(io)?;
+            }
+            "stats" => {
+                let s = session.stats();
+                writeln!(
+                    out,
+                    "stats: {} cdag inferences ({} cache hits), {} explicit inferences \
+                     ({} cache hits), {} cells computed, {} edits",
+                    s.cdag_inferences,
+                    s.cdag_cache_hits,
+                    s.explicit_inferences,
+                    s.explicit_cache_hits,
+                    s.cells_computed,
+                    s.edits
+                )
+                .map_err(io)?;
+            }
+            "help" => write!(out, "{SESSION_HELP}").map_err(io)?,
+            "quit" | "exit" => break,
+            other => {
+                writeln!(out, "error: unknown command '{other}' (try 'help')").map_err(io)?;
+            }
+        }
+        out.flush().map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Parses a REPL expression argument with an optional `name:` prefix
+/// (mirroring the views-file format: any slash-free prefix before the
+/// first colon, unless that colon opens an axis step — `child::a` is a
+/// query, not a named line). Returns `None` for the name when the
+/// expression was unnamed.
+fn parse_named<T, E: std::fmt::Display>(
+    rest: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<(Option<String>, T), String> {
+    if rest.is_empty() {
+        return Err("expected [name:] <expression>".to_string());
+    }
+    let (name, src) = match rest.split_once(':') {
+        Some((n, s)) if !n.contains('/') && !n.trim().is_empty() && !s.starts_with(':') => {
+            (Some(n.trim().to_string()), s.trim())
+        }
+        _ => (None, rest),
+    };
+    let parsed = parse(src).map_err(|e| format!("{src}: {e}"))?;
+    Ok((name, parsed))
+}
+
+/// Whether a name is already registered on either side of the session's
+/// workload — `drop <name>` addresses both namespaces, so names must be
+/// unique across views *and* updates.
+fn name_taken(session: &xml_qui::core::AnalysisSession<'_, Dtd>, name: &str) -> bool {
+    session.views().any(|(n, _)| n == name) || session.updates().any(|(n, _)| n == name)
+}
+
+/// The next free auto-name (`v1, v2, …` / `u1, u2, …`), skipping names the
+/// user already claimed explicitly.
+fn next_auto_name(prefix: &str, counter: &mut usize, taken: impl Fn(&str) -> bool) -> String {
+    loop {
+        *counter += 1;
+        let name = format!("{prefix}{counter}");
+        if !taken(&name) {
+            return name;
+        }
+    }
 }
 
 fn cmd_validate(args: &CliArgs) -> Result<String, String> {
@@ -536,15 +753,7 @@ fn cmd_xmark(args: &CliArgs) -> Result<String, String> {
 fn cmd_maintain(args: &CliArgs) -> Result<String, String> {
     let (nodes, label) = resolve_scale(args, Some(XmarkScale::Small))?;
     let seed = args.get_usize("--seed", 7)? as u64;
-    let jobs = match args.get("--jobs") {
-        Some(v) => Jobs::fixed(
-            v.parse()
-                .ok()
-                .filter(|n: &usize| *n > 0)
-                .ok_or_else(|| format!("--jobs expects a positive integer, got '{v}'"))?,
-        ),
-        None => Jobs::Auto,
-    };
+    let jobs = jobs_arg(args)?;
     let views = all_views();
     let updates = all_updates();
     let report = maintenance_simulation_jobs(&views, &updates, nodes, &label, seed, jobs);
@@ -700,8 +909,155 @@ mod tests {
             cdag.starts_with("independent") && cdag.contains("engine = Cdag"),
             "{cdag}"
         );
-        assert!(check("frobnicator").is_err());
+        let err = check("frobnicator").unwrap_err();
+        assert!(
+            err.contains("valid engines are auto, explicit, cdag"),
+            "the error must name the valid engines: {err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_repl_drives_an_incremental_workload() {
+        let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+        let script = "\
+# a comment and a blank line are ignored
+
+view //a//c
+view v9: //c
+update delete //b//c
+matrix
+drop v9
+drop nosuch
+update u7: delete //c
+matrix
+stats
+bogus
+quit
+";
+        let mut out = Vec::new();
+        run_session_repl(
+            &dtd,
+            AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+            std::io::Cursor::new(script.as_bytes().to_vec()),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("view v1 registered"), "{text}");
+        assert!(text.contains("view v9 registered"), "{text}");
+        assert!(
+            text.contains("update u1 registered — 1/2 views independent"),
+            "{text}"
+        );
+        assert!(text.contains("dropped view v9"), "{text}");
+        assert!(
+            text.contains("error: no view or update named 'nosuch'"),
+            "{text}"
+        );
+        assert!(
+            text.contains("update u7 registered — 0/1 views independent"),
+            "{text}"
+        );
+        assert!(
+            text.contains("matrix: 1 views x 2 updates, 1/2 cells independent"),
+            "{text}"
+        );
+        assert!(text.contains("cells computed"), "{text}");
+        assert!(text.contains("error: unknown command 'bogus'"), "{text}");
+    }
+
+    #[test]
+    fn session_repl_accepts_axis_syntax_and_keeps_auto_names_unique() {
+        let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+        // `child::a/c` must not have `child` eaten as a name, and the
+        // unnamed view after an explicit `v1:` must not collide with it.
+        let script = "view v1: //c\nview child::a/c\nupdate delete //b\nquit\n";
+        let mut out = Vec::new();
+        run_session_repl(
+            &dtd,
+            AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+            std::io::Cursor::new(script.as_bytes().to_vec()),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("view v1 registered"), "{text}");
+        assert!(
+            text.contains("view v2 registered"),
+            "the auto-name must skip the taken v1: {text}"
+        );
+        assert!(!text.contains("error"), "{text}");
+    }
+
+    #[test]
+    fn matrix_views_file_accepts_axis_syntax_lines() {
+        let dir = std::env::temp_dir().join(format!("qui-cli-axis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dtd_path = dir.join("fig1.dtd");
+        std::fs::write(&dtd_path, "doc -> (a|b)* ; a -> c ; b -> c").unwrap();
+        let views_path = dir.join("views.txt");
+        std::fs::write(&views_path, "child::a/c\nv2: //c\n").unwrap();
+        let out = run(&strings(&[
+            "matrix",
+            "--dtd",
+            dtd_path.to_str().unwrap(),
+            "--views",
+            views_path.to_str().unwrap(),
+            "--update",
+            "delete //b//c",
+        ]))
+        .unwrap();
+        assert!(out.contains("1/2 views independent"), "{out}");
+        assert!(out.contains("v1"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_repl_rejects_duplicate_names() {
+        let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+        let script = "view x: //a\nview x: //c\nupdate x: delete //c\nupdate y: delete //b\nquit\n";
+        let mut out = Vec::new();
+        run_session_repl(
+            &dtd,
+            AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+            std::io::Cursor::new(script.as_bytes().to_vec()),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("view x registered"), "{text}");
+        // Both the duplicate view name and the view/update name clash are
+        // rejected; the fresh name still registers.
+        assert_eq!(
+            text.matches("error: name 'x' is already registered")
+                .count(),
+            2,
+            "{text}"
+        );
+        assert!(text.contains("update y registered"), "{text}");
+    }
+
+    #[test]
+    fn session_repl_survives_malformed_expressions() {
+        let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+        let script = "view ]]]not a query\nupdate\nview //a\nquit\n";
+        let mut out = Vec::new();
+        run_session_repl(
+            &dtd,
+            AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+            std::io::Cursor::new(script.as_bytes().to_vec()),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Both bad lines report errors, and the session keeps going.
+        assert!(text.matches("error:").count() >= 2, "{text}");
+        assert!(text.contains("view v1 registered"), "{text}");
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!   independence checker used as ground truth in tests (paper §2).
 //! * [`core`] — the paper's contribution: chain inference (paper §3), the
 //!   infinite analysis (§4), the finite `k`-chain analysis (§5) and the
-//!   CDAG-based implementation (§6.1). The main entry point is
-//!   [`core::IndependenceAnalyzer`].
+//!   CDAG-based implementation (§6.1). The main entry point is the stateful
+//!   [`core::AnalysisSession`] (built with [`core::SessionBuilder`]);
+//!   the stateless [`core::IndependenceAnalyzer`] is kept as a thin
+//!   wrapper.
 //! * [`baseline`] — a re-implementation of the schema-based *type set*
 //!   analysis of Benedikt & Cheney used as the comparison baseline.
 //! * [`workloads`] — XMark / XPathMark workloads, the update sets of §6.2,

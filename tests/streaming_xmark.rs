@@ -18,7 +18,7 @@ use xml_qui::workloads::{
 };
 use xml_qui::xmlstore::{
     parse_xml, parse_xml_keep_attributes, parse_xml_reader, parse_xml_stream, project_paths,
-    StreamConfig,
+    project_spec, AutomatonCursor, PathAutomaton, Projection, StreamConfig,
 };
 use xml_qui::xquery::dynamic::snapshot_query;
 use xml_qui::xquery::parse_query;
@@ -202,6 +202,113 @@ proptest! {
                 maintenance_simulation_jobs(&views, &updates, 1_000, "p", seed, Jobs::Fixed(jobs));
             prop_assert_eq!(report.deterministic_fields(), reference.clone(), "jobs = {}", jobs);
         }
+    }
+}
+
+/// The compiled CDAG path automaton for the recursive descendant view the
+/// perf harness uses (`//parlist//keyword`): its explicit chain spec
+/// overflows any budget, so the automaton is the only description.
+fn parlist_automaton() -> PathAutomaton {
+    let dtd = xmark_dtd();
+    let q = parse_query("//parlist//keyword").unwrap();
+    match ChainProjector::new(&dtd).streaming_projection_for_query(&q) {
+        Projection::Automaton(a) => a,
+        Projection::Paths(_) => panic!("expected the compiled automaton"),
+    }
+}
+
+/// Labels used for random automaton walks: the recursive clique plus its
+/// context, and one label the schema does not know.
+const WALK_LABELS: &[&str] = &[
+    "site",
+    "regions",
+    "europe",
+    "item",
+    "description",
+    "parlist",
+    "listitem",
+    "text",
+    "keyword",
+    "bold",
+    "emph",
+    "name",
+    "zzz-unknown",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ROADMAP follow-up regression: the incremental `AutomatonCursor` the
+    /// streaming parser keeps (one `O(states)` step per start tag) reports,
+    /// at every depth of a random push/pop walk, exactly the flags a full
+    /// `O(depth · states)` re-simulation of the root-to-node path reports —
+    /// including the text-child decision.
+    #[test]
+    fn automaton_cursor_equals_full_resimulation(
+        ops in prop::collection::vec((0usize..WALK_LABELS.len() + 1, 0usize..WALK_LABELS.len()), 1..40),
+    ) {
+        let auto = parlist_automaton();
+        let mut cursor = AutomatonCursor::new();
+        let mut path: Vec<String> = Vec::new();
+        for &(op, label_idx) in &ops {
+            if op == WALK_LABELS.len() {
+                // A pop (ignored at the root).
+                if !path.is_empty() {
+                    path.pop();
+                    cursor.pop();
+                }
+            } else {
+                let label = WALK_LABELS[label_idx];
+                path.push(label.to_string());
+                let pushed = cursor.push(&auto, label);
+                prop_assert_eq!(
+                    pushed,
+                    auto.classify_path(&path),
+                    "push flags diverged at {:?}", path
+                );
+            }
+            prop_assert_eq!(
+                cursor.flags(&auto),
+                auto.classify_path(&path),
+                "flags diverged at {:?}", path
+            );
+            prop_assert_eq!(cursor.depth(), path.len());
+            if !path.is_empty() {
+                prop_assert_eq!(
+                    cursor.text_child_kept(&auto),
+                    auto.keeps_text_child(&path),
+                    "text decision diverged at {:?}", path
+                );
+            }
+        }
+    }
+
+    /// Streamed automaton projection (through the incremental cursor) ≡ the
+    /// in-memory reference `project_spec` (which re-simulates every path),
+    /// and the projection still answers the recursive query.
+    #[test]
+    fn streamed_automaton_projection_equals_reference(
+        nodes in 400usize..2_500,
+        seed in 0u64..200,
+    ) {
+        let dtd = xmark_dtd();
+        let q = parse_query("//parlist//keyword").unwrap();
+        let projection = ChainProjector::new(&dtd).streaming_projection_for_query(&q);
+        prop_assert!(matches!(projection, Projection::Automaton(_)));
+        let doc = xmark_document(nodes, seed);
+        let xml = doc.to_xml();
+        let full = parse_xml(&xml).unwrap();
+        let expected = project_spec(&full, &projection);
+        let outcome = parse_xml_stream(
+            Cursor::new(xml.as_bytes().to_vec()),
+            &StreamConfig::with_projection_spec(projection),
+        )
+        .unwrap();
+        prop_assert!(expected.value_equiv(&outcome.tree));
+        prop_assert_eq!(
+            snapshot_query(&doc, &q).unwrap(),
+            snapshot_query(&outcome.tree, &q).unwrap()
+        );
     }
 }
 
