@@ -1,0 +1,89 @@
+//! The CI perf-serve binary: measures concurrent ad-hoc `check()`
+//! throughput on a shared warm session (single thread vs N client threads,
+//! checks/sec + tail latency) and end-to-end HTTP round trips through the
+//! `qui serve` daemon, writes `BENCH_serve.json`, and (with `--check`)
+//! enforces the perf gates against a committed reference.
+//!
+//! ```text
+//! serve [--out FILE] [--check COMMITTED.json] [--reps N]
+//! ```
+//!
+//! * `--out FILE`   — where to write the JSON report (default `BENCH_serve.json`)
+//! * `--check FILE` — read a committed reference and fail (exit 1) on gate violations
+//! * `--reps N`     — repetitions per timing, best kept (default 3)
+//!
+//! Gate thresholds come from `QUI_SERVE_MIN_SPEEDUP` (enforced only with
+//! ≥ 4 workers) and `QUI_SERVE_TOLERANCE` (see `qui_bench::serve`).
+
+use qui_bench::baseline::json_number_field;
+use qui_bench::serve::{check_serve_gates, run_serve, ServeGateConfig};
+use qui_bench::take_value;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut out = "BENCH_serve.json".to_string();
+    let mut check: Option<String> = None;
+    let mut reps = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = take_value(args, &mut i, "--out")?;
+            }
+            "--check" => {
+                check = Some(take_value(args, &mut i, "--check")?);
+            }
+            "--reps" => {
+                reps = take_value(args, &mut i, "--reps")?
+                    .parse()
+                    .map_err(|_| "--reps expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let report = run_serve(reps);
+    print!("{}", report.render());
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    let Some(committed_path) = check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let committed = std::fs::read_to_string(&committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let committed_norm = json_number_field(&committed, "norm_cost")
+        .ok_or_else(|| format!("{committed_path}: no norm_cost field"))?;
+    let committed_pairs = json_number_field(&committed, "pairs")
+        .ok_or_else(|| format!("{committed_path}: no pairs field"))?
+        as usize;
+    let cfg = ServeGateConfig::from_env();
+    let failures = check_serve_gates(&report, Some((committed_norm, committed_pairs)), &cfg);
+    if failures.is_empty() {
+        println!(
+            "perf gates PASS ({:.2}x on {} threads, {:.0} req/s HTTP, norm cost {:.3} vs committed {:.3})",
+            report.concurrent_speedup,
+            report.client_threads,
+            report.http_requests_per_sec,
+            report.norm_cost,
+            committed_norm
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAIL: {f}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -15,6 +15,7 @@
 //! | CI fig3c gate (paper-scale ingest + maintenance)             | — | `fig3c` |
 //! | CI cdag gate (CDAG-first auto, k-ladder, path automaton)     | — | `cdag` |
 //! | CI session gate (warm vs cold matrix, per-edit incremental)  | — | `session` |
+//! | CI serve gate (concurrent `&self` checks, HTTP round trips)  | — | `serve` |
 //!
 //! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
 //!
@@ -28,6 +29,7 @@
 pub mod baseline;
 pub mod cdag;
 pub mod fig3c;
+pub mod serve;
 pub mod session;
 
 use qui_core::parallel::MatrixVerdicts;
@@ -39,6 +41,7 @@ use std::time::{Duration, Instant};
 pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
 pub use cdag::{run_cdag, CdagGateConfig, CdagReport};
 pub use fig3c::{run_fig3c, Fig3cReport, Fig3cScaleResult, Fig3cScaleSpec};
+pub use serve::{run_serve, ServeGateConfig, ServeReport};
 pub use session::{run_session, SessionGateConfig, SessionReport};
 
 /// One whole-matrix analysis: wall time plus the verdicts it produced.

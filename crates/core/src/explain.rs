@@ -218,7 +218,7 @@ fn render_list(label: &str, items: impl Iterator<Item = String>, max: usize) -> 
 
 /// A full query-set × update report (the shape of the paper's Fig. 3.a/3.b
 /// rows): one named update checked against a set of named views.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MatrixReport {
     /// The update's display name.
     pub update_name: String,
@@ -275,16 +275,22 @@ pub fn matrix_report<S: SchemaLike + Sync>(
     update_name: &str,
     update: &Update,
 ) -> MatrixReport {
-    matrix_report_jobs(schema, views, update_name, update, Jobs::Auto)
+    matrix_report_impl(
+        schema,
+        views,
+        update_name,
+        update,
+        &AnalyzerConfig::default(),
+        Jobs::Auto,
+    )
 }
 
 /// [`matrix_report`] with an explicit worker-count policy (`Jobs::Fixed(1)`
-/// is the strictly sequential path, used by `qui matrix --jobs 1`).
-///
-/// **Deprecation note:** retained as a thin wrapper over
-/// [`crate::session::AnalysisSession`] for source compatibility; prefer
-/// [`SessionBuilder::jobs`](crate::session::SessionBuilder::jobs) on a
-/// session you keep alive.
+/// is the strictly sequential path).
+#[deprecated(
+    note = "build a session instead: SessionBuilder::new(schema).jobs(jobs).build(), \
+            add the workload, and read reports()"
+)]
 pub fn matrix_report_jobs<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -292,7 +298,7 @@ pub fn matrix_report_jobs<S: SchemaLike + Sync>(
     update: &Update,
     jobs: Jobs,
 ) -> MatrixReport {
-    matrix_report_config(
+    matrix_report_impl(
         schema,
         views,
         update_name,
@@ -302,12 +308,12 @@ pub fn matrix_report_jobs<S: SchemaLike + Sync>(
     )
 }
 
-/// [`matrix_report_jobs`] with a full analyzer configuration (engine policy,
-/// budget, ablations) — used by `qui matrix --engine`.
-///
-/// **Deprecation note:** retained as a thin wrapper; prefer a
-/// [`crate::session::SessionBuilder`], which collapses the configuration,
-/// worker-policy and explain-option parameters into one builder.
+/// [`matrix_report`] with a full analyzer configuration (engine policy,
+/// budget, ablations) and worker-count policy.
+#[deprecated(
+    note = "build a session instead: SessionBuilder::new(schema).config(config).jobs(jobs)\
+            .build() collapses the parameter sprawl, and its caches survive the call"
+)]
 pub fn matrix_report_config<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
@@ -316,7 +322,20 @@ pub fn matrix_report_config<S: SchemaLike + Sync>(
     config: &AnalyzerConfig,
     jobs: Jobs,
 ) -> MatrixReport {
-    let mut reports = matrix_reports_config(
+    matrix_report_impl(schema, views, update_name, update, config, jobs)
+}
+
+/// Shared implementation of the one-update report wrappers: a one-shot
+/// session over the single-row workload.
+fn matrix_report_impl<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    update_name: &str,
+    update: &Update,
+    config: &AnalyzerConfig,
+    jobs: Jobs,
+) -> MatrixReport {
+    let mut reports = matrix_reports_impl(
         schema,
         views,
         std::slice::from_ref(&(update_name.to_string(), update.clone())),
@@ -335,16 +354,29 @@ pub fn matrix_reports<S: SchemaLike + Sync>(
     updates: &[(String, Update)],
     jobs: Jobs,
 ) -> Vec<MatrixReport> {
-    matrix_reports_config(schema, views, updates, &AnalyzerConfig::default(), jobs)
+    matrix_reports_impl(schema, views, updates, &AnalyzerConfig::default(), jobs)
 }
 
 /// [`matrix_reports`] with a full analyzer configuration.
-///
-/// **Deprecation note:** retained as a thin stateless wrapper — it builds a
-/// one-shot [`crate::session::AnalysisSession`], registers the workload and
-/// reads [`reports`](crate::session::AnalysisSession::reports). Long-lived
-/// callers should hold the session and edit the workload incrementally.
+#[deprecated(
+    note = "build a session instead: SessionBuilder::new(schema).config(config).jobs(jobs)\
+            .build() — long-lived callers should hold the session and edit the workload \
+            incrementally rather than recomputing the matrix per call"
+)]
 pub fn matrix_reports_config<S: SchemaLike + Sync>(
+    schema: &S,
+    views: &[(String, Query)],
+    updates: &[(String, Update)],
+    config: &AnalyzerConfig,
+    jobs: Jobs,
+) -> Vec<MatrixReport> {
+    matrix_reports_impl(schema, views, updates, config, jobs)
+}
+
+/// Shared implementation of the stateless matrix wrappers: a one-shot
+/// [`crate::session::AnalysisSession`] that registers the workload in one
+/// batch and reads [`reports`](crate::session::AnalysisSession::reports).
+fn matrix_reports_impl<S: SchemaLike + Sync>(
     schema: &S,
     views: &[(String, Query)],
     updates: &[(String, Update)],
@@ -448,6 +480,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn matrix_report_is_identical_across_job_counts() {
         let dtd = fig1();
         let views = vec![

@@ -49,6 +49,26 @@
 //! assert!(session.check(&q1, &u1).is_independent());
 //! ```
 //!
+//! ## Concurrency: `&self` reads, `&mut self` edits
+//!
+//! A session's caches live behind sharded locks (and a checkout pool for
+//! the CDAG engines' mutable scratch), so the whole read side —
+//! [`check`](session::AnalysisSession::check),
+//! [`explain`](session::AnalysisSession::explain),
+//! [`streaming_projection`](session::AnalysisSession::streaming_projection),
+//! [`verdict`](session::AnalysisSession::verdict),
+//! [`reports`](session::AnalysisSession::reports) — takes `&self`:
+//! an [`AnalysisSession`] is `Sync`, and any number of threads may share
+//! one warm session without an outer lock. Workload edits
+//! ([`add_view`](session::AnalysisSession::add_view),
+//! [`add_update`](session::AnalysisSession::add_update), `remove_*`) take
+//! `&mut self`, so exclusive access is enforced at compile time; to
+//! interleave edits with running readers, wrap the session in the
+//! [`service`] layer's [`SharedSession`], whose `RwLock` routes read
+//! requests to the `&self` path and serializes edits. The [`protocol`]
+//! types ([`Request`]/[`Response`]) plus [`Server`] turn the same
+//! dispatcher into the `qui serve` HTTP daemon.
+//!
 //! The historical stateless API ([`IndependenceAnalyzer::check`],
 //! [`analyze_matrix`], `matrix_report*`) is kept as thin wrappers over
 //! one-shot sessions:
@@ -69,13 +89,17 @@
 
 pub mod analyzer;
 pub mod commutativity;
+pub mod concurrent;
 pub mod conflict;
 pub mod engine;
 pub mod explain;
 pub mod fxhash;
+pub mod json;
 pub mod kbound;
 pub mod parallel;
 pub mod projector;
+pub mod protocol;
+pub mod service;
 pub mod session;
 pub mod types;
 pub mod universe;
@@ -83,13 +107,15 @@ pub mod universe;
 pub use analyzer::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, Verdict};
 pub use commutativity::{read_projection, CommutVerdict, CommutativityAnalyzer};
 pub use conflict::{chains_conflict, item_conflicts};
-pub use explain::{
-    explain_verdict, matrix_report, matrix_report_config, matrix_report_jobs, matrix_reports,
-    matrix_reports_config, ExplainOptions, MatrixReport,
-};
+pub use explain::{explain_verdict, matrix_report, matrix_reports, ExplainOptions, MatrixReport};
+#[allow(deprecated)]
+pub use explain::{matrix_report_config, matrix_report_jobs, matrix_reports_config};
+pub use json::Json;
 pub use kbound::{k_for_pair, k_of_query, k_of_update};
 pub use parallel::{analyze_matrix, BatchAnalyzer, Jobs, MatrixVerdicts};
 pub use projector::{ChainProjector, ProjectionSpec};
+pub use protocol::{Request, Response};
+pub use service::{ServeConfig, Server, SessionHandler, SessionRegistry, SharedSession};
 pub use session::{AnalysisSession, SessionBuilder, SessionStats};
 pub use types::{ChainItem, QueryChains, UpdateChain, UpdateChains};
 pub use universe::Universe;

@@ -14,13 +14,38 @@
 //!   bound from the same result);
 //! * explicit chain sets per `(expression, k)` (including remembered budget
 //!   overflows, so a hopeless expression is never re-materialized);
-//! * one [`CdagEngine`] per multiplicity bound, whose generation-stamped
-//!   scratch workspace is reused across sequential ad-hoc
-//!   [`check`](AnalysisSession::check) calls (the parallel matrix passes
-//!   use a fresh engine per cell — engines are not `Sync` — exactly as the
-//!   historical batch code did);
+//! * a checkout pool of [`CdagEngine`](crate::engine::cdag::CdagEngine)s
+//!   per multiplicity bound, whose
+//!   generation-stamped scratch workspaces are reused across ad-hoc
+//!   [`check`](AnalysisSession::check) calls and across the parallel
+//!   matrix cell passes (each worker checks an engine out, runs without
+//!   holding any lock, and returns it);
 //! * compiled [`Projection`]s (path automata) per view for streamed
 //!   document projection.
+//!
+//! ## Concurrent reads, serialized edits
+//!
+//! The read path is `&self` and thread-safe: every cache lives behind
+//! [`crate::concurrent::ShardedMap`] (sharded `RwLock`s) or the
+//! [`crate::concurrent::EnginePool`], so **any number of threads may call
+//! [`check`](AnalysisSession::check), [`explain`](AnalysisSession::explain),
+//! [`streaming_projection`](AnalysisSession::streaming_projection) and the
+//! matrix accessors ([`verdict`](AnalysisSession::verdict),
+//! [`reports`](AnalysisSession::reports), …) on one shared session
+//! concurrently** — warm checks take uncontended read locks and scale with
+//! the core count. Verdicts are bit-identical to the single-threaded
+//! session (property-tested in `tests/concurrent_session.rs`). Racing cold
+//! checks may duplicate an inference; both threads insert equal values, so
+//! the race is benign and only visible in [`SessionStats`].
+//!
+//! Workload **edits** ([`add_view`](AnalysisSession::add_view) /
+//! [`add_update`](AnalysisSession::add_update) / `remove_*` /
+//! [`add_workload`](AnalysisSession::add_workload)) take `&mut self`: the
+//! borrow checker serializes them against all reads, which is what keeps
+//! the materialized matrix consistent without a matrix-wide lock. A service
+//! that needs readers and an editor on the same session wraps it in
+//! [`crate::service::SharedSession`], which serializes edits behind an
+//! `RwLock` while read traffic proceeds concurrently.
 //!
 //! On top of the caches the session maintains a **registered workload**: a
 //! set of named views and named updates whose full verdict matrix is kept
@@ -36,7 +61,9 @@
 //! The session is the **single implementation** of the analysis pipeline:
 //! [`IndependenceAnalyzer::check`](crate::IndependenceAnalyzer::check),
 //! `check_views*`, `matrix_report*` and `analyze_matrix` are all thin
-//! wrappers over it.
+//! wrappers over it, and the [`crate::service`] layer (`qui serve`, the
+//! `qui session` REPL) dispatches onto it through the shared
+//! [`crate::protocol`] request types.
 //!
 //! ```
 //! use qui_schema::Dtd;
@@ -46,13 +73,14 @@
 //! let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
 //! let mut session = SessionBuilder::new(&dtd).build();
 //!
-//! // Ad-hoc checks share inference state across calls.
+//! // Ad-hoc checks are `&self`: they share inference state across calls
+//! // and may run from many threads at once.
 //! let q = parse_query("//a//c").unwrap();
 //! let u = parse_update("delete //b//c").unwrap();
 //! assert!(session.check(&q, &u).is_independent());
 //!
 //! // A registered workload keeps its verdict matrix materialized and
-//! // updates it incrementally on edits.
+//! // updates it incrementally on (`&mut`) edits.
 //! session.add_view("v1", q);
 //! session.add_update("u1", u);
 //! session.add_update("u2", parse_update("delete //c").unwrap());
@@ -63,8 +91,9 @@
 //! ```
 
 use crate::analyzer::{conservative_explicit_verdict, AnalyzerConfig, EngineKind, Verdict};
+use crate::concurrent::{EnginePool, ShardedMap};
 use crate::conflict::find_conflict;
-use crate::engine::cdag::{CdagEngine, ChainDag, DagQueryChains, QueryKLadder, UpdateKLadder};
+use crate::engine::cdag::{ChainDag, DagQueryChains, QueryKLadder, UpdateKLadder};
 use crate::engine::explicit::ExplicitEngine;
 use crate::explain::{explain_verdict, ExplainOptions, MatrixReport};
 use crate::kbound::{k_for_pair, k_of_query, k_of_update};
@@ -75,7 +104,8 @@ use crate::universe::Universe;
 use qui_schema::SchemaLike;
 use qui_xmlstore::Projection;
 use qui_xquery::{Query, Update};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -173,6 +203,7 @@ impl<'a, S: SchemaLike> SessionBuilder<'a, S> {
     /// Finishes the builder.
     pub fn build(self) -> AnalysisSession<'a, S> {
         AnalysisSession {
+            caches: SessionCaches::new(self.schema, self.config.element_chains),
             schema: self.schema,
             config: self.config,
             jobs: self.jobs,
@@ -180,13 +211,6 @@ impl<'a, S: SchemaLike> SessionBuilder<'a, S> {
             views: Vec::new(),
             updates: Vec::new(),
             rows: Vec::new(),
-            cdag_queries: HashMap::new(),
-            cdag_updates: HashMap::new(),
-            explicit_queries: HashMap::new(),
-            explicit_updates: HashMap::new(),
-            engines: HashMap::new(),
-            projections: HashMap::new(),
-            stats: SessionStats::default(),
         }
     }
 }
@@ -203,14 +227,14 @@ struct CdagCache<T> {
     /// `(k0, result)`: exact for every bound `≥ k0`.
     complete: Option<(usize, Arc<T>)>,
     /// Saturated (per-bound) results.
-    per_k: HashMap<usize, Arc<T>>,
+    per_k: BTreeMap<usize, Arc<T>>,
 }
 
 impl<T> Default for CdagCache<T> {
     fn default() -> Self {
         CdagCache {
             complete: None,
-            per_k: HashMap::new(),
+            per_k: BTreeMap::new(),
         }
     }
 }
@@ -254,7 +278,9 @@ struct RegisteredUpdate {
     k_u: usize,
 }
 
-/// Cache-effectiveness counters of a session (all monotone).
+/// Cache-effectiveness counters of a session (all monotone). A snapshot of
+/// the live atomic counters; under concurrent readers the fields are
+/// individually accurate but not mutually atomic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Fresh CDAG inferences run (ladder builds and rebuilds).
@@ -271,13 +297,79 @@ pub struct SessionStats {
     pub edits: usize,
 }
 
-/// Read-only view of the four chain caches, handed to the parallel cell
-/// passes after all mutation is done.
-struct CacheView<'x> {
-    cdag_queries: &'x HashMap<Arc<str>, CdagCache<DagQueryChains>>,
-    cdag_updates: &'x HashMap<Arc<str>, CdagCache<ChainDag>>,
-    explicit_queries: &'x HashMap<(Arc<str>, usize), Option<Arc<QueryChains>>>,
-    explicit_updates: &'x HashMap<(Arc<str>, usize), Option<Arc<UpdateChains>>>,
+/// The live counters behind [`SessionStats`], incremented with relaxed
+/// atomics from any thread on the read path.
+#[derive(Default)]
+struct SessionCounters {
+    cdag_inferences: AtomicUsize,
+    cdag_cache_hits: AtomicUsize,
+    explicit_inferences: AtomicUsize,
+    explicit_cache_hits: AtomicUsize,
+    cells_computed: AtomicUsize,
+    edits: AtomicUsize,
+}
+
+impl SessionCounters {
+    fn bump(counter: &AtomicUsize, by: usize) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            cdag_inferences: self.cdag_inferences.load(Ordering::Relaxed),
+            cdag_cache_hits: self.cdag_cache_hits.load(Ordering::Relaxed),
+            explicit_inferences: self.explicit_inferences.load(Ordering::Relaxed),
+            explicit_cache_hits: self.explicit_cache_hits.load(Ordering::Relaxed),
+            cells_computed: self.cells_computed.load(Ordering::Relaxed),
+            edits: self.edits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The interior-mutable state shared by every session read: the four chain
+/// caches, the engine checkout pool and the compiled projections. All
+/// methods take `&self`; thread-safety comes from the sharded maps and the
+/// pool, not from any outer lock.
+struct SessionCaches<'a, S: SchemaLike> {
+    cdag_queries: ShardedMap<Arc<str>, CdagCache<DagQueryChains>>,
+    cdag_updates: ShardedMap<Arc<str>, CdagCache<ChainDag>>,
+    explicit_queries: ShardedMap<(Arc<str>, usize), Option<Arc<QueryChains>>>,
+    explicit_updates: ShardedMap<(Arc<str>, usize), Option<Arc<UpdateChains>>>,
+    engines: EnginePool<'a, S>,
+    projections: ShardedMap<String, Projection>,
+    counters: SessionCounters,
+}
+
+impl<'a, S: SchemaLike> SessionCaches<'a, S> {
+    fn new(schema: &'a S, element_chains: bool) -> Self {
+        SessionCaches {
+            cdag_queries: ShardedMap::new(),
+            cdag_updates: ShardedMap::new(),
+            explicit_queries: ShardedMap::new(),
+            explicit_updates: ShardedMap::new(),
+            engines: EnginePool::new(schema, element_chains),
+            projections: ShardedMap::new(),
+            counters: SessionCounters::default(),
+        }
+    }
+
+    fn cdag_query(&self, key: &Arc<str>, k: usize) -> Option<Arc<DagQueryChains>> {
+        self.cdag_queries.read_with(key, |c| c.get(k)).flatten()
+    }
+
+    fn cdag_update(&self, key: &Arc<str>, k: usize) -> Option<Arc<ChainDag>> {
+        self.cdag_updates.read_with(key, |c| c.get(k)).flatten()
+    }
+
+    /// The cached explicit query chains: `None` = never inferred,
+    /// `Some(None)` = inferred but overflowed the budget.
+    fn explicit_query(&self, key: &Arc<str>, k: usize) -> Option<Option<Arc<QueryChains>>> {
+        self.explicit_queries.get(&(Arc::clone(key), k))
+    }
+
+    fn explicit_update(&self, key: &Arc<str>, k: usize) -> Option<Option<Arc<UpdateChains>>> {
+        self.explicit_updates.get(&(Arc::clone(key), k))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -288,9 +380,10 @@ struct CacheView<'x> {
 ///
 /// See the [module docs](self) for the full picture. Construct with
 /// [`SessionBuilder`] (or [`AnalysisSession::new`] for the defaults), then
-/// either run ad-hoc [`check`](Self::check)s — warm across calls — or
-/// register a views × updates workload whose verdict matrix is maintained
-/// incrementally under [`add_view`](Self::add_view) /
+/// either run ad-hoc [`check`](Self::check)s — warm across calls, `&self`,
+/// and callable from any number of threads at once — or register a views ×
+/// updates workload whose verdict matrix is maintained incrementally under
+/// (`&mut self`) [`add_view`](Self::add_view) /
 /// [`remove_update`](Self::remove_update) / … edits.
 pub struct AnalysisSession<'a, S: SchemaLike> {
     schema: &'a S,
@@ -301,16 +394,7 @@ pub struct AnalysisSession<'a, S: SchemaLike> {
     updates: Vec<RegisteredUpdate>,
     /// The materialized verdict matrix, indexed `[update][view]`.
     rows: Vec<Vec<Verdict>>,
-    cdag_queries: HashMap<Arc<str>, CdagCache<DagQueryChains>>,
-    cdag_updates: HashMap<Arc<str>, CdagCache<ChainDag>>,
-    explicit_queries: HashMap<(Arc<str>, usize), Option<Arc<QueryChains>>>,
-    explicit_updates: HashMap<(Arc<str>, usize), Option<Arc<UpdateChains>>>,
-    /// One CDAG engine per bound; its generation-stamped scratch workspace
-    /// is reused across sequential independence checks.
-    engines: HashMap<usize, CdagEngine<'a, S>>,
-    /// Compiled streamed projections per query (display string).
-    projections: HashMap<String, Projection>,
-    stats: SessionStats,
+    caches: SessionCaches<'a, S>,
 }
 
 impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
@@ -337,7 +421,7 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
 
     /// Cache-effectiveness counters.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        self.caches.counters.snapshot()
     }
 
     /// Number of registered views (matrix columns).
@@ -444,7 +528,10 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
     /// bit-identical to a fresh
     /// [`IndependenceAnalyzer::check`](crate::IndependenceAnalyzer::check)
     /// under the same configuration.
-    pub fn check(&mut self, q: &Query, u: &Update) -> Verdict {
+    ///
+    /// This is `&self` and thread-safe: any number of threads may check
+    /// against one session concurrently (see the [module docs](self)).
+    pub fn check(&self, q: &Query, u: &Update) -> Verdict {
         let meta = (self.k_for(q, u), k_of_query(q), k_of_update(u));
         let k = meta.0;
         let qkey = expr_key(q);
@@ -464,130 +551,125 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
             EngineKind::Auto => !cdag_first || cdag_flag != Some(true),
         };
         if need_explicit {
+            // Query side first: when it overflows the budget the explicit
+            // verdict can never materialize regardless of the update side,
+            // so the update inference is skipped on that conservative path
+            // (the verdict falls through to the CDAG / conservative
+            // fallback either way — only wasted work is avoided).
             self.ensure_explicit_query(&qkey, q, k);
-            self.ensure_explicit_update(&ukey, u, k);
+            let q_ok = self
+                .caches
+                .explicit_query(&qkey, k)
+                .is_some_and(|qc| qc.is_some());
+            if q_ok {
+                self.ensure_explicit_update(&ukey, u, k);
+            }
         }
         if engine == EngineKind::Auto && !cdag_first {
             let q_ok = self
-                .explicit_queries
-                .get(&(Arc::clone(&qkey), k))
-                .is_some_and(Option::is_some);
+                .caches
+                .explicit_query(&qkey, k)
+                .is_some_and(|qc| qc.is_some());
             let u_ok = self
-                .explicit_updates
-                .get(&(Arc::clone(&ukey), k))
-                .is_some_and(Option::is_some);
+                .caches
+                .explicit_update(&ukey, k)
+                .is_some_and(|uc| uc.is_some());
             if !(q_ok && u_ok) {
                 self.ensure_cdag_query(&qkey, q, k);
                 self.ensure_cdag_update(&ukey, u, k);
             }
         }
-        let caches = CacheView {
-            cdag_queries: &self.cdag_queries,
-            cdag_updates: &self.cdag_updates,
-            explicit_queries: &self.explicit_queries,
-            explicit_updates: &self.explicit_updates,
-        };
-        cell_verdict(
-            self.schema,
-            &self.config,
-            meta,
-            &qkey,
-            &ukey,
-            &caches,
-            cdag_flag,
-        )
+        cell_verdict(&self.config, meta, &qkey, &ukey, &self.caches, cdag_flag)
     }
 
     /// [`check`](Self::check) followed by a human-readable report, using the
     /// session's [`ExplainOptions`].
-    pub fn explain(&mut self, q: &Query, u: &Update) -> String {
+    pub fn explain(&self, q: &Query, u: &Update) -> String {
         let verdict = self.check(q, u);
-        let options = self.explain;
-        explain_verdict(self.schema, q, u, &verdict, &options)
+        explain_verdict(self.schema, q, u, &verdict, &self.explain)
     }
 
     /// The streamed projection for a query (an enumerated path spec when
     /// the explicit chains fit the budget, a compiled [`Projection`]
     /// automaton otherwise), cached per query across the session.
-    pub fn streaming_projection(&mut self, q: &Query) -> Projection {
+    pub fn streaming_projection(&self, q: &Query) -> Projection {
         let key = format!("{q:?}");
-        if let Some(p) = self.projections.get(&key) {
-            return p.clone();
+        if let Some(p) = self.caches.projections.get(&key) {
+            return p;
         }
         let p = ChainProjector::new(self.schema).streaming_projection_for_query(q);
-        self.projections.insert(key, p.clone());
+        self.caches.projections.insert(key, p.clone());
         p
     }
 
-    // -- sequential cache plumbing -----------------------------------------
+    // -- cache plumbing (all `&self`, all idempotent under races) -----------
 
-    /// The cached CDAG engine for bound `k` (created on first use); its
-    /// scratch workspace amortizes across sequential ad-hoc checks. The
-    /// matrix cell passes cannot use it — the engine is not `Sync`, so
-    /// each parallel cell builds a fresh one, as the historical batch code
-    /// did.
-    fn engine_for(&mut self, k: usize) -> &CdagEngine<'a, S> {
-        let schema = self.schema;
-        let element_chains = self.config.element_chains;
-        self.engines
-            .entry(k)
-            .or_insert_with(|| CdagEngine::new(schema, k).with_element_chains(element_chains))
-    }
-
-    fn cdag_independent(&mut self, qkey: &Arc<str>, ukey: &Arc<str>, k: usize) -> bool {
-        let qc = self.cdag_queries[qkey]
-            .get(k)
+    fn cdag_independent(&self, qkey: &Arc<str>, ukey: &Arc<str>, k: usize) -> bool {
+        let qc = self
+            .caches
+            .cdag_query(qkey, k)
             .expect("cdag query chains ensured");
-        let uc = self.cdag_updates[ukey]
-            .get(k)
+        let uc = self
+            .caches
+            .cdag_update(ukey, k)
             .expect("cdag update chains ensured");
-        self.engine_for(k).independent(&qc, &uc)
+        self.caches.engines.checkout(k).independent(&qc, &uc)
     }
 
-    fn ensure_cdag_query(&mut self, key: &Arc<str>, q: &Query, k: usize) {
-        let cache = self.cdag_queries.entry(Arc::clone(key)).or_default();
-        if cache.get(k).is_some() {
-            self.stats.cdag_cache_hits += 1;
+    fn ensure_cdag_query(&self, key: &Arc<str>, q: &Query, k: usize) {
+        if self.caches.cdag_query(key, k).is_some() {
+            SessionCounters::bump(&self.caches.counters.cdag_cache_hits, 1);
             return;
         }
+        // The inference runs outside any lock; a racing thread may compute
+        // the same ladder — both insert equal values, so last-wins is fine.
         let ladder = QueryKLadder::new(self.schema, q, k, self.config.element_chains);
         let complete = ladder.is_complete().then_some(k);
-        cache.insert(k, complete, Arc::new(ladder.result().clone()));
-        self.stats.cdag_inferences += 1;
+        self.caches
+            .cdag_queries
+            .write_with(Arc::clone(key), |cache| {
+                cache.insert(k, complete, Arc::new(ladder.result().clone()));
+            });
+        SessionCounters::bump(&self.caches.counters.cdag_inferences, 1);
     }
 
-    fn ensure_cdag_update(&mut self, key: &Arc<str>, u: &Update, k: usize) {
-        let cache = self.cdag_updates.entry(Arc::clone(key)).or_default();
-        if cache.get(k).is_some() {
-            self.stats.cdag_cache_hits += 1;
+    fn ensure_cdag_update(&self, key: &Arc<str>, u: &Update, k: usize) {
+        if self.caches.cdag_update(key, k).is_some() {
+            SessionCounters::bump(&self.caches.counters.cdag_cache_hits, 1);
             return;
         }
         let ladder = UpdateKLadder::new(self.schema, u, k, self.config.element_chains);
         let complete = ladder.is_complete().then_some(k);
-        cache.insert(k, complete, Arc::new(ladder.result().clone()));
-        self.stats.cdag_inferences += 1;
+        self.caches
+            .cdag_updates
+            .write_with(Arc::clone(key), |cache| {
+                cache.insert(k, complete, Arc::new(ladder.result().clone()));
+            });
+        SessionCounters::bump(&self.caches.counters.cdag_inferences, 1);
     }
 
-    fn ensure_explicit_query(&mut self, key: &Arc<str>, q: &Query, k: usize) {
-        if self.explicit_queries.contains_key(&(Arc::clone(key), k)) {
-            self.stats.explicit_cache_hits += 1;
+    fn ensure_explicit_query(&self, key: &Arc<str>, q: &Query, k: usize) {
+        if self.caches.explicit_query(key, k).is_some() {
+            SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
             return;
         }
         let qc = infer_query_explicit(self.schema, &self.config, q, k);
-        self.explicit_queries
+        self.caches
+            .explicit_queries
             .insert((Arc::clone(key), k), qc.map(Arc::new));
-        self.stats.explicit_inferences += 1;
+        SessionCounters::bump(&self.caches.counters.explicit_inferences, 1);
     }
 
-    fn ensure_explicit_update(&mut self, key: &Arc<str>, u: &Update, k: usize) {
-        if self.explicit_updates.contains_key(&(Arc::clone(key), k)) {
-            self.stats.explicit_cache_hits += 1;
+    fn ensure_explicit_update(&self, key: &Arc<str>, u: &Update, k: usize) {
+        if self.caches.explicit_update(key, k).is_some() {
+            SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
             return;
         }
         let uc = infer_update_explicit(self.schema, &self.config, u, k);
-        self.explicit_updates
+        self.caches
+            .explicit_updates
             .insert((Arc::clone(key), k), uc.map(Arc::new));
-        self.stats.explicit_inferences += 1;
+        SessionCounters::bump(&self.caches.counters.explicit_inferences, 1);
     }
 
     fn register_view(&mut self, name: String, query: Query) -> usize {
@@ -625,7 +707,7 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
         for row in &mut self.rows {
             row.remove(index);
         }
-        self.stats.edits += 1;
+        SessionCounters::bump(&self.caches.counters.edits, 1);
         Some((v.name, v.query))
     }
 
@@ -643,7 +725,7 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
         }
         let u = self.updates.remove(index);
         self.rows.remove(index);
-        self.stats.edits += 1;
+        SessionCounters::bump(&self.caches.counters.edits, 1);
         Some((u.name, u.update))
     }
 
@@ -666,7 +748,7 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         for (row, v) in self.rows.iter_mut().zip(verdicts) {
             row.push(v);
         }
-        self.stats.edits += 1;
+        SessionCounters::bump(&self.caches.counters.edits, 1);
         vi
     }
 
@@ -677,7 +759,7 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         let cells: Vec<(usize, usize)> = (0..self.views.len()).map(|vi| (vi, ui)).collect();
         let row = self.compute_cells(&cells);
         self.rows.push(row);
-        self.stats.edits += 1;
+        SessionCounters::bump(&self.caches.counters.edits, 1);
         ui
     }
 
@@ -718,7 +800,7 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
                 }
             }
         }
-        self.stats.edits += 1;
+        SessionCounters::bump(&self.caches.counters.edits, 1);
     }
 
     /// Recomputes every cell of the materialized matrix from the session
@@ -740,8 +822,10 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
     /// chain sets (per-expression k-ladders, sharded over the pool), the
     /// CDAG cell pass, the explicit prepass for cells the CDAG could not
     /// prove (mirroring the configured engine order), and the final cell
-    /// pass — all reading from and filling the session caches.
-    fn compute_cells(&mut self, cells: &[(usize, usize)]) -> Vec<Verdict> {
+    /// pass — all reading from and filling the session caches. Workers in
+    /// the cell passes check engines out of the session pool, so scratch
+    /// workspaces are reused across cells instead of rebuilt per cell.
+    fn compute_cells(&self, cells: &[(usize, usize)]) -> Vec<Verdict> {
         if cells.is_empty() {
             return Vec::new();
         }
@@ -770,21 +854,18 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
 
         // ------------------------------------------------ CDAG cell pass
         let cdag_flags: Vec<Option<bool>> = if cdag_all {
-            let schema = self.schema;
-            let element_chains = self.config.element_chains;
             let (views, updates) = (&self.views, &self.updates);
-            let (cq, cu) = (&self.cdag_queries, &self.cdag_updates);
+            let caches = &self.caches;
             run_indexed(self.jobs, cells.len(), |i| {
                 let (vi, ui) = cells[i];
                 let k = ks[i];
-                let qc = cq[&views[vi].key]
-                    .get(k)
+                let qc = caches
+                    .cdag_query(&views[vi].key, k)
                     .expect("cdag query chains ensured");
-                let uc = cu[&updates[ui].key]
-                    .get(k)
+                let uc = caches
+                    .cdag_update(&updates[ui].key, k)
                     .expect("cdag update chains ensured");
-                let eng = CdagEngine::new(schema, k).with_element_chains(element_chains);
-                Some(eng.independent(&qc, &uc))
+                Some(caches.engines.checkout(k).independent(&qc, &uc))
             })
         } else {
             vec![None; cells.len()]
@@ -812,13 +893,13 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
             let mut ut = BTreeSet::new();
             for (&(vi, ui), &k) in cells.iter().zip(&ks) {
                 let q_ok = self
-                    .explicit_queries
-                    .get(&(Arc::clone(&self.views[vi].key), k))
-                    .is_some_and(Option::is_some);
+                    .caches
+                    .explicit_query(&self.views[vi].key, k)
+                    .is_some_and(|qc| qc.is_some());
                 let u_ok = self
-                    .explicit_updates
-                    .get(&(Arc::clone(&self.updates[ui].key), k))
-                    .is_some_and(Option::is_some);
+                    .caches
+                    .explicit_update(&self.updates[ui].key, k)
+                    .is_some_and(|uc| uc.is_some());
                 if !(q_ok && u_ok) {
                     qt.insert((vi, k));
                     ut.insert((ui, k));
@@ -830,28 +911,21 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         }
 
         // ------------------------------------------------ cell pass
-        let schema = self.schema;
         let config = &self.config;
         let (views, updates) = (&self.views, &self.updates);
-        let caches = CacheView {
-            cdag_queries: &self.cdag_queries,
-            cdag_updates: &self.cdag_updates,
-            explicit_queries: &self.explicit_queries,
-            explicit_updates: &self.explicit_updates,
-        };
+        let caches = &self.caches;
         let out = run_indexed(self.jobs, cells.len(), |i| {
             let (vi, ui) = cells[i];
             cell_verdict(
-                schema,
                 config,
                 (ks[i], views[vi].k_q, updates[ui].k_u),
                 &views[vi].key,
                 &updates[ui].key,
-                &caches,
+                caches,
                 cdag_flags[i],
             )
         });
-        self.stats.cells_computed += cells.len();
+        SessionCounters::bump(&self.caches.counters.cells_computed, cells.len());
         out
     }
 
@@ -860,20 +934,15 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
     /// expression, each group walks its ascending bounds through a
     /// k-ladder, and the groups run in parallel over the pool.
     fn ensure_cdag_bulk(
-        &mut self,
+        &self,
         query_tasks: &BTreeSet<(usize, usize)>,
         update_tasks: &BTreeSet<(usize, usize)>,
     ) {
         let mut q_groups: BTreeMap<Arc<str>, (Query, Vec<usize>)> = BTreeMap::new();
         for &(vi, k) in query_tasks {
             let v = &self.views[vi];
-            if self
-                .cdag_queries
-                .get(&v.key)
-                .and_then(|c| c.get(k))
-                .is_some()
-            {
-                self.stats.cdag_cache_hits += 1;
+            if self.caches.cdag_query(&v.key, k).is_some() {
+                SessionCounters::bump(&self.caches.counters.cdag_cache_hits, 1);
                 continue;
             }
             let entry = q_groups
@@ -886,13 +955,8 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         let mut u_groups: BTreeMap<Arc<str>, (Update, Vec<usize>)> = BTreeMap::new();
         for &(ui, k) in update_tasks {
             let u = &self.updates[ui];
-            if self
-                .cdag_updates
-                .get(&u.key)
-                .and_then(|c| c.get(k))
-                .is_some()
-            {
-                self.stats.cdag_cache_hits += 1;
+            if self.caches.cdag_update(&u.key, k).is_some() {
+                SessionCounters::bump(&self.caches.counters.cdag_cache_hits, 1);
                 continue;
             }
             let entry = u_groups
@@ -944,22 +1008,34 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
                 Out::Query(i, steps, inferences) => {
                     let key = &qg[i].0;
                     let served = steps.len();
-                    let cache = self.cdag_queries.entry(Arc::clone(key)).or_default();
-                    for (k, result, complete_from) in steps {
-                        cache.insert(k, complete_from, result);
-                    }
-                    self.stats.cdag_inferences += inferences;
-                    self.stats.cdag_cache_hits += served - inferences.min(served);
+                    self.caches
+                        .cdag_queries
+                        .write_with(Arc::clone(key), |cache| {
+                            for (k, result, complete_from) in steps {
+                                cache.insert(k, complete_from, result);
+                            }
+                        });
+                    SessionCounters::bump(&self.caches.counters.cdag_inferences, inferences);
+                    SessionCounters::bump(
+                        &self.caches.counters.cdag_cache_hits,
+                        served - inferences.min(served),
+                    );
                 }
                 Out::Update(i, steps, inferences) => {
                     let key = &ug[i].0;
                     let served = steps.len();
-                    let cache = self.cdag_updates.entry(Arc::clone(key)).or_default();
-                    for (k, result, complete_from) in steps {
-                        cache.insert(k, complete_from, result);
-                    }
-                    self.stats.cdag_inferences += inferences;
-                    self.stats.cdag_cache_hits += served - inferences.min(served);
+                    self.caches
+                        .cdag_updates
+                        .write_with(Arc::clone(key), |cache| {
+                            for (k, result, complete_from) in steps {
+                                cache.insert(k, complete_from, result);
+                            }
+                        });
+                    SessionCounters::bump(&self.caches.counters.cdag_inferences, inferences);
+                    SessionCounters::bump(
+                        &self.caches.counters.cdag_cache_hits,
+                        served - inferences.min(served),
+                    );
                 }
             }
         }
@@ -968,7 +1044,7 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
     /// Fills the explicit caches for the requested tasks, one fresh
     /// inference per missing `(expression, k)`, sharded over the pool.
     fn ensure_explicit_bulk(
-        &mut self,
+        &self,
         query_tasks: &BTreeSet<(usize, usize)>,
         update_tasks: &BTreeSet<(usize, usize)>,
     ) {
@@ -976,8 +1052,8 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         let mut seen_q: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
         for &(vi, k) in query_tasks {
             let v = &self.views[vi];
-            if self.explicit_queries.contains_key(&(Arc::clone(&v.key), k)) {
-                self.stats.explicit_cache_hits += 1;
+            if self.caches.explicit_query(&v.key, k).is_some() {
+                SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
                 continue;
             }
             if seen_q.insert((Arc::clone(&v.key), k)) {
@@ -988,8 +1064,8 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
         let mut seen_u: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
         for &(ui, k) in update_tasks {
             let u = &self.updates[ui];
-            if self.explicit_updates.contains_key(&(Arc::clone(&u.key), k)) {
-                self.stats.explicit_cache_hits += 1;
+            if self.caches.explicit_update(&u.key, k).is_some() {
+                SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
                 continue;
             }
             if seen_u.insert((Arc::clone(&u.key), k)) {
@@ -1019,15 +1095,17 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
             match r {
                 Out::Query(i, qc) => {
                     let (key, _, k) = &qt[i];
-                    self.explicit_queries
+                    self.caches
+                        .explicit_queries
                         .insert((Arc::clone(key), *k), qc.map(Arc::new));
-                    self.stats.explicit_inferences += 1;
+                    SessionCounters::bump(&self.caches.counters.explicit_inferences, 1);
                 }
                 Out::Update(i, uc) => {
                     let (key, _, k) = &ut[i];
-                    self.explicit_updates
+                    self.caches
+                        .explicit_updates
                         .insert((Arc::clone(key), *k), uc.map(Arc::new));
-                    self.stats.explicit_inferences += 1;
+                    SessionCounters::bump(&self.caches.counters.explicit_inferences, 1);
                 }
             }
         }
@@ -1085,24 +1163,17 @@ fn infer_update_explicit<S: SchemaLike>(
 /// case (including [`AnalyzerConfig::cdag_first`]). This is the only place
 /// a [`Verdict`] is assembled.
 fn cell_verdict<S: SchemaLike>(
-    schema: &S,
     config: &AnalyzerConfig,
     (k, k_query, k_update): (usize, usize, usize),
     qkey: &Arc<str>,
     ukey: &Arc<str>,
-    caches: &CacheView<'_>,
+    caches: &SessionCaches<'_, S>,
     cdag_independent: Option<bool>,
 ) -> Verdict {
     let explicit = || -> Option<Verdict> {
-        let qc = caches
-            .explicit_queries
-            .get(&(Arc::clone(qkey), k))?
-            .as_ref()?;
-        let uc = caches
-            .explicit_updates
-            .get(&(Arc::clone(ukey), k))?
-            .as_ref()?;
-        let witness = find_conflict(qc, uc);
+        let qc = caches.explicit_query(qkey, k)??;
+        let uc = caches.explicit_update(ukey, k)??;
+        let witness = find_conflict(&qc, &uc);
         Some(Verdict {
             independent: witness.is_none(),
             k,
@@ -1115,17 +1186,14 @@ fn cell_verdict<S: SchemaLike>(
         })
     };
     let cdag = |independent: Option<bool>| -> Verdict {
-        let qc = caches.cdag_queries[qkey]
-            .get(k)
+        let qc = caches
+            .cdag_query(qkey, k)
             .expect("cdag query chains ensured");
-        let uc = caches.cdag_updates[ukey]
-            .get(k)
+        let uc = caches
+            .cdag_update(ukey, k)
             .expect("cdag update chains ensured");
-        let independent = independent.unwrap_or_else(|| {
-            CdagEngine::new(schema, k)
-                .with_element_chains(config.element_chains)
-                .independent(&qc, &uc)
-        });
+        let independent =
+            independent.unwrap_or_else(|| caches.engines.checkout(k).independent(&qc, &uc));
         Verdict {
             independent,
             k,
@@ -1176,6 +1244,12 @@ mod tests {
     }
 
     #[test]
+    fn session_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<AnalysisSession<'static, Dtd>>();
+    }
+
+    #[test]
     fn warm_check_is_bit_identical_to_fresh_analyzer() {
         let d = figure1();
         let pairs = [
@@ -1188,7 +1262,7 @@ mod tests {
                 engine,
                 ..Default::default()
             };
-            let mut session = SessionBuilder::new(&d).config(config.clone()).build();
+            let session = SessionBuilder::new(&d).config(config.clone()).build();
             let analyzer = IndependenceAnalyzer::with_config(&d, config);
             for (qs, us) in pairs {
                 let q = parse_query(qs).unwrap();
@@ -1202,9 +1276,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_checks_match_sequential_checks() {
+        let d = figure1();
+        let pairs: Vec<(Query, Update)> = [
+            ("//a//c", "delete //b//c"),
+            ("//c", "delete //b//c"),
+            ("//b", "delete //c"),
+            ("//node()", "delete //c"),
+        ]
+        .iter()
+        .map(|(q, u)| (parse_query(q).unwrap(), parse_update(u).unwrap()))
+        .collect();
+        let session = AnalysisSession::new(&d);
+        let sequential: Vec<Verdict> = pairs.iter().map(|(q, u)| session.check(q, u)).collect();
+        // 8 threads hammer the same shared session; every verdict must be
+        // bit-identical to the sequential ones.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (session, pairs, sequential) = (&session, &pairs, &sequential);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        for ((q, u), expected) in pairs.iter().zip(sequential) {
+                            assert!(verdicts_eq(&session.check(q, u), expected));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
     fn repeated_checks_hit_the_caches() {
         let d = figure1();
-        let mut session = AnalysisSession::new(&d);
+        let session = AnalysisSession::new(&d);
         let q = parse_query("//a//c").unwrap();
         let u = parse_update("delete //b//c").unwrap();
         session.check(&q, &u);
@@ -1216,6 +1320,35 @@ mod tests {
             "the warm check must not re-infer"
         );
         assert!(after_second.cdag_cache_hits > after_first.cdag_cache_hits);
+    }
+
+    #[test]
+    fn overflowed_query_side_skips_update_inference() {
+        let d = figure1();
+        // A budget of 0 overflows every explicit inference, so the explicit
+        // path is always conservative: the update side must not even be
+        // attempted.
+        let session = SessionBuilder::new(&d)
+            .engine(EngineKind::Explicit)
+            .explicit_budget(0)
+            .build();
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let verdict = session.check(&q, &u);
+        assert!(!verdict.is_independent(), "overflow must stay conservative");
+        let stats = session.stats();
+        assert_eq!(
+            stats.explicit_inferences, 1,
+            "only the query side runs; the update inference is short-circuited"
+        );
+        // The verdict still matches a fresh analyzer bit for bit.
+        let config = AnalyzerConfig {
+            engine: EngineKind::Explicit,
+            explicit_budget: 0,
+            ..Default::default()
+        };
+        let fresh = IndependenceAnalyzer::with_config(&d, config).check(&q, &u);
+        assert!(verdicts_eq(&verdict, &fresh));
     }
 
     #[test]
@@ -1345,7 +1478,7 @@ mod tests {
         assert_ne!(q1, q2, "the parses must differ structurally");
         let u = parse_update("delete //b//c").unwrap();
         let analyzer = IndependenceAnalyzer::new(&d);
-        let mut session = AnalysisSession::new(&d);
+        let session = AnalysisSession::new(&d);
         for q in [&q1, &q2, &q1, &q2] {
             assert!(
                 verdicts_eq(&session.check(q, &u), &analyzer.check(q, &u)),
@@ -1357,7 +1490,7 @@ mod tests {
     #[test]
     fn streaming_projection_is_cached() {
         let d = figure1();
-        let mut session = AnalysisSession::new(&d);
+        let session = AnalysisSession::new(&d);
         let q = parse_query("//a//c").unwrap();
         let p1 = session.streaming_projection(&q);
         let p2 = session.streaming_projection(&q);

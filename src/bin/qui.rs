@@ -20,11 +20,12 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use xml_qui::baseline::TypeSetAnalyzer;
-use xml_qui::core::explain::matrix_report_config;
 use xml_qui::core::{
-    AnalyzerConfig, CommutativityAnalyzer, EngineKind, IndependenceAnalyzer, Jobs, SessionBuilder,
+    AnalyzerConfig, CommutativityAnalyzer, EngineKind, IndependenceAnalyzer, Jobs, Request,
+    ServeConfig, Server, SessionBuilder, SessionHandler, SessionRegistry,
 };
 use xml_qui::schema::infer::infer_dtd;
 use xml_qui::schema::{generate_valid, Dtd, GenValidConfig};
@@ -61,6 +62,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "chains" => cmd_chains(&parsed),
         "matrix" => cmd_matrix(&parsed),
         "session" => cmd_session(&parsed),
+        "serve" => cmd_serve(&parsed),
         "validate" => cmd_validate(&parsed),
         "infer-dtd" => cmd_infer_dtd(&parsed),
         "generate" => cmd_generate(&parsed),
@@ -93,6 +95,10 @@ fn usage() -> String {
     let _ = writeln!(
         s,
         "  session   --dtd <file> [--jobs <n>] [--engine E]   (REPL on stdin)"
+    );
+    let _ = writeln!(
+        s,
+        "  serve     --dtd <file> [--addr <host:port>] [--workers <n>] [--engine E]"
     );
     let _ = writeln!(
         s,
@@ -143,7 +149,7 @@ struct CliArgs {
 
 impl CliArgs {
     fn parse(args: &[String]) -> Result<CliArgs, String> {
-        const VALUE_OPTIONS: [&str; 14] = [
+        const VALUE_OPTIONS: [&str; 17] = [
             "--dtd",
             "--start",
             "--query",
@@ -158,6 +164,9 @@ impl CliArgs {
             "--scale",
             "--out",
             "--engine",
+            "--addr",
+            "--workers",
+            "--name",
         ];
         const BARE_FLAGS: [&str; 3] = ["--explain", "--attributes", "--stream"];
         let mut out = CliArgs::default();
@@ -306,7 +315,7 @@ fn cmd_check(args: &CliArgs) -> Result<String, String> {
     let dtd = load_dtd(args)?;
     let q = load_query(args)?;
     let u = load_update(args, "--update")?;
-    let mut session = SessionBuilder::new(&dtd)
+    let session = SessionBuilder::new(&dtd)
         .config(engine_config(args)?)
         .build();
     let mut out = String::new();
@@ -413,14 +422,13 @@ fn cmd_matrix(args: &CliArgs) -> Result<String, String> {
     let u = load_update(args, "--update")?;
     // Without --jobs, defer to QUI_JOBS or the machine's parallelism.
     let jobs = jobs_arg(args)?;
-    let report = matrix_report_config(
-        &dtd,
-        &views,
-        args.get("--update").unwrap_or("update"),
-        &u,
-        &engine_config(args)?,
-        jobs,
-    );
+    let mut session = SessionBuilder::new(&dtd)
+        .config(engine_config(args)?)
+        .jobs(jobs)
+        .build();
+    let update_name = args.get("--update").unwrap_or("update").to_string();
+    session.add_workload(views, [(update_name, u)]);
+    let report = session.reports().pop().expect("one update registered");
     Ok(report.render())
 }
 
@@ -439,19 +447,11 @@ fn cmd_session(args: &CliArgs) -> Result<String, String> {
     Ok(String::new())
 }
 
-const SESSION_HELP: &str = "session commands:
-  view [name:] <query>    register a view (column) and compute its verdicts
-  update [name:] <expr>   register an update (row) and compute its verdicts
-  drop <name>             remove the view or update with that name
-  matrix                  print the materialized verdict matrix
-  stats                   print cache-effectiveness counters
-  help                    this text
-  quit                    leave the session
-";
-
 /// The REPL loop behind `qui session`, factored over generic IO so tests
-/// can drive it with in-memory buffers. Command errors are reported and the
-/// session continues; only IO failures abort.
+/// can drive it with in-memory buffers. Each line is parsed into a protocol
+/// [`Request`] and dispatched through the same [`SessionHandler`] that
+/// backs `qui serve` — the REPL owns no command logic of its own. Command
+/// errors are reported and the session continues; only IO failures abort.
 fn run_session_repl<R: std::io::BufRead, W: std::io::Write>(
     dtd: &Dtd,
     config: AnalyzerConfig,
@@ -459,9 +459,8 @@ fn run_session_repl<R: std::io::BufRead, W: std::io::Write>(
     input: R,
     out: &mut W,
 ) -> Result<(), String> {
-    let mut session = SessionBuilder::new(dtd).config(config).jobs(jobs).build();
-    let mut auto_views = 0usize;
-    let mut auto_updates = 0usize;
+    let session = SessionBuilder::new(dtd).config(config).jobs(jobs).build();
+    let mut handler = SessionHandler::new(session);
     let io = |e: std::io::Error| format!("cannot write output: {e}");
     writeln!(
         out,
@@ -471,159 +470,55 @@ fn run_session_repl<R: std::io::BufRead, W: std::io::Write>(
     .map_err(io)?;
     for line in input.lines() {
         let line = line.map_err(|e| format!("cannot read input: {e}"))?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (command, rest) = match line.split_once(char::is_whitespace) {
-            Some((c, r)) => (c, r.trim()),
-            None => (line, ""),
+        let request = match Request::parse_line(&line) {
+            Ok(None) => continue,
+            Ok(Some(request)) => request,
+            Err(e) => {
+                writeln!(out, "error: {e}").map_err(io)?;
+                out.flush().map_err(io)?;
+                continue;
+            }
         };
-        match command {
-            "view" => match parse_named(rest, parse_query) {
-                Ok((name, q)) => {
-                    if let Some(name) = name.as_deref().filter(|n| name_taken(&session, n)) {
-                        writeln!(
-                            out,
-                            "error: name '{name}' is already registered (drop it first)"
-                        )
-                        .map_err(io)?;
-                        continue;
-                    }
-                    let name = name.unwrap_or_else(|| {
-                        next_auto_name("v", &mut auto_views, |n| name_taken(&session, n))
-                    });
-                    let vi = session.add_view(name.clone(), q);
-                    let independent = (0..session.n_updates())
-                        .filter(|&ui| session.verdict(ui, vi).is_independent())
-                        .count();
-                    writeln!(
-                        out,
-                        "view {name} registered — independent of {independent}/{} updates",
-                        session.n_updates()
-                    )
-                    .map_err(io)?;
-                }
-                Err(e) => writeln!(out, "error: {e}").map_err(io)?,
-            },
-            "update" => match parse_named(rest, parse_update) {
-                Ok((name, u)) => {
-                    if let Some(name) = name.as_deref().filter(|n| name_taken(&session, n)) {
-                        writeln!(
-                            out,
-                            "error: name '{name}' is already registered (drop it first)"
-                        )
-                        .map_err(io)?;
-                        continue;
-                    }
-                    let name = name.unwrap_or_else(|| {
-                        next_auto_name("u", &mut auto_updates, |n| name_taken(&session, n))
-                    });
-                    let ui = session.add_update(name.clone(), u);
-                    let independent = session
-                        .independent_flags(ui)
-                        .into_iter()
-                        .filter(|&i| i)
-                        .count();
-                    writeln!(
-                        out,
-                        "update {name} registered — {independent}/{} views independent",
-                        session.n_views()
-                    )
-                    .map_err(io)?;
-                }
-                Err(e) => writeln!(out, "error: {e}").map_err(io)?,
-            },
-            "drop" => {
-                if rest.is_empty() {
-                    writeln!(out, "error: drop expects a view or update name").map_err(io)?;
-                } else if session.remove_view(rest).is_some() {
-                    writeln!(out, "dropped view {rest}").map_err(io)?;
-                } else if session.remove_update(rest).is_some() {
-                    writeln!(out, "dropped update {rest}").map_err(io)?;
-                } else {
-                    writeln!(out, "error: no view or update named '{rest}'").map_err(io)?;
-                }
-            }
-            "matrix" => {
-                for report in session.reports() {
-                    write!(out, "{}", report.render()).map_err(io)?;
-                }
-                writeln!(
-                    out,
-                    "matrix: {} views x {} updates, {}/{} cells independent",
-                    session.n_views(),
-                    session.n_updates(),
-                    session.independent_count(),
-                    session.n_views() * session.n_updates()
-                )
-                .map_err(io)?;
-            }
-            "stats" => {
-                let s = session.stats();
-                writeln!(
-                    out,
-                    "stats: {} cdag inferences ({} cache hits), {} explicit inferences \
-                     ({} cache hits), {} cells computed, {} edits",
-                    s.cdag_inferences,
-                    s.cdag_cache_hits,
-                    s.explicit_inferences,
-                    s.explicit_cache_hits,
-                    s.cells_computed,
-                    s.edits
-                )
-                .map_err(io)?;
-            }
-            "help" => write!(out, "{SESSION_HELP}").map_err(io)?,
-            "quit" | "exit" => break,
-            other => {
-                writeln!(out, "error: unknown command '{other}' (try 'help')").map_err(io)?;
-            }
-        }
+        let quitting = request == Request::Quit;
+        let response = handler.handle(&request);
+        write!(out, "{}", response.render_text()).map_err(io)?;
         out.flush().map_err(io)?;
+        if quitting {
+            break;
+        }
     }
     Ok(())
 }
 
-/// Parses a REPL expression argument with an optional `name:` prefix
-/// (mirroring the views-file format: any slash-free prefix before the
-/// first colon, unless that colon opens an axis step — `child::a` is a
-/// query, not a named line). Returns `None` for the name when the
-/// expression was unnamed.
-fn parse_named<T, E: std::fmt::Display>(
-    rest: &str,
-    parse: impl Fn(&str) -> Result<T, E>,
-) -> Result<(Option<String>, T), String> {
-    if rest.is_empty() {
-        return Err("expected [name:] <expression>".to_string());
-    }
-    let (name, src) = match rest.split_once(':') {
-        Some((n, s)) if !n.contains('/') && !n.trim().is_empty() && !s.starts_with(':') => {
-            (Some(n.trim().to_string()), s.trim())
-        }
-        _ => (None, rest),
+/// `qui serve` — the HTTP/JSON daemon over [`SessionRegistry`] session
+/// pooling: the `--dtd` schema is preloaded under `--name` (default
+/// `default`), further schemas can be loaded over the wire, and every
+/// session request dispatches through the same protocol handler as the
+/// REPL. Blocks until `POST /shutdown`.
+fn cmd_serve(args: &CliArgs) -> Result<String, String> {
+    let dtd_path = args.require("--dtd")?;
+    let dtd_src = read_file(dtd_path)?;
+    let name = args.get("--name").unwrap_or("default");
+    let registry = Arc::new(SessionRegistry::new(engine_config(args)?, jobs_arg(args)?));
+    let elements = registry
+        .load_schema(name, &dtd_src, args.get("--start"))
+        .map_err(|e| format!("{dtd_path}: {e}"))?;
+    let config = ServeConfig {
+        addr: args.get("--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.get_usize("--workers", 4)?.max(1),
+        ..Default::default()
     };
-    let parsed = parse(src).map_err(|e| format!("{src}: {e}"))?;
-    Ok((name, parsed))
-}
-
-/// Whether a name is already registered on either side of the session's
-/// workload — `drop <name>` addresses both namespaces, so names must be
-/// unique across views *and* updates.
-fn name_taken(session: &xml_qui::core::AnalysisSession<'_, Dtd>, name: &str) -> bool {
-    session.views().any(|(n, _)| n == name) || session.updates().any(|(n, _)| n == name)
-}
-
-/// The next free auto-name (`v1, v2, …` / `u1, u2, …`), skipping names the
-/// user already claimed explicitly.
-fn next_auto_name(prefix: &str, counter: &mut usize, taken: impl Fn(&str) -> bool) -> String {
-    loop {
-        *counter += 1;
-        let name = format!("{prefix}{counter}");
-        if !taken(&name) {
-            return name;
-        }
-    }
+    let workers = config.workers;
+    let server = Server::bind(config, registry)?;
+    let addr = server.local_addr()?;
+    println!(
+        "qui serve: listening on {addr} — schema '{name}' ({elements} element types), \
+         {workers} workers; POST /shutdown to stop"
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run()?;
+    Ok("server stopped\n".to_string())
 }
 
 fn cmd_validate(args: &CliArgs) -> Result<String, String> {
@@ -966,6 +861,28 @@ quit
         );
         assert!(text.contains("cells computed"), "{text}");
         assert!(text.contains("error: unknown command 'bogus'"), "{text}");
+    }
+
+    #[test]
+    fn session_repl_runs_ad_hoc_checks() {
+        let dtd = Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap();
+        let script = "check //a//c ;; delete //b//c\ncheck //c ;; delete //b//c\ncheck //a\nquit\n";
+        let mut out = Vec::new();
+        run_session_repl(
+            &dtd,
+            AnalyzerConfig::default(),
+            Jobs::Fixed(1),
+            std::io::Cursor::new(script.as_bytes().to_vec()),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("independent — k = "), "{text}");
+        assert!(text.contains("dependent — k = "), "{text}");
+        assert!(
+            text.contains("error: check expects <query> ;; <update>"),
+            "{text}"
+        );
     }
 
     #[test]

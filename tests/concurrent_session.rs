@@ -1,0 +1,269 @@
+//! Concurrency tests for the session's `&self` read path and the serving
+//! layer on top of it:
+//!
+//! * **N-thread bit-identity** — many threads hammering `check()` on one
+//!   shared session produce verdicts bit-identical (every `Verdict` field,
+//!   witnesses included) to a fresh single-threaded analyzer, across engine
+//!   policies and explicit budgets (including the overflow → CDAG fallback);
+//! * **interleaved edits** — readers running ad-hoc checks while another
+//!   thread edits the workload never observe a torn matrix, and the final
+//!   session state matches a from-scratch `analyze_matrix`;
+//! * an HTTP smoke test through the public facade: the wire verdict equals
+//!   the in-process one.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use xml_qui::core::parallel::{analyze_matrix, Jobs};
+use xml_qui::core::{
+    AnalyzerConfig, EngineKind, IndependenceAnalyzer, Json, Request, Response, ServeConfig, Server,
+    SessionBuilder, SessionRegistry, SharedSession, Verdict,
+};
+use xml_qui::schema::Dtd;
+use xml_qui::xquery::{parse_query, parse_update, Query, Update};
+
+const FIG1: &str = "doc -> (a|b)* ; a -> c ; b -> c";
+/// Heavily recursive: small explicit budgets overflow here, forcing the
+/// CDAG fallback inside the concurrent read path.
+const RECURSIVE: &str = "a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)*";
+
+const QUERIES: &[&str] = &["//a", "//c", "//b//c", "//a//c", "//b//c//b"];
+const UPDATES: &[&str] = &[
+    "delete //b//c",
+    "delete //c",
+    "delete //c//b//c",
+    "for $x in //b return insert <d/> into $x",
+];
+
+/// Bit-level equality of two verdicts (every observable field; `Verdict`
+/// deliberately does not implement `PartialEq`).
+fn verdicts_eq(a: &Verdict, b: &Verdict) -> bool {
+    a.is_independent() == b.is_independent()
+        && a.k == b.k
+        && a.k_query == b.k_query
+        && a.k_update == b.k_update
+        && a.engine_used == b.engine_used
+        && a.witness == b.witness
+        && a.query_chain_count == b.query_chain_count
+        && a.update_chain_count == b.update_chain_count
+}
+
+fn pairs() -> Vec<(Query, Update)> {
+    QUERIES
+        .iter()
+        .flat_map(|q| UPDATES.iter().map(move |u| (q, u)))
+        .map(|(q, u)| (parse_query(q).unwrap(), parse_update(u).unwrap()))
+        .collect()
+}
+
+/// The tentpole acceptance test: 8 threads × repeated `check()` calls on one
+/// shared session agree bit-for-bit with a fresh single-threaded analyzer,
+/// for every engine policy and for budgets on both sides of the explicit
+/// overflow threshold.
+#[test]
+fn concurrent_checks_are_bit_identical_across_engines_and_budgets() {
+    let threads = 8;
+    for schema in [FIG1, RECURSIVE] {
+        let start = if schema == FIG1 { "doc" } else { "a" };
+        let dtd = Dtd::parse_compact(schema, start).unwrap();
+        for engine in [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag] {
+            for budget in [60usize, 20_000] {
+                let config = AnalyzerConfig {
+                    engine,
+                    explicit_budget: budget,
+                    ..Default::default()
+                };
+                let analyzer = IndependenceAnalyzer::with_config(&dtd, config.clone());
+                let pairs = pairs();
+                let expected: Vec<Verdict> =
+                    pairs.iter().map(|(q, u)| analyzer.check(q, u)).collect();
+                let session = SessionBuilder::new(&dtd).config(config).build();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let (session, pairs, expected) = (&session, &pairs, &expected);
+                        s.spawn(move || {
+                            // Stagger the starting offset so threads race on
+                            // *different* cold cache entries, not in lockstep.
+                            for round in 0..2 {
+                                for i in 0..pairs.len() {
+                                    let i = (i + t * 3) % pairs.len();
+                                    let (q, u) = &pairs[i];
+                                    let v = session.check(q, u);
+                                    assert!(
+                                        verdicts_eq(&v, &expected[i]),
+                                        "thread {t} round {round} pair {i} diverged \
+                                         ({engine:?}, budget {budget}):\n  \
+                                         concurrent: {v:?}\n  fresh:      {:?}",
+                                        expected[i]
+                                    );
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Readers doing ad-hoc checks while another thread edits the workload:
+/// every matrix snapshot a reader sees is internally consistent, ad-hoc
+/// verdicts never waver, and the final state matches a from-scratch
+/// analysis of the surviving workload.
+#[test]
+fn interleaved_edits_and_readers_match_from_scratch_matrix() {
+    let dtd = Dtd::parse_compact(FIG1, "doc").unwrap();
+    let config = AnalyzerConfig::default();
+    let session = SessionBuilder::new(&dtd).config(config.clone()).build();
+    let shared = SharedSession::new(session);
+    let check = Request::Check {
+        query: "//a//c".to_string(),
+        update: "delete //b//c".to_string(),
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (shared, check) = (&shared, &check);
+            s.spawn(move || {
+                for _ in 0..25 {
+                    match shared.handle(check) {
+                        Response::Check { independent, .. } => assert!(independent),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    match shared.handle(&Request::Matrix) {
+                        Response::Matrix {
+                            reports,
+                            n_views,
+                            n_updates,
+                            independent_cells,
+                        } => {
+                            // A read lock means no torn matrix: one report
+                            // per update, one row per view, and the summary
+                            // count agrees with the rows.
+                            assert_eq!(reports.len(), n_updates);
+                            let independent = reports
+                                .iter()
+                                .flat_map(|r| r.rows.iter())
+                                .filter(|(_, i)| *i)
+                                .count();
+                            assert!(reports.iter().all(|r| r.rows.len() == n_views));
+                            assert_eq!(independent, independent_cells);
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            });
+        }
+        // Interleave edits (writes) with the readers above.
+        for (i, q) in QUERIES.iter().enumerate() {
+            shared.handle(&Request::AddView {
+                name: Some(format!("v{i}")),
+                expr: q.to_string(),
+            });
+        }
+        for (i, u) in UPDATES.iter().enumerate() {
+            shared.handle(&Request::AddUpdate {
+                name: Some(format!("u{i}")),
+                expr: u.to_string(),
+            });
+        }
+        shared.handle(&Request::Drop {
+            name: "v1".to_string(),
+        });
+        shared.handle(&Request::Drop {
+            name: "u0".to_string(),
+        });
+    });
+
+    // The surviving workload matches a from-scratch batch analysis cell by
+    // cell, every verdict field included.
+    shared.with_read(|handler| {
+        let session = handler.session();
+        let views: Vec<Query> = session.views().map(|(_, q)| q.clone()).collect();
+        let updates: Vec<Update> = session.updates().map(|(_, u)| u.clone()).collect();
+        assert_eq!(views.len(), QUERIES.len() - 1);
+        assert_eq!(updates.len(), UPDATES.len() - 1);
+        let fresh = analyze_matrix(&dtd, &views, &updates, &config, Jobs::Fixed(1));
+        let materialized = session.verdicts();
+        for ui in 0..fresh.n_updates() {
+            for vi in 0..fresh.n_views() {
+                assert!(
+                    verdicts_eq(materialized.verdict(ui, vi), fresh.verdict(ui, vi)),
+                    "cell (view {vi}, update {ui}) diverged:\n  session: {:?}\n  fresh:   {:?}",
+                    materialized.verdict(ui, vi),
+                    fresh.verdict(ui, vi)
+                );
+            }
+        }
+    });
+}
+
+/// Sends one HTTP request over a fresh connection and returns the parsed
+/// JSON body.
+fn http_json(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    let (_, body) = out.split_once("\r\n\r\n").expect("has a body");
+    Json::parse(body).expect("JSON body")
+}
+
+/// End-to-end smoke through the public facade: the verdict served over the
+/// wire equals the in-process one, and concurrent wire clients agree.
+#[test]
+fn http_serve_smoke_matches_in_process_verdict() {
+    let dtd = Dtd::parse_compact(FIG1, "doc").unwrap();
+    let expected = IndependenceAnalyzer::new(&dtd).check(
+        &parse_query("//a//c").unwrap(),
+        &parse_update("delete //b//c").unwrap(),
+    );
+
+    let registry = Arc::new(SessionRegistry::new(
+        AnalyzerConfig::default(),
+        Jobs::Fixed(1),
+    ));
+    registry.load_schema("fig1", FIG1, None).unwrap();
+    let server = Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_millis(500),
+            ..Default::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let body = "{\"cmd\":\"check\",\"query\":\"//a//c\",\"update\":\"delete //b//c\"}";
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    let v = http_json(addr, "POST", "/sessions/fig1", body);
+                    assert_eq!(v.get("type").and_then(Json::as_str), Some("verdict"));
+                    assert_eq!(
+                        v.get("independent").and_then(Json::as_bool),
+                        Some(expected.is_independent())
+                    );
+                    assert_eq!(v.get("k").and_then(Json::as_usize), Some(expected.k));
+                }
+            });
+        }
+    });
+
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}

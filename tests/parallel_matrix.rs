@@ -5,10 +5,10 @@
 //! worker count, and repeated parallel runs must be deterministic.
 
 use proptest::prelude::*;
+#[allow(deprecated)]
+use xml_qui::core::matrix_report_jobs;
 use xml_qui::core::parallel::{analyze_matrix, assert_matches_sequential, Jobs};
-use xml_qui::core::{
-    matrix_report_jobs, AnalyzerConfig, EngineKind, IndependenceAnalyzer, MatrixVerdicts,
-};
+use xml_qui::core::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, MatrixVerdicts};
 use xml_qui::schema::Dtd;
 use xml_qui::workloads::{all_updates, all_views};
 use xml_qui::xquery::{parse_query, parse_update, Query, Update};
@@ -154,6 +154,7 @@ proptest! {
 /// with different worker counts renders identically — the acceptance check of
 /// `qui matrix --jobs N ≡ --jobs 1` at workload scale.
 #[test]
+#[allow(deprecated)]
 fn workload_matrix_reports_identical_across_jobs() {
     let dtd = xml_qui::workloads::xmark_dtd();
     let views: Vec<(String, Query)> = all_views()

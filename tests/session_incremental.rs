@@ -174,7 +174,7 @@ proptest! {
         let engine = [EngineKind::Auto, EngineKind::Explicit, EngineKind::Cdag][engine_idx];
         let config = AnalyzerConfig { engine, cdag_first: cdag_first_idx == 0, ..Default::default() };
         let analyzer = IndependenceAnalyzer::with_config(dtd, config.clone());
-        let mut session = SessionBuilder::new(dtd).config(config).build();
+        let session = SessionBuilder::new(dtd).config(config).build();
         // Unrelated checks first, so the target pair hits a part-warm cache.
         for warmup in QUERY_POOL.iter().take(3) {
             let q = parse_query(warmup).unwrap();
