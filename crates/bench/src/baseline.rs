@@ -315,6 +315,15 @@ impl Default for GateConfig {
     }
 }
 
+/// The environment variables [`GateConfig::from_env`] reads, colocated with
+/// the reader so the `check-refs` binary can cross-check the workflow YAML
+/// against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &[
+    "QUI_BASELINE_MIN_SPEEDUP",
+    "QUI_BASELINE_MIN_PARALLEL_SPEEDUP",
+    "QUI_BASELINE_TOLERANCE",
+];
+
 impl GateConfig {
     /// Reads the environment overrides on top of the defaults.
     pub fn from_env() -> Self {

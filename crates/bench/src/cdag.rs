@@ -391,6 +391,17 @@ impl Default for CdagGateConfig {
     }
 }
 
+/// The environment variables [`CdagGateConfig::from_env`] reads, colocated
+/// with the reader so the `check-refs` binary can cross-check the workflow
+/// YAML against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &[
+    "QUI_CDAG_MAX_AUTO_RATIO",
+    "QUI_CDAG_MIN_LADDER_SPEEDUP",
+    "QUI_CDAG_MIN_LADDER_REUSE",
+    "QUI_CDAG_MIN_AUTOMATON_SAVING",
+    "QUI_CDAG_TOLERANCE",
+];
+
 impl CdagGateConfig {
     /// Reads the environment overrides on top of the defaults.
     pub fn from_env() -> Self {

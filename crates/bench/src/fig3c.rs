@@ -438,6 +438,16 @@ impl Default for Fig3cGateConfig {
     }
 }
 
+/// The environment variables [`Fig3cGateConfig::from_env`] reads, colocated
+/// with the reader so the `check-refs` binary can cross-check the workflow
+/// YAML against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &[
+    "QUI_FIG3C_MIN_PRUNING_SAVING",
+    "QUI_FIG3C_MIN_PARALLEL_SPEEDUP",
+    "QUI_FIG3C_MAX_PEAK_BUFFER_FRACTION",
+    "QUI_FIG3C_TOLERANCE",
+];
+
 impl Fig3cGateConfig {
     /// Reads the environment overrides on top of the defaults.
     pub fn from_env() -> Self {

@@ -29,6 +29,7 @@
 pub mod baseline;
 pub mod cdag;
 pub mod fig3c;
+pub mod refs;
 pub mod serve;
 pub mod session;
 

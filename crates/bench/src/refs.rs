@@ -1,0 +1,440 @@
+//! Validation of the committed benchmark references and the CI gate wiring.
+//!
+//! Two classes of silent CI rot motivate this module:
+//!
+//! 1. A committed `ci/BENCH_*.json` reference can lose a field (or pick up a
+//!    `NaN`/`inf`) during a hand-edit or a harness refactor, after which the
+//!    corresponding `--check` gate reads `None` and stops gating anything.
+//! 2. A workflow YAML can set a typoed `QUI_*` env var (or keep setting one a
+//!    harness no longer reads), after which the intended threshold silently
+//!    falls back to the in-code default.
+//!
+//! The `check-refs` binary runs both checks in CI. The source of truth for
+//! the second check is the `GATE_ENV_VARS` const colocated with each gate's
+//! `from_env` reader ([`crate::baseline::GATE_ENV_VARS`] and friends) — the
+//! const and the reader sit next to each other precisely so a reviewer sees
+//! both change together.
+//!
+//! The module also renders the nightly `speedup-trend` artifact: a markdown
+//! table diffing freshly measured headline metrics (`speedup_parallel`,
+//! `ladder_speedup`, …) against the committed references, so speedup drift is
+//! visible across nightly runs without failing the build.
+
+use std::collections::BTreeSet;
+
+/// One committed benchmark reference: its file name, the numeric fields a
+/// valid report must contain, and the headline metrics worth trending.
+#[derive(Clone, Copy, Debug)]
+pub struct RefSpec {
+    /// File name under `ci/` (and under a fresh measurement directory).
+    pub file: &'static str,
+    /// Numeric fields that must appear at least once, each finite.
+    pub required: &'static [&'static str],
+    /// Headline metrics diffed by the nightly speedup-trend artifact.
+    pub trend: &'static [&'static str],
+}
+
+/// The committed reference set, one entry per perf harness.
+pub const REF_SPECS: &[RefSpec] = &[
+    RefSpec {
+        file: "BENCH_baseline.json",
+        required: &[
+            "schema_version",
+            "workers",
+            "calibration_ms",
+            "norm_cost",
+            "largest_cells",
+            "pairwise_ms",
+            "seq_ms",
+            "par_ms",
+            "speedup_parallel",
+            "speedup_vs_pairwise",
+        ],
+        trend: &["speedup_parallel", "speedup_vs_pairwise"],
+    },
+    RefSpec {
+        file: "BENCH_cdag.json",
+        required: &[
+            "schema_version",
+            "calibration_ms",
+            "auto_ratio",
+            "verdict_mismatches",
+            "ladder_speedup",
+            "ladder_reuse_share",
+            "automaton_saving_pct",
+            "norm_cost",
+        ],
+        trend: &["ladder_speedup", "auto_ratio", "ladder_reuse_share"],
+    },
+    RefSpec {
+        file: "BENCH_fig3c.json",
+        required: &[
+            "schema_version",
+            "workers",
+            "calibration_ms",
+            "norm_cost",
+            "pruning_saving_pct",
+            "speedup_parallel",
+            "peak_buffer_bytes",
+        ],
+        trend: &["speedup_parallel", "pruning_saving_pct"],
+    },
+    RefSpec {
+        file: "BENCH_session.json",
+        required: &[
+            "schema_version",
+            "calibration_ms",
+            "cold_ms",
+            "warm_ms",
+            "warm_speedup",
+            "incremental_speedup",
+            "verdict_mismatches",
+            "norm_cost",
+        ],
+        trend: &["warm_speedup", "incremental_speedup"],
+    },
+    RefSpec {
+        file: "BENCH_serve.json",
+        required: &[
+            "schema_version",
+            "workers",
+            "calibration_ms",
+            "concurrent_speedup",
+            "verdict_mismatches",
+            "norm_cost",
+        ],
+        trend: &["concurrent_speedup"],
+    },
+];
+
+/// Environment variables that are legitimately referenced by the workflows
+/// but are not gate thresholds (worker-count and proptest-depth knobs).
+pub const NON_GATE_ENV_VARS: &[&str] = &["QUI_JOBS", "QUI_PROPTEST_CASES"];
+
+/// Every `QUI_*` variable some harness gate actually reads.
+pub fn known_gate_vars() -> BTreeSet<&'static str> {
+    let mut set = BTreeSet::new();
+    set.extend(crate::baseline::GATE_ENV_VARS);
+    set.extend(crate::cdag::GATE_ENV_VARS);
+    set.extend(crate::fig3c::GATE_ENV_VARS);
+    set.extend(crate::serve::GATE_ENV_VARS);
+    set.extend(crate::session::GATE_ENV_VARS);
+    set
+}
+
+/// Extracts every `"key": <number>` pair from a JSON document, in document
+/// order, erroring on a malformed or non-finite number.
+///
+/// This is a scanner, not a parser: it only needs to see quoted keys whose
+/// value starts like a number, which is exactly the shape the harness
+/// reports have (objects and arrays of objects with numeric and string
+/// leaves). String values are never mistaken for keys because a key is a
+/// quoted token immediately followed by `:`.
+pub fn scan_json_numbers(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let bytes = json.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        // Quoted token (harness keys and values contain no escapes).
+        let start = i + 1;
+        let Some(rel_end) = json[start..].find('"') else {
+            return Err("unterminated string literal".to_string());
+        };
+        let token = &json[start..start + rel_end];
+        i = start + rel_end + 1;
+        // A key is a quoted token immediately followed by ':'.
+        let rest = json[i..].trim_start();
+        if !rest.starts_with(':') {
+            continue;
+        }
+        let value = rest[1..].trim_start();
+        let Some(first) = value.chars().next() else {
+            return Err(format!("key {token:?} has no value"));
+        };
+        if first == '-' || first.is_ascii_digit() {
+            let end = value
+                .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+                .unwrap_or(value.len());
+            let literal = &value[..end];
+            let parsed: f64 = literal
+                .parse()
+                .map_err(|_| format!("key {token:?} has malformed number {literal:?}"))?;
+            if !parsed.is_finite() {
+                return Err(format!("key {token:?} has non-finite value {literal:?}"));
+            }
+            out.push((token.to_string(), parsed));
+        }
+    }
+    Ok(out)
+}
+
+/// Validates one reference document against its spec; returns the list of
+/// failures (empty = pass).
+pub fn validate_reference(name: &str, json: &str, spec: &RefSpec) -> Vec<String> {
+    let numbers = match scan_json_numbers(json) {
+        Ok(n) => n,
+        Err(e) => return vec![format!("{name}: {e}")],
+    };
+    let mut failures = Vec::new();
+    if numbers.is_empty() {
+        failures.push(format!("{name}: no numeric fields at all"));
+    }
+    for field in spec.required {
+        if !numbers.iter().any(|(k, _)| k == field) {
+            failures.push(format!(
+                "{name}: required numeric field {field:?} is missing"
+            ));
+        }
+    }
+    failures
+}
+
+/// Every `QUI_[A-Z0-9_]+` token mentioned in a workflow file (env blocks,
+/// comments, run scripts — anywhere; a stale mention in a comment is worth
+/// flagging too, but only env-block keys can break gating, so the scanner
+/// stays deliberately simple and the caller decides severity).
+pub fn scan_env_tokens(yaml: &str) -> BTreeSet<String> {
+    let bytes = yaml.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while let Some(rel) = yaml[i..].find("QUI_") {
+        let start = i + rel;
+        let mut end = start + 4;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if end > start + 4 {
+            out.insert(yaml[start..end].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+/// Cross-checks the workflow YAML files against the real gate readers.
+///
+/// Fails when a workflow mentions a `QUI_*` variable no harness reads (a
+/// typo would silently disable the gate), and when a declared gate variable
+/// is never mentioned by any workflow (the threshold would silently ride on
+/// the in-code default, which is not what a CI-tuned gate intends).
+pub fn check_wiring(workflows: &[(String, String)]) -> Vec<String> {
+    let known = known_gate_vars();
+    let mut failures = Vec::new();
+    let mut mentioned: BTreeSet<String> = BTreeSet::new();
+    for (name, text) in workflows {
+        for token in scan_env_tokens(text) {
+            if !known.contains(token.as_str()) && !NON_GATE_ENV_VARS.contains(&token.as_str()) {
+                failures.push(format!(
+                    "{name}: references {token}, which no harness gate reads (typo?)"
+                ));
+            }
+            mentioned.insert(token);
+        }
+    }
+    for var in known {
+        if !mentioned.contains(var) {
+            failures.push(format!(
+                "no workflow sets {var}; its gate silently rides on the in-code default"
+            ));
+        }
+    }
+    failures
+}
+
+/// One row of the speedup-trend table.
+#[derive(Clone, Debug)]
+pub struct TrendRow {
+    /// Reference file the metric came from.
+    pub file: &'static str,
+    /// Metric name.
+    pub key: &'static str,
+    /// Committed values, in document order (per-scale metrics repeat).
+    pub committed: Vec<f64>,
+    /// Freshly measured values, in document order; empty when the fresh
+    /// report was not produced.
+    pub fresh: Vec<f64>,
+}
+
+/// Collects the trend metrics of one (committed, fresh) report pair.
+pub fn trend_rows(
+    spec: &RefSpec,
+    committed_json: &str,
+    fresh_json: Option<&str>,
+) -> Result<Vec<TrendRow>, String> {
+    let committed = scan_json_numbers(committed_json)?;
+    let fresh = match fresh_json {
+        Some(j) => scan_json_numbers(j)?,
+        None => Vec::new(),
+    };
+    let pick = |numbers: &[(String, f64)], key: &str| -> Vec<f64> {
+        numbers
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .collect()
+    };
+    Ok(spec
+        .trend
+        .iter()
+        .map(|&key| TrendRow {
+            file: spec.file,
+            key,
+            committed: pick(&committed, key),
+            fresh: pick(&fresh, key),
+        })
+        .collect())
+}
+
+/// Renders the trend rows as a markdown document (the nightly artifact).
+pub fn trend_markdown(rows: &[TrendRow]) -> String {
+    let fmt_list = |vals: &[f64]| -> String {
+        if vals.is_empty() {
+            "—".to_string()
+        } else {
+            vals.iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    let mut out = String::from(
+        "# Speedup trend\n\n\
+         Freshly measured headline metrics vs the committed `ci/BENCH_*.json`\n\
+         references. Per-scale metrics list one value per scale, in report\n\
+         order; `Δ%` compares the last (largest-scale) values.\n\n\
+         | reference | metric | committed | fresh | Δ% |\n\
+         |---|---|---|---|---|\n",
+    );
+    for row in rows {
+        let delta = match (row.committed.last(), row.fresh.last()) {
+            (Some(&c), Some(&f)) if c.abs() > f64::EPSILON => {
+                format!("{:+.1}%", (f - c) / c * 100.0)
+            }
+            _ => "—".to_string(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            row.file,
+            row.key,
+            fmt_list(&row.committed),
+            fmt_list(&row.fresh),
+            delta
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_extracts_numbers_and_skips_string_values() {
+        let json = r#"{"a": 1.5, "name": "S", "nested": [{"b": -2e3, "c": 7}], "d": 1.5}"#;
+        let nums = scan_json_numbers(json).unwrap();
+        assert_eq!(
+            nums,
+            vec![
+                ("a".to_string(), 1.5),
+                ("b".to_string(), -2000.0),
+                ("c".to_string(), 7.0),
+                ("d".to_string(), 1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn scanner_rejects_non_finite_and_malformed_numbers() {
+        assert!(scan_json_numbers(r#"{"a": 1e999}"#).is_err());
+        assert!(scan_json_numbers(r#"{"a": 1.2.3}"#).is_err());
+    }
+
+    #[test]
+    fn validate_reports_missing_required_fields() {
+        let spec = RefSpec {
+            file: "X.json",
+            required: &["present", "absent"],
+            trend: &[],
+        };
+        let failures = validate_reference("X.json", r#"{"present": 1}"#, &spec);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("absent"));
+    }
+
+    #[test]
+    fn committed_references_satisfy_their_specs() {
+        // The committed ci/ references must themselves pass the schema check
+        // — otherwise the check-refs CI job would fail on a clean tree.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ci");
+        for spec in REF_SPECS {
+            let path = root.join(spec.file);
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let failures = validate_reference(spec.file, &json, spec);
+            assert!(failures.is_empty(), "{failures:?}");
+        }
+    }
+
+    #[test]
+    fn workflow_wiring_is_consistent() {
+        // The committed workflows must reference exactly the gate variables
+        // the harnesses read (plus the non-gate knobs).
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../.github/workflows");
+        let mut workflows = Vec::new();
+        for entry in std::fs::read_dir(&root).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "yml") {
+                workflows.push((
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(&path).unwrap(),
+                ));
+            }
+        }
+        assert!(!workflows.is_empty());
+        let failures = check_wiring(&workflows);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn unknown_workflow_var_and_unset_gate_are_flagged() {
+        let workflows = vec![(
+            "ci.yml".to_string(),
+            "env:\n  QUI_BASELINE_MIN_SPEDUP: \"2.0\"\n".to_string(),
+        )];
+        let failures = check_wiring(&workflows);
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("QUI_BASELINE_MIN_SPEDUP")));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("QUI_BASELINE_MIN_SPEEDUP")));
+    }
+
+    #[test]
+    fn trend_table_reports_per_scale_values_and_delta() {
+        let spec = RefSpec {
+            file: "BENCH_x.json",
+            required: &[],
+            trend: &["speedup_parallel"],
+        };
+        let committed = r#"{"scales": [{"speedup_parallel": 1.0}, {"speedup_parallel": 2.0}]}"#;
+        let fresh = r#"{"scales": [{"speedup_parallel": 1.1}, {"speedup_parallel": 3.0}]}"#;
+        let rows = trend_rows(&spec, committed, Some(fresh)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].committed, vec![1.0, 2.0]);
+        assert_eq!(rows[0].fresh, vec![1.1, 3.0]);
+        let md = trend_markdown(&rows);
+        assert!(md.contains("+50.0%"), "{md}");
+        // Missing fresh report renders an em-dash, not a panic.
+        let rows = trend_rows(&spec, committed, None).unwrap();
+        assert!(trend_markdown(&rows).contains("—"));
+    }
+}

@@ -417,6 +417,11 @@ impl Default for ServeGateConfig {
     }
 }
 
+/// The environment variables [`ServeGateConfig::from_env`] reads, colocated
+/// with the reader so the `check-refs` binary can cross-check the workflow
+/// YAML against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &["QUI_SERVE_MIN_SPEEDUP", "QUI_SERVE_TOLERANCE"];
+
 impl ServeGateConfig {
     /// Reads the environment overrides on top of the defaults.
     pub fn from_env() -> Self {

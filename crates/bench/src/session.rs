@@ -251,6 +251,15 @@ impl Default for SessionGateConfig {
     }
 }
 
+/// The environment variables [`SessionGateConfig::from_env`] reads, colocated
+/// with the reader so the `check-refs` binary can cross-check the workflow
+/// YAML against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &[
+    "QUI_SESSION_MIN_WARM_SPEEDUP",
+    "QUI_SESSION_MIN_INCREMENTAL_SPEEDUP",
+    "QUI_SESSION_TOLERANCE",
+];
+
 impl SessionGateConfig {
     /// Reads the environment overrides on top of the defaults.
     pub fn from_env() -> Self {

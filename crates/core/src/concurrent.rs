@@ -25,6 +25,7 @@
 
 use crate::engine::cdag::CdagEngine;
 use crate::fxhash::FxHasher;
+use crate::parallel::Jobs;
 use qui_schema::SchemaLike;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -120,6 +121,7 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 pub struct EnginePool<'a, S: SchemaLike> {
     schema: &'a S,
     element_chains: bool,
+    jobs: Jobs,
     free: Mutex<HashMap<usize, Vec<CdagEngine<'a, S>>>>,
 }
 
@@ -130,8 +132,17 @@ impl<'a, S: SchemaLike> EnginePool<'a, S> {
         EnginePool {
             schema,
             element_chains,
+            jobs: Jobs::Fixed(1),
             free: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Worker-count policy handed to every engine the pool creates (see
+    /// [`CdagEngine::with_jobs`]): large closure sweeps shard over this many
+    /// workers. Results are bit-identical for every value.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Checks out an engine for bound `k`: a pooled one when available, a
@@ -145,7 +156,9 @@ impl<'a, S: SchemaLike> EnginePool<'a, S> {
             .get_mut(&k)
             .and_then(|v: &mut Vec<CdagEngine<'a, S>>| v.pop());
         let engine = pooled.unwrap_or_else(|| {
-            CdagEngine::new(self.schema, k).with_element_chains(self.element_chains)
+            CdagEngine::new(self.schema, k)
+                .with_element_chains(self.element_chains)
+                .with_jobs(self.jobs)
         });
         PooledEngine {
             pool: self,

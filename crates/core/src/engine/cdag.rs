@@ -34,11 +34,19 @@
 //! * all node/edge sets hash with [`crate::fxhash`] instead of SipHash
 //!   (node indices are dense small integers, never attacker-controlled),
 //! * graph passes (provenance trimming, descendant closure, prefix
-//!   conflicts) run over a per-engine scratch workspace of
-//!   generation-stamped mark vectors and reusable adjacency lists instead of
-//!   allocating fresh hash maps per call,
-//! * the descendant closure is shared across all context ends (one
-//!   `O(nodes + edges)` sweep instead of one sweep per end).
+//!   conflicts) run over a per-engine scratch workspace of dense
+//!   [`crate::bitset`] word-bitsets and reusable adjacency lists instead of
+//!   allocating fresh hash maps per call — node marks cost one shift and
+//!   mask, and set intersections are decided 64 nodes per word operation,
+//! * the descendant closure is shared across all context ends and
+//!   level-synchronous: each grid level is one frontier bitmask, and
+//!   stepping the closure ORs precomputed per-symbol child masks into the
+//!   next level (the grid encodes `(type, depth)` level-major, so a level
+//!   is a contiguous bit range). Large closures additionally shard their
+//!   per-level edge materialization over the worker pool when the engine
+//!   was built with [`CdagEngine::with_jobs`]; the per-level lists are
+//!   merged in level order, so results are bit-identical for every worker
+//!   count.
 //!
 //! ## Incremental k-extension
 //!
@@ -52,7 +60,9 @@
 //! non-saturating expression.
 
 use super::label_syms;
+use crate::bitset::{self, BitGrid, BitSet};
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::parallel::{run_indexed, Jobs};
 use crate::types::{ChainItem, QueryChains, UpdateChains};
 use qui_schema::{Chain, SchemaLike, Sym, TEXT_SYM};
 use qui_xquery::{Axis, NodeTest, Query, Update, UpdatePos};
@@ -121,47 +131,42 @@ impl ChainDag {
     }
 }
 
-/// Reusable graph-pass workspace (see the module docs): generation-stamped
-/// mark vectors and adjacency lists indexed by dense [`NodeIdx`]. Everything
-/// auto-grows on first touch and is logically cleared in `O(touched)` by
-/// bumping the generation / draining the touched list, so a pass over a
-/// small DAG never pays for the full `width · depth` grid.
+/// Reusable graph-pass workspace (see the module docs): dense word-bitset
+/// node marks, level-major frontier grids and adjacency lists indexed by
+/// dense [`NodeIdx`]. Everything auto-grows on first touch, and clearing is
+/// bounded by what the previous pass dirtied (bitset high-water marks, grid
+/// dirty-row ranges, the `touched` list), so a pass over a small DAG never
+/// pays for the full `width · depth` grid.
 #[derive(Default)]
 struct Scratch {
-    /// Primary mark color (`mark[n] == gen` ⇔ marked this pass).
-    mark: Vec<u32>,
-    /// Secondary mark color for passes that need two node sets at once.
-    mark2: Vec<u32>,
-    /// Monotone generation counter shared by both mark vectors.
-    gen: u32,
+    /// Primary node-mark set.
+    mark: BitSet,
+    /// Secondary node-mark set for passes that need two node sets at once.
+    mark2: BitSet,
     /// Adjacency lists; non-empty slots are tracked in `touched`.
     adj: Vec<Vec<NodeIdx>>,
     /// Slots of `adj` that must be cleared before the next pass.
     touched: Vec<NodeIdx>,
     /// Reusable DFS/BFS stack.
     stack: Vec<NodeIdx>,
-}
-
-#[inline]
-fn mark_set(marks: &mut Vec<u32>, n: NodeIdx, gen: u32) {
-    let i = n as usize;
-    if i >= marks.len() {
-        marks.resize(i + 1, 0);
-    }
-    marks[i] = gen;
-}
-
-#[inline]
-fn mark_has(marks: &[u32], n: NodeIdx, gen: u32) -> bool {
-    marks.get(n as usize).is_some_and(|&g| g == gen)
+    /// Descendant closure: per-level masks of every node the closure
+    /// visited (seeds plus reached children).
+    visited: BitGrid,
+    /// Descendant closure: per-level masks of nodes reached *as children*
+    /// (the candidates for node-test matching).
+    reached: BitGrid,
+    /// Descendant closure phase 2: per-level masks of nodes from which a
+    /// matched node is reachable.
+    reach: BitGrid,
+    /// Per-call node-test mask over one level's symbol slots.
+    match_mask: Vec<u64>,
+    /// One-level OR accumulator for the frontier step.
+    level_buf: Vec<u64>,
+    /// Reusable slot list (decoded set bits of one level).
+    slots: Vec<u32>,
 }
 
 impl Scratch {
-    fn next_gen(&mut self) -> u32 {
-        self.gen += 1;
-        self.gen
-    }
-
     #[inline]
     fn adj_push(&mut self, from: NodeIdx, to: NodeIdx) {
         let i = from as usize;
@@ -195,6 +200,22 @@ pub struct CdagEngine<'a, S: SchemaLike> {
     k: usize,
     /// Element-chain inference toggle (see the explicit engine).
     element_chains: bool,
+    /// Words per level of the frontier grids (`⌈width / 64⌉`).
+    stride: usize,
+    /// Per-symbol child masks, flattened at `stride` words per symbol: the
+    /// one-level bitmask of the child slots of each schema type. Stepping
+    /// the descendant closure is OR-ing these masks.
+    child_masks: Vec<u64>,
+    /// Per-symbol child slot lists, flattened (`child_off` delimits them) —
+    /// the plain-data form of `SchemaLike::child_types` that the parallel
+    /// edge materialization reads without touching the schema.
+    child_slots: Vec<u32>,
+    /// `child_slots[child_off[s]..child_off[s + 1]]` are the children of
+    /// symbol slot `s`.
+    child_off: Vec<u32>,
+    /// Worker count for intra-inference parallelism (1 = fully sequential;
+    /// see [`Self::with_jobs`]).
+    par_workers: usize,
     /// Set when an inference hits the depth cap (so its result may be
     /// missing chains a deeper grid would add); cleared by
     /// [`Self::take_saturated`].
@@ -235,14 +256,34 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// Creates an engine for multiplicity bound `k` (which fixes the depth of
     /// the node grid at `k·|d| + 2`).
     pub fn new(schema: &'a S, k: usize) -> Self {
-        let width = (schema.num_types() + 1) as u32;
+        let n = schema.num_types();
+        let width = (n + 1) as u32;
         let depth = (k.max(1) * schema.schema_size().max(1) + 2) as u32;
+        let stride = (width as usize).div_ceil(bitset::WORD_BITS);
+        let mut child_masks = vec![0u64; n * stride];
+        let mut child_slots = Vec::new();
+        let mut child_off = Vec::with_capacity(n + 1);
+        child_off.push(0u32);
+        for i in 0..n {
+            for &c in schema.child_types(Sym(i as u16)) {
+                let slot = (c.index() as u32).min(width - 1);
+                child_slots.push(slot);
+                child_masks[i * stride + slot as usize / bitset::WORD_BITS] |=
+                    1u64 << (slot as usize % bitset::WORD_BITS);
+            }
+            child_off.push(child_slots.len() as u32);
+        }
         CdagEngine {
             schema,
             width,
             max_depth: depth,
             k,
             element_chains: true,
+            stride,
+            child_masks,
+            child_slots,
+            child_off,
+            par_workers: 1,
             saturated: Cell::new(false),
             scratch: RefCell::new(Scratch::default()),
         }
@@ -252,6 +293,23 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     pub fn with_element_chains(mut self, on: bool) -> Self {
         self.element_chains = on;
         self
+    }
+
+    /// Enables intra-inference parallelism: large descendant closures shard
+    /// their per-level edge materialization over the worker pool. Results
+    /// are bit-identical for every worker count — the per-level work items
+    /// are merged in level order — so this only changes wall-clock time.
+    /// Defaults to sequential.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.par_workers = jobs.resolve();
+        self
+    }
+
+    /// The one-level child bitmask of a symbol slot ([`Self::stride`] words).
+    #[inline]
+    fn child_mask(&self, slot: u32) -> &[u64] {
+        let i = slot as usize * self.stride;
+        &self.child_masks[i..i + self.stride]
     }
 
     /// The schema this engine analyses.
@@ -408,15 +466,14 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         }
         let mut s = self.scratch.borrow_mut();
         let s = &mut *s;
-        // Backward reachability from the ends ("above").
-        let above = s.next_gen();
+        // Backward reachability from the ends ("above", in `mark`).
+        s.mark.clear();
         for &(f, t) in edges {
             s.adj_push(t, f);
         }
         s.stack.clear();
         for &e in ends {
-            if !mark_has(&s.mark, e, above) {
-                mark_set(&mut s.mark, e, above);
+            if s.mark.insert(e) {
                 s.stack.push(e);
             }
         }
@@ -424,30 +481,29 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             let i = n as usize;
             for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
                 let p = s.adj[i][j];
-                if !mark_has(&s.mark, p, above) {
-                    mark_set(&mut s.mark, p, above);
+                if s.mark.insert(p) {
                     s.stack.push(p);
                 }
             }
         }
         s.adj_clear();
-        // Forward reachability from the root, restricted to `above`.
-        let reach = s.next_gen();
+        // Forward reachability from the root, restricted to `above`
+        // (in `mark2`).
+        s.mark2.clear();
         for &(f, t) in edges {
-            if mark_has(&s.mark, f, above) && mark_has(&s.mark, t, above) {
+            if s.mark.contains(f) && s.mark.contains(t) {
                 s.adj_push(f, t);
             }
         }
         let root = self.root_node();
-        mark_set(&mut s.mark2, root, reach);
+        s.mark2.insert(root);
         s.stack.clear();
         s.stack.push(root);
         while let Some(n) = s.stack.pop() {
             let i = n as usize;
             for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
                 let m = s.adj[i][j];
-                if !mark_has(&s.mark2, m, reach) {
-                    mark_set(&mut s.mark2, m, reach);
+                if s.mark2.insert(m) {
                     s.stack.push(m);
                 }
             }
@@ -456,11 +512,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         edges
             .iter()
             .copied()
-            .filter(|&(f, t)| {
-                mark_has(&s.mark2, f, reach)
-                    && mark_has(&s.mark, t, above)
-                    && mark_has(&s.mark2, t, reach)
-            })
+            .filter(|&(f, t)| s.mark2.contains(f) && s.mark.contains(t) && s.mark2.contains(t))
             .collect()
     }
 
@@ -595,12 +647,210 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     }
 
     /// The descendant / descendant-or-self step, with the closure over schema
-    /// edges shared across **all** context ends: one bounded sweep discovers
-    /// every reachable (type, depth) node, then one backward pass over the
-    /// discovered edges computes which ends actually produced a match (the
-    /// STEPUH `used` restriction). Results are identical to the per-end
-    /// closure, cell for cell.
-    fn step_descendant(
+    /// edges shared across **all** context ends and computed
+    /// level-synchronously on the frontier grids: each grid level is one
+    /// bitmask, the forward closure ORs per-symbol child masks into the next
+    /// level (64 nodes per word operation), and a backward word-parallel
+    /// pass computes which ends actually produced a match (the STEPUH
+    /// `used` restriction). Large closures shard their per-level edge
+    /// materialization over the worker pool (see [`Self::with_jobs`]).
+    /// Results are identical to the per-end closure, cell for cell — the
+    /// engine-differential suite pins this against
+    /// [`Self::step_descendant_reference`].
+    #[doc(hidden)]
+    pub fn step_descendant(
+        &self,
+        ctx: &ChainDag,
+        or_self: bool,
+        test: &NodeTest,
+    ) -> (ChainDag, ChainDag) {
+        let mut result = ChainDag::empty();
+        let mut used = ChainDag::empty();
+        let rows = self.max_depth as usize;
+        let width = self.width as usize;
+        let stride = self.stride;
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        s.visited.reset(rows, width);
+        s.reached.reset(rows, width);
+        // Seed the visited grid from the context ends (ends on the
+        // unknown-label sentinel slot have no schema type and contribute
+        // nothing, exactly as in the per-end closure).
+        let mut lo = rows;
+        let mut top = 0usize;
+        for &end in ctx.ends.keys() {
+            if self.sym_of(end).is_some() {
+                let d = self.depth_of(end) as usize;
+                s.visited.set(d, (end % self.width) as usize);
+                lo = lo.min(d);
+                top = top.max(d);
+            }
+        }
+        if lo == rows {
+            drop(guard);
+            return self.finish_step(ctx, FxHashSet::default(), result, used);
+        }
+        // Phase 1, forward: one frontier per level. A level's reached set is
+        // the OR of the child masks of every symbol set in the level above;
+        // `visited` additionally carries the seeds.
+        for d in lo..rows - 1 {
+            if d > top {
+                break;
+            }
+            s.slots.clear();
+            s.slots.extend(bitset::ones(s.visited.row(d)));
+            if s.slots.is_empty() {
+                continue;
+            }
+            s.level_buf.clear();
+            s.level_buf.resize(stride, 0);
+            for &slot in &s.slots {
+                bitset::or_into(&mut s.level_buf, self.child_mask(slot));
+            }
+            if s.level_buf.iter().any(|&w| w != 0) {
+                s.reached.or_into_row(d + 1, &s.level_buf);
+                s.visited.or_into_row(d + 1, &s.level_buf);
+                top = top.max(d + 1);
+            }
+        }
+        // Nodes on the last level cannot extend further: note the depth cap
+        // for each (saturation, see the module docs).
+        if top == rows - 1 {
+            s.slots.clear();
+            s.slots.extend(bitset::ones(s.visited.row(rows - 1)));
+            for &slot in &s.slots {
+                self.note_depth_cap(Sym(slot as u16));
+            }
+        }
+        // Matched descendants: reached ∧ node-test mask, level by level.
+        s.match_mask.clear();
+        s.match_mask.resize(stride, 0);
+        for i in 0..width - 1 {
+            if self.test_matches(Sym(i as u16), test) {
+                s.match_mask[i / bitset::WORD_BITS] |= 1u64 << (i % bitset::WORD_BITS);
+            }
+        }
+        for d in lo + 1..=top {
+            s.level_buf.clear();
+            s.level_buf.extend(
+                s.reached
+                    .row(d)
+                    .iter()
+                    .zip(&s.match_mask)
+                    .map(|(&a, &b)| a & b),
+            );
+            for slot in bitset::ones(&s.level_buf) {
+                result.ends.insert(d as u32 * self.width + slot, false);
+            }
+        }
+        // Phase 2, backward and word-parallel: `reach[d]` = nodes from which
+        // a matched node is reachable in ≥ 0 steps. An end *produced* a
+        // result iff one of its children reaches a matched node (≥ 1 step),
+        // which is one word-AND emptiness test per end.
+        s.reach.reset(rows, width);
+        for d in (lo..=top).rev() {
+            if d > lo {
+                s.level_buf.clear();
+                s.level_buf.extend(
+                    s.reached
+                        .row(d)
+                        .iter()
+                        .zip(&s.match_mask)
+                        .map(|(&a, &b)| a & b),
+                );
+                s.reach.or_into_row(d, &s.level_buf);
+            }
+            if d < top {
+                s.slots.clear();
+                s.slots.extend(bitset::ones(s.visited.row(d)));
+                for &slot in &s.slots {
+                    if bitset::intersects(self.child_mask(slot), s.reach.row(d + 1)) {
+                        s.reach.set(d, slot as usize);
+                    }
+                }
+            }
+        }
+        for &end in ctx.ends.keys() {
+            let Some(end_sym) = self.sym_of(end) else {
+                continue;
+            };
+            let d = self.depth_of(end) as usize;
+            let mut produced = d + 1 < rows
+                && bitset::intersects(self.child_mask(end % self.width), s.reach.row(d + 1));
+            if or_self && self.test_matches(end_sym, test) {
+                result.ends.insert(end, false);
+                produced = true;
+            }
+            if produced {
+                used.ends.insert(end, false);
+            }
+        }
+        // Materialize the discovered edges from the visited masks, one level
+        // at a time. Levels are independent given the masks, so large
+        // closures shard the level list over the worker pool; the per-level
+        // lists are merged in level order, keeping the edge set identical
+        // for every worker count.
+        let mut levels: Vec<usize> = Vec::new();
+        let mut grid_nodes = 0usize;
+        if top >= lo && rows >= 2 {
+            for d in lo..=top.min(rows - 2) {
+                let n: usize = s
+                    .visited
+                    .row(d)
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum();
+                if n > 0 {
+                    levels.push(d);
+                    grid_nodes += n;
+                }
+            }
+        }
+        let width_u = self.width;
+        let child_off = &self.child_off;
+        let child_slots = &self.child_slots;
+        let vis_words = s.visited.words();
+        let edges_of = |d: usize| -> Vec<(NodeIdx, NodeIdx)> {
+            let row = &vis_words[d * stride..(d + 1) * stride];
+            let mut out = Vec::new();
+            for slot in bitset::ones(row) {
+                let from = d as u32 * width_u + slot;
+                let base = (d as u32 + 1) * width_u;
+                let range =
+                    child_off[slot as usize] as usize..child_off[slot as usize + 1] as usize;
+                for &cslot in &child_slots[range] {
+                    out.push((from, base + cslot));
+                }
+            }
+            out
+        };
+        /// Grid-node count below which sharding the levels costs more than
+        /// it saves (thread dispatch vs. a linear scan).
+        const PAR_MIN_NODES: usize = 512;
+        let lists: Vec<Vec<(NodeIdx, NodeIdx)>> =
+            if self.par_workers > 1 && levels.len() >= 2 && grid_nodes >= PAR_MIN_NODES {
+                run_indexed(Jobs::Fixed(self.par_workers), levels.len(), |i| {
+                    edges_of(levels[i])
+                })
+            } else {
+                levels.iter().map(|&d| edges_of(d)).collect()
+            };
+        let mut new_edges: FxHashSet<(NodeIdx, NodeIdx)> = FxHashSet::default();
+        for list in lists {
+            new_edges.extend(list);
+        }
+        // Release the scratch borrow: `finish_step`'s trimming re-borrows it.
+        drop(guard);
+        self.finish_step(ctx, new_edges, result, used)
+    }
+
+    /// Test-support reference for the descendant step: the naive
+    /// depth-first closure over plain hash sets (the pre-bitset
+    /// implementation, kept verbatim modulo the scratch workspace). The
+    /// engine-differential suite pins the word-parallel sweep against this
+    /// bit for bit; it is not used on any production path.
+    #[doc(hidden)]
+    pub fn step_descendant_reference(
         &self,
         ctx: &ChainDag,
         or_self: bool,
@@ -609,20 +859,18 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         let mut new_edges: FxHashSet<(NodeIdx, NodeIdx)> = FxHashSet::default();
         let mut result = ChainDag::empty();
         let mut used = ChainDag::empty();
-        let mut guard = self.scratch.borrow_mut();
-        let s = &mut *guard;
-        // Phase 1: shared forward closure from every end, recording forward
+        // Phase 1: shared forward closure from every end, recording backward
         // adjacency for phase 2 and collecting matched descendants.
-        let visited = s.next_gen();
+        let mut visited: FxHashSet<NodeIdx> = FxHashSet::default();
+        let mut back: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
         let mut desc_matched: Vec<NodeIdx> = Vec::new();
-        s.stack.clear();
+        let mut stack: Vec<NodeIdx> = Vec::new();
         for &end in ctx.ends.keys() {
-            if self.sym_of(end).is_some() && !mark_has(&s.mark, end, visited) {
-                mark_set(&mut s.mark, end, visited);
-                s.stack.push(end);
+            if self.sym_of(end).is_some() && visited.insert(end) {
+                stack.push(end);
             }
         }
-        while let Some(n) = s.stack.pop() {
+        while let Some(n) = stack.pop() {
             let Some(sym) = self.sym_of(n) else { continue };
             let d = self.depth_of(n);
             if d + 1 >= self.max_depth {
@@ -632,45 +880,35 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             for &c in self.schema.child_types(sym) {
                 let cn = self.node(c, d + 1);
                 if new_edges.insert((n, cn)) {
-                    s.adj_push(cn, n); // backward adjacency for phase 2
+                    back.entry(cn).or_default().push(n);
                 }
                 if self.test_matches(c, test) && result.ends.insert(cn, false).is_none() {
                     desc_matched.push(cn);
                 }
-                if !mark_has(&s.mark, cn, visited) {
-                    mark_set(&mut s.mark, cn, visited);
-                    s.stack.push(cn);
+                if visited.insert(cn) {
+                    stack.push(cn);
                 }
             }
         }
-        // Phase 2: `produces` = nodes with a path of length >= 1 to a matched
-        // node — exactly the ends whose per-end closure would have produced a
-        // result. Backward closure from the matched nodes over the recorded
-        // adjacency, shifted one level up.
-        let produces = s.next_gen();
-        s.stack.clear();
-        let reach_matched = s.next_gen();
-        for &m in &desc_matched {
-            mark_set(&mut s.mark2, m, reach_matched);
-            s.stack.push(m);
-        }
-        while let Some(n) = s.stack.pop() {
-            let i = n as usize;
-            for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
-                let p = s.adj[i][j];
-                mark_set(&mut s.mark, p, produces);
-                if !mark_has(&s.mark2, p, reach_matched) {
-                    mark_set(&mut s.mark2, p, reach_matched);
-                    s.stack.push(p);
+        // Phase 2: `produces` = nodes with a path of length ≥ 1 to a matched
+        // node, by backward closure from the matched nodes.
+        let mut produces: FxHashSet<NodeIdx> = FxHashSet::default();
+        let mut reach_matched: FxHashSet<NodeIdx> = desc_matched.iter().copied().collect();
+        stack.clear();
+        stack.extend(desc_matched.iter().copied());
+        while let Some(n) = stack.pop() {
+            for &p in back.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                produces.insert(p);
+                if reach_matched.insert(p) {
+                    stack.push(p);
                 }
             }
         }
-        s.adj_clear();
         for &end in ctx.ends.keys() {
             let Some(end_sym) = self.sym_of(end) else {
                 continue;
             };
-            let mut produced = mark_has(&s.mark, end, produces);
+            let mut produced = produces.contains(&end);
             if or_self && self.test_matches(end_sym, test) {
                 result.ends.insert(end, false);
                 produced = true;
@@ -679,8 +917,6 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 used.ends.insert(end, false);
             }
         }
-        // Release the scratch borrow: `finish_step`'s trimming re-borrows it.
-        drop(guard);
         self.finish_step(ctx, new_edges, result, used)
     }
 
@@ -1026,15 +1262,15 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
         }
         let mut s = self.scratch.borrow_mut();
         let s = &mut *s;
-        // Nodes from which an end of b is reachable via b's edges.
-        let reaches_b = s.next_gen();
+        // Nodes from which an end of b is reachable via b's edges, as a
+        // dense bitset (`s.mark`).
+        s.mark.clear();
         for &(f, t) in &b.edges {
             s.adj_push(t, f);
         }
         s.stack.clear();
         for &e in b.ends.keys() {
-            if !mark_has(&s.mark, e, reaches_b) {
-                mark_set(&mut s.mark, e, reaches_b);
+            if s.mark.insert(e) {
                 s.stack.push(e);
             }
         }
@@ -1042,13 +1278,17 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             let i = n as usize;
             for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
                 let p = s.adj[i][j];
-                if !mark_has(&s.mark, p, reaches_b) {
-                    mark_set(&mut s.mark, p, reaches_b);
+                if s.mark.insert(p) {
                     s.stack.push(p);
                 }
             }
         }
         s.adj_clear();
+        // Early exit: if no end of a can still reach an end of b, no walk
+        // over the common edges can succeed — skip building the adjacency.
+        if !a.ends.keys().any(|&e| s.mark.contains(e)) {
+            return false;
+        }
         // Walk from the root along edges common to a and b; if we hit an end
         // of a from which b can still reach an end, the prefix relation holds.
         let (small, other) = if a.edges.len() <= b.edges.len() {
@@ -1062,21 +1302,20 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             }
         }
         let root = self.root_node();
-        let visited = s.next_gen();
-        mark_set(&mut s.mark2, root, visited);
+        s.mark2.clear();
+        s.mark2.insert(root);
         s.stack.clear();
         s.stack.push(root);
         let mut found = false;
         while let Some(n) = s.stack.pop() {
-            if a.ends.contains_key(&n) && mark_has(&s.mark, n, reaches_b) {
+            if a.ends.contains_key(&n) && s.mark.contains(n) {
                 found = true;
                 break;
             }
             let i = n as usize;
             for j in 0..s.adj.get(i).map(Vec::len).unwrap_or(0) {
                 let m = s.adj[i][j];
-                if !mark_has(&s.mark2, m, visited) {
-                    mark_set(&mut s.mark2, m, visited);
+                if s.mark2.insert(m) {
                     s.stack.push(m);
                 }
             }

@@ -2,6 +2,7 @@
 //! exactly as the rules of Tables 1 and 2 prescribe.
 
 use super::{label_syms, Overflow};
+use crate::parallel::Jobs;
 use crate::types::{ChainItem, QueryChains, UpdateChain, UpdateChains};
 use crate::universe::Universe;
 use qui_schema::{Chain, SchemaLike, TEXT_SYM};
@@ -21,6 +22,9 @@ pub struct ExplicitEngine<'a, S: SchemaLike> {
     /// chains"); turning this off reproduces the ablation discussed in the
     /// paper where only "something happens beneath the target" is recorded.
     element_chains: bool,
+    /// Worker count for the sharded descendant enumeration (the dominant
+    /// cost on recursive schemas); chain sets are identical for any value.
+    workers: usize,
 }
 
 impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
@@ -30,12 +34,21 @@ impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
             universe,
             cap,
             element_chains: true,
+            workers: 1,
         }
     }
 
     /// Enables or disables element-chain inference (ablation switch).
     pub fn with_element_chains(mut self, on: bool) -> Self {
         self.element_chains = on;
+        self
+    }
+
+    /// Shards the descendant-axis chain enumeration over `jobs` workers (see
+    /// [`Universe::descendant_extensions_jobs`]). Inferred chain sets and
+    /// overflow behaviour are bit-identical for every worker count.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.workers = jobs.resolve();
         self
     }
 
@@ -73,13 +86,13 @@ impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
                 .collect(),
             Axis::Descendant => self
                 .universe
-                .descendant_extensions(c, self.cap)
+                .descendant_extensions_jobs(c, self.cap, Jobs::Fixed(self.workers))
                 .ok_or(Overflow)?,
             Axis::DescendantOrSelf => {
                 let mut v = vec![c.clone()];
                 v.extend(
                     self.universe
-                        .descendant_extensions(c, self.cap)
+                        .descendant_extensions_jobs(c, self.cap, Jobs::Fixed(self.workers))
                         .ok_or(Overflow)?,
                 );
                 v

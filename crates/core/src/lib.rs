@@ -88,6 +88,7 @@
 //! ```
 
 pub mod analyzer;
+pub mod bitset;
 pub mod commutativity;
 pub mod concurrent;
 pub mod conflict;

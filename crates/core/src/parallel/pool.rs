@@ -180,6 +180,22 @@ mod tests {
     }
 
     #[test]
+    fn fixed_jobs_actually_use_multiple_os_threads() {
+        // Guards against an inline-fallback bug silently serializing the
+        // pool (which would mask every parallel win while keeping results
+        // correct): with 8 workers over deliberately slow tasks, at least
+        // two distinct OS threads must run tasks — true even on a
+        // single-core machine, since sleeping workers yield the core.
+        let ids: HashSet<std::thread::ThreadId> = run_indexed(Jobs::Fixed(8), 32, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::current().id()
+        })
+        .into_iter()
+        .collect();
+        assert!(ids.len() > 1, "expected >1 OS thread, got {}", ids.len());
+    }
+
+    #[test]
     fn injector_hands_out_disjoint_covering_chunks() {
         let inj = Injector::new(37, 3);
         let mut seen = Vec::new();

@@ -203,7 +203,7 @@ impl<'a, S: SchemaLike> SessionBuilder<'a, S> {
     /// Finishes the builder.
     pub fn build(self) -> AnalysisSession<'a, S> {
         AnalysisSession {
-            caches: SessionCaches::new(self.schema, self.config.element_chains),
+            caches: SessionCaches::new(self.schema, self.config.element_chains, self.jobs),
             schema: self.schema,
             config: self.config,
             jobs: self.jobs,
@@ -341,13 +341,13 @@ struct SessionCaches<'a, S: SchemaLike> {
 }
 
 impl<'a, S: SchemaLike> SessionCaches<'a, S> {
-    fn new(schema: &'a S, element_chains: bool) -> Self {
+    fn new(schema: &'a S, element_chains: bool, jobs: Jobs) -> Self {
         SessionCaches {
             cdag_queries: ShardedMap::new(),
             cdag_updates: ShardedMap::new(),
             explicit_queries: ShardedMap::new(),
             explicit_updates: ShardedMap::new(),
-            engines: EnginePool::new(schema, element_chains),
+            engines: EnginePool::new(schema, element_chains).with_jobs(jobs),
             projections: ShardedMap::new(),
             counters: SessionCounters::default(),
         }
@@ -653,7 +653,7 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
             SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
             return;
         }
-        let qc = infer_query_explicit(self.schema, &self.config, q, k);
+        let qc = infer_query_explicit(self.schema, &self.config, q, k, self.jobs);
         self.caches
             .explicit_queries
             .insert((Arc::clone(key), k), qc.map(Arc::new));
@@ -665,7 +665,7 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
             SessionCounters::bump(&self.caches.counters.explicit_cache_hits, 1);
             return;
         }
-        let uc = infer_update_explicit(self.schema, &self.config, u, k);
+        let uc = infer_update_explicit(self.schema, &self.config, u, k, self.jobs);
         self.caches
             .explicit_updates
             .insert((Arc::clone(key), k), uc.map(Arc::new));
@@ -1082,13 +1082,18 @@ impl<'a, S: SchemaLike + Sync> AnalysisSession<'a, S> {
             Update(usize, Option<UpdateChains>),
         }
         let n_q = qt.len();
-        let results = run_indexed(self.jobs, n_q + ut.len(), |i| {
+        // Split the worker budget: tasks shard across workers first, and any
+        // leftover parallelism goes *inside* each explicit inference (the
+        // descendant enumeration dominates when one expensive task remains).
+        let n_tasks = n_q + ut.len();
+        let inner = Jobs::Fixed((self.jobs.resolve() / n_tasks.max(1)).max(1));
+        let results = run_indexed(self.jobs, n_tasks, |i| {
             if i < n_q {
                 let (_, q, k) = &qt[i];
-                Out::Query(i, infer_query_explicit(schema, config, q, *k))
+                Out::Query(i, infer_query_explicit(schema, config, q, *k, inner))
             } else {
                 let (_, u, k) = &ut[i - n_q];
-                Out::Update(i - n_q, infer_update_explicit(schema, config, u, *k))
+                Out::Update(i - n_q, infer_update_explicit(schema, config, u, *k, inner))
             }
         });
         for r in results {
@@ -1138,10 +1143,12 @@ fn infer_query_explicit<S: SchemaLike>(
     config: &AnalyzerConfig,
     q: &Query,
     k: usize,
+    jobs: Jobs,
 ) -> Option<QueryChains> {
     let universe = Universe::with_k(schema, k);
     let eng = ExplicitEngine::new(&universe, config.explicit_budget)
-        .with_element_chains(config.element_chains);
+        .with_element_chains(config.element_chains)
+        .with_jobs(jobs);
     eng.infer_query(&eng.root_gamma(q.free_vars()), q).ok()
 }
 
@@ -1151,10 +1158,12 @@ fn infer_update_explicit<S: SchemaLike>(
     config: &AnalyzerConfig,
     u: &Update,
     k: usize,
+    jobs: Jobs,
 ) -> Option<UpdateChains> {
     let universe = Universe::with_k(schema, k);
     let eng = ExplicitEngine::new(&universe, config.explicit_budget)
-        .with_element_chains(config.element_chains);
+        .with_element_chains(config.element_chains)
+        .with_jobs(jobs);
     eng.infer_update(&eng.root_gamma(u.free_vars()), u).ok()
 }
 

@@ -7,7 +7,9 @@
 //! 2.1 plus the per-tag multiplicity bound, and descendant extensions are
 //! enumerated on demand (and only by the explicit engine).
 
+use crate::parallel::{run_indexed, Jobs};
 use qui_schema::{Chain, SchemaLike, Sym};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The (possibly k-restricted) chain universe over a schema.
 pub struct Universe<'a, S: SchemaLike> {
@@ -84,22 +86,92 @@ impl<'a, S: SchemaLike> Universe<'a, S> {
     }
 
     /// All chains `c.c'` with `c' ≠ ε` and `c.c' ∈ C` — the (proper)
-    /// descendant extensions of `c`, enumerated by depth-first search.
+    /// descendant extensions of `c`.
     ///
     /// `cap` bounds the number of produced chains; `None` is returned when it
     /// is exceeded so that callers can fall back to the compact engine.
     pub fn descendant_extensions(&self, chain: &Chain, cap: usize) -> Option<Vec<Chain>> {
+        self.descendant_extensions_jobs(chain, cap, Jobs::Fixed(1))
+    }
+
+    /// [`Self::descendant_extensions`] with the enumeration sharded over the
+    /// worker pool: the frontier is first expanded breadth-first until it is
+    /// wide enough, then each frontier chain's subtree is enumerated by an
+    /// independent depth-first worker. The produced chain *set* and the
+    /// overflow decision (`cap` exceeded ⇒ `None`) are identical for every
+    /// worker count — workers share one atomic production counter, and a
+    /// shard only aborts once the global count has already fixed the outcome.
+    pub fn descendant_extensions_jobs(
+        &self,
+        chain: &Chain,
+        cap: usize,
+        jobs: Jobs,
+    ) -> Option<Vec<Chain>> {
+        /// Frontier width below which sharding costs more than the scan.
+        const SHARD_FRONTIER_MIN: usize = 32;
         let mut out = Vec::new();
-        let mut stack = vec![chain.clone()];
-        while let Some(c) = stack.pop() {
-            for s in self.child_extensions(&c) {
-                let ext = c.push(s);
-                out.push(ext.clone());
-                if out.len() > cap {
-                    return None;
-                }
-                stack.push(ext);
+        let workers = jobs.resolve();
+        // Breadth-first prefix: expand whole levels until the frontier is
+        // wide enough to shard (or the enumeration finishes outright).
+        let mut frontier = vec![chain.clone()];
+        let mut next = Vec::new();
+        while !frontier.is_empty() {
+            if workers > 1 && frontier.len() >= SHARD_FRONTIER_MIN {
+                break;
             }
+            for c in frontier.drain(..) {
+                for s in self.child_extensions(&c) {
+                    let ext = c.push(s);
+                    out.push(ext.clone());
+                    if out.len() > cap {
+                        return None;
+                    }
+                    next.push(ext);
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        if frontier.is_empty() {
+            return Some(out);
+        }
+        // Shard the remaining subtrees. The closure captures only plain
+        // tables (no schema reference), so no `Sync` bound leaks to `S`.
+        let table: Vec<Vec<Sym>> = (0..self.schema.num_types())
+            .map(|i| self.schema.child_types(Sym(i as u16)).to_vec())
+            .collect();
+        let k = self.k;
+        let remaining = cap - out.len();
+        let produced = AtomicUsize::new(0);
+        let shards: Vec<Option<Vec<Chain>>> =
+            run_indexed(Jobs::Fixed(workers), frontier.len(), |i| {
+                let mut local = Vec::new();
+                let mut stack = vec![frontier[i].clone()];
+                while let Some(c) = stack.pop() {
+                    let Some(last) = c.last() else { continue };
+                    let children = table
+                        .get(last.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or_default();
+                    for &s in children {
+                        if let Some(k) = k {
+                            if c.count(s) >= k {
+                                continue;
+                            }
+                        }
+                        let ext = c.push(s);
+                        if produced.fetch_add(1, Ordering::Relaxed) + 1 > remaining {
+                            // The global count already exceeds the cap: the
+                            // overflow outcome is fixed, aborting is safe.
+                            return None;
+                        }
+                        local.push(ext.clone());
+                        stack.push(ext);
+                    }
+                }
+                Some(local)
+            });
+        for shard in shards {
+            out.extend(shard?);
         }
         Some(out)
     }

@@ -95,9 +95,10 @@ mod tests {
 
     #[test]
     fn updates_apply_to_a_generated_document() {
-        let doc = xmark_document(3_000, 11);
+        let mut doc = xmark_document(3_000, 11);
+        doc.freeze();
         for u in all_updates() {
-            let mut work = doc.clone();
+            let mut work = doc.snapshot();
             let root = work.root;
             let upl = evaluate_update(&mut work.store, root, &u.update)
                 .unwrap_or_else(|e| panic!("update {} failed: {e}", u.name));
@@ -112,12 +113,13 @@ mod tests {
         // The paper chooses UI/UN/UP updates to be schema-preserving; check
         // this on generated instances.
         let dtd = crate::xmark::xmark_dtd();
-        let doc = xmark_document(3_000, 13);
+        let mut doc = xmark_document(3_000, 13);
+        doc.freeze();
         for u in all_updates() {
             if !(u.name.starts_with("UI") || u.name.starts_with("UN") || u.name.starts_with("UP")) {
                 continue;
             }
-            let mut work = doc.clone();
+            let mut work = doc.snapshot();
             let root = work.root;
             let upl = evaluate_update(&mut work.store, root, &u.update).unwrap();
             apply_pending_list(&mut work.store, &upl);

@@ -1,7 +1,12 @@
 //! The store `σ`: an arena of nodes with the primitive mutations required by
-//! the XQuery Update Facility semantics (paper §2).
+//! the XQuery Update Facility semantics (paper §2), with snapshot-isolated
+//! copy-on-write sharing for the maintenance simulation.
 
 use crate::node::{Node, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const WORD_BITS: usize = 64;
 
 /// An XML store `σ` — an arena associating node locations with nodes.
 ///
@@ -12,50 +17,73 @@ use crate::node::{Node, NodeId, NodeKind};
 /// Locations are never reused; applying an update only ever *adds* locations
 /// (`dom(σ) ⊆ dom(σ_w) ⊆ dom(σ_u)` in the paper) and detaches those removed
 /// from the accessible tree.
+///
+/// ## Snapshots
+///
+/// A store can be [frozen](Self::freeze) into an immutable shared *base*;
+/// [`snapshot`](Self::snapshot) then hands out lightweight copy-on-write
+/// stores sharing that base behind an [`Arc`]: reads go straight to the base
+/// arena, the first mutation of a base node materializes just that node in a
+/// private overlay, and freshly allocated nodes live in a private tail that
+/// continues the base's location sequence. A snapshot is observationally
+/// identical to a deep clone — same locations, same navigation, same
+/// mutation semantics — without paying O(document) per worker.
 #[derive(Clone, Debug, Default)]
 pub struct Store {
-    nodes: Vec<Node>,
+    /// The shared immutable snapshot base, if any.
+    base: Option<Arc<Vec<Node>>>,
+    /// Base nodes modified by this store (copy-on-write), by location.
+    overlay: HashMap<u32, Node>,
+    /// One bit per base location: set = the node lives in `overlay`.
+    dirty: Vec<u64>,
+    /// Nodes allocated after the snapshot; location `base_len + i`.
+    tail: Vec<Node>,
 }
 
 impl Store {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Store { nodes: Vec::new() }
+        Store::default()
     }
 
     /// Creates an empty store with pre-allocated capacity for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
         Store {
-            nodes: Vec::with_capacity(cap),
+            tail: Vec::with_capacity(cap),
+            ..Store::default()
         }
+    }
+
+    #[inline]
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map(|b| b.len()).unwrap_or(0)
     }
 
     /// Number of locations in the store (`|dom(σ)|`).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len() + self.tail.len()
     }
 
     /// Returns `true` if the store contains no locations.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over all locations in the store, in allocation order.
     pub fn locations(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.len() as u32).map(NodeId)
     }
 
     /// A deterministic estimate of the heap bytes this store's nodes occupy
     /// (arena slots plus tag/text/child-list payloads, by length rather than
-    /// capacity). Used by the streaming-ingest reports to compare resident
-    /// tree size against input size.
+    /// capacity), counting shared base nodes as if owned. Used by the
+    /// streaming-ingest reports to compare resident tree size against input
+    /// size.
     pub fn approx_heap_bytes(&self) -> usize {
-        use crate::node::NodeKind;
         let slot = std::mem::size_of::<Node>();
-        self.nodes
-            .iter()
-            .map(|n| {
-                slot + match &n.kind {
+        self.locations()
+            .map(|id| {
+                slot + match &self.node(id).kind {
                     NodeKind::Element { tag, children } => {
                         tag.len() + children.len() * std::mem::size_of::<NodeId>()
                     }
@@ -69,29 +97,101 @@ impl Store {
     ///
     /// # Panics
     /// Panics if `id` is not a location of this store.
+    #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        let idx = id.index();
+        let base_len = self.base_len();
+        if idx < base_len {
+            if self
+                .dirty
+                .get(idx / WORD_BITS)
+                .is_some_and(|&w| w & (1u64 << (idx % WORD_BITS)) != 0)
+            {
+                &self.overlay[&id.0]
+            } else {
+                &self.base.as_ref().expect("base present")[idx]
+            }
+        } else {
+            &self.tail[idx - base_len]
+        }
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.index()]
+        let idx = id.index();
+        let base_len = self.base_len();
+        if idx < base_len {
+            let w = idx / WORD_BITS;
+            let m = 1u64 << (idx % WORD_BITS);
+            if self.dirty.get(w).is_none_or(|&word| word & m == 0) {
+                if self.dirty.len() <= w {
+                    self.dirty.resize(base_len.div_ceil(WORD_BITS), 0);
+                }
+                self.dirty[w] |= m;
+                let node = self.base.as_ref().expect("base present")[idx].clone();
+                self.overlay.insert(id.0, node);
+            }
+            self.overlay.get_mut(&id.0).expect("just materialized")
+        } else {
+            &mut self.tail[idx - base_len]
+        }
+    }
+
+    /// Flattens this store into an immutable shared base, after which
+    /// [`snapshot`](Self::snapshot) is O(1). A no-op when the store is
+    /// already a clean frozen base.
+    pub fn freeze(&mut self) {
+        if self.base.is_some() && self.overlay.is_empty() && self.tail.is_empty() {
+            return;
+        }
+        let mut nodes = match self.base.take() {
+            None => std::mem::take(&mut self.tail),
+            Some(b) => {
+                let mut v = Arc::try_unwrap(b).unwrap_or_else(|b| b.as_ref().clone());
+                for (idx, node) in self.overlay.drain() {
+                    v[idx as usize] = node;
+                }
+                v.append(&mut self.tail);
+                v
+            }
+        };
+        nodes.shrink_to_fit();
+        self.overlay.clear();
+        self.dirty.clear();
+        self.base = Some(Arc::new(nodes));
+    }
+
+    /// A copy-on-write snapshot of this store: observationally identical to
+    /// `self.clone()`, but sharing the frozen base arena instead of copying
+    /// it. O(1) when the store is a clean frozen base (see
+    /// [`freeze`](Self::freeze)); falls back to a deep clone otherwise.
+    pub fn snapshot(&self) -> Store {
+        if self.overlay.is_empty() && self.tail.is_empty() {
+            Store {
+                base: self.base.clone(),
+                overlay: HashMap::new(),
+                dirty: Vec::new(),
+                tail: Vec::new(),
+            }
+        } else {
+            self.clone()
+        }
     }
 
     /// Allocates a new element node `tag[children]`, fixing the children's
     /// parent pointers, and returns its location.
     pub fn new_element(&mut self, tag: impl Into<String>, children: Vec<NodeId>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId(self.len() as u32);
         for &c in &children {
-            self.nodes[c.index()].parent = Some(id);
+            self.node_mut(c).parent = Some(id);
         }
-        self.nodes.push(Node::element(tag, children));
+        self.tail.push(Node::element(tag, children));
         id
     }
 
     /// Allocates a new text node and returns its location.
     pub fn new_text(&mut self, value: impl Into<String>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::text(value));
+        let id = NodeId(self.len() as u32);
+        self.tail.push(Node::text(value));
         id
     }
 
@@ -463,6 +563,65 @@ mod tests {
         let mut s2 = Store::new();
         let copy = s2.deep_copy_from(&s1, doc);
         assert!(crate::value_equiv(&s1, doc, &s2, copy));
+    }
+
+    #[test]
+    fn snapshot_matches_clone_under_mutation() {
+        let (mut s, doc, a, b, c) = sample();
+        s.freeze();
+        let clone = s.clone();
+        let mut snap = s.snapshot();
+        assert_eq!(snap.len(), clone.len());
+        // Same locations, same navigation.
+        assert_eq!(snap.children(doc), clone.children(doc));
+        assert_eq!(snap.ancestors(c), clone.ancestors(c));
+        // Mutations on the snapshot allocate the same ids a clone would and
+        // leave the frozen base (and sibling snapshots) untouched.
+        let x = snap.new_element("x", vec![]);
+        assert_eq!(x.index(), s.len());
+        snap.detach(a);
+        assert!(snap.insert_before(b, &[x]));
+        snap.rename(b, "renamed");
+        assert_eq!(snap.children(doc), vec![x, b]);
+        assert_eq!(snap.tag(b), Some("renamed"));
+        assert_eq!(s.children(doc), &[a, b], "base store is isolated");
+        assert_eq!(s.tag(b), Some("b"));
+        let other = s.snapshot();
+        assert_eq!(other.children(doc), &[a, b], "snapshots are isolated");
+        assert_eq!(other.len(), s.len());
+    }
+
+    #[test]
+    fn freeze_flattens_overlay_and_tail() {
+        let (mut s, doc, a, _b, _c) = sample();
+        s.freeze();
+        let mut snap = s.snapshot();
+        let x = snap.new_element("x", vec![]);
+        snap.replace(a, &[x]);
+        let before: Vec<_> = snap.descendants_or_self(doc);
+        // Re-freezing the mutated snapshot folds overlay + tail into a new
+        // base; second-generation snapshots see the merged document.
+        snap.freeze();
+        let second = snap.snapshot();
+        assert_eq!(second.descendants_or_self(doc), before);
+        assert_eq!(second.len(), snap.len());
+        assert_eq!(second.tag(x), Some("x"));
+    }
+
+    #[test]
+    fn unfrozen_snapshot_falls_back_to_deep_clone() {
+        let (mut s, doc, a, _b, _c) = sample();
+        // Not frozen: snapshot must still be a faithful independent copy.
+        let mut snap = s.snapshot();
+        snap.detach(a);
+        assert_eq!(s.children(doc).len(), 2);
+        assert_eq!(snap.children(doc).len(), 1);
+        s.freeze();
+        // Frozen but then mutated: snapshot again falls back to a clone.
+        let mut dirty = s.snapshot();
+        dirty.rename(a, "z");
+        let copy = dirty.snapshot();
+        assert_eq!(copy.tag(a), Some("z"));
     }
 
     #[test]

@@ -50,6 +50,21 @@ impl Tree {
     pub fn value_equiv(&self, other: &Tree) -> bool {
         crate::equiv::value_equiv(&self.store, self.root, &other.store, other.root)
     }
+
+    /// Freezes the underlying store into an immutable shared base so
+    /// [`snapshot`](Self::snapshot) is O(1) (see [`Store::freeze`]).
+    pub fn freeze(&mut self) {
+        self.store.freeze();
+    }
+
+    /// A copy-on-write snapshot of this tree: observationally identical to a
+    /// clone, sharing the frozen base store (see [`Store::snapshot`]).
+    pub fn snapshot(&self) -> Tree {
+        Tree {
+            store: self.store.snapshot(),
+            root: self.root,
+        }
+    }
 }
 
 /// A convenient builder for hand-constructing small trees in tests and

@@ -28,7 +28,7 @@ use xml_qui::core::{
 use xml_qui::schema::{Chain, Dtd, SchemaLike};
 use xml_qui::xmlstore::parse_xml;
 use xml_qui::xquery::dynamic::snapshot_query;
-use xml_qui::xquery::{parse_query, parse_update, Query, Update};
+use xml_qui::xquery::{parse_query, parse_update, Axis, NodeTest, Query, Update};
 
 /// Deterministic case count, raised by the nightly run via
 /// `QUI_PROPTEST_CASES`.
@@ -316,6 +316,54 @@ proptest! {
             "projection changed the result of {} on document #{}",
             src, doc_i
         );
+    }
+
+    /// The level-synchronous word-bitset descendant closure is bit-identical
+    /// to the naive depth-first reference (`step_descendant_reference`, the
+    /// pre-bitset implementation) — result ends, used ends, edges and the
+    /// saturation flag — on random contexts, for every worker count.
+    #[test]
+    fn descendant_step_bitset_matches_dfs_reference(
+        schema_idx in 0usize..5,
+        k in 1usize..4,
+        prefix in prop::collection::vec((0usize..3, 0usize..8), 0..3),
+        or_self_pick in 0usize..2,
+        test_pick in 0usize..12,
+        jobs_pick in 0usize..3,
+    ) {
+        let or_self = or_self_pick == 1;
+        let jobs = [1usize, 2, 8][jobs_pick];
+        let schemas = schema_pool();
+        let schema = &schemas[schema_idx % schemas.len()];
+        let labels = schema.labels();
+        let pick_test = |i: usize| -> NodeTest {
+            match i % (labels.len() + 3) {
+                0 => NodeTest::AnyNode,
+                1 => NodeTest::AnyElement,
+                2 => NodeTest::Text,
+                j => NodeTest::Tag(labels[j - 3].clone()),
+            }
+        };
+        let eng = CdagEngine::new(schema, k).with_jobs(Jobs::Fixed(jobs));
+        // Build a context by stepping from the root along a random prefix.
+        let mut ctx = eng.root_dag();
+        for &(axis_i, label_i) in &prefix {
+            let axis = [Axis::Child, Axis::Descendant, Axis::DescendantOrSelf][axis_i];
+            let (next, _) = eng.step(&ctx, axis, &pick_test(label_i));
+            if next.is_empty() {
+                break;
+            }
+            ctx = next;
+        }
+        let test = pick_test(test_pick);
+        eng.take_saturated(); // reset whatever the prefix steps recorded
+        let (res_a, used_a) = eng.step_descendant(&ctx, or_self, &test);
+        let sat_a = eng.take_saturated();
+        let (res_b, used_b) = eng.step_descendant_reference(&ctx, or_self, &test);
+        let sat_b = eng.take_saturated();
+        prop_assert_eq!(res_a, res_b, "result ends/edges differ (jobs = {})", jobs);
+        prop_assert_eq!(used_a, used_b, "used ends differ (jobs = {})", jobs);
+        prop_assert_eq!(sat_a, sat_b, "saturation flag differs (jobs = {})", jobs);
     }
 }
 
