@@ -26,7 +26,9 @@
 //! `QUI_FIG3C_MIN_PRUNING_SAVING` (percent, default 20),
 //! `QUI_FIG3C_MIN_PARALLEL_SPEEDUP` (default 1.5, enforced with ≥ 4
 //! workers), `QUI_FIG3C_MAX_PEAK_BUFFER_FRACTION` (default 0.1, enforced on
-//! inputs ≥ 256 KiB), `QUI_FIG3C_TOLERANCE` (default 0.25). Regenerate the
+//! inputs ≥ 256 KiB), `QUI_FIG3C_MAX_BYTES_PER_NODE` (default 33, half the
+//! committed pointer-tree reference), `QUI_FIG3C_TOLERANCE` (default 0.25).
+//! Regenerate the
 //! committed file with `--quick --out ci/BENCH_fig3c.json` when the
 //! pipeline legitimately changes cost.
 
@@ -119,8 +121,15 @@ pub struct Fig3cScaleResult {
     pub ingest_stream_ms: f64,
     /// Peak size of the streaming parser's input window.
     pub peak_buffer_bytes: usize,
-    /// Resident bytes of the fully parsed tree.
+    /// Resident bytes of the fully parsed tree (exact per-column
+    /// accounting, [`qui_xmlstore::Store::heap_bytes`]).
     pub tree_bytes: usize,
+    /// `tree_bytes / doc_nodes` — the columnar-layout metric the
+    /// `QUI_FIG3C_MAX_BYTES_PER_NODE` gate tracks.
+    pub bytes_per_node: f64,
+    /// Peak resident set size of the process after this scale's parse
+    /// (`VmHWM` from `/proc/self/status`; 0 where unavailable).
+    pub peak_rss: usize,
     /// Resident bytes of the stream-projected tree for [`PROJECTION_VIEW`].
     pub projected_tree_bytes: usize,
     /// Nodes the streamed projection never allocated.
@@ -182,7 +191,8 @@ impl Fig3cReport {
                 s,
                 "    {{\"scale\": \"{}\", \"doc_nodes\": {}, \"xml_bytes\": {}, \
                  \"gen_stream_ms\": {:.3}, \"ingest_mem_ms\": {:.3}, \"ingest_stream_ms\": {:.3}, \
-                 \"peak_buffer_bytes\": {}, \"tree_bytes\": {}, \"projected_tree_bytes\": {}, \
+                 \"peak_buffer_bytes\": {}, \"tree_bytes\": {}, \"bytes_per_node\": {:.3}, \
+                 \"peak_rss\": {}, \"projected_tree_bytes\": {}, \
                  \"proj_pruned_nodes\": {}, \"proj_kept_nodes\": {}, \
                  \"projection_saving_pct\": {:.3}, \"cells\": {}, \"refreshed_chains\": {}, \
                  \"pruning_saving_pct\": {:.3}, \"types_saving_pct\": {:.3}, \
@@ -195,6 +205,8 @@ impl Fig3cReport {
                 r.ingest_stream_ms,
                 r.peak_buffer_bytes,
                 r.tree_bytes,
+                r.bytes_per_node,
+                r.peak_rss,
                 r.projected_tree_bytes,
                 r.proj_pruned_nodes,
                 r.proj_kept_nodes,
@@ -224,13 +236,14 @@ impl Fig3cReport {
         );
         let _ = writeln!(
             s,
-            "{:<5} {:>9} {:>9} {:>8} {:>9} {:>10} {:>8} {:>9} {:>9} {:>9} {:>7}",
+            "{:<5} {:>9} {:>9} {:>8} {:>9} {:>10} {:>7} {:>8} {:>9} {:>9} {:>9} {:>7}",
             "scale",
             "nodes",
             "xml KiB",
             "gen ms",
             "mem ms",
             "stream ms",
+            "B/node",
             "proj %",
             "prune %",
             "seq ms",
@@ -240,13 +253,14 @@ impl Fig3cReport {
         for r in &self.scales {
             let _ = writeln!(
                 s,
-                "{:<5} {:>9} {:>9} {:>8.1} {:>9.1} {:>10.1} {:>7.1}% {:>8.1}% {:>9.1} {:>9.1} {:>7.2}",
+                "{:<5} {:>9} {:>9} {:>8.1} {:>9.1} {:>10.1} {:>7.1} {:>7.1}% {:>8.1}% {:>9.1} {:>9.1} {:>7.2}",
                 r.scale,
                 r.doc_nodes,
                 r.xml_bytes / 1024,
                 r.gen_stream_ms,
                 r.ingest_mem_ms,
                 r.ingest_stream_ms,
+                r.bytes_per_node,
                 r.projection_saving_pct,
                 r.pruning_saving_pct,
                 r.seq_eval_ms,
@@ -264,6 +278,26 @@ fn ms_f64(d: Duration) -> f64 {
 
 fn temp_xml_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("qui-fig3c-{}-{name}.xml", std::process::id()))
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+pub fn peak_rss_bytes() -> usize {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: usize = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
 }
 
 /// Runs one scale: stream-generate the document to disk once, then measure
@@ -314,7 +348,7 @@ fn run_scale(
         let tree = parse_xml(&text).expect("the streamed document parses");
         ingest_mem = ingest_mem.min(ms_f64(start.elapsed()));
         doc_nodes = tree.size();
-        tree_bytes = tree.store.approx_heap_bytes();
+        tree_bytes = tree.store.heap_bytes();
         drop(text);
         drop(tree);
 
@@ -332,7 +366,7 @@ fn run_scale(
             &StreamConfig::with_projection_spec(path_spec.clone()),
         )
         .expect("the projected parse succeeds");
-        projected_tree_bytes = projected.tree.store.approx_heap_bytes();
+        projected_tree_bytes = projected.tree.store.heap_bytes();
         proj_pruned = projected.stats.nodes_pruned;
         proj_kept = projected.stats.nodes_kept;
         drop(projected);
@@ -367,6 +401,8 @@ fn run_scale(
         ingest_stream_ms: ingest_stream,
         peak_buffer_bytes: peak_buffer,
         tree_bytes,
+        bytes_per_node: tree_bytes as f64 / doc_nodes.max(1) as f64,
+        peak_rss: peak_rss_bytes(),
         projected_tree_bytes,
         proj_pruned_nodes: proj_pruned,
         proj_kept_nodes: proj_kept,
@@ -422,6 +458,10 @@ pub struct Fig3cGateConfig {
     /// inputs of at least 256 KiB — below that the chunk granularity
     /// dominates).
     pub max_peak_buffer_fraction: f64,
+    /// Largest allowed `tree_bytes / doc_nodes` at the largest scale. The
+    /// default is half the committed pointer-tree reference (≈ 66.7 B/node
+    /// at every XMark scale), pinning the columnar layout's ≥ 2× win.
+    pub max_bytes_per_node: f64,
     /// Allowed relative regression of `norm_cost` against the committed
     /// baseline (0.25 = 25%).
     pub tolerance: f64,
@@ -433,6 +473,7 @@ impl Default for Fig3cGateConfig {
             min_pruning_saving: 20.0,
             min_parallel_speedup: 1.5,
             max_peak_buffer_fraction: 0.1,
+            max_bytes_per_node: 33.0,
             tolerance: 0.25,
         }
     }
@@ -445,6 +486,7 @@ pub const GATE_ENV_VARS: &[&str] = &[
     "QUI_FIG3C_MIN_PRUNING_SAVING",
     "QUI_FIG3C_MIN_PARALLEL_SPEEDUP",
     "QUI_FIG3C_MAX_PEAK_BUFFER_FRACTION",
+    "QUI_FIG3C_MAX_BYTES_PER_NODE",
     "QUI_FIG3C_TOLERANCE",
 ];
 
@@ -460,6 +502,9 @@ impl Fig3cGateConfig {
         }
         if let Some(v) = env_f64("QUI_FIG3C_MAX_PEAK_BUFFER_FRACTION") {
             cfg.max_peak_buffer_fraction = v;
+        }
+        if let Some(v) = env_f64("QUI_FIG3C_MAX_BYTES_PER_NODE") {
+            cfg.max_bytes_per_node = v;
         }
         if let Some(v) = env_f64("QUI_FIG3C_TOLERANCE") {
             cfg.tolerance = v;
@@ -491,6 +536,12 @@ pub fn check_fig3c_gates(
         failures.push(format!(
             "chain pruning saves {:.1}% of re-evaluation work at scale {}, required >= {:.1}%",
             largest.pruning_saving_pct, largest.scale, cfg.min_pruning_saving
+        ));
+    }
+    if largest.bytes_per_node > cfg.max_bytes_per_node {
+        failures.push(format!(
+            "resident tree costs {:.1} bytes/node at scale {}, allowed <= {:.1} (columnar layout regression)",
+            largest.bytes_per_node, largest.scale, cfg.max_bytes_per_node
         ));
     }
     if report.workers >= 4 && largest.speedup_parallel < cfg.min_parallel_speedup {
@@ -554,8 +605,10 @@ mod tests {
                 ingest_mem_ms: 2.0,
                 ingest_stream_ms: 2.5,
                 peak_buffer_bytes: 8 << 10,
-                tree_bytes: 1 << 21,
-                projected_tree_bytes: 1 << 18,
+                tree_bytes: 1 << 14,
+                bytes_per_node: (1 << 14) as f64 / 1000.0,
+                peak_rss: 32 << 20,
+                projected_tree_bytes: 1 << 12,
                 proj_pruned_nodes: 900,
                 proj_kept_nodes: 100,
                 projection_saving_pct: 90.0,
@@ -577,6 +630,11 @@ mod tests {
         assert_eq!(json_number_field(&json, "largest_doc_nodes"), Some(1000.0));
         assert_eq!(json_number_field(&json, "pruning_saving_pct"), Some(60.0));
         assert_eq!(json_number_field(&json, "speedup_parallel"), Some(2.5));
+        assert_eq!(json_number_field(&json, "bytes_per_node"), Some(16.384));
+        assert_eq!(
+            json_number_field(&json, "peak_rss"),
+            Some((32 << 20) as f64)
+        );
     }
 
     #[test]
@@ -598,6 +656,10 @@ mod tests {
         assert_eq!(check_fig3c_gates(&slow, None, &cfg).len(), 1);
         slow.workers = 1;
         assert!(check_fig3c_gates(&slow, None, &cfg).is_empty());
+        // A bloated per-node footprint fails the columnar-layout gate.
+        let mut heavy = report.clone();
+        heavy.scales[0].bytes_per_node = 66.7;
+        assert_eq!(check_fig3c_gates(&heavy, None, &cfg).len(), 1);
         // A ballooning input window fails.
         let mut fat = report.clone();
         fat.scales[0].peak_buffer_bytes = fat.scales[0].xml_bytes / 2;
@@ -635,6 +697,12 @@ mod tests {
         let r = &report.scales[0];
         assert!(r.doc_nodes >= 500, "{}", r.doc_nodes);
         assert!(r.xml_bytes > 0 && r.tree_bytes > 0);
+        assert!(
+            r.bytes_per_node > 0.0 && r.bytes_per_node < 64.0,
+            "{}",
+            r.bytes_per_node
+        );
+        assert!(cfg!(not(target_os = "linux")) || r.peak_rss > 0);
         assert!(r.ingest_mem_ms > 0.0 && r.ingest_stream_ms > 0.0);
         assert!(r.peak_buffer_bytes > 0 && r.peak_buffer_bytes < r.tree_bytes);
         assert!(r.proj_kept_nodes + r.proj_pruned_nodes > 0);

@@ -76,8 +76,10 @@ pub const REF_SPECS: &[RefSpec] = &[
             "pruning_saving_pct",
             "speedup_parallel",
             "peak_buffer_bytes",
+            "bytes_per_node",
+            "peak_rss",
         ],
-        trend: &["speedup_parallel", "pruning_saving_pct"],
+        trend: &["speedup_parallel", "pruning_saving_pct", "bytes_per_node"],
     },
     RefSpec {
         file: "BENCH_session.json",

@@ -52,6 +52,11 @@ const ROUNDS: usize = 10;
 /// Keep-alive requests per HTTP client connection.
 const HTTP_REQUESTS_PER_CLIENT: usize = 150;
 const HTTP_CLIENTS: usize = 2;
+/// Check ops carried by one `/batch` request, and batched requests per
+/// client, sized so the batched run performs the same number of checks as
+/// the one-op-per-request run.
+const BATCH_OPS: usize = 25;
+const HTTP_BATCH_REQUESTS_PER_CLIENT: usize = HTTP_REQUESTS_PER_CLIENT / BATCH_OPS;
 
 /// The full harness report (times in milliseconds, latencies in
 /// microseconds; minima over reps).
@@ -93,6 +98,14 @@ pub struct ServeReport {
     pub http_ms: f64,
     /// End-to-end HTTP throughput (keep-alive, warm session).
     pub http_requests_per_sec: f64,
+    /// Check ops served through `/sessions/<name>/batch` (25 ops per
+    /// request; same total check count as the one-op run).
+    pub http_batch_ops: usize,
+    /// Wall time of the batched HTTP measurement.
+    pub http_batch_ms: f64,
+    /// Check ops per second through the batch endpoint — the HTTP-parse
+    /// amortization the endpoint exists for.
+    pub http_batch_ops_per_sec: f64,
     /// `single_ms / calibration_ms` — the machine-normalized cost the
     /// regression gate tracks.
     pub norm_cost: f64,
@@ -138,6 +151,13 @@ impl ServeReport {
             "  \"http_requests_per_sec\": {:.1},",
             self.http_requests_per_sec
         );
+        let _ = writeln!(s, "  \"http_batch_ops\": {},", self.http_batch_ops);
+        let _ = writeln!(s, "  \"http_batch_ms\": {:.3},", self.http_batch_ms);
+        let _ = writeln!(
+            s,
+            "  \"http_batch_ops_per_sec\": {:.1},",
+            self.http_batch_ops_per_sec
+        );
         let _ = writeln!(s, "  \"norm_cost\": {:.4}", self.norm_cost);
         let _ = writeln!(s, "}}");
         s
@@ -171,6 +191,11 @@ impl ServeReport {
             s,
             "http          : {} requests in {:.2} ms — {:.0} req/s (keep-alive, {} clients)",
             self.http_requests, self.http_ms, self.http_requests_per_sec, HTTP_CLIENTS
+        );
+        let _ = writeln!(
+            s,
+            "http batch    : {} check ops in {:.2} ms — {:.0} ops/s ({} ops/request)",
+            self.http_batch_ops, self.http_batch_ms, self.http_batch_ops_per_sec, BATCH_OPS
         );
         s
     }
@@ -282,10 +307,60 @@ fn http_client(addr: std::net::SocketAddr, requests: usize) -> usize {
     served
 }
 
-/// Measures end-to-end HTTP throughput: `HTTP_CLIENTS` keep-alive clients ×
-/// `HTTP_REQUESTS_PER_CLIENT` requests against a daemon with `workers`
-/// worker threads. Returns (requests served, wall ms).
-fn run_http(workers: usize) -> (usize, f64) {
+/// One keep-alive batch client: `requests` POSTs to the session's `/batch`
+/// endpoint, each carrying `ops` check operations. Returns the number of
+/// per-op results acknowledged across all responses.
+fn http_batch_client(addr: std::net::SocketAddr, requests: usize, ops: usize) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve harness");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let op = "{\"cmd\":\"check\",\"query\":\"//a//c\",\"update\":\"delete //b//c\"}";
+    let body = format!("{{\"ops\":[{}]}}", vec![op; ops].join(","));
+    let request = format!(
+        "POST /sessions/bench/batch HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut acknowledged = 0;
+    for _ in 0..requests {
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut head = Vec::new();
+        let mut b = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut b).expect("response head");
+            head.push(b[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut payload = vec![0u8; length];
+        stream.read_exact(&mut payload).unwrap();
+        let v = qui_core::Json::parse(std::str::from_utf8(&payload).unwrap())
+            .expect("batch response JSON");
+        let results = v
+            .get("results")
+            .and_then(qui_core::Json::as_arr)
+            .expect("batch results array");
+        assert!(results
+            .iter()
+            .all(|r| r.get("independent").and_then(qui_core::Json::as_bool) == Some(true)));
+        acknowledged += results.len();
+    }
+    acknowledged
+}
+
+/// Measures end-to-end HTTP throughput against a daemon with `workers`
+/// worker threads: `HTTP_CLIENTS` keep-alive clients × one check per
+/// request, then the same total check count through the `/batch` endpoint
+/// at [`BATCH_OPS`] ops per request. Returns
+/// (requests served, wall ms, batch ops served, batch wall ms).
+fn run_http(workers: usize) -> (usize, f64, usize, f64) {
     let registry = Arc::new(SessionRegistry::new(
         AnalyzerConfig::default(),
         Jobs::Fixed(1),
@@ -315,9 +390,19 @@ fn run_http(workers: usize) -> (usize, f64) {
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let batch_ops: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..HTTP_CLIENTS)
+            .map(|_| {
+                s.spawn(move || http_batch_client(addr, HTTP_BATCH_REQUESTS_PER_CLIENT, BATCH_OPS))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3;
     shutdown.store(true, Ordering::SeqCst);
     handle.join().unwrap();
-    (served, wall_ms)
+    (served, wall_ms, batch_ops, batch_ms)
 }
 
 /// Runs the full harness (`reps` repetitions per timing, best kept).
@@ -348,6 +433,8 @@ pub fn run_serve(reps: usize) -> ServeReport {
     let mut mismatches = 0usize;
     let mut http_requests = 0usize;
     let mut http_ms = f64::MAX;
+    let mut http_batch_ops = 0usize;
+    let mut http_batch_ms = f64::MAX;
     for _ in 0..reps.max(1) {
         let (wall, mut latencies, m) = run_checks(&session, &pairs, &expected, 1, ROUNDS);
         if wall < single_ms {
@@ -364,10 +451,14 @@ pub fn run_serve(reps: usize) -> ServeReport {
         }
         mismatches += m;
 
-        let (served, wall) = run_http(client_threads.min(4));
+        let (served, wall, batch_ops, batch_wall) = run_http(client_threads.min(4));
         if wall < http_ms {
             http_ms = wall;
             http_requests = served;
+        }
+        if batch_wall < http_batch_ms {
+            http_batch_ms = batch_wall;
+            http_batch_ops = batch_ops;
         }
     }
 
@@ -393,6 +484,9 @@ pub fn run_serve(reps: usize) -> ServeReport {
         http_requests,
         http_ms,
         http_requests_per_sec: http_requests as f64 / (http_ms / 1e3).max(f64::EPSILON),
+        http_batch_ops,
+        http_batch_ms,
+        http_batch_ops_per_sec: http_batch_ops as f64 / (http_batch_ms / 1e3).max(f64::EPSILON),
         norm_cost: single_ms / calibration_ms.max(f64::EPSILON),
     }
 }
@@ -512,6 +606,9 @@ mod tests {
             http_requests: 300,
             http_ms: 200.0,
             http_requests_per_sec: 1500.0,
+            http_batch_ops: 300,
+            http_batch_ms: 60.0,
+            http_batch_ops_per_sec: 5000.0,
             norm_cost: 10.0,
         }
     }
@@ -579,8 +676,13 @@ mod tests {
 
     #[test]
     fn http_measurement_round_trips() {
-        let (served, wall) = run_http(2);
+        let (served, wall, batch_ops, batch_wall) = run_http(2);
         assert_eq!(served, HTTP_CLIENTS * HTTP_REQUESTS_PER_CLIENT);
         assert!(wall > 0.0);
+        assert_eq!(
+            batch_ops,
+            HTTP_CLIENTS * HTTP_BATCH_REQUESTS_PER_CLIENT * BATCH_OPS
+        );
+        assert!(batch_wall > 0.0);
     }
 }

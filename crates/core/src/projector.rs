@@ -341,7 +341,7 @@ impl<'a, S: SchemaLike> ChainProjector<'a, S> {
         if spec.keep_paths.iter().any(|c| chain.is_prefix_of(c)) {
             keep.insert(node);
         }
-        for &child in tree.store.children(node) {
+        for child in tree.store.children(node) {
             self.walk(tree, child, chain.clone(), spec, keep);
         }
     }

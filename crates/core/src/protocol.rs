@@ -69,6 +69,10 @@ pub enum Request {
     Matrix,
     /// `stats` — cache-effectiveness counters.
     Stats,
+    /// `{"cmd":"batch","ops":[...]}` — several commands in one round trip
+    /// (JSON wire only; answered by one [`Response::Batch`] array). Batches
+    /// do not nest.
+    Batch(Vec<Request>),
     /// `quit` — end the session.
     Quit,
 }
@@ -78,10 +82,11 @@ impl Request {
     /// Edits go through `&mut` dispatch; everything else is served on the
     /// concurrent `&self` read path.
     pub fn is_edit(&self) -> bool {
-        matches!(
-            self,
-            Request::AddView { .. } | Request::AddUpdate { .. } | Request::Drop { .. }
-        )
+        match self {
+            Request::AddView { .. } | Request::AddUpdate { .. } | Request::Drop { .. } => true,
+            Request::Batch(ops) => ops.iter().any(Request::is_edit),
+            _ => false,
+        }
     }
 
     /// Parses one REPL line. Returns `Ok(None)` for blank lines and `#`
@@ -163,6 +168,20 @@ impl Request {
                 query: string_field("query")?,
                 update: string_field("update")?,
             }),
+            "batch" => {
+                let ops = v
+                    .get("ops")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "'batch' expects an 'ops' array".to_string())?;
+                let ops = ops
+                    .iter()
+                    .map(Request::from_json)
+                    .collect::<Result<Vec<Request>, String>>()?;
+                if ops.iter().any(|op| matches!(op, Request::Batch(_))) {
+                    return Err("'batch' ops cannot be nested batches".to_string());
+                }
+                Ok(Request::Batch(ops))
+            }
             other => Err(format!("unknown command '{other}'")),
         }
     }
@@ -197,6 +216,13 @@ impl Request {
                 fields.push(("query".into(), Json::str(query.clone())));
                 fields.push(("update".into(), Json::str(update.clone())));
                 "check"
+            }
+            Request::Batch(ops) => {
+                fields.push((
+                    "ops".into(),
+                    Json::Arr(ops.iter().map(Request::to_json).collect()),
+                ));
+                "batch"
             }
         };
         fields.insert(0, ("cmd".into(), Json::str(cmd)));
@@ -280,6 +306,8 @@ pub enum Response {
     },
     /// Cache-effectiveness counters.
     Stats(SessionStats),
+    /// One response per op of a [`Request::Batch`], in op order.
+    Batch(Vec<Response>),
     /// The session ended (`quit`).
     Bye,
     /// A command failed; the session continues.
@@ -364,6 +392,7 @@ impl Response {
                 s.cells_computed,
                 s.edits
             ),
+            Response::Batch(results) => results.iter().map(Response::render_text).collect(),
             Response::Bye => String::new(),
             Response::Error { message } => format!("error: {message}\n"),
         }
@@ -507,6 +536,14 @@ impl Response {
                     ("edits".into(), Json::num(s.edits)),
                 ],
             ),
+            Response::Batch(results) => obj(
+                true,
+                "batch",
+                vec![(
+                    "results".into(),
+                    Json::Arr(results.iter().map(Response::to_json).collect()),
+                )],
+            ),
             Response::Bye => obj(true, "bye", vec![]),
             Response::Error { message } => obj(
                 false,
@@ -619,6 +656,64 @@ mod tests {
             let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
             assert_eq!(back, req, "{wire}");
         }
+    }
+
+    #[test]
+    fn batch_requests_round_trip_and_track_editness() {
+        let reads = Request::Batch(vec![
+            Request::Check {
+                query: "//a".to_string(),
+                update: "delete //b".to_string(),
+            },
+            Request::Stats,
+        ]);
+        assert!(!reads.is_edit());
+        let wire = reads.to_json().render();
+        assert_eq!(Request::from_json(&Json::parse(&wire).unwrap()), Ok(reads));
+
+        let edits = Request::Batch(vec![
+            Request::Matrix,
+            Request::AddView {
+                name: None,
+                expr: "//c".to_string(),
+            },
+        ]);
+        assert!(edits.is_edit());
+        let wire = edits.to_json().render();
+        assert_eq!(Request::from_json(&Json::parse(&wire).unwrap()), Ok(edits));
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        let src = r#"{"cmd":"batch","ops":[{"cmd":"batch","ops":[]}]}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(
+            Request::from_json(&v),
+            Err("'batch' ops cannot be nested batches".to_string())
+        );
+        let src = r#"{"cmd":"batch"}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(
+            Request::from_json(&v),
+            Err("'batch' expects an 'ops' array".to_string())
+        );
+    }
+
+    #[test]
+    fn batch_responses_concatenate_text_and_nest_json() {
+        let r = Response::Batch(vec![
+            Response::Dropped {
+                kind: "view",
+                name: "v1".to_string(),
+            },
+            Response::error("boom"),
+        ]);
+        assert_eq!(r.render_text(), "dropped view v1\nerror: boom\n");
+        let v = r.to_json();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("batch"));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
     }
 
     #[test]

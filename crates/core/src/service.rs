@@ -79,6 +79,7 @@ impl<'a, S: SchemaLike + Sync> SessionHandler<'a, S> {
             Request::AddView { name, expr } => self.add_view(name.as_deref(), expr),
             Request::AddUpdate { name, expr } => self.add_update(name.as_deref(), expr),
             Request::Drop { name } => self.drop_name(name),
+            Request::Batch(ops) => Response::Batch(ops.iter().map(|op| self.handle(op)).collect()),
             read_only => self.handle_read(read_only),
         }
     }
@@ -98,6 +99,11 @@ impl<'a, S: SchemaLike + Sync> SessionHandler<'a, S> {
                 n_updates: self.session.n_updates(),
                 independent_cells: self.session.independent_count(),
             },
+            // An edit-free batch stays on the read path op by op (edits fall
+            // through to the backstop below, matching `Request::is_edit`).
+            Request::Batch(ops) => {
+                Response::Batch(ops.iter().map(|op| self.handle_read(op)).collect())
+            }
             Request::Check { query, update } => {
                 let q = match parse_query(query) {
                     Ok(q) => q,
@@ -720,6 +726,41 @@ fn route(
             ])
             .render())
         }
+        ("POST", path) if path.starts_with("/sessions/") && path.ends_with("/batch") => {
+            let name = &path["/sessions/".len()..path.len() - "/batch".len()];
+            let Some(session) = registry.get(name) else {
+                return (
+                    404,
+                    "Not Found",
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        (
+                            "error".into(),
+                            Json::str(format!("no schema named '{name}'")),
+                        ),
+                    ])
+                    .render(),
+                );
+            };
+            let parsed = match Json::parse(&request.body) {
+                Ok(v) => v,
+                Err(e) => return bad(format!("invalid JSON: {e}")),
+            };
+            // The body is `{"ops":[...]}`; a `"cmd":"batch"` field is
+            // tolerated so the plain wire form works here too.
+            let Some(ops) = parsed.get("ops") else {
+                return bad("batch body needs an 'ops' array".to_string());
+            };
+            let wire = Json::Obj(vec![
+                ("cmd".into(), Json::str("batch")),
+                ("ops".into(), ops.clone()),
+            ]);
+            let batch = match Request::from_json(&wire) {
+                Ok(r) => r,
+                Err(e) => return bad(e),
+            };
+            ok(session.handle(&batch).to_json().render())
+        }
         ("POST", path) if path.starts_with("/sessions/") => {
             let name = &path["/sessions/".len()..];
             let Some(session) = registry.get(name) else {
@@ -857,6 +898,54 @@ mod tests {
             text.starts_with("independent — k = ") && text.contains("engine = Cdag"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn batch_dispatch_runs_ops_in_order() {
+        let dtd = Dtd::parse_compact(FIG1, "doc").unwrap();
+        let mut h = handler(&dtd);
+        let batch = Request::Batch(vec![
+            Request::AddView {
+                name: Some("v1".to_string()),
+                expr: "//a//c".to_string(),
+            },
+            Request::AddUpdate {
+                name: None,
+                expr: "delete //b//c".to_string(),
+            },
+            Request::Check {
+                query: "//c".to_string(),
+                update: "delete //c".to_string(),
+            },
+            Request::Drop {
+                name: "v1".to_string(),
+            },
+        ]);
+        let Response::Batch(results) = h.handle(&batch) else {
+            panic!("expected a batch response");
+        };
+        assert_eq!(results.len(), 4);
+        assert!(matches!(&results[0], Response::ViewAdded { name, .. } if name == "v1"));
+        assert!(matches!(&results[1], Response::UpdateAdded { name, .. } if name == "u1"));
+        assert!(matches!(
+            &results[2],
+            Response::Check {
+                independent: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &results[3],
+            Response::Dropped { kind: "view", .. }
+        ));
+        // An edit-free batch works on the read path too.
+        let reads = Request::Batch(vec![Request::Stats, Request::Matrix]);
+        assert!(!reads.is_edit());
+        let Response::Batch(results) = h.handle_read(&reads) else {
+            panic!("expected a batch response");
+        };
+        assert!(matches!(results[0], Response::Stats(_)));
+        assert!(matches!(results[1], Response::Matrix { .. }));
     }
 
     #[test]
@@ -998,6 +1087,31 @@ mod tests {
             "{\"cmd\":\"matrix\"}",
         ));
         assert_eq!(matrix.get("independent_cells").unwrap().as_usize(), Some(1));
+
+        // One batch request answers several ops with one response array.
+        let batch = body_of(&http(
+            addr,
+            "POST",
+            "/sessions/fig1/batch",
+            "{\"ops\":[{\"cmd\":\"check\",\"query\":\"//a//c\",\"update\":\"delete //b//c\"},\
+             {\"cmd\":\"stats\"},{\"cmd\":\"matrix\"}]}",
+        ));
+        assert_eq!(batch.get("type").unwrap().as_str(), Some("batch"));
+        let results = batch.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("independent").unwrap().as_bool(), Some(true));
+        assert_eq!(results[1].get("type").unwrap().as_str(), Some("stats"));
+        assert_eq!(
+            results[2].get("independent_cells").unwrap().as_usize(),
+            Some(1)
+        );
+        assert!(
+            http(addr, "POST", "/sessions/fig1/batch", "{\"cmd\":\"stats\"}")
+                .starts_with("HTTP/1.1 400")
+        );
+        assert!(
+            http(addr, "POST", "/sessions/nope/batch", "{\"ops\":[]}").starts_with("HTTP/1.1 404")
+        );
 
         // Unknown schema and endpoint → 404; bad JSON → 400.
         assert!(

@@ -31,7 +31,7 @@
 use crate::dtd::Dtd;
 use crate::parser::SchemaParseError;
 use crate::symbols::TEXT_NAME;
-use qui_xmlstore::{NodeKind, Tree};
+use qui_xmlstore::Tree;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -163,9 +163,9 @@ pub fn infer_dtd(corpus: &[Tree]) -> Result<InferredDtd, InferenceError> {
 
     for tree in corpus {
         let store = &tree.store;
-        let root_tag = match &store.node(tree.root).kind {
-            NodeKind::Element { tag, .. } => tag.clone(),
-            NodeKind::Text(_) => return Err(InferenceError::EmptyCorpus),
+        let root_tag = match store.tag(tree.root) {
+            Some(tag) => tag.to_string(),
+            None => return Err(InferenceError::EmptyCorpus),
         };
         match &root {
             None => root = Some(root_tag.clone()),
@@ -175,20 +175,16 @@ pub fn infer_dtd(corpus: &[Tree]) -> Result<InferredDtd, InferenceError> {
             _ => {}
         }
         for id in tree.reachable() {
-            let node = store.node(id);
-            let NodeKind::Element { tag, .. } = &node.kind else {
+            let node = store.node_ref(id);
+            let Some(tag) = node.tag() else {
                 continue;
             };
             elements += 1;
-            let seq: Vec<String> = store
-                .children(id)
-                .iter()
-                .map(|&c| match &store.node(c).kind {
-                    NodeKind::Element { tag, .. } => tag.clone(),
-                    NodeKind::Text(_) => TEXT_NAME.to_string(),
-                })
+            let seq: Vec<String> = node
+                .children()
+                .map(|c| c.tag().unwrap_or(TEXT_NAME).to_string())
                 .collect();
-            obs.entry(tag.clone()).or_default().sequences.push(seq);
+            obs.entry(tag.to_string()).or_default().sequences.push(seq);
         }
     }
 

@@ -1,141 +1,9 @@
-//! Interned schema symbols.
+//! Interned symbols — re-exported from `qui-xmlstore`.
 //!
-//! Schemas manipulate symbols from `Σ ∪ {S}` where `S` is the string type.
-//! Symbols are interned into small integers so that chains, content models
-//! and CDAG nodes can be compared and hashed cheaply.
+//! The symbol table moved into the store crate with the columnar rewrite so
+//! that tag names are interned once at parse time and the store's label
+//! column, the schema's content models and the CDAG all share one `Sym`
+//! space. This module keeps the historical `qui_schema::symbols` paths
+//! working unchanged.
 
-use std::collections::HashMap;
-use std::fmt;
-
-/// An interned schema symbol (an element tag, or the text type `S`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Sym(pub u16);
-
-/// The reserved symbol standing for the paper's string type `S` (text nodes).
-pub const TEXT_SYM: Sym = Sym(0);
-
-/// The display name used for [`TEXT_SYM`].
-pub const TEXT_NAME: &str = "#text";
-
-impl Sym {
-    /// Index usable for dense per-symbol tables.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-
-    /// Returns `true` if this is the text type `S`.
-    #[inline]
-    pub fn is_text(self) -> bool {
-        self == TEXT_SYM
-    }
-}
-
-impl fmt::Debug for Sym {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s{}", self.0)
-    }
-}
-
-/// A symbol interner. Index 0 is always the text type `S`.
-#[derive(Clone, Debug)]
-pub struct SymbolTable {
-    names: Vec<String>,
-    map: HashMap<String, Sym>,
-}
-
-impl Default for SymbolTable {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SymbolTable {
-    /// Creates a table containing only the reserved text symbol.
-    pub fn new() -> Self {
-        let mut t = SymbolTable {
-            names: Vec::new(),
-            map: HashMap::new(),
-        };
-        let s = t.intern(TEXT_NAME);
-        debug_assert_eq!(s, TEXT_SYM);
-        t
-    }
-
-    /// Interns `name`, returning its symbol (existing or fresh).
-    pub fn intern(&mut self, name: &str) -> Sym {
-        if let Some(&s) = self.map.get(name) {
-            return s;
-        }
-        let s = Sym(u16::try_from(self.names.len()).expect("symbol table overflow (max 65535)"));
-        self.names.push(name.to_string());
-        self.map.insert(name.to_string(), s);
-        s
-    }
-
-    /// Looks up an already-interned name.
-    pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.map.get(name).copied()
-    }
-
-    /// The name of `sym`.
-    pub fn name(&self, sym: Sym) -> &str {
-        &self.names[sym.index()]
-    }
-
-    /// Number of interned symbols (including the text symbol).
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Returns `true` if only the text symbol is interned.
-    pub fn is_empty(&self) -> bool {
-        self.names.len() <= 1
-    }
-
-    /// Iterates over all symbols, including [`TEXT_SYM`].
-    pub fn all(&self) -> impl Iterator<Item = Sym> + '_ {
-        (0..self.names.len() as u16).map(Sym)
-    }
-
-    /// Iterates over all element symbols (excluding [`TEXT_SYM`]).
-    pub fn elements(&self) -> impl Iterator<Item = Sym> + '_ {
-        (1..self.names.len() as u16).map(Sym)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn text_symbol_is_reserved() {
-        let t = SymbolTable::new();
-        assert_eq!(t.lookup(TEXT_NAME), Some(TEXT_SYM));
-        assert!(TEXT_SYM.is_text());
-        assert_eq!(t.name(TEXT_SYM), TEXT_NAME);
-    }
-
-    #[test]
-    fn interning_is_idempotent() {
-        let mut t = SymbolTable::new();
-        let a1 = t.intern("a");
-        let a2 = t.intern("a");
-        let b = t.intern("b");
-        assert_eq!(a1, a2);
-        assert_ne!(a1, b);
-        assert_eq!(t.len(), 3);
-        assert!(!a1.is_text());
-    }
-
-    #[test]
-    fn element_iterator_skips_text() {
-        let mut t = SymbolTable::new();
-        t.intern("a");
-        t.intern("b");
-        let elems: Vec<_> = t.elements().collect();
-        assert_eq!(elems.len(), 2);
-        assert!(!elems.contains(&TEXT_SYM));
-        assert_eq!(t.all().count(), 3);
-    }
-}
+pub use qui_xmlstore::{Sym, SymbolTable, TEXT_NAME, TEXT_SYM};

@@ -134,7 +134,7 @@ pub fn validate(dtd: &Dtd, tree: &Tree) -> Validity {
         let mut word: Vec<Sym> = Vec::new();
         let mut word_names: Vec<String> = Vec::new();
         let mut ok = true;
-        for &c in store.children(l) {
+        for c in store.children(l) {
             if store.is_text(c) {
                 word.push(TEXT_SYM);
                 word_names.push("#PCDATA".to_string());

@@ -186,7 +186,7 @@ impl Translator {
 
     fn first_global_element(&self) -> Option<String> {
         let root = self.tree.root;
-        for &child in self.tree.store.children(root) {
+        for child in self.tree.store.children(root) {
             if self.tree.store.is_element(child)
                 && local_name(tag_of(&self.tree.store, child)) == "element"
             {
@@ -376,7 +376,7 @@ impl Translator {
     /// Reads an attribute of an XSD node through the `@child` encoding.
     fn attr(&self, node: NodeId, name: &str) -> Option<String> {
         let want = format!("@{name}");
-        for &child in self.tree.store.children(node) {
+        for child in self.tree.store.children(node) {
             if self.tree.store.tag(child) == Some(want.as_str()) {
                 let value: String = self
                     .tree

@@ -5,29 +5,29 @@
 //! locations. This is the notion of equality used by Definition 2.4
 //! (independence) to compare query results before and after an update.
 
-use crate::node::{NodeId, NodeKind};
+use crate::node::NodeId;
 use crate::store::Store;
 
 /// Returns `true` iff `(σ1, l1) ≅ (σ2, l2)`.
 pub fn value_equiv(s1: &Store, l1: NodeId, s2: &Store, l2: NodeId) -> bool {
-    match (&s1.node(l1).kind, &s2.node(l2).kind) {
-        (NodeKind::Text(a), NodeKind::Text(b)) => a == b,
-        (
-            NodeKind::Element {
-                tag: t1,
-                children: c1,
-            },
-            NodeKind::Element {
-                tag: t2,
-                children: c2,
-            },
-        ) => {
-            t1 == t2
-                && c1.len() == c2.len()
-                && c1
-                    .iter()
-                    .zip(c2.iter())
-                    .all(|(&a, &b)| value_equiv(s1, a, s2, b))
+    match (s1.text_cow(l1), s2.text_cow(l2)) {
+        (Some(a), Some(b)) => a == b,
+        (None, None) => {
+            s1.tag(l1) == s2.tag(l2) && {
+                let mut c1 = s1.children_iter(l1);
+                let mut c2 = s2.children_iter(l2);
+                loop {
+                    match (c1.next(), c2.next()) {
+                        (None, None) => break true,
+                        (Some(a), Some(b)) => {
+                            if !value_equiv(s1, a, s2, b) {
+                                break false;
+                            }
+                        }
+                        _ => break false,
+                    }
+                }
+            }
         }
         _ => false,
     }
@@ -94,7 +94,7 @@ mod tests {
             .child(TreeBuilder::elem("a"))
             .child(TreeBuilder::elem("b"))
             .build();
-        let kids = t.store.children(t.root).to_vec();
+        let kids = t.store.children(t.root);
         assert!(sequence_equiv(&t.store, &kids, &t.store, &kids));
         let swapped = vec![kids[1], kids[0]];
         assert!(!sequence_equiv(&t.store, &kids, &t.store, &swapped));

@@ -49,7 +49,7 @@ fn gen_element(
     rng: &mut StdRng,
     depth: usize,
 ) -> crate::NodeId {
-    let tag = config.tags[rng.random_range(0..config.tags.len())].clone();
+    let tag = &config.tags[rng.random_range(0..config.tags.len())];
     let n_children = if depth >= config.max_depth {
         0
     } else {

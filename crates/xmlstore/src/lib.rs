@@ -7,9 +7,17 @@
 //!
 //! This crate provides:
 //!
-//! * [`Store`] / [`NodeId`] / [`Node`] — an arena-based store with parent
-//!   pointers, supporting the primitive mutations needed by the XQuery Update
-//!   Facility semantics (insert, delete, rename, replace).
+//! * [`Store`] / [`NodeId`] / [`NodeRef`] — a columnar (structure-of-arrays)
+//!   store: five parallel `u32` columns (label / parent / first-child /
+//!   next-sibling / text-offset) over an interned [`SymbolTable`] and an
+//!   out-of-line text arena, supporting the primitive mutations needed by
+//!   the XQuery Update Facility semantics (insert, delete, rename, replace)
+//!   plus O(1) copy-on-write [`Store::freeze`]/[`Store::snapshot`] sharing.
+//!   With the `cold-text` feature, frozen text payloads can spill to a
+//!   file-backed cold tier.
+//! * [`sink`] — the [`ResultSink`] delivery trait (collect / count /
+//!   serialize) that query evaluation and streamed projection write matches
+//!   into instead of materializing result sequences.
 //! * [`Tree`] — a store plus a distinguished root location.
 //! * value equivalence `(σ, l) ≅ (σ', l')` ([`value_equiv`],
 //!   [`sequence_equiv`]) used by Definition 2.4 (independence).
@@ -31,21 +39,28 @@ pub mod node;
 pub mod parser;
 pub mod projection;
 pub mod serializer;
+pub mod sink;
 pub mod store;
 pub mod streaming;
+pub mod symbols;
 pub mod tree;
 
 pub use decode::decode_entities;
 pub use equiv::{sequence_equiv, value_equiv};
-pub use node::{Node, NodeId, NodeKind};
+pub use node::NodeId;
+#[allow(deprecated)]
+pub use node::{Node, NodeKind};
 pub use parser::{parse_xml, parse_xml_keep_attributes, ParseError};
 pub use projection::{project, upward_closure};
 pub use serializer::{
-    serialize_node, serialize_node_with_attributes, serialize_tree, serialize_tree_with_attributes,
+    serialize_node, serialize_node_into, serialize_node_with_attributes, serialize_tree,
+    serialize_tree_with_attributes,
 };
-pub use store::Store;
+pub use sink::{CollectSink, CountSink, ResultSink, SerializeSink};
+pub use store::{ChildIds, NodeRef, Store, StoreBytes};
 pub use streaming::{
-    parse_xml_reader, parse_xml_stream, project_paths, project_spec, AutomatonCursor,
-    PathAutomaton, PathSpec, Projection, StreamConfig, StreamOutcome, StreamStats,
+    parse_xml_reader, parse_xml_stream, parse_xml_stream_sink, project_paths, project_spec,
+    AutomatonCursor, PathAutomaton, PathSpec, Projection, StreamConfig, StreamOutcome, StreamStats,
 };
+pub use symbols::{Sym, SymbolTable, TEXT_NAME, TEXT_SYM};
 pub use tree::{Tree, TreeBuilder};

@@ -35,6 +35,11 @@ impl fmt::Display for NodeId {
 }
 
 /// The content of a node: an element `a[L]` or a text node.
+///
+/// Deprecated with the columnar store rewrite: node contents now live in
+/// parallel columns and this boxed form is only materialized on demand by
+/// the deprecated [`crate::Store::node`]. See the README migration table.
+#[deprecated(note = "read node contents through `Store::node_ref` / the Store accessors instead")]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// An element node `a[L]`: a tag and the ordered list of children
@@ -49,6 +54,7 @@ pub enum NodeKind {
     Text(String),
 }
 
+#[allow(deprecated)]
 impl NodeKind {
     /// Returns the tag if this is an element node.
     pub fn tag(&self) -> Option<&str> {
@@ -74,6 +80,10 @@ impl NodeKind {
 /// The parent pointer is not part of the paper's formal model (which treats
 /// the store as a child-list environment only) but is a standard derived
 /// structure needed to evaluate the upward XPath axes efficiently.
+///
+/// Deprecated with the columnar store rewrite; see [`NodeKind`].
+#[deprecated(note = "read node contents through `Store::node_ref` / the Store accessors instead")]
+#[allow(deprecated)]
 #[derive(Clone, Debug)]
 pub struct Node {
     /// Element or text content.
@@ -82,6 +92,7 @@ pub struct Node {
     pub parent: Option<NodeId>,
 }
 
+#[allow(deprecated)]
 impl Node {
     /// Creates a new element node with no parent.
     pub fn element(tag: impl Into<String>, children: Vec<NodeId>) -> Self {
@@ -104,6 +115,7 @@ impl Node {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

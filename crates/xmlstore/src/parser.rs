@@ -67,6 +67,7 @@ fn parse_with(input: &str, keep_attributes: bool) -> Result<Tree, ParseError> {
     if parser.pos < parser.bytes.len() {
         return Err(parser.error("trailing content after document element"));
     }
+    parser.store.compact();
     Ok(Tree::new(parser.store, root))
 }
 

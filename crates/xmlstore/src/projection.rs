@@ -8,7 +8,7 @@
 //! `q`-projection, i.e. evaluating `q` on the projection yields the same
 //! (value-equivalent) result as evaluating it on `t`.
 
-use crate::node::{NodeId, NodeKind};
+use crate::node::NodeId;
 use crate::store::Store;
 use crate::tree::Tree;
 use std::collections::HashSet;
@@ -47,18 +47,16 @@ pub fn project(tree: &Tree, keep: &HashSet<NodeId>) -> Tree {
 }
 
 fn copy_projected(src: &Store, node: NodeId, keep: &HashSet<NodeId>, dst: &mut Store) -> NodeId {
-    match &src.node(node).kind {
-        NodeKind::Text(s) => dst.new_text(s.clone()),
-        NodeKind::Element { tag, children } => {
-            let tag = tag.clone();
-            let kids: Vec<NodeId> = children
-                .iter()
-                .filter(|c| keep.contains(c))
-                .map(|&c| copy_projected(src, c, keep, dst))
-                .collect();
-            dst.new_element(tag, kids)
-        }
+    if let Some(text) = src.text_cow(node) {
+        return dst.new_text(text.as_ref());
     }
+    let kids: Vec<NodeId> = src
+        .children_iter(node)
+        .filter(|c| keep.contains(c))
+        .map(|c| copy_projected(src, c, keep, dst))
+        .collect();
+    let sym = dst.intern(src.tag(node).expect("non-text nodes are elements"));
+    dst.new_element_sym(sym, kids)
 }
 
 #[cfg(test)]

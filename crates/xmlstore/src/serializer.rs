@@ -1,6 +1,6 @@
 //! Serialization of stores and trees back to XML text.
 
-use crate::node::{NodeId, NodeKind};
+use crate::node::NodeId;
 use crate::store::Store;
 use crate::tree::Tree;
 
@@ -9,6 +9,12 @@ pub fn serialize_node(store: &Store, node: NodeId) -> String {
     let mut out = String::new();
     write_node(store, node, &mut out, false);
     out
+}
+
+/// Serializes the subtree rooted at `node` into an existing buffer (the
+/// allocation-reusing form behind [`crate::sink::SerializeSink`]).
+pub fn serialize_node_into(store: &Store, node: NodeId, out: &mut String) {
+    write_node(store, node, out, false);
 }
 
 /// Serializes a whole tree to an XML string.
@@ -31,44 +37,42 @@ pub fn serialize_tree_with_attributes(tree: &Tree) -> String {
 }
 
 fn write_node(store: &Store, node: NodeId, out: &mut String, attrs: bool) {
-    match &store.node(node).kind {
-        NodeKind::Text(s) => out.push_str(&escape_text(s)),
-        NodeKind::Element { tag, children } => {
-            let (attr_children, content_children): (Vec<NodeId>, Vec<NodeId>) = if attrs {
-                children
-                    .iter()
-                    .copied()
-                    .partition(|&c| store.tag(c).is_some_and(|t| t.starts_with('@')))
-            } else {
-                (Vec::new(), children.clone())
-            };
-            out.push('<');
-            out.push_str(tag);
-            for a in attr_children {
-                let name = store.tag(a).expect("attribute children are elements");
-                let value: String = store
-                    .children(a)
-                    .iter()
-                    .filter_map(|&c| store.text_value(c).map(|s| s.to_string()))
-                    .collect();
-                out.push(' ');
-                out.push_str(name.trim_start_matches('@'));
-                out.push_str("=\"");
-                out.push_str(&escape_attr(&value));
-                out.push('"');
-            }
-            if content_children.is_empty() {
-                out.push_str("/>");
-            } else {
-                out.push('>');
-                for c in content_children {
-                    write_node(store, c, out, attrs);
-                }
-                out.push_str("</");
-                out.push_str(tag);
-                out.push('>');
-            }
+    if let Some(text) = store.text_cow(node) {
+        out.push_str(&escape_text(&text));
+        return;
+    }
+    let tag = store.tag(node).expect("non-text nodes are elements");
+    let (attr_children, content_children): (Vec<NodeId>, Vec<NodeId>) = if attrs {
+        store
+            .children_iter(node)
+            .partition(|&c| store.tag(c).is_some_and(|t| t.starts_with('@')))
+    } else {
+        (Vec::new(), store.children(node))
+    };
+    out.push('<');
+    out.push_str(tag);
+    for a in attr_children {
+        let name = store.tag(a).expect("attribute children are elements");
+        let value: String = store
+            .children_iter(a)
+            .filter_map(|c| store.text_cow(c).map(|s| s.into_owned()))
+            .collect();
+        out.push(' ');
+        out.push_str(name.trim_start_matches('@'));
+        out.push_str("=\"");
+        out.push_str(&escape_attr(&value));
+        out.push('"');
+    }
+    if content_children.is_empty() {
+        out.push_str("/>");
+    } else {
+        out.push('>');
+        for c in content_children {
+            write_node(store, c, out, attrs);
         }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
     }
 }
 
@@ -122,6 +126,17 @@ mod tests {
         let xml = serialize_tree(&t);
         let t2 = crate::parse_xml(&xml).unwrap();
         assert!(t.value_equiv(&t2));
+    }
+
+    #[test]
+    fn serialize_into_reuses_the_buffer() {
+        let t = TreeBuilder::elem("a").text("x").build();
+        let mut buf = String::with_capacity(64);
+        serialize_node_into(&t.store, t.root, &mut buf);
+        assert_eq!(buf, "<a>x</a>");
+        buf.clear();
+        serialize_node_into(&t.store, t.root, &mut buf);
+        assert_eq!(buf, "<a>x</a>");
     }
 
     #[test]

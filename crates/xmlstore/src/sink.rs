@@ -1,0 +1,176 @@
+//! Result delivery: sinks that receive query matches as they are found.
+//!
+//! Query evaluation and streamed projection used to materialize every match
+//! into a `Vec<NodeId>` — the one remaining O(result) memory cliff. A
+//! [`ResultSink`] receives matches one at a time instead:
+//!
+//! * [`CollectSink`] reproduces the old collect-to-`Vec` behavior (and backs
+//!   the unchanged public APIs),
+//! * [`CountSink`] answers cardinality queries in O(1) space,
+//! * [`SerializeSink`] writes each match's XML straight to any
+//!   [`std::io::Write`], reusing one buffer across matches.
+//!
+//! ```
+//! use qui_xmlstore::{parse_xml, sink::{CountSink, ResultSink}};
+//!
+//! let t = parse_xml("<doc><a/><a/></doc>").unwrap();
+//! let mut count = CountSink::default();
+//! for c in t.store.children_iter(t.root) {
+//!     count.push(&t.store, c);
+//! }
+//! assert_eq!(count.count(), 2);
+//! ```
+
+use crate::node::NodeId;
+use crate::serializer::serialize_node_into;
+use crate::store::Store;
+use std::io::Write;
+
+/// A consumer of query matches, invoked once per matched node in delivery
+/// order.
+pub trait ResultSink {
+    /// Delivers one match.
+    fn push(&mut self, store: &Store, node: NodeId);
+}
+
+/// Collects matches into a `Vec<NodeId>` (the pre-sink behavior).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    nodes: Vec<NodeId>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected matches, in delivery order.
+    pub fn into_nodes(self) -> Vec<NodeId> {
+        self.nodes
+    }
+
+    /// The matches collected so far.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl ResultSink for CollectSink {
+    fn push(&mut self, _store: &Store, node: NodeId) {
+        self.nodes.push(node);
+    }
+}
+
+/// Counts matches without retaining them.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    count: usize,
+}
+
+impl CountSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of matches delivered so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl ResultSink for CountSink {
+    fn push(&mut self, _store: &Store, _node: NodeId) {
+        self.count += 1;
+    }
+}
+
+/// Serializes each match's subtree to a writer, one match per line, without
+/// materializing the result sequence (one reused buffer across matches).
+#[derive(Debug)]
+pub struct SerializeSink<W: Write> {
+    out: W,
+    buf: String,
+    count: usize,
+}
+
+impl<W: Write> SerializeSink<W> {
+    /// Creates a sink writing XML lines to `out`.
+    pub fn new(out: W) -> Self {
+        SerializeSink {
+            out,
+            buf: String::new(),
+            count: 0,
+        }
+    }
+
+    /// Number of matches written so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Finishes, flushing and returning the writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> ResultSink for SerializeSink<W> {
+    fn push(&mut self, store: &Store, node: NodeId) {
+        self.buf.clear();
+        serialize_node_into(store, node, &mut self.buf);
+        self.buf.push('\n');
+        self.out
+            .write_all(self.buf.as_bytes())
+            .expect("sink writer failed");
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn sample() -> crate::Tree {
+        TreeBuilder::elem("doc")
+            .child(TreeBuilder::elem("a").text("1"))
+            .child(TreeBuilder::elem("a").text("2"))
+            .build()
+    }
+
+    #[test]
+    fn collect_sink_preserves_delivery_order() {
+        let t = sample();
+        let mut sink = CollectSink::new();
+        for c in t.store.children_iter(t.root) {
+            sink.push(&t.store, c);
+        }
+        assert_eq!(sink.nodes().len(), 2);
+        assert_eq!(sink.into_nodes(), t.store.children(t.root));
+    }
+
+    #[test]
+    fn count_sink_counts_without_retaining() {
+        let t = sample();
+        let mut sink = CountSink::new();
+        for c in t.store.children_iter(t.root) {
+            sink.push(&t.store, c);
+        }
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn serialize_sink_writes_one_line_per_match() {
+        let t = sample();
+        let mut sink = SerializeSink::new(Vec::new());
+        for c in t.store.children_iter(t.root) {
+            sink.push(&t.store, c);
+        }
+        assert_eq!(sink.count(), 2);
+        let out = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert_eq!(out, "<a>1</a>\n<a>2</a>\n");
+    }
+}

@@ -26,7 +26,9 @@
 use crate::decode::{attribute_children, decode_entities, is_name_byte};
 use crate::node::NodeId;
 use crate::parser::ParseError;
+use crate::sink::ResultSink;
 use crate::store::Store;
+use crate::symbols::Sym;
 use crate::tree::Tree;
 use std::collections::{BTreeSet, HashSet};
 use std::io::Read;
@@ -723,14 +725,20 @@ impl<R: Read> ByteStream<R> {
 // The streaming parser
 // ---------------------------------------------------------------------------
 
-/// One open element on the parse stack.
+/// One open element on the parse stack. Tag names live as interned symbols
+/// — no per-element `String` on the hot path.
 struct Frame {
-    tag: String,
+    sym: Sym,
     children: Vec<NodeId>,
     keep: Keep,
+    /// This element is a *match root*: the projection switched from
+    /// filtering to keeping the whole subtree at this node, so it is one of
+    /// the nodes the projection was asked for (delivered to the sink when
+    /// the element closes).
+    match_root: bool,
 }
 
-struct StreamParser<R: Read> {
+struct StreamParser<'s, R: Read> {
     bs: ByteStream<R>,
     store: Store,
     keep_attributes: bool,
@@ -744,6 +752,12 @@ struct StreamParser<R: Read> {
     cursor: AutomatonCursor,
     stack: Vec<Frame>,
     stats: StreamStats,
+    /// Reused buffer for the name token under the cursor (tag or attribute
+    /// name); never allocated per token.
+    scratch: Vec<u8>,
+    /// Receives match roots (subtree-keep elements and matched text nodes)
+    /// as they complete.
+    sink: Option<&'s mut dyn ResultSink>,
 }
 
 /// Parses an XML document from a reader into a [`Tree`], ignoring attributes
@@ -758,6 +772,28 @@ pub fn parse_xml_stream<R: Read>(
     reader: R,
     config: &StreamConfig,
 ) -> Result<StreamOutcome, ParseError> {
+    stream_impl(reader, config, None)
+}
+
+/// Like [`parse_xml_stream`], additionally delivering every *match root* to
+/// `sink` the moment it completes: elements where the projection switched to
+/// keeping the whole subtree (the nodes the projection was asked for) and
+/// text nodes kept by an explicit text-path. With a counting or serializing
+/// sink this answers projection queries without ever materializing the
+/// result sequence.
+pub fn parse_xml_stream_sink<R: Read>(
+    reader: R,
+    config: &StreamConfig,
+    sink: &mut dyn ResultSink,
+) -> Result<StreamOutcome, ParseError> {
+    stream_impl(reader, config, Some(sink))
+}
+
+fn stream_impl<R: Read>(
+    reader: R,
+    config: &StreamConfig,
+    sink: Option<&mut dyn ResultSink>,
+) -> Result<StreamOutcome, ParseError> {
     let mut parser = StreamParser {
         bs: ByteStream::new(reader, config.chunk_size),
         store: Store::new(),
@@ -767,6 +803,8 @@ pub fn parse_xml_stream<R: Read>(
         cursor: AutomatonCursor::new(),
         stack: Vec::new(),
         stats: StreamStats::default(),
+        scratch: Vec::new(),
+        sink,
     };
     parser.skip_prolog()?;
     let root = parser.parse_document_element()?;
@@ -776,13 +814,14 @@ pub fn parse_xml_stream<R: Read>(
     }
     parser.stats.bytes_read = parser.bs.bytes_read;
     parser.stats.peak_buffer_bytes = parser.bs.peak_buffer;
+    parser.store.compact();
     Ok(StreamOutcome {
         tree: Tree::new(parser.store, root),
         stats: parser.stats,
     })
 }
 
-impl<R: Read> StreamParser<R> {
+impl<R: Read> StreamParser<'_, R> {
     fn error(&self, msg: &str) -> ParseError {
         ParseError {
             message: msg.to_string(),
@@ -831,20 +870,27 @@ impl<R: Read> StreamParser<R> {
         }
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseError> {
-        let mut out = Vec::new();
+    /// Reads the name token under the cursor into the reused scratch buffer
+    /// — no allocation per token.
+    fn parse_name_scratch(&mut self) -> Result<(), ParseError> {
+        self.scratch.clear();
         while let Some(b) = self.bs.peek()? {
             if is_name_byte(b) {
-                out.push(b);
+                self.scratch.push(b);
                 self.bs.pos += 1;
             } else {
                 break;
             }
         }
-        if out.is_empty() {
+        if self.scratch.is_empty() {
             return Err(self.error("expected a name"));
         }
-        Ok(String::from_utf8_lossy(&out).into_owned())
+        Ok(())
+    }
+
+    /// The scratch buffer as a name string (name bytes are always ASCII).
+    fn scratch_str(&self) -> &str {
+        std::str::from_utf8(&self.scratch).expect("name bytes are ASCII")
     }
 
     /// Consumes attributes up to (but not including) `>` or `/>`. The pairs
@@ -857,7 +903,8 @@ impl<R: Read> StreamParser<R> {
             match self.bs.peek()? {
                 Some(b'>') | Some(b'/') | None => return Ok(attrs),
                 _ => {
-                    let name = self.parse_name()?;
+                    self.parse_name_scratch()?;
+                    let name = wanted.then(|| self.scratch_str().to_string());
                     self.bs.skip_ws()?;
                     let mut value = Vec::new();
                     if self.bs.peek()? == Some(b'=') {
@@ -876,7 +923,7 @@ impl<R: Read> StreamParser<R> {
                             _ => return Err(self.error("expected quoted attribute value")),
                         }
                     }
-                    if wanted {
+                    if let Some(name) = name {
                         let value = String::from_utf8_lossy(&value).into_owned();
                         attrs.push((name, decode_entities(&value)));
                     }
@@ -891,17 +938,23 @@ impl<R: Read> StreamParser<R> {
         self.stack.last().map(|f| f.keep).unwrap_or(Keep::Filter)
     }
 
-    /// Pushes `tag` onto the projection tracking state and decides the keep
-    /// state of the element about to start. Explicit path specs re-classify
-    /// the materialized label path; the automaton steps its incremental
-    /// state-set stack one label (`O(states)` instead of re-simulating the
-    /// whole root-to-node path). The document element is never skipped.
-    fn enter_element(&mut self, tag: &str) -> Keep {
+    /// Pushes the tag in the scratch buffer onto the projection tracking
+    /// state and decides the keep state of the element about to start.
+    /// Explicit path specs re-classify the materialized label path; the
+    /// automaton steps its incremental state-set stack one label
+    /// (`O(states)` instead of re-simulating the whole root-to-node path).
+    /// The document element is never skipped.
+    fn enter_element(&mut self) -> Keep {
         let parent = self.parent_keep();
         let keep = match &self.projection {
             None => Keep::Filter,
             Some(spec @ Projection::Paths(_)) => {
-                self.path.push(tag.to_string());
+                self.path.push(
+                    std::str::from_utf8(&self.scratch)
+                        .expect("ASCII")
+                        .to_string(),
+                );
+                let tag = self.path.last().expect("just pushed");
                 decide(spec, parent, &self.path, tag)
             }
             Some(Projection::Automaton(auto)) => match parent {
@@ -909,18 +962,20 @@ impl<R: Read> StreamParser<R> {
                     self.cursor.push_dead();
                     parent
                 }
-                Keep::Filter if !auto.is_known(tag) => {
-                    self.cursor.push_dead();
-                    Keep::All
-                }
                 Keep::Filter => {
-                    let (on_path, in_subtree) = self.cursor.push(auto, tag);
-                    if in_subtree {
+                    let tag = std::str::from_utf8(&self.scratch).expect("ASCII");
+                    if !auto.is_known(tag) {
+                        self.cursor.push_dead();
                         Keep::All
-                    } else if on_path {
-                        Keep::Filter
                     } else {
-                        Keep::Skip
+                        let (on_path, in_subtree) = self.cursor.push(auto, tag);
+                        if in_subtree {
+                            Keep::All
+                        } else if on_path {
+                            Keep::Filter
+                        } else {
+                            Keep::Skip
+                        }
                     }
                 }
             },
@@ -948,9 +1003,17 @@ impl<R: Read> StreamParser<R> {
     /// frame was pushed (or the element is being skipped).
     fn parse_open_tag(&mut self) -> Result<Option<Option<NodeId>>, ParseError> {
         self.bs.pos += 1; // consume '<'
-        let tag = self.parse_name()?;
+        self.parse_name_scratch()?;
         self.stats.elements_parsed += 1;
-        let keep = self.enter_element(&tag);
+        let parent = self.parent_keep();
+        let keep = self.enter_element();
+        // The projection switched from filtering to whole-subtree keeping
+        // here: this element is one of the nodes the projection asked for.
+        let match_root = keep == Keep::All && parent == Keep::Filter;
+        let sym = {
+            let name = std::str::from_utf8(&self.scratch).expect("name bytes are ASCII");
+            self.store.intern(name)
+        };
         let wanted = keep != Keep::Skip;
         let attrs = self.parse_attributes(wanted && self.keep_attributes)?;
         match self.bs.peek()? {
@@ -964,7 +1027,13 @@ impl<R: Read> StreamParser<R> {
                 if wanted {
                     let children = attribute_children(&mut self.store, attrs, self.keep_attributes);
                     self.stats.nodes_kept += 1;
-                    Ok(Some(Some(self.store.new_element(tag, children))))
+                    let node = self.store.new_element_sym(sym, children);
+                    if match_root {
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.push(&self.store, node);
+                        }
+                    }
+                    Ok(Some(Some(node)))
                 } else {
                     self.stats.nodes_pruned += 1;
                     Ok(Some(None))
@@ -978,9 +1047,10 @@ impl<R: Read> StreamParser<R> {
                     Vec::new()
                 };
                 self.stack.push(Frame {
-                    tag,
+                    sym,
                     children,
                     keep,
+                    match_root,
                 });
                 Ok(None)
             }
@@ -991,12 +1061,15 @@ impl<R: Read> StreamParser<R> {
     /// Parses one closing tag (the leading `</` already consumed), pops the
     /// frame and returns the completed node (`None` when skipped).
     fn parse_close_tag(&mut self) -> Result<Option<NodeId>, ParseError> {
-        let close = self.parse_name()?;
+        self.parse_name_scratch()?;
         let frame = self.stack.pop().expect("close tag outside any element");
-        if close != frame.tag {
+        // The open tag interned its name, so a matching close tag must
+        // already be in the table — symbol comparison, no allocation.
+        if self.store.symbols().lookup(self.scratch_str()) != Some(frame.sym) {
             return Err(self.error(&format!(
                 "mismatched closing tag: expected </{}>, found </{}>",
-                frame.tag, close
+                self.store.symbols().name(frame.sym),
+                self.scratch_str()
             )));
         }
         self.bs.skip_ws()?;
@@ -1010,7 +1083,13 @@ impl<R: Read> StreamParser<R> {
             Ok(None)
         } else {
             self.stats.nodes_kept += 1;
-            Ok(Some(self.store.new_element(frame.tag, frame.children)))
+            let node = self.store.new_element_sym(frame.sym, frame.children);
+            if frame.match_root {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.push(&self.store, node);
+                }
+            }
+            Ok(Some(node))
         }
     }
 
@@ -1065,9 +1144,7 @@ impl<R: Read> StreamParser<R> {
                 self.bs.consume_until("]]>", wanted.then_some(&mut raw))?;
                 if wanted {
                     let text = String::from_utf8_lossy(&raw).into_owned();
-                    self.stats.nodes_kept += 1;
-                    let node = Some(self.store.new_text(text));
-                    self.attach(node);
+                    self.emit_text(&text);
                 } else {
                     self.stats.nodes_pruned += 1;
                 }
@@ -1077,7 +1154,11 @@ impl<R: Read> StreamParser<R> {
                     self.attach(node);
                 }
             } else if self.bs.peek()?.is_none() {
-                let tag = self.stack.last().map(|f| f.tag.clone()).unwrap_or_default();
+                let tag = self
+                    .stack
+                    .last()
+                    .map(|f| self.store.symbols().name(f.sym))
+                    .unwrap_or_default();
                 return Err(self.error(&format!("unexpected end of input inside <{tag}>")));
             } else {
                 self.parse_text_run()?;
@@ -1103,13 +1184,25 @@ impl<R: Read> StreamParser<R> {
         }
         self.stats.texts_parsed += 1;
         if wanted {
-            self.stats.nodes_kept += 1;
-            let node = Some(self.store.new_text(decode_entities(&text)));
-            self.attach(node);
+            self.emit_text(&decode_entities(&text));
         } else {
             self.stats.nodes_pruned += 1;
         }
         Ok(())
+    }
+
+    /// Materializes a kept text node, delivers it to the sink when it is a
+    /// direct projection match (an explicit text-path under a filtering
+    /// parent — not text inside an already-matched subtree), and attaches it.
+    fn emit_text(&mut self, text: &str) {
+        self.stats.nodes_kept += 1;
+        let node = self.store.new_text(text);
+        if self.projection.is_some() && self.parent_keep() == Keep::Filter {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.push(&self.store, node);
+            }
+        }
+        self.attach(Some(node));
     }
 }
 
@@ -1160,7 +1253,7 @@ fn copy_filtered(
                 Keep::Skip => false,
                 Keep::Filter => spec.keeps_text_child(path),
             };
-            keep.then(|| dst.new_text(tree.store.text_value(node).unwrap_or_default().to_string()))
+            keep.then(|| dst.new_text(tree.store.text_cow(node).unwrap_or_default()))
         }
         Some(tag) => {
             let tag = tag.to_string();
@@ -1174,9 +1267,7 @@ fn copy_filtered(
             } else {
                 let children: Vec<NodeId> = tree
                     .store
-                    .children(node)
-                    .to_vec()
-                    .into_iter()
+                    .children_iter(node)
                     .filter_map(|c| copy_filtered(tree, c, spec, keep, false, path, dst))
                     .collect();
                 Some(dst.new_element(tag, children))
@@ -1473,6 +1564,54 @@ mod tests {
         let xml = outcome.tree.to_xml();
         assert_eq!(xml, "<a><b><a><b><a/></b></a></b></a>");
         assert_eq!(outcome.stats.nodes_pruned, 1, "only <c/> is dropped");
+    }
+
+    #[test]
+    fn sink_receives_match_roots_and_matched_text() {
+        use crate::sink::{CollectSink, CountSink, ResultSink, SerializeSink};
+        let input = "<bib><book><title>t1</title><price>9</price></book>\
+                     <extra><blob>x</blob></extra><book><title>t2</title></book></bib>";
+        let config = StreamConfig::with_projection_spec(Projection::Automaton(small_automaton()));
+        // The automaton keeps bib.book.title.#text (matched text) and the
+        // bib.extra subtree (match root).
+        let mut collect = CollectSink::new();
+        let outcome = parse_xml_stream_sink(
+            Cursor::new(input.as_bytes().to_vec()),
+            &config,
+            &mut collect,
+        )
+        .unwrap();
+        let store = &outcome.tree.store;
+        let matches = collect.into_nodes();
+        assert_eq!(matches.len(), 3, "t1, extra subtree, t2");
+        assert_eq!(store.text_value(matches[0]), Some("t1"));
+        assert_eq!(store.tag(matches[1]), Some("extra"));
+        assert_eq!(store.text_value(matches[2]), Some("t2"));
+        // Counting and serializing sinks see the same delivery sequence
+        // without retaining node ids.
+        let mut count = CountSink::new();
+        parse_xml_stream_sink(Cursor::new(input.as_bytes().to_vec()), &config, &mut count).unwrap();
+        assert_eq!(count.count(), 3);
+        let mut ser = SerializeSink::new(Vec::new());
+        parse_xml_stream_sink(Cursor::new(input.as_bytes().to_vec()), &config, &mut ser).unwrap();
+        let lines = String::from_utf8(ser.into_inner().unwrap()).unwrap();
+        assert_eq!(lines, "t1\n<extra><blob>x</blob></extra>\nt2\n");
+        // The plain (sink-free) entry point parses identically.
+        let plain = parse_xml_stream(Cursor::new(input.as_bytes().to_vec()), &config).unwrap();
+        assert!(plain.tree.value_equiv(&outcome.tree));
+        // Without a projection nothing is delivered: there is no match
+        // notion to stream.
+        let mut none = CollectSink::new();
+        parse_xml_stream_sink(
+            Cursor::new(input.as_bytes().to_vec()),
+            &StreamConfig::default(),
+            &mut none,
+        )
+        .unwrap();
+        assert!(none.nodes().is_empty());
+        // Exercise the trait-object path explicitly.
+        let sink: &mut dyn ResultSink = &mut CountSink::new();
+        parse_xml_stream_sink(Cursor::new(input.as_bytes().to_vec()), &config, sink).unwrap();
     }
 
     #[test]

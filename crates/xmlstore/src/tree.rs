@@ -19,7 +19,7 @@ impl Tree {
     }
 
     /// Builds a single-element tree `<tag/>`.
-    pub fn leaf(tag: impl Into<String>) -> Self {
+    pub fn leaf(tag: impl AsRef<str>) -> Self {
         let mut store = Store::new();
         let root = store.new_element(tag, vec![]);
         Tree { store, root }

@@ -130,6 +130,25 @@ pub fn evaluate_query_with_env(
     ev.eval(q, env)
 }
 
+/// Evaluates `q` like [`evaluate_query`] but streams the result locations
+/// into `sink` instead of returning a materialized sequence.
+///
+/// The sink observes results in document-result order (the order
+/// [`evaluate_query`] would return them in). Returns the number of results
+/// delivered.
+pub fn evaluate_query_into(
+    store: &mut Store,
+    root: NodeId,
+    q: &Query,
+    sink: &mut dyn qui_xmlstore::ResultSink,
+) -> Result<usize, EvalError> {
+    let results = evaluate_query(store, root, q)?;
+    for &l in &results {
+        sink.push(store, l);
+    }
+    Ok(results.len())
+}
+
 /// Phase (i) + (ii) of update evaluation: builds the update pending list for
 /// `u`, binding free variables to `root`. Source trees of insert/replace are
 /// copied into the store at this point, matching `σ ⊆ σ_w`.
@@ -462,6 +481,21 @@ mod tests {
         let upd = parse_update(u).unwrap();
         run_update(&mut t, &upd).unwrap();
         t.to_xml()
+    }
+
+    #[test]
+    fn sink_delivery_matches_materialized_results() {
+        let mut t = parse_xml("<doc><a><c>1</c></a><b><c>2</c></b></doc>").unwrap();
+        let query = parse_query("//c").unwrap();
+        let root = t.root;
+        let expected = evaluate_query(&mut t.store, root, &query).unwrap();
+        let mut sink = qui_xmlstore::CollectSink::new();
+        let n = evaluate_query_into(&mut t.store, root, &query, &mut sink).unwrap();
+        assert_eq!(n, expected.len());
+        assert_eq!(sink.into_nodes(), expected);
+        let mut count = qui_xmlstore::CountSink::new();
+        evaluate_query_into(&mut t.store, root, &query, &mut count).unwrap();
+        assert_eq!(count.count(), 2);
     }
 
     #[test]

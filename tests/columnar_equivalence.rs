@@ -1,0 +1,130 @@
+//! Property tests pinning the columnar (structure-of-arrays) store to the
+//! pointer-tree semantics it replaced.
+//!
+//! The store rewrite changed the memory layout (five parallel `u32` columns
+//! over interned symbols) but none of the observable semantics: node ids
+//! are allocated in the same bottom-up order (`new_element` takes its
+//! already-built children, so every child id precedes its parent's),
+//! parse → query → serialize round trips are byte-identical, and
+//! freeze/snapshot generations allocate the same id sequences as a plain
+//! deep clone. The maintenance simulation must stay bit-identical across
+//! worker counts, since each worker now re-evaluates on a copy-on-write
+//! snapshot of the columnar base instead of a private pointer tree.
+
+use proptest::prelude::*;
+use xml_qui::core::Jobs;
+use xml_qui::workloads::{all_updates, all_views, maintenance_simulation_jobs};
+use xml_qui::xmlstore::generator::{random_tree, GenConfig};
+use xml_qui::xmlstore::{
+    parse_xml, serialize_node, serialize_tree, CollectSink, NodeId, SerializeSink,
+};
+use xml_qui::xquery::{evaluate_query, evaluate_query_into, parse_query};
+
+/// Queries over the generator's default `a..d` tag alphabet.
+const QUERY_POOL: &[&str] = &["//a", "//b", "//a//c", "/a", "/b/c", "//d", "//c/parent::a"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Parsing allocates ids exactly as the pointer tree did: contiguous
+    /// from 0, every child before its parent, siblings in document order,
+    /// the root last — and serialization reproduces the input bytes.
+    #[test]
+    fn parse_assigns_pointer_tree_id_order(seed in 0u64..1000) {
+        let t = random_tree(&GenConfig::default(), seed);
+        let xml = t.to_xml();
+        let back = parse_xml(&xml).unwrap();
+        prop_assert!(t.value_equiv(&back));
+        prop_assert_eq!(serialize_tree(&back), xml);
+
+        let n = back.store.len();
+        let ids: Vec<NodeId> = back.store.locations().collect();
+        prop_assert_eq!(ids.len(), n);
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(id.0 as usize, i, "locations() walks ids in allocation order");
+        }
+        prop_assert_eq!(back.root, NodeId(n as u32 - 1), "the root is allocated last");
+        for l in back.store.locations() {
+            let children = back.store.children(l);
+            for c in &children {
+                prop_assert!(c.0 < l.0, "child {c:?} must precede its parent {l:?}");
+            }
+            for pair in children.windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0, "sibling ids grow in document order");
+            }
+        }
+    }
+
+    /// Query results delivered through a sink match the materialized
+    /// sequence, and the serializing sink emits exactly the per-node
+    /// serializations.
+    #[test]
+    fn sinks_match_materialized_query_results(seed in 0u64..1000, qi in 0usize..QUERY_POOL.len()) {
+        let t = random_tree(&GenConfig::default(), seed);
+        let mut store = t.store.clone();
+        let q = parse_query(QUERY_POOL[qi]).unwrap();
+        let expected = evaluate_query(&mut store, t.root, &q).unwrap();
+
+        let mut collect = CollectSink::new();
+        let n = evaluate_query_into(&mut store, t.root, &q, &mut collect).unwrap();
+        prop_assert_eq!(n, expected.len());
+        prop_assert_eq!(collect.nodes(), &expected[..]);
+
+        let mut serialize = SerializeSink::new(Vec::<u8>::new());
+        evaluate_query_into(&mut store, t.root, &q, &mut serialize).unwrap();
+        let streamed = String::from_utf8(serialize.into_inner().unwrap()).unwrap();
+        let materialized: String = expected
+            .iter()
+            .map(|&l| serialize_node(&store, l) + "\n")
+            .collect();
+        prop_assert_eq!(streamed, materialized);
+    }
+
+    /// A frozen store's snapshot allocates the same id sequence under
+    /// mutation as a plain deep clone of the unfrozen store — the
+    /// copy-on-write overlay is invisible to id allocation.
+    #[test]
+    fn snapshot_ids_match_clone_ids(seed in 0u64..1000) {
+        let t = random_tree(&GenConfig::default(), seed);
+
+        let mut frozen = t.store.clone();
+        frozen.freeze();
+        let mut snap = frozen.snapshot();
+        let mut clone = t.store.clone();
+
+        let mutate = |s: &mut xml_qui::xmlstore::Store| -> Vec<NodeId> {
+            let x = s.new_text("x");
+            let e = s.new_element("extra", vec![x]);
+            let y = s.new_element("leaf", vec![]);
+            vec![x, e, y]
+        };
+        let snap_ids = mutate(&mut snap);
+        let clone_ids = mutate(&mut clone);
+        prop_assert_eq!(&snap_ids, &clone_ids, "id allocation diverged under CoW");
+        for (&a, &b) in snap_ids.iter().zip(&clone_ids) {
+            prop_assert_eq!(serialize_node(&snap, a), serialize_node(&clone, b));
+        }
+
+        // A second freeze generation keeps the sequence aligned too.
+        snap.freeze();
+        let mut snap2 = snap.snapshot();
+        prop_assert_eq!(mutate(&mut snap2), mutate(&mut clone));
+        prop_assert_eq!(serialize_node(&snap2, t.root), serialize_node(&clone, t.root));
+    }
+}
+
+/// The maintenance simulation (snapshot-per-worker re-evaluation over the
+/// XMark workload) is bit-identical across worker counts.
+#[test]
+fn maintenance_is_bit_identical_across_jobs() {
+    let views = all_views();
+    let updates = all_updates();
+    let vs = &views[..6];
+    let us = &updates[..4];
+    let reference = maintenance_simulation_jobs(vs, us, 1_500, "tiny", 7, Jobs::Fixed(1))
+        .deterministic_fields();
+    for jobs in [2, 8] {
+        let report = maintenance_simulation_jobs(vs, us, 1_500, "tiny", 7, Jobs::Fixed(jobs));
+        assert_eq!(report.deterministic_fields(), reference, "jobs = {jobs}");
+    }
+}
