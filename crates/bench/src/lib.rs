@@ -16,6 +16,7 @@
 //! | CI cdag gate (CDAG-first auto, k-ladder, path automaton)     | — | `cdag` |
 //! | CI session gate (warm vs cold matrix, per-edit incremental)  | — | `session` |
 //! | CI serve gate (concurrent `&self` checks, HTTP round trips)  | — | `serve` |
+//! | CI maintain gate (live views: naive vs pruned vs delta)      | — | `maintain` |
 //!
 //! Run a binary with `cargo run --release -p qui-bench --bin fig3a`.
 //!
@@ -29,6 +30,7 @@
 pub mod baseline;
 pub mod cdag;
 pub mod fig3c;
+pub mod maintain;
 pub mod refs;
 pub mod serve;
 pub mod session;
@@ -42,6 +44,7 @@ use std::time::{Duration, Instant};
 pub use baseline::{run_baseline, BaselineReport, ScaleResult, ScaleSpec};
 pub use cdag::{run_cdag, CdagGateConfig, CdagReport};
 pub use fig3c::{run_fig3c, Fig3cReport, Fig3cScaleResult, Fig3cScaleSpec};
+pub use maintain::{run_maintain, MaintainGateConfig, MaintainReport, MaintainSpec};
 pub use serve::{run_serve, ServeGateConfig, ServeReport};
 pub use session::{run_session, SessionGateConfig, SessionReport};
 

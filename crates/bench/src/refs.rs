@@ -96,6 +96,21 @@ pub const REF_SPECS: &[RefSpec] = &[
         trend: &["warm_speedup", "incremental_speedup"],
     },
     RefSpec {
+        file: "BENCH_maintain.json",
+        required: &[
+            "schema_version",
+            "workers",
+            "calibration_ms",
+            "norm_cost",
+            "largest_doc_nodes",
+            "delta_speedup",
+            "pruned_speedup",
+            "reeval_ratio",
+            "updates_per_sec",
+        ],
+        trend: &["delta_speedup", "pruned_speedup", "reeval_ratio"],
+    },
+    RefSpec {
         file: "BENCH_serve.json",
         required: &[
             "schema_version",
@@ -119,6 +134,7 @@ pub fn known_gate_vars() -> BTreeSet<&'static str> {
     set.extend(crate::baseline::GATE_ENV_VARS);
     set.extend(crate::cdag::GATE_ENV_VARS);
     set.extend(crate::fig3c::GATE_ENV_VARS);
+    set.extend(crate::maintain::GATE_ENV_VARS);
     set.extend(crate::serve::GATE_ENV_VARS);
     set.extend(crate::session::GATE_ENV_VARS);
     set

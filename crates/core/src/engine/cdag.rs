@@ -61,6 +61,7 @@
 
 use super::label_syms;
 use crate::bitset::{self, BitGrid, BitSet};
+use crate::conflict::{ConflictKind, ConflictWitness};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::parallel::{run_indexed, Jobs};
 use crate::types::{ChainItem, QueryChains, UpdateChains};
@@ -220,8 +221,87 @@ pub struct CdagEngine<'a, S: SchemaLike> {
     /// missing chains a deeper grid would add); cleared by
     /// [`Self::take_saturated`].
     saturated: Cell<bool>,
+    /// Cross-rebuild sub-inference memo, installed by the k-ladders (`None`
+    /// outside ladder mode, where inference runs unmemoized).
+    ladder_memo: RefCell<Option<LadderMemo>>,
     /// Reusable graph-pass workspace.
     scratch: RefCell<Scratch>,
+}
+
+/// The cross-rebuild memo of a k-ladder: sub-inferences whose walk never
+/// hit the depth cap, keyed by `(expression, environment)` fingerprints.
+///
+/// A completed sub-inference is *bound-independent* — the DAG node encoding
+/// `depth · width + sym` does not involve `k`, so the only way a larger grid
+/// can change a result is by un-truncating chains the smaller grid cut at
+/// its depth cap. A sub-expression that never hit the cap therefore infers
+/// to the identical DAG at every larger bound (given the same environment,
+/// which the fingerprint pins), and a ladder rebuild at `k + 1` only has to
+/// re-infer the saturated frontier of the expression tree. This is the same
+/// property the ladder's serving logic exploits for the whole expression
+/// (a complete build needs no rebuild at larger bounds), applied per
+/// sub-expression, which is what makes `extend(k → k+1)` a true
+/// continuation instead of a from-scratch build.
+#[derive(Debug, Default)]
+pub struct LadderMemo {
+    queries: FxHashMap<(String, String), DagQueryChains>,
+    updates: FxHashMap<(String, String), ChainDag>,
+    hits: usize,
+}
+
+impl LadderMemo {
+    fn query_hit(&mut self, key: &(String, String)) -> Option<DagQueryChains> {
+        let hit = self.queries.get(key).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    fn update_hit(&mut self, key: &(String, String)) -> Option<ChainDag> {
+        let hit = self.updates.get(key).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Total sub-inferences served from the memo, across every build that
+    /// carried it.
+    pub fn hit_count(&self) -> usize {
+        self.hits
+    }
+}
+
+/// Canonical fingerprint of a [`ChainDag`] (sorted edges and ends), appended
+/// to `out`.
+fn dag_fingerprint(dag: &ChainDag, out: &mut String) {
+    use std::fmt::Write;
+    let mut edges: Vec<(NodeIdx, NodeIdx)> = dag.edges.iter().copied().collect();
+    edges.sort_unstable();
+    let mut ends: Vec<(NodeIdx, bool)> = dag.ends.iter().map(|(&n, &e)| (n, e)).collect();
+    ends.sort_unstable();
+    for (f, t) in edges {
+        let _ = write!(out, "{f}-{t};");
+    }
+    out.push('|');
+    for (n, ext) in ends {
+        let _ = write!(out, "{n}{};", if ext { '+' } else { '.' });
+    }
+}
+
+/// Canonical fingerprint of an environment (variables in sorted order).
+fn gamma_fingerprint(gamma: &DagGamma) -> String {
+    let mut vars: Vec<&String> = gamma.keys().collect();
+    vars.sort();
+    let mut out = String::new();
+    for v in vars {
+        out.push_str(v);
+        out.push('=');
+        dag_fingerprint(&gamma[v], &mut out);
+        out.push('#');
+    }
+    out
 }
 
 /// Variable environment for the CDAG engine.
@@ -285,6 +365,7 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             child_off,
             par_workers: 1,
             saturated: Cell::new(false),
+            ladder_memo: RefCell::new(None),
             scratch: RefCell::new(Scratch::default()),
         }
     }
@@ -293,6 +374,20 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     pub fn with_element_chains(mut self, on: bool) -> Self {
         self.element_chains = on;
         self
+    }
+
+    /// Installs a cross-rebuild sub-inference memo (ladder mode). Completed
+    /// sub-inferences are served from — and recorded into — the memo; take
+    /// it back with [`Self::take_ladder_memo`] after the build.
+    pub fn with_ladder_memo(mut self, memo: LadderMemo) -> Self {
+        self.ladder_memo = RefCell::new(Some(memo));
+        self
+    }
+
+    /// Removes and returns the installed ladder memo (an empty one if none
+    /// was installed), disabling memoization on this engine.
+    pub fn take_ladder_memo(&self) -> LadderMemo {
+        self.ladder_memo.borrow_mut().take().unwrap_or_default()
     }
 
     /// Enables intra-inference parallelism: large descendant closures shard
@@ -953,6 +1048,34 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
 
     /// Infers the chain triple for a query in CDAG form.
     pub fn infer_query(&self, gamma: &DagGamma, q: &Query) -> DagQueryChains {
+        if self.ladder_memo.borrow().is_none() {
+            return self.infer_query_inner(gamma, q);
+        }
+        // Ladder mode: completed sub-inferences are bound-independent, so a
+        // rebuild at a larger bound serves them from the cross-build memo
+        // and only re-infers the saturated frontier of the expression.
+        let key = (format!("{q:?}"), gamma_fingerprint(gamma));
+        let hit = self
+            .ladder_memo
+            .borrow_mut()
+            .as_mut()
+            .and_then(|m| m.query_hit(&key));
+        if let Some(hit) = hit {
+            return hit;
+        }
+        let outer = self.saturated.replace(false);
+        let result = self.infer_query_inner(gamma, q);
+        let sub_saturated = self.saturated.get();
+        if !sub_saturated {
+            if let Some(m) = self.ladder_memo.borrow_mut().as_mut() {
+                m.queries.insert(key, result.clone());
+            }
+        }
+        self.saturated.set(outer || sub_saturated);
+        result
+    }
+
+    fn infer_query_inner(&self, gamma: &DagGamma, q: &Query) -> DagQueryChains {
         match q {
             Query::Empty => DagQueryChains::default(),
             Query::StringLit(_) => DagQueryChains {
@@ -1067,9 +1190,12 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                             extensible: e.extensible,
                         });
                     }
-                    if q.returns.is_empty() && q.elements.is_empty() {
-                        elements.push(ChainItem::plain(prefix));
-                    }
+                    // The constructed element is itself a node of the forest,
+                    // whatever its content — record its own chain so an
+                    // inserted `<a>…</a>` conflicts with chains ending at `a`
+                    // (see the explicit engine's Element rule for the full
+                    // soundness argument).
+                    elements.push(ChainItem::plain(prefix));
                 }
                 DagQueryChains {
                     returns: ChainDag::empty(),
@@ -1122,6 +1248,33 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
     /// `c:c'`, with extensible ends where the suffix stands for an entire
     /// inserted subtree.
     pub fn infer_update(&self, gamma: &DagGamma, u: &Update) -> ChainDag {
+        if self.ladder_memo.borrow().is_none() {
+            return self.infer_update_inner(gamma, u);
+        }
+        // See `infer_query`: ladder mode memoizes completed sub-inferences
+        // across rebuilds at increasing bounds.
+        let key = (format!("{u:?}"), gamma_fingerprint(gamma));
+        let hit = self
+            .ladder_memo
+            .borrow_mut()
+            .as_mut()
+            .and_then(|m| m.update_hit(&key));
+        if let Some(hit) = hit {
+            return hit;
+        }
+        let outer = self.saturated.replace(false);
+        let result = self.infer_update_inner(gamma, u);
+        let sub_saturated = self.saturated.get();
+        if !sub_saturated {
+            if let Some(m) = self.ladder_memo.borrow_mut().as_mut() {
+                m.updates.insert(key, result.clone());
+            }
+        }
+        self.saturated.set(outer || sub_saturated);
+        result
+    }
+
+    fn infer_update_inner(&self, gamma: &DagGamma, u: &Update) -> ChainDag {
         match u {
             Update::Empty => ChainDag::empty(),
             Update::Concat(a, b) => self
@@ -1189,6 +1342,45 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
                 let bases = self.parents_of(&r0);
                 // {c:α | c.α ∈ r0} are the chains of r0 themselves.
                 r0.union(&self.insertion_dag(&bases, &src))
+            }
+        }
+    }
+
+    /// The insertion-base chains of an update: for every INSERT/REPLACE
+    /// component, the chains of the nodes that *receive* newly constructed
+    /// content (the `c` of each inferred `c:c'`). DELETE and RENAME contribute
+    /// nothing — their full chains already prefix-cover everything they can
+    /// affect, so `dag_conflicts(infer_update(..), returns)` is enough to
+    /// detect membership changes. For insertions it is not: the full chains
+    /// `c.c'` can be strictly deeper than a return chain `r` even when
+    /// `c ⪯ r`, i.e. when the inserted content materializes *new* nodes
+    /// matching `r`. Delta classification uses this DAG to detect that case
+    /// (`dag_conflicts(bases, returns)`) and fall back to re-evaluation.
+    pub fn infer_update_bases(&self, gamma: &DagGamma, u: &Update) -> ChainDag {
+        match u {
+            Update::Empty | Update::Delete { .. } | Update::Rename { .. } => ChainDag::empty(),
+            Update::Concat(a, b) => self
+                .infer_update_bases(gamma, a)
+                .union(&self.infer_update_bases(gamma, b)),
+            Update::If { cond: _, then, els } => self
+                .infer_update_bases(gamma, then)
+                .union(&self.infer_update_bases(gamma, els)),
+            Update::Let { var, source, body } | Update::For { var, source, body } => {
+                let q1 = self.infer_query(gamma, source);
+                let mut inner = gamma.clone();
+                inner.insert(var.clone(), q1.returns);
+                self.infer_update_bases(&inner, body)
+            }
+            Update::Insert { pos, target, .. } => {
+                let r0 = self.infer_query(gamma, target).returns;
+                match pos {
+                    UpdatePos::Into | UpdatePos::IntoAsFirst | UpdatePos::IntoAsLast => r0,
+                    UpdatePos::Before | UpdatePos::After => self.parents_of(&r0),
+                }
+            }
+            Update::Replace { target, .. } => {
+                let r0 = self.infer_query(gamma, target).returns;
+                self.parents_of(&r0)
             }
         }
     }
@@ -1346,6 +1538,165 @@ impl<'a, S: SchemaLike> CdagEngine<'a, S> {
             && !self.dag_conflicts(u, &q.used)
     }
 
+    // ------------------------------------------------------ witnesses
+
+    /// Shortest path from `start` to the first node satisfying `good`,
+    /// walking `edges` breadth-first with ascending-index tie-breaking, so
+    /// the result is deterministic for any hash-set iteration order.
+    ///
+    /// This is the cold witness path, not the verdict path: it allocates its
+    /// own adjacency instead of borrowing the engine scratch.
+    fn first_path(
+        &self,
+        edges: &FxHashSet<(NodeIdx, NodeIdx)>,
+        start: NodeIdx,
+        good: impl Fn(NodeIdx) -> bool,
+    ) -> Option<Vec<NodeIdx>> {
+        if good(start) {
+            return Some(vec![start]);
+        }
+        let mut adj: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
+        for &(f, t) in edges {
+            adj.entry(f).or_default().push(t);
+        }
+        for v in adj.values_mut() {
+            v.sort_unstable();
+        }
+        let mut parent: FxHashMap<NodeIdx, NodeIdx> = FxHashMap::default();
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for &m in adj.get(&n).map(Vec::as_slice).unwrap_or_default() {
+                if m == start || parent.contains_key(&m) {
+                    continue;
+                }
+                parent.insert(m, n);
+                if good(m) {
+                    let mut path = vec![m];
+                    let mut cur = m;
+                    while let Some(&p) = parent.get(&cur) {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(m);
+            }
+        }
+        None
+    }
+
+    /// The chain spelled by a node path; `None` if the path runs through the
+    /// unknown-label sentinel slot (such chains have no symbol spelling).
+    fn chain_of_path(&self, path: &[NodeIdx]) -> Option<Chain> {
+        let syms: Option<Vec<Sym>> = path.iter().map(|&n| self.sym_of(n)).collect();
+        Some(Chain(syms?))
+    }
+
+    /// A concrete pair for `prefix_conflict_base(a, b)`: the first (in BFS
+    /// order) chain `x ∈ set(a)` that is a prefix of a chain `y ∈ set(b)`,
+    /// returned as `(x, y)` with `y` carrying its end's extensibility.
+    fn base_witness(&self, a: &ChainDag, b: &ChainDag) -> Option<(ChainItem, ChainItem)> {
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        // Nodes from which an end of b is reachable via b's edges.
+        let mut back: FxHashSet<NodeIdx> = b.ends.keys().copied().collect();
+        let mut radj: FxHashMap<NodeIdx, Vec<NodeIdx>> = FxHashMap::default();
+        for &(f, t) in &b.edges {
+            radj.entry(t).or_default().push(f);
+        }
+        let mut stack: Vec<NodeIdx> = back.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            for &p in radj.get(&n).map(Vec::as_slice).unwrap_or_default() {
+                if back.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        // x: root-to-(end of a) walk over the edges common to a and b,
+        // stopping where b can still reach one of its ends.
+        let common: FxHashSet<(NodeIdx, NodeIdx)> = a
+            .edges
+            .iter()
+            .filter(|e| b.edges.contains(e))
+            .copied()
+            .collect();
+        let head = self.first_path(&common, self.root_node(), |n| {
+            a.ends.contains_key(&n) && back.contains(&n)
+        })?;
+        // y: continue from x's endpoint along b's edges to an end of b (the
+        // backward pass guarantees one is reachable).
+        let tail = self.first_path(&b.edges, *head.last().unwrap(), |m| b.ends.contains_key(&m))?;
+        let x = self.chain_of_path(&head)?;
+        let mut full = head;
+        full.extend_from_slice(&tail[1..]);
+        let y = self.chain_of_path(&full)?;
+        let item = if b.ends[tail.last().unwrap()] {
+            ChainItem::extended(y)
+        } else {
+            ChainItem::plain(y)
+        };
+        Some((ChainItem::plain(x), item))
+    }
+
+    /// A concrete pair for `dag_conflicts(a, b)`: chains `x ∈ set(a)` and
+    /// `y ∈ set(b)` with `x ⪯ y`. When only an extensible end of `b` makes
+    /// the conflict (a `b` base chain prefixes `x`, and its extensions cover
+    /// `x`), `y` is returned as the extensible base item — the same shape
+    /// the explicit engine's witnesses use.
+    fn directed_witness(&self, a: &ChainDag, b: &ChainDag) -> Option<(ChainItem, ChainItem)> {
+        // Probe each direction with the bitset conflict check (scratch
+        // reuse, no allocation) and only run the allocating extraction on a
+        // direction known to fire — a failed probe is ~an order of magnitude
+        // cheaper than a failed extraction, and most directions fail.
+        if self.prefix_conflict_base(a, b) {
+            if let Some(pair) = self.base_witness(a, b) {
+                return Some(pair);
+            }
+        }
+        let b_ext = b.extensible_ends_only();
+        if b_ext.is_empty() || !self.prefix_conflict_base(&b_ext, a) {
+            return None;
+        }
+        let (y_base, x) = self.base_witness(&b_ext, a)?;
+        Some((ChainItem::plain(x.chain), ChainItem::extended(y_base.chain)))
+    }
+
+    /// Synthesizes a concrete dependence witness from CDAG chain sets,
+    /// checking the three directed conflicts in the order of the explicit
+    /// engine's `find_conflict`. Returns `None` when the pair is independent
+    /// — and, conservatively, when the only witness paths run through the
+    /// unknown-label sentinel slot (those chains have no symbol spelling).
+    ///
+    /// The extraction is deterministic (BFS with sorted adjacency), so the
+    /// witness a dependent CDAG verdict carries is bit-identical across
+    /// worker counts and sessions.
+    pub fn find_dag_conflict(&self, q: &DagQueryChains, u: &ChainDag) -> Option<ConflictWitness> {
+        if let Some((x, y)) = self.directed_witness(&q.returns, u) {
+            return Some(ConflictWitness {
+                kind: ConflictKind::ReturnBelowUpdate,
+                query_chain: x,
+                update_chain: y,
+            });
+        }
+        if let Some((x, y)) = self.directed_witness(u, &q.returns) {
+            return Some(ConflictWitness {
+                kind: ConflictKind::UpdateAboveReturn,
+                query_chain: y,
+                update_chain: x,
+            });
+        }
+        if let Some((x, y)) = self.directed_witness(u, &q.used) {
+            return Some(ConflictWitness {
+                kind: ConflictKind::UpdateAboveUsed,
+                query_chain: y,
+                update_chain: x,
+            });
+        }
+        None
+    }
+
     /// Converts explicitly represented chain sets into DAG form — used by the
     /// cross-checking tests to compare the two engines on identical inputs.
     pub fn explicit_to_dag(&self, q: &QueryChains) -> DagQueryChains {
@@ -1430,6 +1781,7 @@ macro_rules! define_k_ladder {
             element_chains: bool,
             state: LadderState,
             result: $result_ty,
+            memo: LadderMemo,
         }
 
         impl<'a, S: SchemaLike> $name<'a, S> {
@@ -1445,17 +1797,26 @@ macro_rules! define_k_ladder {
                         rebuilt: 0,
                     },
                     result: $empty,
+                    memo: LadderMemo::default(),
                 };
                 ladder.rebuild(expr, k);
                 ladder.state.rebuilt = 0; // the initial build is not a re-build
                 ladder
             }
 
+            /// A rebuild is a *continuation*, not a from-scratch inference:
+            /// the cross-build memo serves every sub-expression whose
+            /// previous walk never saturated, so only the saturated frontier
+            /// re-infers at the new bound (≡ fresh builds by the
+            /// `ladder_extension_equals_fresh_builds` differential property).
             fn rebuild(&mut self, expr: &$expr_ty, k: usize) {
-                let eng = CdagEngine::new(self.schema, k).with_element_chains(self.element_chains);
+                let eng = CdagEngine::new(self.schema, k)
+                    .with_element_chains(self.element_chains)
+                    .with_ladder_memo(std::mem::take(&mut self.memo));
                 self.result = eng.$infer(&eng.root_gamma(expr.free_vars()), expr);
                 self.state.complete = !eng.take_saturated();
                 self.state.k = k;
+                self.memo = eng.take_ladder_memo();
             }
 
             /// Returns the chains of the expression at bound `k`, reusing the
@@ -1541,9 +1902,17 @@ macro_rules! define_k_ladder {
                 self.state.reused
             }
 
-            /// How many `extend_to` calls had to re-infer from scratch.
+            /// How many `extend_to` calls could not be served whole from the
+            /// cache (each one re-ran the saturated frontier of the
+            /// expression at the new bound).
             pub fn rebuild_count(&self) -> usize {
                 self.state.rebuilt
+            }
+
+            /// How many sub-inferences rebuilds served from the cross-build
+            /// memo instead of re-running (0 while no rebuild happened).
+            pub fn memo_hit_count(&self) -> usize {
+                self.memo.hit_count()
             }
         }
     };
@@ -1557,10 +1926,11 @@ define_k_ladder!(
     /// result whenever the `k` inference never hit its depth cap (the common
     /// case for non-recursive navigation): the DAG node encoding is
     /// independent of `k`, so the cached DAG *is* the fresh-`k'` DAG. When
-    /// the inference did saturate, extension falls back to a fresh build at
-    /// the new bound — the result is always exactly
-    /// [`CdagEngine::infer_query`] at the requested bound (property-tested
-    /// by `tests/engine_differential.rs`).
+    /// the inference did saturate, extension *continues* at the new bound:
+    /// the cross-build [`LadderMemo`] serves every sub-expression whose walk
+    /// stayed under the cap, and only the saturated frontier re-infers — the
+    /// result is always exactly [`CdagEngine::infer_query`] at the requested
+    /// bound (property-tested by `tests/engine_differential.rs`).
     QueryKLadder,
     Query,
     DagQueryChains,
@@ -1770,5 +2140,35 @@ mod tests {
             assert_eq!(stepped, fresh, "k = {k}");
         }
         assert_eq!(ladder.rebuild_count(), 2, "saturated ladders rebuild");
+    }
+
+    #[test]
+    fn saturated_ladder_extension_continues_instead_of_starting_over() {
+        // Half the schema is a recursive clique (saturates at every bound),
+        // half is flat. An update straddling both re-infers only the
+        // recursive half on extension; the flat sub-expressions must come
+        // from the cross-build memo.
+        let d = Dtd::parse_compact(
+            "r -> (a|x)* ; a -> (b|c)* ; b -> (b|c)* ; c -> (b|c)* ; x -> y ; y -> EMPTY",
+            "r",
+        )
+        .unwrap();
+        let u = parse_update("for $v in /x/y return delete //b//c").unwrap();
+        let mut ladder = UpdateKLadder::new(&d, &u, 1, true);
+        assert!(!ladder.is_complete(), "the recursive half saturates");
+        assert_eq!(ladder.memo_hit_count(), 0, "no rebuild yet");
+        for k in 2..=3 {
+            let stepped = ladder.extend_to(&u, k).clone();
+            let eng = CdagEngine::new(&d, k);
+            let fresh = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+            assert_eq!(stepped, fresh, "k = {k}");
+        }
+        assert_eq!(ladder.rebuild_count(), 2);
+        assert!(
+            ladder.memo_hit_count() >= 2,
+            "the flat sub-expressions must be served from the memo across \
+             rebuilds, got {} hits",
+            ladder.memo_hit_count()
+        );
     }
 }

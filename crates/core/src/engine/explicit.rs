@@ -282,10 +282,13 @@ impl<'a, S: SchemaLike> ExplicitEngine<'a, S> {
                             extensible: e.extensible,
                         });
                     }
-                    // { a | r ∪ e = ∅ }
-                    if q.returns.is_empty() && q.elements.is_empty() {
-                        out.elements.insert(ChainItem::plain(prefix));
-                    }
+                    // { a } — the constructed element is itself a node of the
+                    // forest, whatever its content. Without this chain an
+                    // insertion of `<a>…</a>` is invisible to queries that
+                    // test for an `a` child (e.g. an `[a]` predicate): only
+                    // the deeper content chains would be recorded, none of
+                    // which prefix-matches the chain of the new `a` node.
+                    out.elements.insert(ChainItem::plain(prefix));
                 }
                 self.check_cap(out.total_len())?;
                 Ok(out)

@@ -285,46 +285,6 @@ pub fn matrix_report<S: SchemaLike + Sync>(
     )
 }
 
-/// [`matrix_report`] with an explicit worker-count policy (`Jobs::Fixed(1)`
-/// is the strictly sequential path).
-#[deprecated(
-    note = "build a session instead: SessionBuilder::new(schema).jobs(jobs).build(), \
-            add the workload, and read reports()"
-)]
-pub fn matrix_report_jobs<S: SchemaLike + Sync>(
-    schema: &S,
-    views: &[(String, Query)],
-    update_name: &str,
-    update: &Update,
-    jobs: Jobs,
-) -> MatrixReport {
-    matrix_report_impl(
-        schema,
-        views,
-        update_name,
-        update,
-        &AnalyzerConfig::default(),
-        jobs,
-    )
-}
-
-/// [`matrix_report`] with a full analyzer configuration (engine policy,
-/// budget, ablations) and worker-count policy.
-#[deprecated(
-    note = "build a session instead: SessionBuilder::new(schema).config(config).jobs(jobs)\
-            .build() collapses the parameter sprawl, and its caches survive the call"
-)]
-pub fn matrix_report_config<S: SchemaLike + Sync>(
-    schema: &S,
-    views: &[(String, Query)],
-    update_name: &str,
-    update: &Update,
-    config: &AnalyzerConfig,
-    jobs: Jobs,
-) -> MatrixReport {
-    matrix_report_impl(schema, views, update_name, update, config, jobs)
-}
-
 /// Shared implementation of the one-update report wrappers: a one-shot
 /// session over the single-row workload.
 fn matrix_report_impl<S: SchemaLike + Sync>(
@@ -355,22 +315,6 @@ pub fn matrix_reports<S: SchemaLike + Sync>(
     jobs: Jobs,
 ) -> Vec<MatrixReport> {
     matrix_reports_impl(schema, views, updates, &AnalyzerConfig::default(), jobs)
-}
-
-/// [`matrix_reports`] with a full analyzer configuration.
-#[deprecated(
-    note = "build a session instead: SessionBuilder::new(schema).config(config).jobs(jobs)\
-            .build() — long-lived callers should hold the session and edit the workload \
-            incrementally rather than recomputing the matrix per call"
-)]
-pub fn matrix_reports_config<S: SchemaLike + Sync>(
-    schema: &S,
-    views: &[(String, Query)],
-    updates: &[(String, Update)],
-    config: &AnalyzerConfig,
-    jobs: Jobs,
-) -> Vec<MatrixReport> {
-    matrix_reports_impl(schema, views, updates, config, jobs)
 }
 
 /// Shared implementation of the stateless matrix wrappers: a one-shot
@@ -480,7 +424,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn matrix_report_is_identical_across_job_counts() {
         let dtd = fig1();
         let views = vec![
@@ -489,12 +432,15 @@ mod tests {
             ("v3".to_string(), parse_query("//b").unwrap()),
         ];
         let u = parse_update("delete //b//c").unwrap();
-        let sequential = matrix_report_jobs(&dtd, &views, "u1", &u, Jobs::Fixed(1));
+        let updates = vec![("u1".to_string(), u)];
+        let sequential = matrix_reports(&dtd, &views, &updates, Jobs::Fixed(1));
         for jobs in [2, 8] {
-            let parallel = matrix_report_jobs(&dtd, &views, "u1", &u, Jobs::Fixed(jobs));
-            assert_eq!(sequential.rows, parallel.rows, "jobs = {jobs}");
-            assert_eq!(sequential.k_range, parallel.k_range, "jobs = {jobs}");
-            assert_eq!(sequential.render(), parallel.render(), "jobs = {jobs}");
+            let parallel = matrix_reports(&dtd, &views, &updates, Jobs::Fixed(jobs));
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.rows, p.rows, "jobs = {jobs}");
+                assert_eq!(s.k_range, p.k_range, "jobs = {jobs}");
+                assert_eq!(s.render(), p.render(), "jobs = {jobs}");
+            }
         }
     }
 

@@ -1203,13 +1203,21 @@ fn cell_verdict<S: SchemaLike>(
             .expect("cdag update chains ensured");
         let independent =
             independent.unwrap_or_else(|| caches.engines.checkout(k).independent(&qc, &uc));
+        // Dependent CDAG verdicts carry a synthesized witness (deterministic
+        // BFS over the conflicting sub-DAG), so pairs whose explicit
+        // confirmation overflowed still explain *which* chains collide.
+        let witness = if independent {
+            None
+        } else {
+            caches.engines.checkout(k).find_dag_conflict(&qc, &uc)
+        };
         Verdict {
             independent,
             k,
             k_query,
             k_update,
             engine_used: EngineKind::Cdag,
-            witness: None,
+            witness,
             query_chain_count: qc.returns.edge_count() + qc.used.edge_count(),
             update_chain_count: uc.edge_count(),
         }

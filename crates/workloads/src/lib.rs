@@ -17,8 +17,12 @@
 //! * [`harness`] — the experiment drivers: the empirical ground truth
 //!   (dynamic checking over generated instances), the precision matrix of
 //!   Fig. 3.b, and the view-maintenance simulation of Fig. 3.c.
+//! * [`maintain`] — the continuous-maintenance engine extending Fig. 3.c:
+//!   live materialized views under a sustained update stream, refreshed
+//!   naively, pruned by independence, or delta-patched in place.
 
 pub mod harness;
+pub mod maintain;
 pub mod rbench;
 pub mod updates;
 pub mod usecases;
@@ -30,6 +34,7 @@ pub use harness::{
     maintenance_simulation_jobs, precision_report, precision_report_jobs, MaintenanceReport,
     PrecisionRow,
 };
+pub use maintain::{BatchStats, MaintainStrategy, MaintainedView, MaintenanceEngine};
 pub use rbench::{rbench_expression, rbench_schema};
 pub use updates::{all_updates, NamedUpdate};
 pub use usecases::{bib_document, bib_dtd, bib_pairs, UseCasePair};

@@ -48,8 +48,6 @@ pub mod tree;
 pub use decode::decode_entities;
 pub use equiv::{sequence_equiv, value_equiv};
 pub use node::NodeId;
-#[allow(deprecated)]
-pub use node::{Node, NodeKind};
 pub use parser::{parse_xml, parse_xml_keep_attributes, ParseError};
 pub use projection::{project, upward_closure};
 pub use serializer::{

@@ -1,8 +1,9 @@
-//! Node locations and node contents.
+//! Node locations.
 //!
 //! A location (paper: `l ∈ dom(σ)`) is represented by a [`NodeId`], an index
-//! into the [`crate::Store`] arena. A node is either an element `a[L]` or a
-//! text node `s`.
+//! into the [`crate::Store`] arena. Node *contents* live in the store's
+//! parallel columns and are read through [`crate::NodeRef`] / the `Store`
+//! accessors.
 
 use std::fmt;
 
@@ -34,88 +35,7 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// The content of a node: an element `a[L]` or a text node.
-///
-/// Deprecated with the columnar store rewrite: node contents now live in
-/// parallel columns and this boxed form is only materialized on demand by
-/// the deprecated [`crate::Store::node`]. See the README migration table.
-#[deprecated(note = "read node contents through `Store::node_ref` / the Store accessors instead")]
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum NodeKind {
-    /// An element node `a[L]`: a tag and the ordered list of children
-    /// locations.
-    Element {
-        /// The element tag (paper: `a ∈ Σ`).
-        tag: String,
-        /// The ordered children locations (paper: `L = (l_1, …, l_n)`).
-        children: Vec<NodeId>,
-    },
-    /// A text node holding a string value (paper type `S`).
-    Text(String),
-}
-
-#[allow(deprecated)]
-impl NodeKind {
-    /// Returns the tag if this is an element node.
-    pub fn tag(&self) -> Option<&str> {
-        match self {
-            NodeKind::Element { tag, .. } => Some(tag),
-            NodeKind::Text(_) => None,
-        }
-    }
-
-    /// Returns `true` for element nodes.
-    pub fn is_element(&self) -> bool {
-        matches!(self, NodeKind::Element { .. })
-    }
-
-    /// Returns `true` for text nodes.
-    pub fn is_text(&self) -> bool {
-        matches!(self, NodeKind::Text(_))
-    }
-}
-
-/// A node in the store: its content plus a parent pointer.
-///
-/// The parent pointer is not part of the paper's formal model (which treats
-/// the store as a child-list environment only) but is a standard derived
-/// structure needed to evaluate the upward XPath axes efficiently.
-///
-/// Deprecated with the columnar store rewrite; see [`NodeKind`].
-#[deprecated(note = "read node contents through `Store::node_ref` / the Store accessors instead")]
-#[allow(deprecated)]
-#[derive(Clone, Debug)]
-pub struct Node {
-    /// Element or text content.
-    pub kind: NodeKind,
-    /// The parent location, `None` for roots and detached nodes.
-    pub parent: Option<NodeId>,
-}
-
-#[allow(deprecated)]
-impl Node {
-    /// Creates a new element node with no parent.
-    pub fn element(tag: impl Into<String>, children: Vec<NodeId>) -> Self {
-        Node {
-            kind: NodeKind::Element {
-                tag: tag.into(),
-                children,
-            },
-            parent: None,
-        }
-    }
-
-    /// Creates a new text node with no parent.
-    pub fn text(value: impl Into<String>) -> Self {
-        Node {
-            kind: NodeKind::Text(value.into()),
-            parent: None,
-        }
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -125,24 +45,5 @@ mod tests {
         assert_eq!(id.index(), 42);
         assert_eq!(format!("{id}"), "l42");
         assert_eq!(format!("{id:?}"), "l42");
-    }
-
-    #[test]
-    fn node_kind_accessors() {
-        let e = NodeKind::Element {
-            tag: "a".into(),
-            children: vec![],
-        };
-        let t = NodeKind::Text("hi".into());
-        assert_eq!(e.tag(), Some("a"));
-        assert_eq!(t.tag(), None);
-        assert!(e.is_element() && !e.is_text());
-        assert!(t.is_text() && !t.is_element());
-    }
-
-    #[test]
-    fn node_constructors_have_no_parent() {
-        assert!(Node::element("a", vec![]).parent.is_none());
-        assert!(Node::text("x").parent.is_none());
     }
 }

@@ -30,8 +30,6 @@
 //! snapshots (`Arc` + make_mut).
 
 use crate::node::NodeId;
-#[allow(deprecated)]
-use crate::node::{Node, NodeKind};
 use crate::symbols::{Sym, SymbolTable, TEXT_SYM};
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -517,12 +515,6 @@ impl Store {
         self.dirty.shrink_to_fit();
     }
 
-    /// Former estimator, kept for compatibility; now exact.
-    #[deprecated(note = "use `heap_bytes` (exact per-column accounting)")]
-    pub fn approx_heap_bytes(&self) -> usize {
-        self.heap_bytes()
-    }
-
     // ----- symbols -----
 
     /// Interns `name` in this store's symbol table.
@@ -539,28 +531,6 @@ impl Store {
     }
 
     // ----- node access -----
-
-    /// Materializes the node at `id` as a boxed [`Node`].
-    ///
-    /// # Panics
-    /// Panics if `id` is not a location of this store.
-    #[deprecated(note = "materializes a boxed node from the columns; use `node_ref` accessors")]
-    #[allow(deprecated)]
-    pub fn node(&self, id: NodeId) -> Node {
-        let c = self.cells(id.index());
-        let kind = if c.text != NIL {
-            NodeKind::Text(self.span_text(c.text).into_owned())
-        } else {
-            NodeKind::Element {
-                tag: self.symbols.name(Sym(c.label as u16)).to_string(),
-                children: self.children(id),
-            }
-        };
-        Node {
-            kind,
-            parent: opt(c.parent),
-        }
-    }
 
     /// A lightweight accessor view of the node at `id`.
     #[inline]
@@ -951,6 +921,28 @@ impl Store {
         }
     }
 
+    /// Splices a fresh deep copy of `src_root`'s subtree (read from `src`,
+    /// which may be a different store — typically the live document a
+    /// materialized view was built from) in place of `target`: the copy is
+    /// allocated on this store's copy-on-write tail, takes `target`'s
+    /// position among its siblings, and `target`'s old subtree is detached.
+    /// Returns the location of the new subtree root.
+    ///
+    /// This is the splice primitive of the delta view-maintenance path:
+    /// after an update that only touches the *interior* of some result
+    /// subtrees, a materialized view is repaired by re-copying exactly those
+    /// subtrees instead of re-evaluating the view.
+    ///
+    /// # Panics
+    /// Panics if `target` has no parent (a view's synthetic root cannot be
+    /// patched in place — rebuild the view instead).
+    pub fn patch_subtree(&mut self, target: NodeId, src: &Store, src_root: NodeId) -> NodeId {
+        let fresh = self.deep_copy_from(src, src_root);
+        let spliced = self.replace(target, &[fresh]);
+        assert!(spliced, "patch_subtree target must be attached");
+        fresh
+    }
+
     // ----- freeze / snapshot -----
 
     /// Flattens this store into an immutable shared base, after which
@@ -1089,7 +1081,7 @@ impl Iterator for ChildIds<'_> {
 
 /// A lightweight accessor view of one node: the unified way for call sites
 /// outside `qui-xmlstore` to read node contents without touching columns
-/// (or the deprecated boxed [`Node`]) directly.
+/// directly.
 #[derive(Clone, Copy)]
 pub struct NodeRef<'s> {
     store: &'s Store,
@@ -1447,19 +1439,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_node_materializes_the_same_view() {
+    fn node_ref_reads_the_columnar_view() {
         let (s, doc, a, b, _c) = sample();
-        #[allow(deprecated)]
-        let node = s.node(doc);
-        #[allow(deprecated)]
-        {
-            assert_eq!(node.kind.tag(), Some("doc"));
-            assert!(node.parent.is_none());
-            match &node.kind {
-                NodeKind::Element { children, .. } => assert_eq!(children, &vec![a, b]),
-                NodeKind::Text(_) => panic!("doc is an element"),
-            }
-        }
+        let node = s.node_ref(doc);
+        assert_eq!(node.tag(), Some("doc"));
+        assert!(node.parent().is_none());
+        assert_eq!(s.children(doc), vec![a, b]);
+        assert!(node.is_element());
     }
 
     #[cfg(feature = "cold-text")]

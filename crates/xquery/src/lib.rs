@@ -34,8 +34,8 @@ pub mod rewrite;
 pub use ast::{Axis, NodeTest, Query, Update, UpdatePos};
 pub use dynamic::{dynamic_independent, DynamicOutcome};
 pub use eval::{
-    apply_pending_list, evaluate_query, evaluate_query_into, evaluate_update, EvalError,
-    Evaluation, UpdateCommand,
+    apply_pending_list, evaluate_query, evaluate_query_into, evaluate_update, run_update,
+    update_sites, EvalError, Evaluation, UpdateCommand, UpdateSite,
 };
 pub use parser::{parse_query, parse_update, QueryParseError};
 pub use rewrite::{normalize_query, normalize_update};

@@ -5,8 +5,7 @@
 //! worker count, and repeated parallel runs must be deterministic.
 
 use proptest::prelude::*;
-#[allow(deprecated)]
-use xml_qui::core::matrix_report_jobs;
+use xml_qui::core::matrix_reports;
 use xml_qui::core::parallel::{analyze_matrix, assert_matches_sequential, Jobs};
 use xml_qui::core::{AnalyzerConfig, EngineKind, IndependenceAnalyzer, MatrixVerdicts};
 use xml_qui::schema::Dtd;
@@ -150,11 +149,10 @@ proptest! {
     }
 }
 
-/// The full benchmark workload (36 views × 31 updates) through `matrix_report`
-/// with different worker counts renders identically — the acceptance check of
-/// `qui matrix --jobs N ≡ --jobs 1` at workload scale.
+/// The full benchmark workload (36 views × 31 updates) through
+/// `matrix_reports` with different worker counts renders identically — the
+/// acceptance check of `qui matrix --jobs N ≡ --jobs 1` at workload scale.
 #[test]
-#[allow(deprecated)]
 fn workload_matrix_reports_identical_across_jobs() {
     let dtd = xml_qui::workloads::xmark_dtd();
     let views: Vec<(String, Query)> = all_views()
@@ -162,10 +160,15 @@ fn workload_matrix_reports_identical_across_jobs() {
         .take(12)
         .map(|v| (v.name.to_string(), v.query))
         .collect();
-    for u in all_updates().into_iter().take(6) {
-        let sequential = matrix_report_jobs(&dtd, &views, u.name, &u.update, Jobs::Fixed(1));
-        let parallel = matrix_report_jobs(&dtd, &views, u.name, &u.update, Jobs::Fixed(8));
-        assert_eq!(sequential.render(), parallel.render(), "update {}", u.name);
+    let updates: Vec<(String, Update)> = all_updates()
+        .into_iter()
+        .take(6)
+        .map(|u| (u.name.to_string(), u.update))
+        .collect();
+    let sequential = matrix_reports(&dtd, &views, &updates, Jobs::Fixed(1));
+    let parallel = matrix_reports(&dtd, &views, &updates, Jobs::Fixed(8));
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.render(), p.render(), "update {}", s.update_name);
     }
 }
 

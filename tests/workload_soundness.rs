@@ -59,3 +59,22 @@ fn xmark_chain_analysis_is_sound_and_dominates_the_baseline() {
         "chains {chains_detected} vs types {types_detected}"
     );
 }
+
+#[test]
+fn inserted_constructor_roots_are_visible_to_predicates() {
+    // Regression: UI1 inserts `<bidder>…</bidder>` elements and B8 filters
+    // open auctions on a `[bidder]` predicate, so the pair is dependent (an
+    // auction without bidders gains one and enters the view). The element
+    // construction rule used to record only the constructor's *content*
+    // chains — never the constructed root's own chain — which made the
+    // inserted `bidder` node invisible to the predicate's used chain and the
+    // pair was wrongly declared independent.
+    let dtd = xmark_dtd();
+    let chains = IndependenceAnalyzer::new(&dtd);
+    let ui1 = all_updates().into_iter().find(|u| u.name == "UI1").unwrap();
+    let b8 = all_views().into_iter().find(|v| v.name == "B8").unwrap();
+    assert!(
+        !chains.check(&b8.query, &ui1.update).is_independent(),
+        "insert-before of a constructed <bidder> must conflict with B8's [bidder] predicate"
+    );
+}
