@@ -12,7 +12,7 @@
 //! * `--jobs N`       — worker count for the sharded re-evaluations (default: all cores)
 //! * `--reps N`       — repetitions per strategy stream, minimum kept (default 2)
 //! * `--scales LIST`  — comma-separated ladder subset (default `S,M`)
-//! * `--quick`        — S scale only (what PR CI runs)
+//! * `--quick`        — the S,M PR-CI ladder (gates apply at M, the largest)
 //!
 //! Gate thresholds come from `QUI_MAINTAIN_MIN_DELTA_SPEEDUP`,
 //! `QUI_MAINTAIN_MIN_PRUNED_SPEEDUP`, `QUI_MAINTAIN_MAX_REEVAL_RATIO` and

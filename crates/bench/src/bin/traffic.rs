@@ -1,0 +1,120 @@
+//! The traffic harness binary: multi-tenant simulation across client thread
+//! counts, determinism cross-check, HTTP replay slice, `BENCH_traffic.json`
+//! emission, and (with `--check`) the CI perf gates.
+//!
+//! ```text
+//! traffic [--out FILE] [--check COMMITTED.json] [--jobs N] [--reps N]
+//!         [--tenants N] [--ops N] [--schemas N] [--seed N]
+//! ```
+//!
+//! * `--out FILE`   — where to write the JSON report (default `BENCH_traffic.json`)
+//! * `--check FILE` — read a committed baseline and fail (exit 1) on gate violations
+//! * `--jobs N`     — worker count assumed for the threaded pick (default: all cores)
+//! * `--reps N`     — single-thread repetitions, minimum kept (default 2)
+//! * `--tenants N`, `--ops N`, `--schemas N`, `--seed N` — simulation shape
+//!
+//! Gate thresholds come from `QUI_TRAFFIC_MIN_THROUGHPUT_RATIO`,
+//! `QUI_TRAFFIC_MAX_P99_RATIO`, `QUI_TRAFFIC_MIN_EXACT_FAST_FRACTION` and
+//! `QUI_TRAFFIC_TOLERANCE` (see `qui_bench::traffic`).
+
+use qui_bench::baseline::json_number_field;
+use qui_bench::take_value;
+use qui_bench::traffic::{check_traffic_gates, run_traffic, TrafficBenchSpec, TrafficGateConfig};
+use qui_core::parallel::machine_parallelism;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("traffic: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut out = "BENCH_traffic.json".to_string();
+    let mut check: Option<String> = None;
+    let mut jobs = machine_parallelism();
+    let mut reps = 2usize;
+    let mut spec = TrafficBenchSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = take_value(args, &mut i, "--out")?;
+            }
+            "--check" => {
+                check = Some(take_value(args, &mut i, "--check")?);
+            }
+            "--jobs" => {
+                jobs = take_value(args, &mut i, "--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?;
+            }
+            "--reps" => {
+                reps = take_value(args, &mut i, "--reps")?
+                    .parse()
+                    .map_err(|_| "--reps expects an integer".to_string())?;
+            }
+            "--tenants" => {
+                spec.tenants = take_value(args, &mut i, "--tenants")?
+                    .parse()
+                    .map_err(|_| "--tenants expects an integer".to_string())?;
+            }
+            "--ops" => {
+                spec.ops_per_tenant = take_value(args, &mut i, "--ops")?
+                    .parse()
+                    .map_err(|_| "--ops expects an integer".to_string())?;
+            }
+            "--schemas" => {
+                spec.schemas = take_value(args, &mut i, "--schemas")?
+                    .parse()
+                    .map_err(|_| "--schemas expects an integer".to_string())?;
+            }
+            "--seed" => {
+                spec.seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let report = run_traffic(&spec, jobs.max(1), reps);
+    print!("{}", report.render());
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    let Some(committed_path) = check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let committed = std::fs::read_to_string(&committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let committed_norm = json_number_field(&committed, "norm_cost")
+        .ok_or_else(|| format!("{committed_path}: no norm_cost field"))?;
+    let committed_ops = json_number_field(&committed, "ops_total")
+        .ok_or_else(|| format!("{committed_path}: no ops_total field"))?
+        as usize;
+    let cfg = TrafficGateConfig::from_env();
+    let failures = check_traffic_gates(&report, Some((committed_norm, committed_ops)), &cfg);
+    if failures.is_empty() {
+        println!(
+            "perf gates PASS (determinism OK over {} job counts, throughput {:.2}x, p99 {:.1}x p50, exactness {:.3}, norm cost {:.3} vs committed {:.3})",
+            report.determinism_runs,
+            report.throughput_ratio,
+            report.p99_ratio,
+            report.upgrade_exactness,
+            report.norm_cost,
+            committed_norm
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAIL: {f}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -122,6 +122,21 @@ pub const REF_SPECS: &[RefSpec] = &[
         ],
         trend: &["concurrent_speedup"],
     },
+    RefSpec {
+        file: "BENCH_traffic.json",
+        required: &[
+            "schema_version",
+            "workers",
+            "calibration_ms",
+            "norm_cost",
+            "ops_total",
+            "throughput_ratio",
+            "p99_ratio",
+            "upgrade_exactness",
+            "errors",
+        ],
+        trend: &["throughput_ratio", "upgrade_exactness"],
+    },
 ];
 
 /// Environment variables that are legitimately referenced by the workflows
@@ -137,6 +152,7 @@ pub fn known_gate_vars() -> BTreeSet<&'static str> {
     set.extend(crate::maintain::GATE_ENV_VARS);
     set.extend(crate::serve::GATE_ENV_VARS);
     set.extend(crate::session::GATE_ENV_VARS);
+    set.extend(crate::traffic::GATE_ENV_VARS);
     set
 }
 

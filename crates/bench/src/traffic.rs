@@ -1,0 +1,547 @@
+//! The multi-tenant traffic perf harness: runs the [`qui_traffic::TrafficSim`]
+//! at perf scale across client thread counts, cross-checks the seeded op
+//! streams for bit-identical determinism, replays a slice over HTTP, and
+//! (with `--check`) applies the CI perf gates.
+//!
+//! The harness runs the same shape at `jobs ∈ {1, 2, 8}` (plus the machine's
+//! clamped thread count when it is none of those) and demands that every run
+//! produces the same [`determinism key`](qui_traffic::TrafficReport::determinism_key)
+//! — same digest, same op counts, same fast/upgrade/confirmation splits. That
+//! determinism is the property the whole simulator is built around, so its
+//! violation is a hard gate failure regardless of thresholds.
+//!
+//! Gates (thresholds via `QUI_TRAFFIC_*`, see [`TrafficGateConfig`]):
+//!
+//! * `determinism_ok` and `errors == 0` — hard failures, not tunable;
+//! * `throughput_ratio` (threaded over single-thread ops/s) ≥ min, enforced
+//!   only at ≥ 4 workers — on 1–2 cores the per-tenant sessions mostly
+//!   contend for the one core and the ratio is noise;
+//! * `p99_ratio` (threaded p99 over p50) ≤ max — tail blow-ups under
+//!   concurrency mean a tenant is being starved even when throughput holds;
+//! * `upgrade_exactness` ≥ min — deterministic per seed, so this pins how
+//!   often the fast CDAG tier's verdict survives its explicit-witness
+//!   upgrade on the committed traffic mix;
+//! * `norm_cost` (single-thread wall over the CPU calibration loop) within
+//!   `tolerance` of the committed reference, skipped when the op totals
+//!   differ (someone changed the shape — the reference must be regenerated).
+
+use qui_traffic::{TrafficConfig, TrafficReport, TrafficSim};
+use std::fmt::Write as _;
+
+/// The measured shape (op streams are a pure function of these plus the
+/// per-schema pool sizes, which stay at the simulator defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficBenchSpec {
+    /// Simulated tenants.
+    pub tenants: usize,
+    /// Ops per tenant.
+    pub ops_per_tenant: usize,
+    /// Corpus schemas (fixtures + generated).
+    pub schemas: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficBenchSpec {
+    fn default() -> Self {
+        TrafficBenchSpec {
+            tenants: 300,
+            ops_per_tenant: 20,
+            schemas: 8,
+            seed: 42,
+        }
+    }
+}
+
+impl TrafficBenchSpec {
+    fn config(&self, jobs: usize, http: bool) -> TrafficConfig {
+        TrafficConfig {
+            tenants: self.tenants,
+            ops_per_tenant: self.ops_per_tenant,
+            schemas: self.schemas,
+            seed: self.seed,
+            jobs,
+            http,
+            ..TrafficConfig::default()
+        }
+    }
+
+    /// The smaller HTTP slice: full socket + JSON round trips are ~two
+    /// orders of magnitude slower per op, so the leg scales down while
+    /// still touching several schemas and every op kind.
+    fn http_config(&self) -> TrafficConfig {
+        TrafficConfig {
+            tenants: (self.tenants / 5).max(4),
+            ops_per_tenant: self.ops_per_tenant.min(10),
+            schemas: self.schemas.min(5),
+            seed: self.seed,
+            jobs: 2,
+            http: true,
+            ..TrafficConfig::default()
+        }
+    }
+}
+
+/// Everything the harness measured, serialized to `BENCH_traffic.json`.
+#[derive(Clone, Debug)]
+pub struct TrafficBenchReport {
+    /// Detected worker threads of this machine.
+    pub workers: usize,
+    /// CPU calibration loop wall time (ms).
+    pub calibration_ms: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Tenants per run.
+    pub tenants: usize,
+    /// Ops per tenant.
+    pub ops_per_tenant: usize,
+    /// Corpus schemas.
+    pub schemas: usize,
+    /// Ops executed per run (identical across runs by construction).
+    pub ops_total: usize,
+    /// FNV-1a fingerprint of the op streams.
+    pub stream_digest: u64,
+    /// All runs (`jobs ∈ {1, 2, 8}` + the threaded pick) produced the same
+    /// determinism key.
+    pub determinism_ok: bool,
+    /// Distinct job counts cross-checked.
+    pub determinism_runs: usize,
+    /// Protocol errors over all runs (must be 0).
+    pub errors: usize,
+    /// Best single-thread throughput (ops/s).
+    pub single_ops_per_sec: f64,
+    /// Job count of the threaded measurement (`workers.clamp(2, 8)`).
+    pub threaded_jobs: usize,
+    /// Threaded throughput (ops/s).
+    pub threaded_ops_per_sec: f64,
+    /// `threaded_ops_per_sec / single_ops_per_sec`.
+    pub throughput_ratio: f64,
+    /// Threaded-run median per-op latency (us).
+    pub p50_us: f64,
+    /// Threaded-run 99th-percentile latency (us).
+    pub p99_us: f64,
+    /// Threaded-run 99.9th-percentile latency (us).
+    pub p999_us: f64,
+    /// `p99_us / p50_us` — the gated tail-blow-up measure.
+    pub p99_ratio: f64,
+    /// Jain fairness over per-tenant mean latencies (threaded run).
+    pub fairness: f64,
+    /// Session-cache hit rate (single-thread run).
+    pub cache_hit_rate: f64,
+    /// Fraction of explicit-witness upgrades confirming the fast verdict
+    /// (deterministic per seed).
+    pub upgrade_exactness: f64,
+    /// Throughput of the HTTP replay slice (ops/s).
+    pub http_ops_per_sec: f64,
+    /// Ops in the HTTP slice.
+    pub http_ops: usize,
+    /// Single-thread wall (ms) over the calibration loop.
+    pub norm_cost: f64,
+}
+
+impl TrafficBenchReport {
+    /// Pretty-printed JSON (hand-rolled, like every harness here).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema_version\": 1,");
+        let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        let _ = writeln!(s, "  \"calibration_ms\": {:.3},", self.calibration_ms);
+        let _ = writeln!(s, "  \"norm_cost\": {:.4},", self.norm_cost);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"tenants\": {},", self.tenants);
+        let _ = writeln!(s, "  \"ops_per_tenant\": {},", self.ops_per_tenant);
+        let _ = writeln!(s, "  \"schemas\": {},", self.schemas);
+        let _ = writeln!(s, "  \"ops_total\": {},", self.ops_total);
+        let _ = writeln!(s, "  \"stream_digest\": \"{:016x}\",", self.stream_digest);
+        let _ = writeln!(s, "  \"determinism_ok\": {},", self.determinism_ok);
+        let _ = writeln!(s, "  \"determinism_runs\": {},", self.determinism_runs);
+        let _ = writeln!(s, "  \"errors\": {},", self.errors);
+        let _ = writeln!(
+            s,
+            "  \"single_ops_per_sec\": {:.1},",
+            self.single_ops_per_sec
+        );
+        let _ = writeln!(s, "  \"threaded_jobs\": {},", self.threaded_jobs);
+        let _ = writeln!(
+            s,
+            "  \"threaded_ops_per_sec\": {:.1},",
+            self.threaded_ops_per_sec
+        );
+        let _ = writeln!(s, "  \"throughput_ratio\": {:.3},", self.throughput_ratio);
+        let _ = writeln!(s, "  \"p50_us\": {:.1},", self.p50_us);
+        let _ = writeln!(s, "  \"p99_us\": {:.1},", self.p99_us);
+        let _ = writeln!(s, "  \"p999_us\": {:.1},", self.p999_us);
+        let _ = writeln!(s, "  \"p99_ratio\": {:.2},", self.p99_ratio);
+        let _ = writeln!(s, "  \"fairness\": {:.4},", self.fairness);
+        let _ = writeln!(s, "  \"cache_hit_rate\": {:.4},", self.cache_hit_rate);
+        let _ = writeln!(s, "  \"upgrade_exactness\": {:.4},", self.upgrade_exactness);
+        let _ = writeln!(s, "  \"http_ops_per_sec\": {:.1},", self.http_ops_per_sec);
+        let _ = writeln!(s, "  \"http_ops\": {}", self.http_ops);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "traffic — {} workers, calibration {:.1} ms, norm cost {:.3}",
+            self.workers, self.calibration_ms, self.norm_cost
+        );
+        let _ = writeln!(
+            s,
+            "shape         : seed {}, {} tenants x {} ops over {} schemas = {} ops, digest {:016x}",
+            self.seed,
+            self.tenants,
+            self.ops_per_tenant,
+            self.schemas,
+            self.ops_total,
+            self.stream_digest
+        );
+        let _ = writeln!(
+            s,
+            "determinism   : {} across {} job counts, {} errors",
+            if self.determinism_ok { "OK" } else { "BROKEN" },
+            self.determinism_runs,
+            self.errors
+        );
+        let _ = writeln!(
+            s,
+            "throughput    : {:.0} ops/s single, {:.0} ops/s on {} jobs ({:.2}x)",
+            self.single_ops_per_sec,
+            self.threaded_ops_per_sec,
+            self.threaded_jobs,
+            self.throughput_ratio
+        );
+        let _ = writeln!(
+            s,
+            "latency       : p50 {:.1} us, p99 {:.1} us ({:.1}x p50), p999 {:.1} us, fairness {:.3}",
+            self.p50_us, self.p99_us, self.p99_ratio, self.p999_us, self.fairness
+        );
+        let _ = writeln!(
+            s,
+            "tiered        : upgrade exactness {:.3}, cache hit rate {:.2}",
+            self.upgrade_exactness, self.cache_hit_rate
+        );
+        let _ = writeln!(
+            s,
+            "http          : {:.0} ops/s over {} ops",
+            self.http_ops_per_sec, self.http_ops
+        );
+        s
+    }
+}
+
+/// Runs the full harness: single-thread reps, the jobs ladder, the HTTP
+/// slice, and the determinism cross-check.
+pub fn run_traffic(spec: &TrafficBenchSpec, workers: usize, reps: usize) -> TrafficBenchReport {
+    let calibration_ms = crate::baseline::calibrate();
+    let threaded_jobs = workers.clamp(2, 8);
+
+    // Single-thread reference: `reps` runs, best wall kept.
+    let mut single: Option<TrafficReport> = None;
+    for _ in 0..reps.max(1) {
+        let r = TrafficSim::new(spec.config(1, false)).run();
+        let better = single.as_ref().is_none_or(|best| r.wall_ms < best.wall_ms);
+        if better {
+            single = Some(r);
+        }
+    }
+    let single = single.expect("at least one single-thread run");
+
+    // The jobs ladder: 2 and 8 always (the documented determinism contract),
+    // plus the machine's clamped pick when it is neither.
+    let mut ladder = vec![2usize, 8];
+    if !ladder.contains(&threaded_jobs) {
+        ladder.push(threaded_jobs);
+    }
+    let mut runs = Vec::new();
+    for &jobs in &ladder {
+        runs.push(TrafficSim::new(spec.config(jobs, false)).run());
+    }
+    let key = single.determinism_key();
+    let determinism_ok = runs.iter().all(|r| r.determinism_key() == key);
+    let errors = single.errors + runs.iter().map(|r| r.errors).sum::<usize>();
+    let threaded = runs
+        .iter()
+        .find(|r| r.jobs == threaded_jobs)
+        .expect("threaded run in ladder");
+
+    // The HTTP slice (own, smaller shape — not part of the determinism key).
+    let http = TrafficSim::new(spec.http_config()).run();
+
+    TrafficBenchReport {
+        workers,
+        calibration_ms,
+        seed: spec.seed,
+        tenants: spec.tenants,
+        ops_per_tenant: spec.ops_per_tenant,
+        schemas: single.schemas,
+        ops_total: single.ops_total,
+        stream_digest: single.stream_digest,
+        determinism_ok,
+        determinism_runs: 1 + runs.len(),
+        errors: errors + http.errors,
+        single_ops_per_sec: single.ops_per_sec,
+        threaded_jobs,
+        threaded_ops_per_sec: threaded.ops_per_sec,
+        throughput_ratio: threaded.ops_per_sec / single.ops_per_sec.max(f64::EPSILON),
+        p50_us: threaded.p50_us,
+        p99_us: threaded.p99_us,
+        p999_us: threaded.p999_us,
+        p99_ratio: threaded.p99_us / threaded.p50_us.max(f64::EPSILON),
+        fairness: threaded.fairness,
+        cache_hit_rate: single.cache_hit_rate,
+        upgrade_exactness: single.upgrade_exactness,
+        http_ops_per_sec: http.ops_per_sec,
+        http_ops: http.ops_total,
+        norm_cost: single.wall_ms / calibration_ms,
+    }
+}
+
+/// Gate thresholds (defaults are CI values; override via `QUI_TRAFFIC_*`).
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficGateConfig {
+    /// Required threaded-over-single throughput ratio, enforced only when
+    /// the harness ran with ≥ 4 workers.
+    pub min_throughput_ratio: f64,
+    /// Maximum allowed threaded `p99 / p50` tail ratio.
+    pub max_p99_ratio: f64,
+    /// Minimum fraction of upgrades confirming the fast CDAG verdict.
+    pub min_exact_fast_fraction: f64,
+    /// Allowed relative regression of `norm_cost` against the committed
+    /// reference (0.30 = 30%).
+    pub tolerance: f64,
+}
+
+impl Default for TrafficGateConfig {
+    fn default() -> Self {
+        TrafficGateConfig {
+            min_throughput_ratio: 1.5,
+            // The op mix is heterogeneous by design (cached checks are
+            // microseconds, batches and drains are hundreds), so the tail
+            // ratio sits around ~47x even unloaded; the gate catches
+            // blow-ups, not the mix.
+            max_p99_ratio: 100.0,
+            min_exact_fast_fraction: 0.85,
+            tolerance: 0.30,
+        }
+    }
+}
+
+/// The environment variables [`TrafficGateConfig::from_env`] reads, colocated
+/// with the reader so the `check-refs` binary can cross-check the workflow
+/// YAML against the real gate wiring.
+pub const GATE_ENV_VARS: &[&str] = &[
+    "QUI_TRAFFIC_MIN_THROUGHPUT_RATIO",
+    "QUI_TRAFFIC_MAX_P99_RATIO",
+    "QUI_TRAFFIC_MIN_EXACT_FAST_FRACTION",
+    "QUI_TRAFFIC_TOLERANCE",
+];
+
+impl TrafficGateConfig {
+    /// Reads the environment overrides on top of the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = TrafficGateConfig::default();
+        if let Some(v) = env_f64("QUI_TRAFFIC_MIN_THROUGHPUT_RATIO") {
+            cfg.min_throughput_ratio = v;
+        }
+        if let Some(v) = env_f64("QUI_TRAFFIC_MAX_P99_RATIO") {
+            cfg.max_p99_ratio = v;
+        }
+        if let Some(v) = env_f64("QUI_TRAFFIC_MIN_EXACT_FAST_FRACTION") {
+            cfg.min_exact_fast_fraction = v;
+        }
+        if let Some(v) = env_f64("QUI_TRAFFIC_TOLERANCE") {
+            cfg.tolerance = v;
+        }
+        cfg
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Applies the perf gates; returns the list of failures (empty = pass).
+///
+/// `committed` is the committed reference's `(norm_cost, ops_total)` pair;
+/// the regression gate only applies when the measured op total matches it.
+pub fn check_traffic_gates(
+    report: &TrafficBenchReport,
+    committed: Option<(f64, usize)>,
+    cfg: &TrafficGateConfig,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !report.determinism_ok {
+        failures.push(format!(
+            "op streams diverged across {} job counts — the seeded simulator must be bit-identical whatever the thread count",
+            report.determinism_runs
+        ));
+    }
+    if report.errors != 0 {
+        failures.push(format!(
+            "{} protocol errors during simulation (must be 0)",
+            report.errors
+        ));
+    }
+    if report.workers >= 4 && report.throughput_ratio < cfg.min_throughput_ratio {
+        failures.push(format!(
+            "threaded traffic throughput is only {:.2}x single-thread on {} workers, required >= {:.2}x",
+            report.throughput_ratio, report.workers, cfg.min_throughput_ratio
+        ));
+    }
+    if report.p99_ratio > cfg.max_p99_ratio {
+        failures.push(format!(
+            "threaded p99 latency is {:.1}x the median (limit {:.1}x) — tail blow-up under concurrency",
+            report.p99_ratio, cfg.max_p99_ratio
+        ));
+    }
+    if report.upgrade_exactness < cfg.min_exact_fast_fraction {
+        failures.push(format!(
+            "only {:.3} of explicit-witness upgrades confirmed the fast CDAG verdict, required >= {:.3}",
+            report.upgrade_exactness, cfg.min_exact_fast_fraction
+        ));
+    }
+    if report.http_ops == 0 || report.http_ops_per_sec <= 0.0 {
+        failures.push("HTTP replay slice executed no ops".to_string());
+    }
+    if let Some((committed_norm, committed_ops)) = committed {
+        if committed_ops != report.ops_total {
+            eprintln!(
+                "note: regression gate skipped — measured {} ops, committed reference has {}",
+                report.ops_total, committed_ops
+            );
+            return failures;
+        }
+        let limit = committed_norm * (1.0 + cfg.tolerance);
+        if report.norm_cost > limit {
+            failures.push(format!(
+                "normalized single-thread traffic cost regressed: {:.3} vs committed {:.3} (limit {:.3}, tolerance {:.0}%)",
+                report.norm_cost,
+                committed_norm,
+                limit,
+                cfg.tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::json_number_field;
+
+    fn tiny_report() -> TrafficBenchReport {
+        TrafficBenchReport {
+            workers: 8,
+            calibration_ms: 50.0,
+            seed: 42,
+            tenants: 300,
+            ops_per_tenant: 20,
+            schemas: 8,
+            ops_total: 6000,
+            stream_digest: 0xdead_beef_0042_0007,
+            determinism_ok: true,
+            determinism_runs: 3,
+            errors: 0,
+            single_ops_per_sec: 4000.0,
+            threaded_jobs: 8,
+            threaded_ops_per_sec: 12000.0,
+            throughput_ratio: 3.0,
+            p50_us: 100.0,
+            p99_us: 1500.0,
+            p999_us: 4000.0,
+            p99_ratio: 15.0,
+            fairness: 0.92,
+            cache_hit_rate: 0.8,
+            upgrade_exactness: 0.97,
+            http_ops_per_sec: 900.0,
+            http_ops: 600,
+            norm_cost: 12.0,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_the_gate_fields() {
+        let json = tiny_report().to_json();
+        assert_eq!(json_number_field(&json, "schema_version"), Some(1.0));
+        assert_eq!(json_number_field(&json, "workers"), Some(8.0));
+        assert_eq!(json_number_field(&json, "norm_cost"), Some(12.0));
+        assert_eq!(json_number_field(&json, "ops_total"), Some(6000.0));
+        assert_eq!(json_number_field(&json, "throughput_ratio"), Some(3.0));
+        assert_eq!(json_number_field(&json, "p99_ratio"), Some(15.0));
+        assert_eq!(json_number_field(&json, "upgrade_exactness"), Some(0.97));
+        // The 64-bit digest is serialized as a hex string, not a number.
+        assert!(json.contains("\"deadbeef00420007\""));
+        assert!(tiny_report().render().contains("exactness"));
+    }
+
+    #[test]
+    fn gates_pass_and_fail_as_configured() {
+        let cfg = TrafficGateConfig::default();
+        let good = tiny_report();
+        assert!(check_traffic_gates(&good, Some((12.0, 6000)), &cfg).is_empty());
+
+        // Determinism breakage and protocol errors are hard failures.
+        let mut broken = good.clone();
+        broken.determinism_ok = false;
+        broken.errors = 3;
+        let failures = check_traffic_gates(&broken, None, &cfg);
+        assert!(failures.iter().any(|f| f.contains("diverged")));
+        assert!(failures.iter().any(|f| f.contains("protocol errors")));
+
+        // Throughput only gates at >= 4 workers.
+        let mut slow = good.clone();
+        slow.throughput_ratio = 1.0;
+        assert!(!check_traffic_gates(&slow, None, &cfg).is_empty());
+        slow.workers = 2;
+        assert!(check_traffic_gates(&slow, None, &cfg).is_empty());
+
+        // Tail, exactness and regression thresholds.
+        let mut tail = good.clone();
+        tail.p99_ratio = 180.0;
+        assert!(check_traffic_gates(&tail, None, &cfg)
+            .iter()
+            .any(|f| f.contains("tail blow-up")));
+        let mut fuzzy = good.clone();
+        fuzzy.upgrade_exactness = 0.5;
+        assert!(check_traffic_gates(&fuzzy, None, &cfg)
+            .iter()
+            .any(|f| f.contains("confirmed the fast")));
+        let mut regressed = good.clone();
+        regressed.norm_cost = 20.0;
+        assert!(check_traffic_gates(&regressed, Some((12.0, 6000)), &cfg)
+            .iter()
+            .any(|f| f.contains("regressed")));
+        // Shape mismatch skips the regression gate instead of failing.
+        assert!(check_traffic_gates(&regressed, Some((12.0, 999)), &cfg).is_empty());
+    }
+
+    #[test]
+    fn tiny_harness_run_is_deterministic_and_clean() {
+        let spec = TrafficBenchSpec {
+            tenants: 8,
+            ops_per_tenant: 6,
+            schemas: 2,
+            seed: 7,
+        };
+        let report = run_traffic(&spec, 2, 1);
+        assert!(report.determinism_ok, "{}", report.render());
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.ops_total, 8 * 6);
+        assert!(report.single_ops_per_sec > 0.0);
+        assert!(report.threaded_ops_per_sec > 0.0);
+        assert!(report.http_ops_per_sec > 0.0);
+        assert!(report.upgrade_exactness > 0.0 && report.upgrade_exactness <= 1.0);
+        assert!(report.norm_cost > 0.0);
+        // The JSON the bin writes parses back through the field scanner.
+        assert_eq!(
+            json_number_field(&report.to_json(), "ops_total"),
+            Some(48.0)
+        );
+    }
+}

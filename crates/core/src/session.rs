@@ -295,6 +295,28 @@ pub struct SessionStats {
     pub cells_computed: usize,
     /// Workload edits applied (`add_*` / `remove_*` calls).
     pub edits: usize,
+    /// Fast (CDAG-only) answers served by a [`TieredSession`] front.
+    ///
+    /// [`TieredSession`]: crate::tiered::TieredSession
+    pub tiered_fast: usize,
+    /// Explicit-witness upgrades completed by a tiered front.
+    pub tiered_upgrades: usize,
+    /// Upgrades whose exact verdict confirmed the fast answer.
+    pub tiered_confirmed: usize,
+}
+
+impl SessionStats {
+    /// Fraction of completed tiered upgrades that confirmed the fast
+    /// answer (`1.0` before any upgrade has completed — the fast tier is
+    /// sound for independence, so an empty slow tier has nothing to
+    /// retract).
+    pub fn upgrade_exactness(&self) -> f64 {
+        if self.tiered_upgrades == 0 {
+            1.0
+        } else {
+            self.tiered_confirmed as f64 / self.tiered_upgrades as f64
+        }
+    }
 }
 
 /// The live counters behind [`SessionStats`], incremented with relaxed
@@ -307,6 +329,9 @@ struct SessionCounters {
     explicit_cache_hits: AtomicUsize,
     cells_computed: AtomicUsize,
     edits: AtomicUsize,
+    tiered_fast: AtomicUsize,
+    tiered_upgrades: AtomicUsize,
+    tiered_confirmed: AtomicUsize,
 }
 
 impl SessionCounters {
@@ -322,6 +347,9 @@ impl SessionCounters {
             explicit_cache_hits: self.explicit_cache_hits.load(Ordering::Relaxed),
             cells_computed: self.cells_computed.load(Ordering::Relaxed),
             edits: self.edits.load(Ordering::Relaxed),
+            tiered_fast: self.tiered_fast.load(Ordering::Relaxed),
+            tiered_upgrades: self.tiered_upgrades.load(Ordering::Relaxed),
+            tiered_confirmed: self.tiered_confirmed.load(Ordering::Relaxed),
         }
     }
 }
@@ -580,6 +608,40 @@ impl<'a, S: SchemaLike> AnalysisSession<'a, S> {
             }
         }
         cell_verdict(&self.config, meta, &qkey, &ukey, &self.caches, cdag_flag)
+    }
+
+    /// The fast tier of [`TieredSession`](crate::tiered::TieredSession):
+    /// a CDAG-only verdict, regardless of the configured engine order. The
+    /// polynomial CDAG pass runs (warm through the same session caches
+    /// [`check`](Self::check) fills), but the explicit engine is never
+    /// consulted — an *independent* answer is sound and final, a
+    /// *dependent* answer may be a false positive the explicit tier can
+    /// later retract.
+    pub fn check_cdag(&self, q: &Query, u: &Update) -> Verdict {
+        let meta = (self.k_for(q, u), k_of_query(q), k_of_update(u));
+        let k = meta.0;
+        let qkey = expr_key(q);
+        let ukey = expr_key(u);
+        self.ensure_cdag_query(&qkey, q, k);
+        self.ensure_cdag_update(&ukey, u, k);
+        let flag = Some(self.cdag_independent(&qkey, &ukey, k));
+        let mut config = self.config.clone();
+        config.engine = EngineKind::Cdag;
+        cell_verdict(&config, meta, &qkey, &ukey, &self.caches, flag)
+    }
+
+    /// Counter hook for the tiered front: one fast answer served.
+    pub(crate) fn note_tiered_fast(&self) {
+        SessionCounters::bump(&self.caches.counters.tiered_fast, 1);
+    }
+
+    /// Counter hook for the tiered front: one upgrade completed, and
+    /// whether the exact verdict confirmed the fast answer.
+    pub(crate) fn note_tiered_upgrade(&self, confirmed: bool) {
+        SessionCounters::bump(&self.caches.counters.tiered_upgrades, 1);
+        if confirmed {
+            SessionCounters::bump(&self.caches.counters.tiered_confirmed, 1);
+        }
     }
 
     /// [`check`](Self::check) followed by a human-readable report, using the

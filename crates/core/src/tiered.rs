@@ -1,0 +1,265 @@
+//! Tiered approximate-first answering: serve the polynomial CDAG verdict
+//! synchronously, upgrade to the explicit-witness verdict asynchronously,
+//! and measure how often the fast answer was already exact.
+//!
+//! The pattern mirrors approximate-first query processors (answer from the
+//! cheap tier immediately, reconcile against the precise tier in the
+//! background, report the observed agreement): here the cheap tier is the
+//! CDAG engine — sound for *independent* verdicts, conservative for
+//! *dependent* ones — and the precise tier is the session's full engine
+//! order, which consults the explicit engine (and recovers the conflict
+//! witness) for every pair the CDAG could not prove.
+//!
+//! A [`TieredSession`] fronts a [`SharedSession`]:
+//!
+//! * [`check_fast`](TieredSession::check_fast) returns the CDAG-only
+//!   verdict immediately (warm through the same session caches as every
+//!   other read) and enqueues the pair for upgrade;
+//! * [`drain_upgrades`](TieredSession::drain_upgrades) runs the queued
+//!   exact checks — each one sharded over the session's worker pool — and
+//!   counts how many confirmed their fast answer;
+//! * the confirmation ratio is surfaced as
+//!   [`SessionStats::upgrade_exactness`] through the `stats` protocol
+//!   command, and by the `qui traffic` simulator's report.
+//!
+//! Both methods take `&self` and are thread-safe: any number of threads may
+//! serve fast answers while another drains upgrades.
+
+use crate::service::SharedSession;
+use crate::session::SessionStats;
+use crate::Verdict;
+use qui_schema::SchemaLike;
+use qui_xquery::{Query, Update};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One queued explicit-witness upgrade.
+struct PendingUpgrade {
+    query: Query,
+    update: Update,
+    fast_independent: bool,
+}
+
+/// Counters of one [`drain_upgrades`](TieredSession::drain_upgrades) call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TieredDrain {
+    /// Upgrades completed by this drain.
+    pub upgraded: usize,
+    /// Of those, how many confirmed the fast answer.
+    pub confirmed: usize,
+}
+
+/// Cumulative tiered counters (the session-level counters plus the live
+/// queue depth).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TieredStats {
+    /// Fast answers served.
+    pub fast_answers: usize,
+    /// Upgrades still queued.
+    pub pending: usize,
+    /// Upgrades completed.
+    pub upgrades: usize,
+    /// Completed upgrades that confirmed their fast answer.
+    pub confirmed: usize,
+}
+
+impl TieredStats {
+    /// Fraction of completed upgrades that confirmed the fast answer
+    /// (`1.0` before any upgrade has completed).
+    pub fn upgrade_exactness(&self) -> f64 {
+        if self.upgrades == 0 {
+            1.0
+        } else {
+            self.confirmed as f64 / self.upgrades as f64
+        }
+    }
+}
+
+/// The tiered front over a shared session. See the [module docs](self).
+pub struct TieredSession<'a, S: SchemaLike + Sync> {
+    shared: Arc<SharedSession<'a, S>>,
+    pending: Mutex<VecDeque<PendingUpgrade>>,
+}
+
+impl<'a, S: SchemaLike + Sync> TieredSession<'a, S> {
+    /// Fronts the given shared session.
+    pub fn new(shared: Arc<SharedSession<'a, S>>) -> Self {
+        TieredSession {
+            shared,
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The fronted shared session (edits and batch requests go through it
+    /// directly — tiering only concerns the check path).
+    pub fn shared(&self) -> &Arc<SharedSession<'a, S>> {
+        &self.shared
+    }
+
+    /// The fast tier: the CDAG-only verdict, returned synchronously, with
+    /// the pair queued for an explicit-witness upgrade. An *independent*
+    /// fast answer is sound and final; a *dependent* one may be retracted
+    /// by the upgrade.
+    pub fn check_fast(&self, q: &Query, u: &Update) -> Verdict {
+        let verdict = self.shared.with_read(|h| {
+            let session = h.session();
+            session.note_tiered_fast();
+            session.check_cdag(q, u)
+        });
+        self.pending.lock().unwrap().push_back(PendingUpgrade {
+            query: q.clone(),
+            update: u.clone(),
+            fast_independent: verdict.is_independent(),
+        });
+        verdict
+    }
+
+    /// The slow tier: drains the upgrade queue, running each queued pair
+    /// through the session's full engine order (each check shards its
+    /// inference over the session's worker pool), and records per upgrade
+    /// whether the exact verdict confirmed the fast answer.
+    pub fn drain_upgrades(&self) -> TieredDrain {
+        let batch: Vec<PendingUpgrade> = {
+            let mut pending = self.pending.lock().unwrap();
+            pending.drain(..).collect()
+        };
+        let mut drain = TieredDrain::default();
+        for item in batch {
+            let confirmed = self.shared.with_read(|h| {
+                let session = h.session();
+                let exact = session.check(&item.query, &item.update);
+                let confirmed = exact.is_independent() == item.fast_independent;
+                session.note_tiered_upgrade(confirmed);
+                confirmed
+            });
+            drain.upgraded += 1;
+            if confirmed {
+                drain.confirmed += 1;
+            }
+        }
+        drain
+    }
+
+    /// Upgrades still queued.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().unwrap().len()
+    }
+
+    /// Cumulative tiered counters (see [`TieredStats`]). The session-level
+    /// half also reaches the protocol via the `stats` command
+    /// ([`SessionStats::upgrade_exactness`]).
+    pub fn stats(&self) -> TieredStats {
+        let s: SessionStats = self.shared.with_read(|h| h.session().stats());
+        TieredStats {
+            fast_answers: s.tiered_fast,
+            pending: self.pending(),
+            upgrades: s.tiered_upgrades,
+            confirmed: s.tiered_confirmed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::EngineKind;
+    use crate::session::SessionBuilder;
+    use qui_schema::Dtd;
+    use qui_xquery::{parse_query, parse_update};
+
+    fn figure1() -> Dtd {
+        Dtd::parse_compact("doc -> (a|b)* ; a -> c ; b -> c", "doc").unwrap()
+    }
+
+    fn tiered(dtd: &Dtd) -> TieredSession<'_, Dtd> {
+        let session = SessionBuilder::new(dtd).build();
+        TieredSession::new(Arc::new(SharedSession::new(session)))
+    }
+
+    #[test]
+    fn fast_answers_come_from_the_cdag_engine() {
+        let dtd = figure1();
+        let t = tiered(&dtd);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        let v = t.check_fast(&q, &u);
+        assert!(v.is_independent());
+        assert_eq!(v.engine_used, EngineKind::Cdag);
+        assert_eq!(t.pending(), 1);
+    }
+
+    #[test]
+    fn drained_upgrades_confirm_sound_fast_answers() {
+        let dtd = figure1();
+        let t = tiered(&dtd);
+        let pairs = [
+            ("//a//c", "delete //b//c"),
+            ("//c", "delete //b//c"),
+            ("//b", "delete //c"),
+        ];
+        for (q, u) in pairs {
+            t.check_fast(&parse_query(q).unwrap(), &parse_update(u).unwrap());
+        }
+        let drain = t.drain_upgrades();
+        assert_eq!(drain.upgraded, 3);
+        // On this schema the CDAG verdicts match the explicit ones exactly,
+        // so every upgrade confirms.
+        assert_eq!(drain.confirmed, 3);
+        let stats = t.stats();
+        assert_eq!(stats.fast_answers, 3);
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.upgrades, 3);
+        assert!((stats.upgrade_exactness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exactness_reaches_the_protocol_stats() {
+        let dtd = figure1();
+        let t = tiered(&dtd);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        t.check_fast(&q, &u);
+        t.drain_upgrades();
+        let stats = t.shared().with_read(|h| h.session().stats());
+        assert_eq!(stats.tiered_fast, 1);
+        assert_eq!(stats.tiered_upgrades, 1);
+        assert_eq!(stats.tiered_confirmed, 1);
+        assert!((stats.upgrade_exactness() - 1.0).abs() < 1e-12);
+        // And through the protocol response.
+        let rendered = crate::protocol::Response::Stats(stats).render_text();
+        assert!(rendered.contains("tiered"), "{rendered}");
+    }
+
+    #[test]
+    fn exactness_defaults_to_one_before_any_upgrade() {
+        assert!((TieredStats::default().upgrade_exactness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_fast_answers_and_drains_are_safe() {
+        let dtd = figure1();
+        let t = tiered(&dtd);
+        let q = parse_query("//a//c").unwrap();
+        let u = parse_update("delete //b//c").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        t.check_fast(&q, &u);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..4 {
+                    t.drain_upgrades();
+                }
+            });
+        });
+        t.drain_upgrades();
+        let stats = t.stats();
+        assert_eq!(stats.fast_answers, 32);
+        assert_eq!(stats.upgrades, 32);
+        assert_eq!(stats.confirmed, 32);
+        assert_eq!(stats.pending, 0);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod attributes;
 pub mod chain;
 pub mod content;
+pub mod corpus;
 pub mod dtd;
 pub mod edtd;
 pub mod genvalid;
@@ -39,6 +40,7 @@ pub mod xsd;
 pub use attributes::{parse_dtd_with_attributes, with_attributes, AttrDecl};
 pub use chain::Chain;
 pub use content::ContentModel;
+pub use corpus::{random_query, random_update, Corpus, CorpusSchema, SchemaGen};
 pub use dtd::Dtd;
 pub use edtd::Edtd;
 pub use genvalid::{

@@ -1,0 +1,202 @@
+//! The HTTP transport: replays the same tenant op streams against a live
+//! `qui serve` daemon over keep-alive connections, measuring the full
+//! socket + HTTP-parse + JSON-protocol round trip.
+//!
+//! Checks over the wire are *exact* (the daemon's check endpoint runs the
+//! session's full engine order; the tiered front is an in-process
+//! construct), so the upgrade counters stay at zero in this mode and
+//! `upgrade_exactness` reports its no-upgrades default of 1. Maintain ops
+//! map to `stats` round trips to keep the op count — and the stream
+//! digest — identical to the in-process replay.
+
+use crate::ops::{Op, TenantPlan};
+use crate::{SchemaRuntime, TenantOutcome, TrafficConfig};
+use qui_core::{Json, Request, ServeConfig, Server, SessionRegistry};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to traffic daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client { stream }
+    }
+
+    /// POSTs one protocol request to the schema's session endpoint and
+    /// returns (HTTP status, parsed JSON body).
+    fn post(&mut self, schema: &str, request: &Request) -> (u16, Json) {
+        let body = request.to_json().render();
+        let wire = format!(
+            "POST /sessions/{schema} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(wire.as_bytes()).unwrap();
+        let mut head = Vec::new();
+        let mut b = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            self.stream.read_exact(&mut b).expect("response head");
+            head.push(b[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut payload = vec![0u8; length];
+        self.stream.read_exact(&mut payload).unwrap();
+        let json =
+            Json::parse(std::str::from_utf8(&payload).unwrap()).unwrap_or(Json::Obj(Vec::new()));
+        (status, json)
+    }
+}
+
+/// Whether a protocol reply should count as an error.
+fn is_error(status: u16, body: &Json) -> bool {
+    status != 200 || body.get("type").and_then(Json::as_str) == Some("error")
+}
+
+/// Executes one tenant's plan over one keep-alive connection.
+fn run_tenant_http(client: &mut Client, rt: &SchemaRuntime, plan: &TenantPlan) -> TenantOutcome {
+    let mut out = TenantOutcome::default();
+    for op in &plan.ops {
+        let begin = Instant::now();
+        match op {
+            Op::Check { query, update } => {
+                let (status, body) = client.post(
+                    &rt.name,
+                    &Request::Check {
+                        query: rt.pools.queries[*query].clone(),
+                        update: rt.pools.updates[*update].clone(),
+                    },
+                );
+                out.checks += 1;
+                if is_error(status, &body) {
+                    out.errors += 1;
+                } else if body.get("independent").and_then(Json::as_bool) == Some(true) {
+                    out.fast_independent += 1;
+                } else {
+                    out.fast_dependent += 1;
+                }
+            }
+            Op::AddView { name, query } => {
+                let (status, body) = client.post(
+                    &rt.name,
+                    &Request::AddView {
+                        name: Some(name.clone()),
+                        expr: rt.pools.queries[*query].clone(),
+                    },
+                );
+                out.edits += 1;
+                if is_error(status, &body) {
+                    out.errors += 1;
+                }
+            }
+            Op::Drop { name } => {
+                let (status, body) = client.post(&rt.name, &Request::Drop { name: name.clone() });
+                out.edits += 1;
+                if is_error(status, &body) {
+                    out.errors += 1;
+                }
+            }
+            Op::Batch { pairs } => {
+                let ops = pairs
+                    .iter()
+                    .map(|(q, u)| Request::Check {
+                        query: rt.pools.queries[*q].clone(),
+                        update: rt.pools.updates[*u].clone(),
+                    })
+                    .collect();
+                let (status, body) = client.post(&rt.name, &Request::Batch(ops));
+                out.batches += 1;
+                out.batch_ops += pairs.len();
+                if is_error(status, &body) {
+                    out.errors += 1;
+                }
+            }
+            Op::Maintain => {
+                // No tiered front over the wire; a stats round trip keeps
+                // the op count aligned with the in-process replay.
+                let (status, body) = client.post(&rt.name, &Request::Stats);
+                out.maintains += 1;
+                if is_error(status, &body) {
+                    out.errors += 1;
+                }
+            }
+        }
+        out.latencies_us.push(begin.elapsed().as_secs_f64() * 1e6);
+    }
+    out
+}
+
+/// Boots a daemon over the (already loaded) registry, replays every tenant
+/// plan through `config.jobs` keep-alive clients, and shuts the daemon
+/// down. Returns the per-tenant outcomes and the op-window wall time.
+pub(crate) fn run_over_http(
+    config: &TrafficConfig,
+    registry: &Arc<SessionRegistry>,
+    runtimes: &[SchemaRuntime],
+    plans: &[TenantPlan],
+) -> (Vec<TenantOutcome>, f64) {
+    let server = Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: config.jobs.clamp(1, 4),
+            ..Default::default()
+        },
+        Arc::clone(registry),
+    )
+    .expect("bind traffic daemon");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("traffic daemon run"));
+
+    let threads = config.jobs.max(1);
+    let outcomes: Vec<Mutex<TenantOutcome>> = plans
+        .iter()
+        .map(|_| Mutex::new(TenantOutcome::default()))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for plan in plans.iter().skip(worker).step_by(threads) {
+                    let outcome = run_tenant_http(&mut client, &runtimes[plan.schema], plan);
+                    *outcomes[plan.tenant].lock().unwrap() = outcome;
+                }
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    shutdown.store(true, Ordering::SeqCst);
+    // Nudge the accept loop so the shutdown flag is observed promptly.
+    let _ = TcpStream::connect(addr);
+    handle.join().unwrap();
+    (
+        outcomes
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+        wall_ms,
+    )
+}

@@ -1,0 +1,296 @@
+//! Seeded tenant op streams: every choice the simulator makes — which
+//! schema a tenant lives on, which op comes next, which query/update the op
+//! touches — is derived from per-tenant [`StdRng`] streams split off the
+//! run seed. The streams are generated up front, before any session work,
+//! so they are identical whatever the worker-thread count, and the
+//! [`stream_digest`] pins that: two runs with the same seed must produce
+//! the same digest, jobs ∈ {1, 2, 8} included.
+
+use qui_schema::{random_query, random_update, CorpusSchema};
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Splits a per-stream seed off the run seed (SplitMix-style odd multiplier
+/// so neighbouring stream ids land far apart).
+pub fn mix(seed: u64, stream: u64) -> u64 {
+    seed ^ stream
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(23)
+}
+
+/// `[0, 1)` from the top 53 bits of the next word — float sampling without
+/// relying on float ranges in the vendored rand shim.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A Zipf-ish sampler over ranks `0..n`: rank `r` is drawn with weight
+/// `1 / (r + 1)^s`, via a cumulative table. Rank 0 is the hot item.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the cumulative weight table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x = unit(rng);
+        self.cumulative
+            .iter()
+            .position(|&c| x < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// One simulated tenant operation. Query/update indices refer to the
+/// tenant schema's string pools (see [`SchemaPools`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Tiered check of pool pair (`query`, `update`).
+    Check { query: usize, update: usize },
+    /// Register pool query `query` as the tenant-owned view `name`.
+    AddView { name: String, query: usize },
+    /// Drop a view this tenant registered earlier.
+    Drop { name: String },
+    /// One round trip carrying several checks.
+    Batch { pairs: Vec<(usize, usize)> },
+    /// Drain this tenant's pending explicit-witness upgrades.
+    Maintain,
+}
+
+impl Op {
+    /// Canonical one-line form, the unit the [`stream_digest`] hashes.
+    pub fn canonical(&self) -> String {
+        match self {
+            Op::Check { query, update } => format!("check {query} {update}"),
+            Op::AddView { name, query } => format!("view {name} {query}"),
+            Op::Drop { name } => format!("drop {name}"),
+            Op::Batch { pairs } => {
+                let body: Vec<String> = pairs.iter().map(|(q, u)| format!("{q}:{u}")).collect();
+                format!("batch {}", body.join(","))
+            }
+            Op::Maintain => "maintain".to_string(),
+        }
+    }
+}
+
+/// One tenant's precomputed run: its schema assignment and op stream.
+#[derive(Clone, Debug)]
+pub struct TenantPlan {
+    /// Tenant id (also the plan's position in the plan list).
+    pub tenant: usize,
+    /// Index into the corpus schema list.
+    pub schema: usize,
+    /// The ops, executed in order.
+    pub ops: Vec<Op>,
+}
+
+/// Generates tenant `tenant`'s plan. Schema assignment is Zipf over the
+/// corpus (hot schemas get most tenants, like real multi-tenant registries)
+/// and the op mix is roughly 62% check / 12% add-view / 8% drop /
+/// 10% batch / 8% maintain, with pool picks Zipf-skewed toward hot pairs.
+pub fn tenant_plan(
+    seed: u64,
+    tenant: usize,
+    n_schemas: usize,
+    n_ops: usize,
+    n_queries: usize,
+    n_updates: usize,
+) -> TenantPlan {
+    let mut rng = StdRng::seed_from_u64(mix(seed, tenant as u64));
+    let schema = Zipf::new(n_schemas, 1.1).sample(&mut rng);
+    let queries = Zipf::new(n_queries, 1.0);
+    let updates = Zipf::new(n_updates, 1.0);
+    let mut live: Vec<String> = Vec::new();
+    let mut next_view = 0usize;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let roll = rng.random_range(0..100usize);
+        let op = if roll < 62 {
+            Op::Check {
+                query: queries.sample(&mut rng),
+                update: updates.sample(&mut rng),
+            }
+        } else if roll < 74 {
+            let name = format!("t{tenant}v{next_view}");
+            next_view += 1;
+            live.push(name.clone());
+            Op::AddView {
+                name,
+                query: queries.sample(&mut rng),
+            }
+        } else if roll < 82 {
+            if live.is_empty() {
+                // Nothing to drop yet; keep the stream deterministic by
+                // substituting a check rather than rerolling.
+                Op::Check {
+                    query: queries.sample(&mut rng),
+                    update: updates.sample(&mut rng),
+                }
+            } else {
+                let i = rng.random_range(0..live.len());
+                Op::Drop {
+                    name: live.swap_remove(i),
+                }
+            }
+        } else if roll < 92 {
+            let n = rng.random_range(2..=6usize);
+            Op::Batch {
+                pairs: (0..n)
+                    .map(|_| (queries.sample(&mut rng), updates.sample(&mut rng)))
+                    .collect(),
+            }
+        } else {
+            Op::Maintain
+        };
+        ops.push(op);
+    }
+    TenantPlan {
+        tenant,
+        schema,
+        ops,
+    }
+}
+
+/// Per-schema query/update string pools, seeded off the run seed and the
+/// schema's corpus position.
+#[derive(Clone, Debug)]
+pub struct SchemaPools {
+    /// Query sources, index space of [`Op::Check::query`].
+    pub queries: Vec<String>,
+    /// Update sources, index space of [`Op::Check::update`].
+    pub updates: Vec<String>,
+}
+
+/// Generates the pools for corpus schema `index`.
+pub fn schema_pools(
+    schema: &CorpusSchema,
+    seed: u64,
+    index: usize,
+    n_queries: usize,
+    n_updates: usize,
+) -> SchemaPools {
+    let labels = schema.labels();
+    let mut rng = StdRng::seed_from_u64(mix(seed, 0x0705_0000 ^ index as u64));
+    SchemaPools {
+        queries: (0..n_queries.max(1))
+            .map(|_| random_query(&labels, &mut rng))
+            .collect(),
+        updates: (0..n_updates.max(1))
+            .map(|_| random_update(&schema.start, &labels, &mut rng))
+            .collect(),
+    }
+}
+
+/// FNV-1a over every tenant's canonical op stream, in tenant order. This is
+/// the run's replay fingerprint: embedded in the report, compared across
+/// `jobs ∈ {1, 2, 8}` by the perf harness.
+pub fn stream_digest(plans: &[TenantPlan]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for plan in plans {
+        feed(format!("t{} s{};", plan.tenant, plan.schema).as_bytes());
+        for op in &plan.ops {
+            feed(op.canonical().as_bytes());
+            feed(b"\n");
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qui_schema::Corpus;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[0] > counts[7]);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_mixed() {
+        let a = tenant_plan(42, 3, 4, 400, 12, 10);
+        let b = tenant_plan(42, 3, 4, 400, 12, 10);
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.ops, b.ops);
+        let has = |f: fn(&Op) -> bool| a.ops.iter().any(f);
+        assert!(has(|o| matches!(o, Op::Check { .. })));
+        assert!(has(|o| matches!(o, Op::AddView { .. })));
+        assert!(has(|o| matches!(o, Op::Drop { .. })));
+        assert!(has(|o| matches!(o, Op::Batch { .. })));
+        assert!(has(|o| matches!(o, Op::Maintain)));
+    }
+
+    #[test]
+    fn drops_only_follow_their_add() {
+        let plan = tenant_plan(9, 0, 2, 600, 8, 8);
+        let mut live = Vec::new();
+        for op in &plan.ops {
+            match op {
+                Op::AddView { name, .. } => {
+                    assert!(!live.contains(name));
+                    live.push(name.clone());
+                }
+                Op::Drop { name } => {
+                    let i = live
+                        .iter()
+                        .position(|n| n == name)
+                        .expect("drop of live view");
+                    live.swap_remove(i);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_seed_sensitive() {
+        let plans_a: Vec<TenantPlan> = (0..6).map(|t| tenant_plan(1, t, 3, 20, 8, 8)).collect();
+        let plans_b: Vec<TenantPlan> = (0..6).map(|t| tenant_plan(2, t, 3, 20, 8, 8)).collect();
+        assert_ne!(stream_digest(&plans_a), stream_digest(&plans_b));
+        let again: Vec<TenantPlan> = (0..6).map(|t| tenant_plan(1, t, 3, 20, 8, 8)).collect();
+        assert_eq!(stream_digest(&plans_a), stream_digest(&again));
+    }
+
+    #[test]
+    fn pools_parse_against_their_schema() {
+        for (i, schema) in Corpus::seeded(11, 2).iter().enumerate() {
+            let pools = schema_pools(schema, 11, i, 6, 6);
+            for q in &pools.queries {
+                qui_xquery::parse_query(q).unwrap_or_else(|e| panic!("{q}: {e:?}"));
+            }
+            for u in &pools.updates {
+                qui_xquery::parse_update(u).unwrap_or_else(|e| panic!("{u}: {e:?}"));
+            }
+        }
+    }
+}

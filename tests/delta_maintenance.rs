@@ -252,6 +252,93 @@ fn constructed_results_fall_back_to_reevaluation() {
     assert_eq!(delta.serialized_views(), naive.serialized_views());
 }
 
+/// The corpus sweep: on every schema of the shared corpus (hand fixtures
+/// plus seeded generated shapes), a *validity-preserving* random update
+/// stream keeps the three strategies bit-identical at two worker counts.
+///
+/// The corpus generators draw arbitrary updates, and an off-schema document
+/// voids the static analysis the pruned/delta strategies rest on — so each
+/// candidate update is first applied to a probe clone and validated; only
+/// validity-preserving candidates enter the stream. The sweep scales with
+/// `QUI_PROPTEST_CASES` like the proptest suites.
+#[test]
+fn corpus_streams_stay_bit_identical_across_strategies() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xml_qui::schema::validate::validate;
+    use xml_qui::schema::{generate_valid, random_query, random_update, Corpus, GenValidConfig};
+    use xml_qui::xquery::run_update;
+
+    let target_applied: usize = cases(8) as usize / 2;
+    let mut applied_total = 0usize;
+    for (si, schema) in Corpus::seeded(0xD17A, 2).iter().enumerate() {
+        let dtd = schema.dtd();
+        let labels = schema.labels();
+        let doc = generate_valid(&dtd, &GenValidConfig::with_target(300), 0xD0C0 + si as u64);
+        let mut rng = StdRng::seed_from_u64(0x3117 ^ si as u64);
+
+        let mut engines: Vec<MaintenanceEngine<Dtd>> = STRATEGIES
+            .iter()
+            .map(|&s| MaintenanceEngine::new(&dtd, doc.clone(), s, Jobs::Fixed(2)))
+            .collect();
+        engines.push(MaintenanceEngine::new(
+            &dtd,
+            doc.clone(),
+            MaintainStrategy::Delta,
+            Jobs::Fixed(1),
+        ));
+        for eng in &mut engines {
+            for i in 0..4 {
+                let mut q_rng = StdRng::seed_from_u64(0x9E1D ^ ((si as u64) << 8) ^ i);
+                let q = random_query(&labels, &mut q_rng);
+                eng.register_view(&format!("v{i}"), &parse_query(&q).unwrap())
+                    .unwrap();
+            }
+        }
+
+        // Draw candidates until enough validity-preserving updates applied
+        // (or the candidate budget runs out — recursion-free schemas with
+        // mandatory content can reject most random deletes).
+        let mut probe = doc.clone();
+        let mut applied = 0usize;
+        for _ in 0..target_applied.max(4) * 8 {
+            if applied >= target_applied.max(4) {
+                break;
+            }
+            let u_src = random_update(&schema.start, &labels, &mut rng);
+            let u = parse_update(&u_src).unwrap();
+            let mut trial = probe.clone();
+            if run_update(&mut trial, &u).is_err() || validate(&dtd, &trial).is_err() {
+                continue;
+            }
+            probe = trial;
+            applied += 1;
+            let batch = std::slice::from_ref(&u);
+            let stats: Vec<BatchStats> = engines
+                .iter_mut()
+                .map(|e| e.apply_batch(batch).unwrap())
+                .collect();
+            let reference = engines[0].serialized_views();
+            for (eng, label) in engines[1..].iter().zip(["pruned", "delta", "delta@jobs=1"]) {
+                assert_eq!(
+                    eng.serialized_views(),
+                    reference,
+                    "{label} diverged from naive on corpus schema {} ({}) after `{u_src}`",
+                    schema.name,
+                    schema.shape
+                );
+            }
+            assert!(stats[1].reevaluated <= stats[0].reevaluated);
+            assert!(stats[2].reevaluated <= stats[1].reevaluated);
+        }
+        applied_total += applied;
+    }
+    assert!(
+        applied_total > 0,
+        "no validity-preserving update found on any corpus schema — the sweep pinned nothing"
+    );
+}
+
 /// The real workload: an XMark update stream over views that span all three
 /// maintenance decisions, bit-identical across strategies and jobs ∈
 /// {1, 2, 8}, with the delta engine demonstrably patching.

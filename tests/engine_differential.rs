@@ -28,6 +28,7 @@ use xml_qui::core::{
     analyze_matrix, AnalyzerConfig, ChainProjector, EngineKind, IndependenceAnalyzer, Jobs,
     Universe,
 };
+use xml_qui::schema::Corpus;
 use xml_qui::schema::{Chain, Dtd, SchemaLike};
 use xml_qui::xmlstore::parse_xml;
 use xml_qui::xquery::dynamic::snapshot_query;
@@ -78,6 +79,17 @@ fn schema_pool() -> Vec<Dtd> {
         )
         .unwrap(),
     ]
+}
+
+/// The schema corpus as plain DTDs: the five hand-written fixtures plus two
+/// seeded generated shapes, so the differential properties run over every
+/// corpus schema the traffic simulator registers (and more shapes than the
+/// hand pool above covers — deep chains, wide fan-out, recursion cliques).
+fn corpus_pool() -> Vec<Dtd> {
+    Corpus::seeded(0xC0FFEE, 2)
+        .iter()
+        .map(|s| s.dtd())
+        .collect()
 }
 
 /// Assembles a navigation query from drawn (axis, label-index) pairs over
@@ -246,6 +258,56 @@ proptest! {
                 "CDAG update set does not denote the witness chain of ({q}, {u})"
             );
         }
+    }
+
+    /// The corpus-wide differential: on every schema of the shared corpus
+    /// (hand-written fixtures and seeded generated shapes alike) the CDAG
+    /// engine stays sound against the explicit engine, and the CDAG-first
+    /// `Auto` pipeline keeps full explicit precision. This is the lighter
+    /// sibling of the headline property above — the attributability and
+    /// witness-containment clauses stay on the curated pool, where the
+    /// relaxed-`k` re-check is affordable; soundness and production
+    /// equality, the clauses the traffic simulator rides on, run corpus-wide.
+    #[test]
+    fn corpus_schemas_keep_engine_agreement(
+        si in 0usize..7,
+        q_shape in 0usize..8,
+        ql1 in 0usize..24,
+        ql2 in 0usize..24,
+        u_shape in 0usize..6,
+        ul1 in 0usize..24,
+        ul2 in 0usize..24,
+        k in 1usize..4,
+    ) {
+        let pool = corpus_pool();
+        let schema = &pool[si % pool.len()];
+        let q = build_query(schema, q_shape, ql1, ql2);
+        let u = build_update(schema, u_shape, ul1, ul2);
+        let Some(explicit) = explicit_verdict(schema, &q, &u, k) else {
+            return Ok(());
+        };
+        let eng = CdagEngine::new(schema, k);
+        let qc = eng.infer_query(&eng.root_gamma(q.free_vars()), &q);
+        let uc = eng.infer_update(&eng.root_gamma(u.free_vars()), &u);
+        prop_assert!(
+            !eng.independent(&qc, &uc) || explicit,
+            "UNSOUND: CDAG claims ({}, {}) independent at k = {} on corpus schema #{}, explicit refutes",
+            q, u, k, si % pool.len()
+        );
+        let auto = IndependenceAnalyzer::with_config(
+            schema,
+            AnalyzerConfig {
+                k_override: Some(k),
+                explicit_budget: 100_000,
+                ..Default::default()
+            },
+        )
+        .check(&q, &u);
+        prop_assert_eq!(
+            auto.is_independent(), explicit,
+            "the CDAG-first auto verdict mismatches the explicit engine on ({}, {}) at k = {} on corpus schema #{}",
+            q, u, k, si % pool.len()
+        );
     }
 
     /// The k-ladder is indistinguishable from fresh builds at every bound —

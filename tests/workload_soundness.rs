@@ -1,10 +1,20 @@
-//! Workload-level integration test: on the XMark benchmark, the chain
+//! Workload-level integration tests: on the XMark benchmark, the chain
 //! analysis must be sound w.r.t. the dynamic ground truth and at least as
-//! precise as the type-set baseline.
+//! precise as the type-set baseline; on the schema corpus (hand fixtures
+//! plus seeded generated shapes), the chain analysis must stay sound
+//! against dynamically checked generated instances of every schema.
+//!
+//! The corpus sweep scales with `QUI_PROPTEST_CASES` (the nightly workflow
+//! raises it) and is deterministic per (schema, case) pair.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use xml_qui::baseline::TypeSetAnalyzer;
 use xml_qui::core::IndependenceAnalyzer;
+use xml_qui::schema::{generate_valid, random_query, random_update, Corpus, GenValidConfig};
 use xml_qui::workloads::{all_updates, all_views, ground_truth_matrix, xmark_dtd};
+use xml_qui::xquery::dynamic::dynamic_independent;
+use xml_qui::xquery::{parse_query, parse_update};
 
 #[test]
 fn xmark_chain_analysis_is_sound_and_dominates_the_baseline() {
@@ -57,6 +67,64 @@ fn xmark_chain_analysis_is_sound_and_dominates_the_baseline() {
     assert!(
         chains_detected > types_detected,
         "chains {chains_detected} vs types {types_detected}"
+    );
+}
+
+#[test]
+fn corpus_chain_analysis_is_sound_on_generated_instances() {
+    // For every corpus schema — the same corpus the traffic simulator
+    // registers — draw seeded query/update pairs from the corpus
+    // generators, then refute each *static* independence claim against the
+    // dynamic check (Definition 2.4) on several generated valid instances.
+    // A static "independent" with a dynamic "changed" on any instance is a
+    // soundness bug, whatever the schema shape.
+    let pairs_per_schema: usize = std::env::var("QUI_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|c: usize| (c / 8).max(6))
+        .unwrap_or(6);
+    let mut independents = 0usize;
+    let mut dependents = 0usize;
+    for (si, schema) in Corpus::seeded(0xBEEF, 2).iter().enumerate() {
+        let dtd = schema.dtd();
+        let labels = schema.labels();
+        let analyzer = IndependenceAnalyzer::new(&dtd);
+        // Instance pool: three seeded valid documents of ~400 nodes each.
+        let docs: Vec<_> = (0..3)
+            .map(|d| generate_valid(&dtd, &GenValidConfig::with_target(400), 0x0D0C + d))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0x50FA ^ si as u64);
+        for _ in 0..pairs_per_schema {
+            let q_src = random_query(&labels, &mut rng);
+            let u_src = random_update(&schema.start, &labels, &mut rng);
+            let q = parse_query(&q_src).expect("corpus query parses");
+            let u = parse_update(&u_src).expect("corpus update parses");
+            let verdict = analyzer.check(&q, &u).is_independent();
+            if verdict {
+                independents += 1;
+            } else {
+                dependents += 1;
+            }
+            if !verdict {
+                continue; // only independence claims are refutable
+            }
+            for (di, doc) in docs.iter().enumerate() {
+                let outcome = dynamic_independent(doc, &q, &u)
+                    .unwrap_or_else(|e| panic!("eval of ({q_src}, {u_src}): {e:?}"));
+                assert!(
+                    !outcome.is_changed(),
+                    "chain analysis unsound on corpus schema {} ({}): ({q_src}, {u_src}) \
+                     declared independent but instance #{di} changed",
+                    schema.name,
+                    schema.shape
+                );
+            }
+        }
+    }
+    // The sweep must exercise both verdicts, or it pins nothing.
+    assert!(
+        independents > 0 && dependents > 0,
+        "degenerate corpus sweep: {independents} independent / {dependents} dependent"
     );
 }
 
